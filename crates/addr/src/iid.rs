@@ -1,0 +1,232 @@
+//! The 64-bit Interface Identifier — the lower half of an IPv6 address.
+
+use crate::mac::Mac;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::net::Ipv6Addr;
+
+/// A 64-bit IPv6 Interface Identifier (the low 64 bits of an address).
+///
+/// ```
+/// use v6addr::{Iid, Mac};
+///
+/// // EUI-64 SLAAC leaks the MAC address into the IID — and back out.
+/// let mac: Mac = "00:12:34:56:78:9a".parse().unwrap();
+/// let iid = Iid::from_mac(mac);
+/// assert!(iid.looks_like_eui64());
+/// assert_eq!(iid.to_mac(), Some(mac));
+/// ```
+///
+/// How an IID was chosen is the paper's main fingerprinting signal:
+/// privacy-extension clients randomize it, operators hand-assign tiny values
+/// like `::1`, and EUI-64 SLAAC embeds the interface MAC address into it.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+pub struct Iid(u64);
+
+impl Iid {
+    /// The all-zeros IID (the subnet-router anycast address `::`).
+    pub const ZERO: Iid = Iid(0);
+
+    /// Wraps a raw 64-bit value as an IID.
+    #[inline]
+    pub const fn new(v: u64) -> Self {
+        Iid(v)
+    }
+
+    /// Extracts the IID (low 64 bits) from a full IPv6 address.
+    #[inline]
+    pub fn from_addr(addr: Ipv6Addr) -> Self {
+        Iid(u128::from(addr) as u64)
+    }
+
+    /// The raw 64-bit value.
+    #[inline]
+    pub const fn as_u64(self) -> u64 {
+        self.0
+    }
+
+    /// The eight IID bytes, most significant first (byte 0 is bits 63..56).
+    #[inline]
+    pub const fn bytes(self) -> [u8; 8] {
+        self.0.to_be_bytes()
+    }
+
+    /// The sixteen hex nibbles of the IID, most significant first.
+    ///
+    /// Entropy is computed over this nibble string, matching how the paper
+    /// (and Entropy/IP before it) treat addresses as hex text.
+    #[inline]
+    pub fn nibbles(self) -> [u8; 16] {
+        let mut out = [0u8; 16];
+        for (i, n) in out.iter_mut().enumerate() {
+            *n = ((self.0 >> (60 - 4 * i)) & 0xf) as u8;
+        }
+        out
+    }
+
+    /// True when bytes 3 and 4 are `0xff 0xfe` — the signature that SLAAC
+    /// EUI-64 inserts between the two MAC halves.
+    ///
+    /// A random IID matches with probability 2⁻¹⁶, which is exactly the
+    /// false-positive bound the paper uses in §5.1.
+    #[inline]
+    pub const fn looks_like_eui64(self) -> bool {
+        (self.0 >> 24) & 0xffff == 0xfffe
+    }
+
+    /// Recovers the embedded MAC address if this IID has the EUI-64 shape.
+    ///
+    /// Removes the `ff:fe` filler and flips the Universal/Local bit back.
+    /// Returns `None` when [`looks_like_eui64`](Self::looks_like_eui64) is
+    /// false. Note a `Some` result may still be a coincidence for truly
+    /// random IIDs; callers de-noise statistically (see §5.1).
+    pub fn to_mac(self) -> Option<Mac> {
+        if !self.looks_like_eui64() {
+            return None;
+        }
+        let b = self.bytes();
+        Some(Mac::new([b[0] ^ 0x02, b[1], b[2], b[5], b[6], b[7]]))
+    }
+
+    /// Builds the EUI-64 IID that SLAAC derives from a MAC address.
+    ///
+    /// This is the inverse of [`to_mac`](Self::to_mac): insert `ff:fe`
+    /// between the OUI and NIC halves, then flip the U/L bit.
+    pub fn from_mac(mac: Mac) -> Self {
+        let m = mac.bytes();
+        Iid(u64::from_be_bytes([
+            m[0] ^ 0x02,
+            m[1],
+            m[2],
+            0xff,
+            0xfe,
+            m[3],
+            m[4],
+            m[5],
+        ]))
+    }
+
+    /// True when every bit is zero (the "Zeroes" class of Figure 5).
+    #[inline]
+    pub const fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+
+    /// True when only the least significant byte is set (and is nonzero) —
+    /// the "Low Byte" class: operator-assigned addresses like `::1`.
+    #[inline]
+    pub const fn is_low_byte(self) -> bool {
+        self.0 != 0 && self.0 <= 0xff
+    }
+
+    /// True when only the two least significant bytes are set, excluding
+    /// values already covered by [`is_low_byte`](Self::is_low_byte) — the
+    /// "Low 2 Bytes" class (e.g. `::1:0` or `::1234`).
+    #[inline]
+    pub const fn is_low_two_bytes(self) -> bool {
+        self.0 > 0xff && self.0 <= 0xffff
+    }
+
+    /// Number of distinct nibble values appearing in the IID; a cheap
+    /// structure signal used by tests and generators.
+    pub fn distinct_nibbles(self) -> u32 {
+        let mut seen = 0u16;
+        for n in self.nibbles() {
+            seen |= 1 << n;
+        }
+        seen.count_ones()
+    }
+}
+
+impl fmt::Display for Iid {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let b = self.bytes();
+        write!(
+            f,
+            "{:02x}{:02x}:{:02x}{:02x}:{:02x}{:02x}:{:02x}{:02x}",
+            b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7]
+        )
+    }
+}
+
+impl fmt::Debug for Iid {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Iid({self})")
+    }
+}
+
+impl From<u64> for Iid {
+    fn from(v: u64) -> Self {
+        Iid(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn iid_from_addr() {
+        let a: Ipv6Addr = "2001:db8::0212:34ff:fe56:789a".parse().unwrap();
+        let iid = Iid::from_addr(a);
+        assert_eq!(iid.as_u64(), 0x0212_34ff_fe56_789a);
+        assert!(iid.looks_like_eui64());
+    }
+
+    #[test]
+    fn eui64_round_trip() {
+        // Example straight from the paper's §3: flip bit 7 of byte 0,
+        // insert ff:fe between bytes 3 and 4.
+        let mac: Mac = "00:12:34:56:78:9a".parse().unwrap();
+        let iid = Iid::from_mac(mac);
+        assert_eq!(iid.as_u64(), 0x0212_34ff_fe56_789a);
+        assert_eq!(iid.to_mac(), Some(mac));
+    }
+
+    #[test]
+    fn eui64_round_trip_local_bit_set() {
+        let mac: Mac = "02:00:00:00:00:01".parse().unwrap();
+        let iid = Iid::from_mac(mac);
+        // U/L flip clears the bit in the IID representation.
+        assert_eq!(iid.bytes()[0], 0x00);
+        assert_eq!(iid.to_mac(), Some(mac));
+    }
+
+    #[test]
+    fn non_eui64_yields_no_mac() {
+        assert_eq!(Iid::new(0x1234_5678_9abc_def0).to_mac(), None);
+        assert!(!Iid::new(1).looks_like_eui64());
+    }
+
+    #[test]
+    fn low_byte_classes() {
+        assert!(Iid::ZERO.is_zero());
+        assert!(!Iid::ZERO.is_low_byte());
+        assert!(Iid::new(0x01).is_low_byte());
+        assert!(Iid::new(0xff).is_low_byte());
+        assert!(!Iid::new(0x100).is_low_byte());
+        assert!(Iid::new(0x100).is_low_two_bytes());
+        assert!(Iid::new(0xffff).is_low_two_bytes());
+        assert!(!Iid::new(0x1_0000).is_low_two_bytes());
+        assert!(!Iid::new(0x42).is_low_two_bytes());
+    }
+
+    #[test]
+    fn nibbles_order() {
+        let iid = Iid::new(0x0123_4567_89ab_cdef);
+        assert_eq!(
+            iid.nibbles(),
+            [0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 0xa, 0xb, 0xc, 0xd, 0xe, 0xf]
+        );
+        assert_eq!(iid.distinct_nibbles(), 16);
+        assert_eq!(Iid::ZERO.distinct_nibbles(), 1);
+    }
+
+    #[test]
+    fn display_format() {
+        assert_eq!(
+            Iid::new(0x0212_34ff_fe56_789a).to_string(),
+            "0212:34ff:fe56:789a"
+        );
+    }
+}

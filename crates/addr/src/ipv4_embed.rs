@@ -1,0 +1,211 @@
+//! Detection of IPv4 addresses embedded in IPv6 Interface Identifiers.
+//!
+//! Some operators encode an interface's IPv4 address into its IPv6 IID
+//! (§2.1, §4.3). The paper checks **three encodings** and then applies an
+//! AS-level plausibility filter (≥100 instances in the AS *and* >10% of the
+//! AS's addresses) to weed out random IIDs that decode by coincidence; that
+//! filter lives in `v6hitlist::analysis::patterns` where AS context exists.
+
+use serde::{Deserialize, Serialize};
+use std::net::Ipv4Addr;
+
+use crate::iid::Iid;
+
+/// The three IID↦IPv4 encodings the detector understands.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Ipv4Encoding {
+    /// The IPv4 address occupies the low 32 bits of the IID and the upper
+    /// 32 bits are zero: `2001:db8::c000:0201` ⇒ `192.0.2.1`.
+    LowHex,
+    /// Each IPv4 octet is written in *decimal* into its own hextet:
+    /// `2001:db8::192:0:2:1` ⇒ `192.0.2.1` (hextet `0x0192` read as "192").
+    DottedDecimal,
+    /// Each IPv4 octet occupies the low byte of one of the four hextets
+    /// with high bytes zero: `2001:db8::c0:0:2:1` ⇒ `192.0.2.1`.
+    BytePerHextet,
+}
+
+impl Ipv4Encoding {
+    /// All encodings, in the order the detector tries them.
+    pub const ALL: [Ipv4Encoding; 3] = [
+        Ipv4Encoding::LowHex,
+        Ipv4Encoding::DottedDecimal,
+        Ipv4Encoding::BytePerHextet,
+    ];
+
+    /// Encodes an IPv4 address into an IID under this scheme.
+    pub fn encode(self, v4: Ipv4Addr) -> Iid {
+        let o = v4.octets();
+        match self {
+            Ipv4Encoding::LowHex => Iid::new(u32::from(v4) as u64),
+            Ipv4Encoding::DottedDecimal => {
+                let hextet = |b: u8| -> u64 {
+                    // Write the decimal digits of b as hex nibbles: 192 → 0x192.
+                    let (h, t, u) = ((b / 100) as u64, ((b / 10) % 10) as u64, (b % 10) as u64);
+                    (h << 8) | (t << 4) | u
+                };
+                Iid::new(
+                    (hextet(o[0]) << 48) | (hextet(o[1]) << 32) | (hextet(o[2]) << 16) | hextet(o[3]),
+                )
+            }
+            Ipv4Encoding::BytePerHextet => Iid::new(
+                ((o[0] as u64) << 48) | ((o[1] as u64) << 32) | ((o[2] as u64) << 16) | (o[3] as u64),
+            ),
+        }
+    }
+
+    /// Attempts to decode an IPv4 address from an IID under this scheme.
+    pub fn decode(self, iid: Iid) -> Option<Ipv4Addr> {
+        let v = iid.as_u64();
+        match self {
+            Ipv4Encoding::LowHex => {
+                if v >> 32 != 0 || v == 0 {
+                    return None;
+                }
+                Some(Ipv4Addr::from(v as u32))
+            }
+            Ipv4Encoding::DottedDecimal => {
+                let mut octets = [0u8; 4];
+                for (i, o) in octets.iter_mut().enumerate() {
+                    let hextet = (v >> (48 - 16 * i)) & 0xffff;
+                    *o = decode_decimal_hextet(hextet as u16)?;
+                }
+                if octets == [0, 0, 0, 0] {
+                    return None;
+                }
+                Some(Ipv4Addr::from(octets))
+            }
+            Ipv4Encoding::BytePerHextet => {
+                let mut octets = [0u8; 4];
+                for (i, o) in octets.iter_mut().enumerate() {
+                    let hextet = (v >> (48 - 16 * i)) & 0xffff;
+                    if hextet > 0xff {
+                        return None;
+                    }
+                    *o = hextet as u8;
+                }
+                if octets == [0, 0, 0, 0] {
+                    return None;
+                }
+                Some(Ipv4Addr::from(octets))
+            }
+        }
+    }
+}
+
+/// Reads a hextet whose hex digits spell a decimal number 0–255.
+///
+/// `0x0192` → `192`; `0x01ab` → `None` (contains non-decimal nibbles);
+/// `0x0999` → `None` (999 > 255).
+fn decode_decimal_hextet(h: u16) -> Option<u8> {
+    let mut value: u32 = 0;
+    for shift in [12u32, 8, 4, 0] {
+        let nibble = (h >> shift) & 0xf;
+        if nibble > 9 {
+            return None;
+        }
+        value = value * 10 + nibble as u32;
+    }
+    u8::try_from(value).ok()
+}
+
+/// A successful embedded-IPv4 decode: the encoding and the address.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct EmbeddedV4 {
+    /// Which encoding matched.
+    pub encoding: Ipv4Encoding,
+    /// The decoded IPv4 address.
+    pub v4: Ipv4Addr,
+}
+
+/// Tries all three encodings and returns every decode that succeeds.
+///
+/// More than one can match (e.g. `BytePerHextet` values below 10 per octet
+/// also decode as `DottedDecimal`); callers resolve ambiguity with the
+/// AS-level plausibility filter.
+pub fn decode_all(iid: Iid) -> Vec<EmbeddedV4> {
+    Ipv4Encoding::ALL
+        .iter()
+        .filter_map(|&encoding| {
+            encoding
+                .decode(iid)
+                .map(|v4| EmbeddedV4 { encoding, v4 })
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v4(s: &str) -> Ipv4Addr {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn low_hex_round_trip() {
+        let a = v4("192.0.2.1");
+        let iid = Ipv4Encoding::LowHex.encode(a);
+        assert_eq!(iid.as_u64(), 0xc000_0201);
+        assert_eq!(Ipv4Encoding::LowHex.decode(iid), Some(a));
+    }
+
+    #[test]
+    fn dotted_decimal_round_trip() {
+        let a = v4("192.0.2.1");
+        let iid = Ipv4Encoding::DottedDecimal.encode(a);
+        assert_eq!(iid.as_u64(), 0x0192_0000_0002_0001);
+        assert_eq!(Ipv4Encoding::DottedDecimal.decode(iid), Some(a));
+    }
+
+    #[test]
+    fn byte_per_hextet_round_trip() {
+        let a = v4("192.0.2.1");
+        let iid = Ipv4Encoding::BytePerHextet.encode(a);
+        assert_eq!(iid.as_u64(), 0x00c0_0000_0002_0001);
+        assert_eq!(Ipv4Encoding::BytePerHextet.decode(iid), Some(a));
+    }
+
+    #[test]
+    fn round_trips_all_encodings() {
+        for addr in ["10.1.2.3", "255.255.255.255", "1.0.0.1", "100.64.17.200"] {
+            let a = v4(addr);
+            for enc in Ipv4Encoding::ALL {
+                assert_eq!(enc.decode(enc.encode(a)), Some(a), "{enc:?} {addr}");
+            }
+        }
+    }
+
+    #[test]
+    fn decimal_hextet_rejects_hex_digits() {
+        assert_eq!(decode_decimal_hextet(0x0192), Some(192));
+        assert_eq!(decode_decimal_hextet(0x01ab), None);
+        assert_eq!(decode_decimal_hextet(0x0999), None);
+        assert_eq!(decode_decimal_hextet(0x0000), Some(0));
+        assert_eq!(decode_decimal_hextet(0x0255), Some(255));
+        assert_eq!(decode_decimal_hextet(0x0256), None);
+    }
+
+    #[test]
+    fn zero_iid_decodes_nothing() {
+        assert!(decode_all(Iid::ZERO).is_empty());
+    }
+
+    #[test]
+    fn random_high_iid_fails_low_hex() {
+        // Upper 32 bits set → not a LowHex embedding.
+        let iid = Iid::new(0xdead_beef_c000_0201);
+        assert_eq!(Ipv4Encoding::LowHex.decode(iid), None);
+    }
+
+    #[test]
+    fn ambiguous_decodes_reported_together() {
+        // 1.2.3.4 in BytePerHextet is also a valid DottedDecimal decode.
+        let iid = Ipv4Encoding::BytePerHextet.encode(v4("1.2.3.4"));
+        let all = decode_all(iid);
+        assert!(all.len() >= 2, "{all:?}");
+        assert!(all
+            .iter()
+            .any(|e| e.encoding == Ipv4Encoding::BytePerHextet && e.v4 == v4("1.2.3.4")));
+    }
+}

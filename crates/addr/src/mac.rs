@@ -1,0 +1,318 @@
+//! MAC (EUI-48) addresses and Organizationally Unique Identifiers.
+//!
+//! The paper's §5 privacy attacks pivot on MAC addresses leaked through
+//! EUI-64 SLAAC: the embedded MAC identifies the device vendor (via its
+//! [`Oui`]) and — through per-OUI wired→wireless offsets — the WiFi BSSID
+//! of the same device, which wardriving databases geolocate.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::str::FromStr;
+
+/// A 48-bit IEEE MAC address (EUI-48).
+///
+/// Stored big-endian in six bytes, exactly as written on the wire:
+/// `aa:bb:cc:dd:ee:ff` has `bytes() == [0xaa, 0xbb, 0xcc, 0xdd, 0xee, 0xff]`.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Mac([u8; 6]);
+
+impl Mac {
+    /// The all-zero MAC, `00:00:00:00:00:00`. Some manufacturers ship it as
+    /// a (broken) default, which the paper observes reused across devices.
+    pub const ZERO: Mac = Mac([0; 6]);
+
+    /// Builds a MAC from its six big-endian bytes.
+    #[inline]
+    pub const fn new(bytes: [u8; 6]) -> Self {
+        Mac(bytes)
+    }
+
+    /// Builds a MAC from the low 48 bits of `v` (big-endian byte order).
+    #[inline]
+    pub const fn from_u64(v: u64) -> Self {
+        Mac([
+            (v >> 40) as u8,
+            (v >> 32) as u8,
+            (v >> 24) as u8,
+            (v >> 16) as u8,
+            (v >> 8) as u8,
+            v as u8,
+        ])
+    }
+
+    /// Returns the address as a 48-bit integer (upper 16 bits zero).
+    #[inline]
+    pub const fn as_u64(self) -> u64 {
+        ((self.0[0] as u64) << 40)
+            | ((self.0[1] as u64) << 32)
+            | ((self.0[2] as u64) << 24)
+            | ((self.0[3] as u64) << 16)
+            | ((self.0[4] as u64) << 8)
+            | (self.0[5] as u64)
+    }
+
+    /// The six raw bytes, most significant first.
+    #[inline]
+    pub const fn bytes(self) -> [u8; 6] {
+        self.0
+    }
+
+    /// The vendor-assigned OUI: the three most significant bytes.
+    #[inline]
+    pub const fn oui(self) -> Oui {
+        Oui([self.0[0], self.0[1], self.0[2]])
+    }
+
+    /// The device-specific lower 24 bits ("NIC-specific" portion).
+    #[inline]
+    pub const fn nic(self) -> u32 {
+        ((self.0[3] as u32) << 16) | ((self.0[4] as u32) << 8) | (self.0[5] as u32)
+    }
+
+    /// True if the Universal/Local bit (bit 1 of the first byte) is set,
+    /// i.e. the address is locally administered rather than vendor-assigned.
+    #[inline]
+    pub const fn is_local(self) -> bool {
+        self.0[0] & 0x02 != 0
+    }
+
+    /// True if the Individual/Group bit is set (multicast MAC).
+    #[inline]
+    pub const fn is_multicast(self) -> bool {
+        self.0[0] & 0x01 != 0
+    }
+
+    /// Returns this MAC with the Universal/Local bit flipped.
+    ///
+    /// EUI-64 SLAAC flips this bit when embedding a MAC into an IID, so
+    /// recovering the original MAC flips it back.
+    #[inline]
+    pub const fn flip_local_bit(self) -> Self {
+        let mut b = self.0;
+        b[0] ^= 0x02;
+        Mac(b)
+    }
+
+    /// Adds a signed offset to the *NIC-specific* 24 bits, wrapping within
+    /// the same OUI.
+    ///
+    /// This models how manufacturers allocate consecutive identifiers to the
+    /// interfaces of one device: a CPE router's WiFi BSSID is typically the
+    /// wired (WAN) MAC plus a small constant. The paper's geolocation attack
+    /// (§5.3) infers that constant per OUI.
+    #[inline]
+    pub fn wrapping_add_nic(self, offset: i64) -> Self {
+        let nic = self.nic() as i64;
+        let new = (nic + offset).rem_euclid(1 << 24) as u32;
+        let o = self.oui().0;
+        Mac([
+            o[0],
+            o[1],
+            o[2],
+            (new >> 16) as u8,
+            (new >> 8) as u8,
+            new as u8,
+        ])
+    }
+
+    /// Signed NIC-portion distance `other - self`, choosing the
+    /// representative in `(-2^23, 2^23]` (shortest wrap-around distance).
+    ///
+    /// Returns `None` when the two addresses have different OUIs — the
+    /// offset inference only applies within a single vendor block.
+    pub fn nic_offset_to(self, other: Mac) -> Option<i64> {
+        if self.oui() != other.oui() {
+            return None;
+        }
+        let d = (other.nic() as i64 - self.nic() as i64).rem_euclid(1 << 24);
+        Some(if d > (1 << 23) { d - (1 << 24) } else { d })
+    }
+}
+
+impl fmt::Display for Mac {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{:02x}:{:02x}:{:02x}:{:02x}:{:02x}:{:02x}",
+            self.0[0], self.0[1], self.0[2], self.0[3], self.0[4], self.0[5]
+        )
+    }
+}
+
+impl fmt::Debug for Mac {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Mac({self})")
+    }
+}
+
+/// Error returned when parsing a [`Mac`] or [`Oui`] from text fails.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MacParseError;
+
+impl fmt::Display for MacParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("invalid MAC address syntax")
+    }
+}
+
+impl std::error::Error for MacParseError {}
+
+fn parse_hex_bytes(s: &str, out: &mut [u8]) -> Result<(), MacParseError> {
+    let mut parts = s.split([':', '-']);
+    for slot in out.iter_mut() {
+        let p = parts.next().ok_or(MacParseError)?;
+        if p.len() != 2 {
+            return Err(MacParseError);
+        }
+        *slot = u8::from_str_radix(p, 16).map_err(|_| MacParseError)?;
+    }
+    if parts.next().is_some() {
+        return Err(MacParseError);
+    }
+    Ok(())
+}
+
+impl FromStr for Mac {
+    type Err = MacParseError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let mut b = [0u8; 6];
+        parse_hex_bytes(s, &mut b)?;
+        Ok(Mac(b))
+    }
+}
+
+/// A 24-bit Organizationally Unique Identifier: the vendor block that the
+/// IEEE assigns a manufacturer, i.e. the top three bytes of a [`Mac`].
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Oui(pub [u8; 3]);
+
+impl Oui {
+    /// Builds an OUI from the low 24 bits of `v`.
+    #[inline]
+    pub const fn from_u32(v: u32) -> Self {
+        Oui([(v >> 16) as u8, (v >> 8) as u8, v as u8])
+    }
+
+    /// The OUI as a 24-bit integer.
+    #[inline]
+    pub const fn as_u32(self) -> u32 {
+        ((self.0[0] as u32) << 16) | ((self.0[1] as u32) << 8) | (self.0[2] as u32)
+    }
+
+    /// Builds the MAC with this OUI and the given 24-bit NIC portion.
+    #[inline]
+    pub const fn mac(self, nic: u32) -> Mac {
+        Mac([
+            self.0[0],
+            self.0[1],
+            self.0[2],
+            (nic >> 16) as u8,
+            (nic >> 8) as u8,
+            nic as u8,
+        ])
+    }
+}
+
+impl fmt::Display for Oui {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:02x}:{:02x}:{:02x}", self.0[0], self.0[1], self.0[2])
+    }
+}
+
+impl fmt::Debug for Oui {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Oui({self})")
+    }
+}
+
+impl FromStr for Oui {
+    type Err = MacParseError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let mut b = [0u8; 3];
+        parse_hex_bytes(s, &mut b)?;
+        Ok(Oui(b))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_parse_round_trip() {
+        let m: Mac = "f0:02:20:ab:cd:ef".parse().unwrap();
+        assert_eq!(m.to_string(), "f0:02:20:ab:cd:ef");
+        assert_eq!(m.oui().to_string(), "f0:02:20");
+        assert_eq!(m.nic(), 0xabcdef);
+    }
+
+    #[test]
+    fn parses_dash_separators() {
+        let m: Mac = "F0-02-20-AB-CD-EF".parse().unwrap();
+        assert_eq!(m, Mac::new([0xf0, 0x02, 0x20, 0xab, 0xcd, 0xef]));
+    }
+
+    #[test]
+    fn rejects_bad_syntax() {
+        assert!("f0:02:20:ab:cd".parse::<Mac>().is_err());
+        assert!("f0:02:20:ab:cd:ef:01".parse::<Mac>().is_err());
+        assert!("g0:02:20:ab:cd:ef".parse::<Mac>().is_err());
+        assert!("f0:2:20:ab:cd:ef".parse::<Mac>().is_err());
+    }
+
+    #[test]
+    fn u64_round_trip() {
+        let m = Mac::from_u64(0xf00220abcdef);
+        assert_eq!(m.as_u64(), 0xf00220abcdef);
+        assert_eq!(Mac::from_u64(m.as_u64()), m);
+    }
+
+    #[test]
+    fn local_bit() {
+        let m: Mac = "02:00:00:00:00:01".parse().unwrap();
+        assert!(m.is_local());
+        assert!(!m.flip_local_bit().is_local());
+        assert_eq!(m.flip_local_bit().flip_local_bit(), m);
+    }
+
+    #[test]
+    fn multicast_bit() {
+        let m: Mac = "01:00:5e:00:00:01".parse().unwrap();
+        assert!(m.is_multicast());
+        assert!(!Mac::ZERO.is_multicast());
+    }
+
+    #[test]
+    fn nic_offset_within_oui() {
+        let a: Mac = "aa:bb:cc:00:00:10".parse().unwrap();
+        let b: Mac = "aa:bb:cc:00:00:18".parse().unwrap();
+        assert_eq!(a.nic_offset_to(b), Some(8));
+        assert_eq!(b.nic_offset_to(a), Some(-8));
+        assert_eq!(a.wrapping_add_nic(8), b);
+    }
+
+    #[test]
+    fn nic_offset_wraps_shortest_way() {
+        let a: Mac = "aa:bb:cc:ff:ff:ff".parse().unwrap();
+        let b: Mac = "aa:bb:cc:00:00:01".parse().unwrap();
+        assert_eq!(a.nic_offset_to(b), Some(2));
+        assert_eq!(a.wrapping_add_nic(2), b);
+    }
+
+    #[test]
+    fn nic_offset_cross_oui_is_none() {
+        let a: Mac = "aa:bb:cc:00:00:10".parse().unwrap();
+        let b: Mac = "aa:bb:cd:00:00:10".parse().unwrap();
+        assert_eq!(a.nic_offset_to(b), None);
+    }
+
+    #[test]
+    fn oui_mac_construction() {
+        let oui: Oui = "f0:02:20".parse().unwrap();
+        assert_eq!(oui.mac(0x123456).to_string(), "f0:02:20:12:34:56");
+        assert_eq!(oui.as_u32(), 0xf00220);
+        assert_eq!(Oui::from_u32(0xf00220), oui);
+    }
+}

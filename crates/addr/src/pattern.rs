@@ -1,0 +1,164 @@
+//! The seven address classes of the paper's Figure 5.
+//!
+//! §4.3 buckets every observed address into exactly one of: Zeroes,
+//! Low Byte, Low 2 Bytes, IPv4-mapped, and the three entropy bands. The
+//! structural classes take precedence over the entropy bands, and the
+//! IPv4-mapped class requires AS-level corroboration that this module can't
+//! see — so classification is two-phase: [`classify_structural`] here, and
+//! the IPv4 acceptance filter in `v6hitlist::analysis::patterns`.
+
+use serde::{Deserialize, Serialize};
+
+use crate::entropy::{iid_entropy, EntropyClass};
+use crate::iid::Iid;
+use crate::ipv4_embed;
+
+/// One of the paper's seven mutually exclusive address classes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum AddressClass {
+    /// All-zero IID (`::`).
+    Zeroes,
+    /// Only the least significant byte set (`::1` … `::ff`).
+    LowByte,
+    /// Only the two least significant bytes set (`::100` … `::ffff`).
+    LowTwoBytes,
+    /// An IPv4 address embedded in the IID (after AS-level acceptance).
+    Ipv4Mapped,
+    /// Normalized IID entropy `< 0.25`.
+    LowEntropy,
+    /// Normalized IID entropy in `[0.25, 0.75)`.
+    MediumEntropy,
+    /// Normalized IID entropy `>= 0.75`.
+    HighEntropy,
+}
+
+impl AddressClass {
+    /// All classes in the order the paper's Figure 5 lists them.
+    pub const ALL: [AddressClass; 7] = [
+        AddressClass::Zeroes,
+        AddressClass::LowByte,
+        AddressClass::LowTwoBytes,
+        AddressClass::Ipv4Mapped,
+        AddressClass::HighEntropy,
+        AddressClass::MediumEntropy,
+        AddressClass::LowEntropy,
+    ];
+
+    /// Figure-legend label.
+    pub fn label(self) -> &'static str {
+        match self {
+            AddressClass::Zeroes => "Zeroes",
+            AddressClass::LowByte => "Low Byte",
+            AddressClass::LowTwoBytes => "Low 2 Bytes",
+            AddressClass::Ipv4Mapped => "IPv4 Mapped",
+            AddressClass::LowEntropy => "Low Entropy",
+            AddressClass::MediumEntropy => "Medium Entropy",
+            AddressClass::HighEntropy => "High Entropy",
+        }
+    }
+}
+
+/// Result of the context-free classification pass over one IID.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StructuralClass {
+    /// The class assuming the IPv4 candidacy is ultimately *rejected*.
+    pub without_v4: AddressClass,
+    /// True when at least one IPv4 encoding decodes; the AS-level filter
+    /// decides whether to upgrade the class to [`AddressClass::Ipv4Mapped`].
+    pub v4_candidate: bool,
+}
+
+/// Classifies one IID without AS context.
+///
+/// Precedence: Zeroes → Low Byte → Low 2 Bytes → entropy band. IPv4
+/// candidacy is reported alongside rather than applied, because the paper
+/// only accepts IPv4-mapped classifications with ≥100 instances in the AS
+/// and >10% AS share (§4.3).
+pub fn classify_structural(iid: Iid) -> StructuralClass {
+    let without_v4 = if iid.is_zero() {
+        AddressClass::Zeroes
+    } else if iid.is_low_byte() {
+        AddressClass::LowByte
+    } else if iid.is_low_two_bytes() {
+        AddressClass::LowTwoBytes
+    } else {
+        match EntropyClass::of_value(iid_entropy(iid)) {
+            EntropyClass::Low => AddressClass::LowEntropy,
+            EntropyClass::Medium => AddressClass::MediumEntropy,
+            EntropyClass::High => AddressClass::HighEntropy,
+        }
+    };
+    // Low-byte/low-2-byte/zero IIDs never count as IPv4 candidates: the
+    // structural classes win and tiny values decode as degenerate v4s.
+    let v4_candidate = matches!(
+        without_v4,
+        AddressClass::LowEntropy | AddressClass::MediumEntropy | AddressClass::HighEntropy
+    ) && !ipv4_embed::decode_all(iid).is_empty();
+    StructuralClass {
+        without_v4,
+        v4_candidate,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ipv4_embed::Ipv4Encoding;
+
+    #[test]
+    fn zeroes_class() {
+        let c = classify_structural(Iid::ZERO);
+        assert_eq!(c.without_v4, AddressClass::Zeroes);
+        assert!(!c.v4_candidate);
+    }
+
+    #[test]
+    fn low_byte_class() {
+        let c = classify_structural(Iid::new(0x1));
+        assert_eq!(c.without_v4, AddressClass::LowByte);
+        assert!(!c.v4_candidate);
+    }
+
+    #[test]
+    fn low_two_bytes_class() {
+        let c = classify_structural(Iid::new(0x1234));
+        assert_eq!(c.without_v4, AddressClass::LowTwoBytes);
+    }
+
+    #[test]
+    fn entropy_bands() {
+        assert_eq!(
+            classify_structural(Iid::new(0x0123_4567_89ab_cdef)).without_v4,
+            AddressClass::HighEntropy
+        );
+        assert_eq!(
+            classify_structural(Iid::new(0x0001_0000_0001_0000)).without_v4,
+            AddressClass::LowEntropy
+        );
+    }
+
+    #[test]
+    fn v4_candidate_flag() {
+        let iid = Ipv4Encoding::LowHex.encode("192.0.2.55".parse().unwrap());
+        let c = classify_structural(iid);
+        assert!(c.v4_candidate);
+        // Without AS acceptance the fallback class is its entropy band.
+        assert!(matches!(
+            c.without_v4,
+            AddressClass::LowEntropy | AddressClass::MediumEntropy
+        ));
+    }
+
+    #[test]
+    fn random_iid_not_v4_candidate() {
+        // High 32 bits set and hextets out of range for all encodings.
+        let c = classify_structural(Iid::new(0xfedc_ba98_7654_3210));
+        assert!(!c.v4_candidate);
+    }
+
+    #[test]
+    fn labels_match_paper() {
+        assert_eq!(AddressClass::LowByte.label(), "Low Byte");
+        assert_eq!(AddressClass::ALL.len(), 7);
+    }
+}

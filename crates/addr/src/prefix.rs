@@ -1,0 +1,342 @@
+//! CIDR prefixes over the IPv6 address space.
+//!
+//! Hitlist work constantly moves between aggregation levels: routed prefixes
+//! (≤/32 … /48), customer delegations (/48 … /64), and the /64 subnets that
+//! the paper's backscanning and tracking analyses key on. [`Prefix`] is the
+//! single canonical representation for all of them.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::net::Ipv6Addr;
+use std::str::FromStr;
+
+/// An IPv6 CIDR prefix in canonical form (host bits forced to zero).
+///
+/// ```
+/// use v6addr::Prefix;
+///
+/// let p: Prefix = "2001:db8::/32".parse().unwrap();
+/// assert!(p.contains("2001:db8:1::1".parse().unwrap()));
+/// assert_eq!(p.subprefix(48, 5).to_string(), "2001:db8:5::/48");
+/// assert_eq!(p.subprefix_count(48), 1 << 16);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Prefix {
+    bits: u128,
+    len: u8,
+}
+
+impl Prefix {
+    /// The whole IPv6 address space, `::/0`.
+    pub const ALL: Prefix = Prefix { bits: 0, len: 0 };
+
+    /// Builds a prefix from an address and length, zeroing host bits.
+    ///
+    /// # Panics
+    /// Panics if `len > 128`.
+    pub fn new(addr: Ipv6Addr, len: u8) -> Self {
+        assert!(len <= 128, "prefix length {len} out of range");
+        Prefix {
+            bits: u128::from(addr) & Self::mask(len),
+            len,
+        }
+    }
+
+    /// Builds a prefix from raw bits and a length, zeroing host bits.
+    ///
+    /// # Panics
+    /// Panics if `len > 128`.
+    pub fn from_bits(bits: u128, len: u8) -> Self {
+        assert!(len <= 128, "prefix length {len} out of range");
+        Prefix {
+            bits: bits & Self::mask(len),
+            len,
+        }
+    }
+
+    /// The network mask for a given prefix length.
+    #[inline]
+    pub const fn mask(len: u8) -> u128 {
+        if len == 0 {
+            0
+        } else {
+            u128::MAX << (128 - len)
+        }
+    }
+
+    /// The network address (all host bits zero).
+    #[inline]
+    pub fn network(&self) -> Ipv6Addr {
+        Ipv6Addr::from(self.bits)
+    }
+
+    /// The network address as raw bits.
+    #[inline]
+    pub const fn bits(&self) -> u128 {
+        self.bits
+    }
+
+    /// The prefix length.
+    #[inline]
+    #[allow(clippy::len_without_is_empty)] // a /0 is ::/0, not "empty"
+    pub const fn len(&self) -> u8 {
+        self.len
+    }
+
+    /// True only for `::/0` (mirrors the `len`/`is_empty` convention).
+    #[inline]
+    pub const fn is_default_route(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The last address covered by this prefix.
+    #[inline]
+    pub fn last(&self) -> Ipv6Addr {
+        Ipv6Addr::from(self.bits | !Self::mask(self.len))
+    }
+
+    /// Number of addresses covered, saturating at `u128::MAX` for `::/0`.
+    #[inline]
+    pub fn size(&self) -> u128 {
+        if self.len == 0 {
+            u128::MAX
+        } else {
+            1u128 << (128 - self.len)
+        }
+    }
+
+    /// True if `addr` falls inside this prefix.
+    #[inline]
+    pub fn contains(&self, addr: Ipv6Addr) -> bool {
+        u128::from(addr) & Self::mask(self.len) == self.bits
+    }
+
+    /// True if `other` is fully contained in (or equal to) this prefix.
+    #[inline]
+    pub fn contains_prefix(&self, other: &Prefix) -> bool {
+        other.len >= self.len && other.bits & Self::mask(self.len) == self.bits
+    }
+
+    /// The enclosing prefix of `addr` at length `len` (e.g. "the /48 of x").
+    #[inline]
+    pub fn of(addr: Ipv6Addr, len: u8) -> Self {
+        Prefix::new(addr, len)
+    }
+
+    /// This prefix re-truncated to a shorter length.
+    ///
+    /// # Panics
+    /// Panics if `len` is longer than the current length.
+    pub fn truncate(&self, len: u8) -> Self {
+        assert!(len <= self.len, "cannot truncate /{} to /{}", self.len, len);
+        Prefix::from_bits(self.bits, len)
+    }
+
+    /// The `i`-th subprefix of length `sub_len`.
+    ///
+    /// # Panics
+    /// Panics if `sub_len < self.len`, if the split is wider than 2⁶⁴
+    /// subnets, or if `i` is out of range.
+    pub fn subprefix(&self, sub_len: u8, i: u64) -> Self {
+        assert!(sub_len >= self.len && sub_len <= 128);
+        let width = sub_len - self.len;
+        assert!(width <= 64, "split of {width} bits is too wide to index");
+        if width < 64 {
+            assert!(i < 1u64 << width, "subprefix index {i} out of range");
+        }
+        Prefix {
+            bits: self.bits | ((i as u128) << (128 - sub_len)),
+            len: sub_len,
+        }
+    }
+
+    /// Number of subprefixes of length `sub_len`, saturating at `u64::MAX`.
+    pub fn subprefix_count(&self, sub_len: u8) -> u64 {
+        assert!(sub_len >= self.len && sub_len <= 128);
+        let width = sub_len - self.len;
+        if width >= 64 {
+            u64::MAX
+        } else {
+            1u64 << width
+        }
+    }
+
+    /// Iterates over all subprefixes of length `sub_len` in address order.
+    ///
+    /// # Panics
+    /// Panics if the split is wider than 2⁶⁴ subnets.
+    pub fn split(&self, sub_len: u8) -> impl Iterator<Item = Prefix> + '_ {
+        let n = self.subprefix_count(sub_len);
+        assert!(n < u64::MAX, "split too wide to enumerate");
+        (0..n).map(move |i| self.subprefix(sub_len, i))
+    }
+
+    /// The address at host-offset `i` within this prefix.
+    ///
+    /// `offset(0)` is the network address itself, the `::` of the prefix —
+    /// and `offset(1)` is the `::1` address that CAIDA's routed /48
+    /// methodology probes in every /48.
+    pub fn offset(&self, i: u128) -> Ipv6Addr {
+        debug_assert!(self.len == 0 || i < self.size(), "offset out of range");
+        Ipv6Addr::from(self.bits | (i & !Self::mask(self.len)))
+    }
+}
+
+impl fmt::Display for Prefix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}/{}", self.network(), self.len)
+    }
+}
+
+impl fmt::Debug for Prefix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Prefix({self})")
+    }
+}
+
+/// Error returned when parsing a [`Prefix`] from `addr/len` text fails.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PrefixParseError {
+    /// The string had no `/` separator.
+    MissingSlash,
+    /// The address part did not parse as an IPv6 address.
+    BadAddress,
+    /// The length part was not an integer in `0..=128`.
+    BadLength,
+}
+
+impl fmt::Display for PrefixParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PrefixParseError::MissingSlash => f.write_str("missing '/' in prefix"),
+            PrefixParseError::BadAddress => f.write_str("invalid IPv6 address in prefix"),
+            PrefixParseError::BadLength => f.write_str("invalid prefix length"),
+        }
+    }
+}
+
+impl std::error::Error for PrefixParseError {}
+
+impl FromStr for Prefix {
+    type Err = PrefixParseError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let (addr, len) = s.split_once('/').ok_or(PrefixParseError::MissingSlash)?;
+        let addr: Ipv6Addr = addr.parse().map_err(|_| PrefixParseError::BadAddress)?;
+        let len: u8 = len.parse().map_err(|_| PrefixParseError::BadLength)?;
+        if len > 128 {
+            return Err(PrefixParseError::BadLength);
+        }
+        Ok(Prefix::new(addr, len))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(s: &str) -> Prefix {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn canonicalizes_host_bits() {
+        let pre = p("2001:db8::1234/32");
+        assert_eq!(pre.to_string(), "2001:db8::/32");
+    }
+
+    #[test]
+    fn parse_errors() {
+        assert_eq!(
+            "2001:db8::".parse::<Prefix>(),
+            Err(PrefixParseError::MissingSlash)
+        );
+        assert_eq!(
+            "zz::/32".parse::<Prefix>(),
+            Err(PrefixParseError::BadAddress)
+        );
+        assert_eq!(
+            "2001:db8::/129".parse::<Prefix>(),
+            Err(PrefixParseError::BadLength)
+        );
+        assert_eq!(
+            "2001:db8::/x".parse::<Prefix>(),
+            Err(PrefixParseError::BadLength)
+        );
+    }
+
+    #[test]
+    fn containment() {
+        let pre = p("2001:db8::/32");
+        assert!(pre.contains("2001:db8:ffff::1".parse().unwrap()));
+        assert!(!pre.contains("2001:db9::1".parse().unwrap()));
+        assert!(pre.contains_prefix(&p("2001:db8:1::/48")));
+        assert!(!pre.contains_prefix(&p("2001:db9::/48")));
+        assert!(pre.contains_prefix(&pre));
+        assert!(!p("2001:db8::/48").contains_prefix(&pre));
+        assert!(Prefix::ALL.contains_prefix(&pre));
+    }
+
+    #[test]
+    fn split_into_48s() {
+        let pre = p("2001:db8::/46");
+        let subs: Vec<_> = pre.split(48).collect();
+        assert_eq!(subs.len(), 4);
+        assert_eq!(subs[0], p("2001:db8::/48"));
+        assert_eq!(subs[3], p("2001:db8:3::/48"));
+        for s in &subs {
+            assert!(pre.contains_prefix(s));
+        }
+    }
+
+    #[test]
+    fn subprefix_count_saturates() {
+        assert_eq!(p("2001:db8::/32").subprefix_count(48), 1 << 16);
+        assert_eq!(Prefix::ALL.subprefix_count(64), u64::MAX);
+    }
+
+    #[test]
+    fn offset_addresses() {
+        let pre = p("2001:db8:1::/48");
+        assert_eq!(pre.offset(0), "2001:db8:1::".parse::<Ipv6Addr>().unwrap());
+        assert_eq!(pre.offset(1), "2001:db8:1::1".parse::<Ipv6Addr>().unwrap());
+    }
+
+    #[test]
+    fn last_and_size() {
+        let pre = p("2001:db8::/126");
+        assert_eq!(pre.size(), 4);
+        assert_eq!(pre.last(), "2001:db8::3".parse::<Ipv6Addr>().unwrap());
+        assert_eq!(Prefix::ALL.size(), u128::MAX);
+    }
+
+    #[test]
+    fn truncate_to_shorter() {
+        let pre = p("2001:db8:1:2::/64");
+        assert_eq!(pre.truncate(48), p("2001:db8:1::/48"));
+        assert_eq!(pre.truncate(64), pre);
+    }
+
+    #[test]
+    #[should_panic]
+    fn truncate_to_longer_panics() {
+        let _ = p("2001:db8::/32").truncate(48);
+    }
+
+    #[test]
+    fn enclosing_prefix_of_address() {
+        let a: Ipv6Addr = "2001:db8:aaaa:bbbb:1:2:3:4".parse().unwrap();
+        assert_eq!(Prefix::of(a, 48), p("2001:db8:aaaa::/48"));
+        assert_eq!(Prefix::of(a, 64), p("2001:db8:aaaa:bbbb::/64"));
+    }
+
+    #[test]
+    fn ordering_is_by_bits_then_len() {
+        let mut v = vec![p("2001:db8:1::/48"), p("2001:db8::/32"), p("2001:db8::/48")];
+        v.sort();
+        assert_eq!(
+            v,
+            vec![p("2001:db8::/32"), p("2001:db8::/48"), p("2001:db8:1::/48")]
+        );
+    }
+}

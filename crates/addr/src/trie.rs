@@ -1,0 +1,293 @@
+//! A binary radix trie keyed by IPv6 prefixes.
+//!
+//! Longest-prefix-match is everywhere in this reproduction: mapping an
+//! address to its origin AS, checking probe targets against alias lists
+//! (the IPv6 Hitlist's "aliased prefixes" filtering step), and the
+//! MaxMind-style geolocation lookups. [`PrefixMap`] provides exact-match
+//! insertion and LPM lookup over arbitrary values.
+
+use crate::prefix::Prefix;
+use std::net::Ipv6Addr;
+
+#[derive(Debug, Clone)]
+struct Node<T> {
+    value: Option<T>,
+    children: [Option<Box<Node<T>>>; 2],
+}
+
+impl<T> Node<T> {
+    fn new() -> Self {
+        Node {
+            value: None,
+            children: [None, None],
+        }
+    }
+}
+
+/// A map from IPv6 prefixes to values with longest-prefix-match lookup.
+#[derive(Debug, Clone)]
+pub struct PrefixMap<T> {
+    root: Node<T>,
+    len: usize,
+}
+
+impl<T> Default for PrefixMap<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[inline]
+fn bit(bits: u128, i: u8) -> usize {
+    ((bits >> (127 - i)) & 1) as usize
+}
+
+impl<T> PrefixMap<T> {
+    /// An empty map.
+    pub fn new() -> Self {
+        PrefixMap {
+            root: Node::new(),
+            len: 0,
+        }
+    }
+
+    /// Number of prefixes stored.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when no prefixes are stored.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Inserts a prefix, returning the previous value if it was present.
+    pub fn insert(&mut self, prefix: Prefix, value: T) -> Option<T> {
+        let mut node = &mut self.root;
+        for i in 0..prefix.len() {
+            let b = bit(prefix.bits(), i);
+            node = node.children[b].get_or_insert_with(|| Box::new(Node::new()));
+        }
+        let old = node.value.replace(value);
+        if old.is_none() {
+            self.len += 1;
+        }
+        old
+    }
+
+    /// Exact-match lookup of one prefix.
+    pub fn get(&self, prefix: &Prefix) -> Option<&T> {
+        let mut node = &self.root;
+        for i in 0..prefix.len() {
+            let b = bit(prefix.bits(), i);
+            node = node.children[b].as_deref()?;
+        }
+        node.value.as_ref()
+    }
+
+    /// Removes a prefix, returning its value if it was present.
+    pub fn remove(&mut self, prefix: &Prefix) -> Option<T> {
+        // Simple non-pruning removal: clears the value but keeps interior
+        // nodes. Fine for our workloads, which never churn prefixes.
+        let mut node = &mut self.root;
+        for i in 0..prefix.len() {
+            let b = bit(prefix.bits(), i);
+            node = node.children[b].as_deref_mut()?;
+        }
+        let old = node.value.take();
+        if old.is_some() {
+            self.len -= 1;
+        }
+        old
+    }
+
+    /// Longest-prefix-match: the most specific stored prefix covering
+    /// `addr`, with its value.
+    pub fn longest_match(&self, addr: Ipv6Addr) -> Option<(Prefix, &T)> {
+        let bits = u128::from(addr);
+        let mut node = &self.root;
+        let mut best: Option<(u8, &T)> = node.value.as_ref().map(|v| (0, v));
+        for i in 0..128u8 {
+            match node.children[bit(bits, i)].as_deref() {
+                Some(child) => {
+                    node = child;
+                    if let Some(v) = node.value.as_ref() {
+                        best = Some((i + 1, v));
+                    }
+                }
+                None => break,
+            }
+        }
+        best.map(|(len, v)| (Prefix::from_bits(bits, len), v))
+    }
+
+    /// True when any stored prefix covers `addr`.
+    pub fn covers(&self, addr: Ipv6Addr) -> bool {
+        self.longest_match(addr).is_some()
+    }
+
+    /// The most specific stored prefix covering `prefix` entirely
+    /// (i.e. a stored prefix at least as short that contains it).
+    pub fn covering_prefix(&self, prefix: &Prefix) -> Option<(Prefix, &T)> {
+        let bits = prefix.bits();
+        let mut node = &self.root;
+        let mut best: Option<(u8, &T)> = node.value.as_ref().map(|v| (0, v));
+        for i in 0..prefix.len() {
+            match node.children[bit(bits, i)].as_deref() {
+                Some(child) => {
+                    node = child;
+                    if let Some(v) = node.value.as_ref() {
+                        best = Some((i + 1, v));
+                    }
+                }
+                None => break,
+            }
+        }
+        best.map(|(len, v)| (Prefix::from_bits(bits, len), v))
+    }
+
+    /// Iterates all `(prefix, value)` entries in lexicographic bit order.
+    pub fn iter(&self) -> Iter<'_, T> {
+        Iter {
+            stack: vec![(&self.root, 0u128, 0u8)],
+        }
+    }
+}
+
+/// Iterator over a [`PrefixMap`]'s entries.
+pub struct Iter<'a, T> {
+    stack: Vec<(&'a Node<T>, u128, u8)>,
+}
+
+impl<'a, T> Iterator for Iter<'a, T> {
+    type Item = (Prefix, &'a T);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        while let Some((node, bits, depth)) = self.stack.pop() {
+            // Push right child first so the left (0) branch pops first.
+            if let Some(c) = node.children[1].as_deref() {
+                self.stack.push((c, bits | (1u128 << (127 - depth)), depth + 1));
+            }
+            if let Some(c) = node.children[0].as_deref() {
+                self.stack.push((c, bits, depth + 1));
+            }
+            if let Some(v) = node.value.as_ref() {
+                return Some((Prefix::from_bits(bits, depth), v));
+            }
+        }
+        None
+    }
+}
+
+impl<T> FromIterator<(Prefix, T)> for PrefixMap<T> {
+    fn from_iter<I: IntoIterator<Item = (Prefix, T)>>(iter: I) -> Self {
+        let mut m = PrefixMap::new();
+        for (p, v) in iter {
+            m.insert(p, v);
+        }
+        m
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(s: &str) -> Prefix {
+        s.parse().unwrap()
+    }
+
+    fn a(s: &str) -> Ipv6Addr {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn insert_get_exact() {
+        let mut m = PrefixMap::new();
+        assert_eq!(m.insert(p("2001:db8::/32"), 1), None);
+        assert_eq!(m.insert(p("2001:db8::/32"), 2), Some(1));
+        assert_eq!(m.get(&p("2001:db8::/32")), Some(&2));
+        assert_eq!(m.get(&p("2001:db8::/33")), None);
+        assert_eq!(m.len(), 1);
+    }
+
+    #[test]
+    fn longest_match_prefers_specific() {
+        let mut m = PrefixMap::new();
+        m.insert(p("2001:db8::/32"), "coarse");
+        m.insert(p("2001:db8:1::/48"), "fine");
+        let (pre, v) = m.longest_match(a("2001:db8:1::42")).unwrap();
+        assert_eq!(*v, "fine");
+        assert_eq!(pre, p("2001:db8:1::/48"));
+        let (pre, v) = m.longest_match(a("2001:db8:2::42")).unwrap();
+        assert_eq!(*v, "coarse");
+        assert_eq!(pre, p("2001:db8::/32"));
+        assert!(m.longest_match(a("2001:db9::1")).is_none());
+    }
+
+    #[test]
+    fn default_route_matches_everything() {
+        let mut m = PrefixMap::new();
+        m.insert(Prefix::ALL, 0);
+        assert!(m.covers(a("::1")));
+        assert!(m.covers(a("ffff::1")));
+    }
+
+    #[test]
+    fn remove_clears_value() {
+        let mut m = PrefixMap::new();
+        m.insert(p("2001:db8::/32"), 7);
+        assert_eq!(m.remove(&p("2001:db8::/32")), Some(7));
+        assert_eq!(m.remove(&p("2001:db8::/32")), None);
+        assert!(m.is_empty());
+        assert!(!m.covers(a("2001:db8::1")));
+    }
+
+    #[test]
+    fn covering_prefix_for_prefixes() {
+        let mut m = PrefixMap::new();
+        m.insert(p("2001:db8::/32"), ());
+        assert!(m.covering_prefix(&p("2001:db8:1::/48")).is_some());
+        assert!(m.covering_prefix(&p("2001:db9::/48")).is_none());
+        // A /64 entry does not cover its own /48 parent.
+        let mut m2: PrefixMap<()> = PrefixMap::new();
+        m2.insert(p("2001:db8:1:1::/64"), ());
+        assert!(m2.covering_prefix(&p("2001:db8:1::/48")).is_none());
+    }
+
+    #[test]
+    fn iter_in_bit_order() {
+        let mut m = PrefixMap::new();
+        m.insert(p("4000::/2"), 3);
+        m.insert(p("2001:db8::/32"), 2);
+        m.insert(p("::/1"), 1);
+        let got: Vec<_> = m.iter().map(|(pre, &v)| (pre, v)).collect();
+        assert_eq!(
+            got,
+            vec![(p("::/1"), 1), (p("2001:db8::/32"), 2), (p("4000::/2"), 3)]
+        );
+        assert_eq!(m.len(), 3);
+    }
+
+    #[test]
+    fn from_iterator() {
+        let m: PrefixMap<u32> = [(p("2001:db8::/32"), 1), (p("2001:db8:1::/48"), 2)]
+            .into_iter()
+            .collect();
+        assert_eq!(m.len(), 2);
+    }
+
+    #[test]
+    fn nested_values_on_same_path() {
+        let mut m = PrefixMap::new();
+        m.insert(p("2001:db8::/32"), 32);
+        m.insert(p("2001:db8::/48"), 48);
+        m.insert(p("2001:db8::/64"), 64);
+        let (_, v) = m.longest_match(a("2001:db8::1")).unwrap();
+        assert_eq!(*v, 64);
+        let (_, v) = m.longest_match(a("2001:db8:0:1::1")).unwrap();
+        assert_eq!(*v, 48);
+        let (_, v) = m.longest_match(a("2001:db8:1::1")).unwrap();
+        assert_eq!(*v, 32);
+    }
+}

@@ -1,0 +1,138 @@
+//! Property-based tests for the v6addr foundation types.
+
+use proptest::prelude::*;
+use std::net::Ipv6Addr;
+use v6addr::ipv4_embed::Ipv4Encoding;
+use v6addr::{iid_entropy, AddrSet, Iid, Mac, Prefix, PrefixMap};
+
+proptest! {
+    /// EUI-64 encode → decode is the identity on unicast MACs.
+    #[test]
+    fn eui64_round_trips(v in any::<u64>()) {
+        let mac = Mac::from_u64(v & 0xffff_ffff_ffff);
+        let iid = Iid::from_mac(mac);
+        prop_assert!(iid.looks_like_eui64());
+        prop_assert_eq!(iid.to_mac(), Some(mac));
+    }
+
+    /// Recovering a MAC then re-encoding reproduces the IID exactly.
+    #[test]
+    fn eui64_decode_then_encode(v in any::<u64>()) {
+        let iid = Iid::new((v & 0xffff_ffff_0000_0000) | 0xff_fe00_0000 | (v & 0xff_ffff));
+        prop_assert!(iid.looks_like_eui64());
+        let mac = iid.to_mac().unwrap();
+        prop_assert_eq!(Iid::from_mac(mac), iid);
+    }
+
+    /// Normalized entropy is always within [0, 1].
+    #[test]
+    fn entropy_in_unit_interval(v in any::<u64>()) {
+        let h = iid_entropy(Iid::new(v));
+        prop_assert!((0.0..=1.0).contains(&h));
+    }
+
+    /// Entropy is invariant under nibble permutation (it is a histogram
+    /// property): reversing the nibble order preserves it.
+    #[test]
+    fn entropy_is_permutation_invariant(v in any::<u64>()) {
+        let fwd = Iid::new(v);
+        let mut rev = 0u64;
+        for i in 0..16 {
+            rev |= ((v >> (4 * i)) & 0xf) << (60 - 4 * i);
+        }
+        prop_assert!((iid_entropy(fwd) - iid_entropy(Iid::new(rev))).abs() < 1e-12);
+    }
+
+    /// A prefix contains exactly the addresses that share its top bits.
+    #[test]
+    fn prefix_contains_iff_masked_equal(bits in any::<u128>(), len in 0u8..=128, probe in any::<u128>()) {
+        let p = Prefix::from_bits(bits, len);
+        let addr = Ipv6Addr::from(probe);
+        let expected = probe & Prefix::mask(len) == p.bits();
+        prop_assert_eq!(p.contains(addr), expected);
+    }
+
+    /// Splitting a prefix yields disjoint covering subprefixes.
+    #[test]
+    fn prefix_split_partitions(bits in any::<u128>(), len in 0u8..=60, extra in 1u8..=8) {
+        let p = Prefix::from_bits(bits, len);
+        let sub = len + extra;
+        let parts: Vec<Prefix> = p.split(sub).collect();
+        prop_assert_eq!(parts.len() as u64, p.subprefix_count(sub));
+        for w in parts.windows(2) {
+            prop_assert!(w[0] < w[1]);
+            prop_assert!(!w[0].contains_prefix(&w[1]));
+        }
+        for part in &parts {
+            prop_assert!(p.contains_prefix(part));
+        }
+    }
+
+    /// IPv4 embeddings decode back to what was encoded.
+    #[test]
+    fn ipv4_encodings_round_trip(v4 in 1u32..) {
+        let addr = std::net::Ipv4Addr::from(v4);
+        for enc in Ipv4Encoding::ALL {
+            prop_assert_eq!(enc.decode(enc.encode(addr)), Some(addr));
+        }
+    }
+
+    /// AddrSet set algebra obeys inclusion–exclusion on sizes.
+    #[test]
+    fn addrset_inclusion_exclusion(xs in prop::collection::vec(any::<u128>(), 0..200),
+                                   ys in prop::collection::vec(any::<u128>(), 0..200)) {
+        let x = AddrSet::from_bits(xs);
+        let y = AddrSet::from_bits(ys);
+        let i = x.intersection(&y);
+        let u = x.union(&y);
+        prop_assert_eq!(u.len() + i.len(), x.len() + y.len());
+        prop_assert_eq!(i.len() as u64, x.intersection_count(&y));
+        prop_assert_eq!(x.difference(&y).len() + i.len(), x.len());
+        for addr in i.iter() {
+            prop_assert!(x.contains(addr) && y.contains(addr));
+        }
+    }
+
+    /// Aggregation counts sum to the set size and prefixes are distinct.
+    #[test]
+    fn addrset_aggregate_consistent(xs in prop::collection::vec(any::<u128>(), 0..200), len in 0u8..=128) {
+        let s = AddrSet::from_bits(xs);
+        let agg = s.aggregate(len);
+        let total: u64 = agg.iter().map(|(_, n)| n).sum();
+        prop_assert_eq!(total as usize, s.len());
+        prop_assert_eq!(agg.len() as u64, s.distinct_prefixes(len));
+        for w in agg.windows(2) {
+            prop_assert!(w[0].0 < w[1].0);
+        }
+    }
+
+    /// Trie longest-match agrees with a brute-force scan over entries.
+    #[test]
+    fn trie_lpm_matches_bruteforce(entries in prop::collection::vec((any::<u128>(), 0u8..=64), 1..40),
+                                   probe in any::<u128>()) {
+        let mut m = PrefixMap::new();
+        let mut list = Vec::new();
+        for (i, (bits, len)) in entries.iter().enumerate() {
+            let p = Prefix::from_bits(*bits, *len);
+            m.insert(p, i);
+            list.push(p);
+        }
+        let addr = Ipv6Addr::from(probe);
+        let expect = list
+            .iter()
+            .filter(|p| p.contains(addr))
+            .max_by_key(|p| p.len())
+            .map(|p| p.len());
+        prop_assert_eq!(m.longest_match(addr).map(|(p, _)| p.len()), expect);
+    }
+
+    /// MAC NIC offsets invert correctly within an OUI.
+    #[test]
+    fn mac_offset_inverts(base in any::<u64>(), off in -0x7f_ffffi64..=0x80_0000) {
+        let mac = Mac::from_u64(base & 0xffff_ffff_ffff);
+        let shifted = mac.wrapping_add_nic(off);
+        prop_assert_eq!(shifted.oui(), mac.oui());
+        let recovered = mac.nic_offset_to(shifted).unwrap();
+        prop_assert_eq!(mac.wrapping_add_nic(recovered), shifted);
+    }
+}

@@ -1,0 +1,6 @@
+//! Regenerates the extension experiments (§4.1 ASdb composition,
+//! rotation inference, TGA evaluation, outage detection).
+fn main() {
+    let e = v6bench::run_experiment();
+    v6bench::print_experiment(v6bench::experiments::extensions(&e));
+}

@@ -1,0 +1,5 @@
+//! Regenerates the paper's `table2` result. See `v6bench` docs for env knobs.
+fn main() {
+    let e = v6bench::run_experiment();
+    v6bench::print_experiment(v6bench::experiments::table2(&e));
+}

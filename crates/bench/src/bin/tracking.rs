@@ -1,0 +1,5 @@
+//! Regenerates the §5.2 tracking classification (same data as fig7).
+fn main() {
+    let e = v6bench::run_experiment();
+    v6bench::print_experiment(v6bench::experiments::fig7(&e));
+}

@@ -1,0 +1,137 @@
+//! # v6bench — the benchmark and reproduction harness
+//!
+//! One binary per table/figure of *IPv6 Hitlists at Scale* (SIGCOMM
+//! 2023), each printing the regenerated result next to the paper's
+//! published numbers, plus `run_all`, which executes every experiment
+//! and rewrites `EXPERIMENTS.md`.
+//!
+//! Scale and seed come from the environment:
+//!
+//! * `V6HL_SCALE` — `tiny` | `default` (default) | `paper`
+//! * `V6HL_SEED` — u64 master seed (default 2022)
+//!
+//! Run with `--release`; the default scale completes in seconds, `paper`
+//! in minutes.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod experiments;
+
+use v6hitlist::{Experiment, ExperimentConfig};
+use v6netsim::WorldConfig;
+use v6scan::{CaidaCampaignConfig, HitlistCampaignConfig};
+
+/// The scale selected through `V6HL_SCALE`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// Unit-test scale (seconds even in debug builds).
+    Tiny,
+    /// The default experiment scale.
+    Default,
+    /// The scale used for the recorded EXPERIMENTS.md numbers.
+    Paper,
+}
+
+impl Scale {
+    /// Reads the scale from the environment.
+    pub fn from_env() -> Scale {
+        match std::env::var("V6HL_SCALE").as_deref() {
+            Ok("tiny") => Scale::Tiny,
+            Ok("paper") => Scale::Paper,
+            _ => Scale::Default,
+        }
+    }
+
+    /// Human-readable name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Scale::Tiny => "tiny",
+            Scale::Default => "default",
+            Scale::Paper => "paper",
+        }
+    }
+}
+
+/// Reads the master seed from the environment (default 2022).
+pub fn seed_from_env() -> u64 {
+    std::env::var("V6HL_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(2022)
+}
+
+/// Builds the experiment configuration for a scale.
+pub fn config_for(scale: Scale, seed: u64) -> ExperimentConfig {
+    match scale {
+        Scale::Tiny => ExperimentConfig::tiny(seed),
+        Scale::Paper => ExperimentConfig::paper(seed),
+        Scale::Default => {
+            let mut cfg = ExperimentConfig::paper(seed);
+            let outages = cfg.world.outages.clone();
+            cfg.world = WorldConfig::default_scale();
+            cfg.world.outages = outages;
+            cfg.hitlist = HitlistCampaignConfig {
+                weeks: 8,
+                ..Default::default()
+            };
+            cfg.caida = CaidaCampaignConfig {
+                stride: 128,
+                ..Default::default()
+            };
+            cfg
+        }
+    }
+}
+
+/// Runs the full experiment at the environment-selected scale, printing
+/// a progress banner.
+pub fn run_experiment() -> Experiment {
+    let scale = Scale::from_env();
+    let seed = seed_from_env();
+    eprintln!(
+        "[v6bench] building world + running study (scale={}, seed={seed}) …",
+        scale.name()
+    );
+    let t0 = std::time::Instant::now();
+    let e = Experiment::run(config_for(scale, seed));
+    eprintln!(
+        "[v6bench] study complete in {:.1}s: {} NTP observations, {} unique addresses",
+        t0.elapsed().as_secs_f64(),
+        e.corpus.len(),
+        e.ntp.len()
+    );
+    e
+}
+
+/// Prints one experiment's human-readable output and its paper-vs-
+/// measured records as Markdown.
+pub fn print_experiment(
+    (text, records): (String, Vec<v6hitlist::ExperimentRecord>),
+) {
+    println!("{text}");
+    println!("{}", v6hitlist::report::render_markdown(&records));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scale_parsing_defaults() {
+        // No env manipulation (tests run in parallel); just check names.
+        assert_eq!(Scale::Tiny.name(), "tiny");
+        assert_eq!(Scale::Default.name(), "default");
+        assert_eq!(Scale::Paper.name(), "paper");
+    }
+
+    #[test]
+    fn configs_scale_up() {
+        let t = config_for(Scale::Tiny, 1);
+        let d = config_for(Scale::Default, 1);
+        let p = config_for(Scale::Paper, 1);
+        assert!(t.world.home_networks < d.world.home_networks);
+        assert!(d.world.home_networks < p.world.home_networks);
+        assert!(d.hitlist.weeks <= p.hitlist.weeks);
+    }
+}

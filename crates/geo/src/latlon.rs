@@ -1,0 +1,88 @@
+//! Geographic coordinates and distances.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A WGS84-ish latitude/longitude pair in degrees.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LatLon {
+    /// Latitude, degrees, positive north.
+    pub lat: f64,
+    /// Longitude, degrees, positive east.
+    pub lon: f64,
+}
+
+/// Mean Earth radius in kilometres.
+pub const EARTH_RADIUS_KM: f64 = 6_371.0;
+
+impl LatLon {
+    /// Builds a coordinate, clamping latitude to ±90 and wrapping
+    /// longitude into ±180.
+    pub fn new(lat: f64, lon: f64) -> Self {
+        let lat = lat.clamp(-90.0, 90.0);
+        let mut lon = (lon + 180.0).rem_euclid(360.0) - 180.0;
+        if lon == -180.0 {
+            lon = 180.0;
+        }
+        LatLon { lat, lon }
+    }
+
+    /// Great-circle distance to another point (haversine), kilometres.
+    pub fn distance_km(&self, other: &LatLon) -> f64 {
+        let (la1, lo1) = (self.lat.to_radians(), self.lon.to_radians());
+        let (la2, lo2) = (other.lat.to_radians(), other.lon.to_radians());
+        let dlat = la2 - la1;
+        let dlon = lo2 - lo1;
+        let a = (dlat / 2.0).sin().powi(2) + la1.cos() * la2.cos() * (dlon / 2.0).sin().powi(2);
+        2.0 * EARTH_RADIUS_KM * a.sqrt().asin()
+    }
+}
+
+impl fmt::Display for LatLon {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({:.4}, {:.4})", self.lat, self.lon)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_distance_to_self() {
+        let p = LatLon::new(52.52, 13.40);
+        assert!(p.distance_km(&p) < 1e-9);
+    }
+
+    #[test]
+    fn berlin_to_munich() {
+        // ~504 km great-circle.
+        let berlin = LatLon::new(52.5200, 13.4050);
+        let munich = LatLon::new(48.1351, 11.5820);
+        let d = berlin.distance_km(&munich);
+        assert!((d - 504.0).abs() < 10.0, "d = {d}");
+    }
+
+    #[test]
+    fn antipodal_is_half_circumference() {
+        let a = LatLon::new(0.0, 0.0);
+        let b = LatLon::new(0.0, 180.0);
+        let d = a.distance_km(&b);
+        assert!((d - std::f64::consts::PI * EARTH_RADIUS_KM).abs() < 1.0);
+    }
+
+    #[test]
+    fn clamping_and_wrapping() {
+        let p = LatLon::new(95.0, 200.0);
+        assert_eq!(p.lat, 90.0);
+        assert!((p.lon - -160.0).abs() < 1e-9);
+        assert_eq!(LatLon::new(0.0, -180.0).lon, 180.0);
+    }
+
+    #[test]
+    fn distance_symmetry() {
+        let a = LatLon::new(40.0, -75.0);
+        let b = LatLon::new(-33.9, 151.2);
+        assert!((a.distance_km(&b) - b.distance_km(&a)).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,145 @@
+//! A MaxMind-GeoLite2-like IP→country database.
+//!
+//! The paper geolocates NTP clients with GeoLite2 City but, because IPv6
+//! geolocation is error-prone, trusts only the *country* field (§3). Our
+//! substitute is built from the world's prefix registry with a small
+//! deterministic error rate, so consumers must tolerate exactly the kind
+//! of noise the real database has.
+
+use std::net::Ipv6Addr;
+
+use v6addr::{Prefix, PrefixMap};
+use v6netsim::rng::hash64;
+use v6netsim::{Country, World};
+
+/// A prefix→country geolocation database.
+#[derive(Debug, Clone)]
+pub struct GeoDb {
+    map: PrefixMap<Country>,
+    errors: u64,
+}
+
+impl GeoDb {
+    /// Fraction of prefixes labeled with a *wrong* country, mimicking
+    /// real-world IPv6 geolocation error.
+    pub const ERROR_RATE: f64 = 0.03;
+
+    /// Builds the database from a world's routing registry.
+    ///
+    /// Each AS's /32 is labeled with its true country except for a
+    /// deterministic ~3% that get a neighbour's label.
+    pub fn from_world(world: &World) -> Self {
+        let mut map = PrefixMap::new();
+        let all: Vec<Country> = world.countries.all().iter().map(|c| c.code).collect();
+        let mut errors = 0;
+        for asr in &world.ases {
+            let h = hash64(world.seed ^ 0x6e0, asr.info.name.as_bytes());
+            let truth = asr.info.country;
+            let label = if (h as f64 / u64::MAX as f64) < Self::ERROR_RATE {
+                errors += 1;
+                all[(h >> 8) as usize % all.len()]
+            } else {
+                truth
+            };
+            map.insert(asr.prefix32(), label);
+        }
+        GeoDb { map, errors }
+    }
+
+    /// Builds an exact (error-free) database, for tests and calibration.
+    pub fn exact_from_world(world: &World) -> Self {
+        let mut map = PrefixMap::new();
+        for asr in &world.ases {
+            map.insert(asr.prefix32(), asr.info.country);
+        }
+        GeoDb { map, errors: 0 }
+    }
+
+    /// Builds from explicit `(prefix, country)` records.
+    pub fn from_records<I: IntoIterator<Item = (Prefix, Country)>>(records: I) -> Self {
+        let mut map = PrefixMap::new();
+        for (p, c) in records {
+            map.insert(p, c);
+        }
+        GeoDb { map, errors: 0 }
+    }
+
+    /// Country lookup (longest prefix match).
+    pub fn country(&self, addr: Ipv6Addr) -> Option<Country> {
+        self.map.longest_match(addr).map(|(_, &c)| c)
+    }
+
+    /// Number of prefix records.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// How many records carry a deliberately wrong label.
+    pub fn error_records(&self) -> u64 {
+        self.errors
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use v6netsim::WorldConfig;
+
+    fn world() -> World {
+        World::build(WorldConfig::tiny(), 77)
+    }
+
+    #[test]
+    fn lookups_mostly_match_ground_truth() {
+        let w = world();
+        let db = GeoDb::from_world(&w);
+        let mut hits = 0;
+        let mut total = 0;
+        for asr in &w.ases {
+            let addr = asr.router48().offset(1);
+            total += 1;
+            if db.country(addr) == Some(asr.info.country) {
+                hits += 1;
+            }
+        }
+        let acc = hits as f64 / total as f64;
+        assert!(acc > 0.90, "accuracy {acc}");
+        assert!(acc < 1.0 || db.error_records() == 0);
+    }
+
+    #[test]
+    fn exact_db_is_perfect() {
+        let w = world();
+        let db = GeoDb::exact_from_world(&w);
+        for asr in &w.ases {
+            let addr = asr.customer33().offset(0x42);
+            assert_eq!(db.country(addr), Some(asr.info.country));
+        }
+        assert_eq!(db.error_records(), 0);
+    }
+
+    #[test]
+    fn unrouted_space_is_unknown() {
+        let w = world();
+        let db = GeoDb::from_world(&w);
+        assert_eq!(db.country("2001:db8::1".parse().unwrap()), None);
+    }
+
+    #[test]
+    fn from_records_longest_match() {
+        let de = Country::new("DE");
+        let fr = Country::new("FR");
+        let db = GeoDb::from_records([
+            ("2a00::/16".parse().unwrap(), de),
+            ("2a00:5::/32".parse().unwrap(), fr),
+        ]);
+        assert_eq!(db.country("2a00:1::1".parse().unwrap()), Some(de));
+        assert_eq!(db.country("2a00:5::1".parse().unwrap()), Some(fr));
+        assert_eq!(db.len(), 2);
+    }
+}

@@ -1,0 +1,229 @@
+//! A synthetic wardriving database: geolocated WiFi BSSIDs.
+//!
+//! The §5.3 geolocation attack joins wired MAC addresses (leaked through
+//! EUI-64 IIDs) against databases like WiGLE and the Apple/Google WiFi
+//! location APIs, which map *wireless* BSSIDs to coordinates. The join
+//! works because manufacturers allocate a device's wired and wireless
+//! MACs a small constant apart within one OUI.
+//!
+//! This module builds the substitute database from ground truth the
+//! attack code never sees: each home network has a location (country
+//! centroid + jitter) and its CPE's WiFi BSSID is the wired MAC plus a
+//! hidden per-OUI offset. Coverage varies by country the way real
+//! wardriving does (Germany is densely covered — which, combined with
+//! AVM's EUI-64 WAN addresses, is why 75% of the paper's geolocated
+//! devices are German).
+
+use std::collections::HashMap;
+
+use v6addr::mac::Oui;
+use v6addr::Mac;
+use v6netsim::rng::{hash64, Rng};
+use v6netsim::{Country, DeviceKind, World};
+
+use crate::latlon::LatLon;
+
+/// The hidden ground-truth wired→wireless NIC offset for an OUI.
+///
+/// Deterministic per OUI; small constants like real vendor allocation
+/// schemes (+1, +2, ±4, +8). The attack must *infer* this from pair
+/// statistics — code under test never calls it.
+pub fn ground_truth_offset(oui: Oui) -> i64 {
+    const OFFSETS: [i64; 8] = [1, 2, 4, 8, -1, -2, 3, 16];
+    OFFSETS[(hash64(0x000f_f5e7, &oui.0) % 8) as usize]
+}
+
+/// The ground-truth WiFi BSSID of a CPE given its wired (WAN) MAC.
+pub fn bssid_for_wired(wired: Mac) -> Mac {
+    wired.wrapping_add_nic(ground_truth_offset(wired.oui()))
+}
+
+/// Ground-truth location of a home network: its country centroid plus a
+/// deterministic jitter of a few degrees.
+pub fn network_location(world: &World, network: u32) -> LatLon {
+    let net = &world.networks[network as usize];
+    let country = world.ases[net.as_index as usize].info.country;
+    let centroid = world
+        .countries
+        .get(country)
+        .map(|c| c.centroid)
+        .unwrap_or((0.0, 0.0));
+    let mut rng = Rng::new(world.seed ^ 0x10c).fork(b"netloc", network as u64);
+    LatLon::new(
+        centroid.0 + rng.gaussian() * 1.5,
+        centroid.1 + rng.gaussian() * 2.0,
+    )
+}
+
+/// Wardriving coverage: probability a given country's APs are in the DB.
+pub fn coverage(country: Country) -> f64 {
+    match country.as_str() {
+        "DE" => 0.90,
+        "NL" | "LU" | "FR" | "GB" | "PL" | "SE" | "ES" | "BG" | "IT" => 0.55,
+        "US" | "CA" => 0.40,
+        "MX" | "BR" | "AR" => 0.30,
+        "IN" => 0.22,
+        "JP" | "KR" | "TW" | "HK" | "SG" | "AU" => 0.30,
+        "CN" => 0.05, // effectively unwardriven in public datasets
+        _ => 0.15,
+    }
+}
+
+/// The BSSID→location database (WiGLE / Apple / Google composite).
+#[derive(Debug, Clone, Default)]
+pub struct WardriveDb {
+    entries: HashMap<Mac, LatLon>,
+}
+
+impl WardriveDb {
+    /// An empty database.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Collects the database from the world: every home network's CPE
+    /// access point is included with country-dependent probability.
+    pub fn collect(world: &World) -> Self {
+        let mut entries = HashMap::new();
+        for net in &world.networks {
+            let cpe = world.device(net.cpe);
+            debug_assert_eq!(cpe.kind, DeviceKind::CpeRouter);
+            let country = world.ases[net.as_index as usize].info.country;
+            let h = hash64(world.seed ^ 0xdb, &net.id.to_be_bytes());
+            if (h as f64 / u64::MAX as f64) >= coverage(country) {
+                continue;
+            }
+            let bssid = bssid_for_wired(cpe.mac);
+            entries.insert(bssid, network_location(world, net.id));
+        }
+        WardriveDb { entries }
+    }
+
+    /// Inserts one observation (for tests / incremental wardriving).
+    pub fn insert(&mut self, bssid: Mac, loc: LatLon) {
+        self.entries.insert(bssid, loc);
+    }
+
+    /// Looks up a BSSID's recorded location.
+    pub fn lookup(&self, bssid: Mac) -> Option<LatLon> {
+        self.entries.get(&bssid).copied()
+    }
+
+    /// Number of geolocated BSSIDs.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// All BSSIDs within one OUI (the per-OUI join set the offset
+    /// inference works over).
+    pub fn bssids_in_oui(&self, oui: Oui) -> Vec<Mac> {
+        let mut v: Vec<Mac> = self
+            .entries
+            .keys()
+            .copied()
+            .filter(|m| m.oui() == oui)
+            .collect();
+        v.sort_unstable();
+        v
+    }
+
+    /// Every distinct OUI present.
+    pub fn ouis(&self) -> Vec<Oui> {
+        let mut v: Vec<Oui> = self.entries.keys().map(|m| m.oui()).collect();
+        v.sort_unstable();
+        v.dedup();
+        v
+    }
+
+    /// Iterates all `(bssid, location)` entries (unordered).
+    pub fn iter(&self) -> impl Iterator<Item = (Mac, LatLon)> + '_ {
+        self.entries.iter().map(|(&m, &l)| (m, l))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use v6netsim::WorldConfig;
+
+    fn world() -> World {
+        World::build(WorldConfig::tiny(), 88)
+    }
+
+    #[test]
+    fn offsets_are_small_and_stable() {
+        let oui: Oui = "3c:a6:2f".parse().unwrap();
+        let o1 = ground_truth_offset(oui);
+        assert_eq!(o1, ground_truth_offset(oui));
+        assert!(o1.abs() <= 16 && o1 != 0);
+    }
+
+    #[test]
+    fn bssid_shares_oui_with_wired() {
+        let wired: Mac = "3c:a6:2f:12:34:56".parse().unwrap();
+        let bssid = bssid_for_wired(wired);
+        assert_eq!(bssid.oui(), wired.oui());
+        assert_ne!(bssid, wired);
+        assert_eq!(
+            wired.nic_offset_to(bssid),
+            Some(ground_truth_offset(wired.oui()))
+        );
+    }
+
+    #[test]
+    fn collection_respects_coverage_gradient() {
+        let w = world();
+        let db = WardriveDb::collect(&w);
+        assert!(!db.is_empty());
+        // Compute per-country inclusion rates.
+        let mut per_country: HashMap<Country, (u32, u32)> = HashMap::new();
+        for net in &w.networks {
+            let c = w.ases[net.as_index as usize].info.country;
+            let bssid = bssid_for_wired(w.device(net.cpe).mac);
+            let e = per_country.entry(c).or_insert((0, 0));
+            e.1 += 1;
+            if db.lookup(bssid).is_some() {
+                e.0 += 1;
+            }
+        }
+        let rate = |cc: &str| -> Option<f64> {
+            per_country
+                .get(&Country::new(cc))
+                .filter(|(_, n)| *n >= 10)
+                .map(|(k, n)| *k as f64 / *n as f64)
+        };
+        if let (Some(de), Some(cn)) = (rate("DE"), rate("CN")) {
+            assert!(de > cn, "DE coverage {de} should exceed CN {cn}");
+        }
+    }
+
+    #[test]
+    fn network_locations_near_country_centroid() {
+        let w = world();
+        for net in w.networks.iter().take(50) {
+            let c = w.ases[net.as_index as usize].info.country;
+            let centroid = w.countries.get(c).unwrap().centroid;
+            let loc = network_location(&w, net.id);
+            let d = LatLon::new(centroid.0, centroid.1).distance_km(&loc);
+            assert!(d < 1_500.0, "{} is {d:.0} km from {c} centroid", net.id);
+        }
+    }
+
+    #[test]
+    fn oui_grouping() {
+        let mut db = WardriveDb::new();
+        let a: Mac = "aa:bb:cc:00:00:01".parse().unwrap();
+        let b: Mac = "aa:bb:cc:00:00:09".parse().unwrap();
+        let c: Mac = "aa:bb:cd:00:00:01".parse().unwrap();
+        for m in [a, b, c] {
+            db.insert(m, LatLon::new(1.0, 2.0));
+        }
+        assert_eq!(db.bssids_in_oui("aa:bb:cc".parse().unwrap()), vec![a, b]);
+        assert_eq!(db.ouis().len(), 2);
+    }
+}

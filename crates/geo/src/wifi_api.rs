@@ -1,0 +1,141 @@
+//! A WiFi-location API façade (Apple / Google geolocation services).
+//!
+//! The paper queries commercial BSSID-location APIs as well as open
+//! wardriving datasets (§5.3 [7, 29, 71]). These services answer single
+//! BSSID lookups, return nearby APs along with the queried one (Apple's
+//! behaviour, heavily exploited by IPvSeeYou), and rate-limit callers.
+
+use v6addr::Mac;
+use v6netsim::rng::hash64;
+
+use crate::latlon::LatLon;
+use crate::wardrive::WardriveDb;
+
+/// Query outcome.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ApiResponse {
+    /// The BSSID is known; its location plus up-to-`k` nearby APs.
+    Found {
+        /// Location of the queried BSSID.
+        location: LatLon,
+        /// Other APs the service volunteers from the same area.
+        nearby: Vec<(Mac, LatLon)>,
+    },
+    /// Unknown BSSID.
+    NotFound,
+    /// Rate limit exceeded.
+    RateLimited,
+}
+
+/// A rate-limited BSSID geolocation service backed by a wardriving DB.
+#[derive(Debug)]
+pub struct WifiLocationApi {
+    db: WardriveDb,
+    /// Maximum queries the caller may issue.
+    pub quota: u64,
+    used: u64,
+    nearby_count: usize,
+}
+
+impl WifiLocationApi {
+    /// Wraps a database with a query quota.
+    pub fn new(db: WardriveDb, quota: u64) -> Self {
+        WifiLocationApi {
+            db,
+            quota,
+            used: 0,
+            nearby_count: 4,
+        }
+    }
+
+    /// Queries one BSSID.
+    pub fn query(&mut self, bssid: Mac) -> ApiResponse {
+        if self.used >= self.quota {
+            return ApiResponse::RateLimited;
+        }
+        self.used += 1;
+        match self.db.lookup(bssid) {
+            None => ApiResponse::NotFound,
+            Some(location) => {
+                // Volunteer a few deterministic same-OUI neighbours within
+                // ~100 km, like Apple's API does.
+                let mut nearby: Vec<(Mac, LatLon)> = self
+                    .db
+                    .bssids_in_oui(bssid.oui())
+                    .into_iter()
+                    .filter(|m| *m != bssid)
+                    .filter_map(|m| self.db.lookup(m).map(|l| (m, l)))
+                    .filter(|(_, l)| l.distance_km(&location) < 100.0)
+                    .collect();
+                nearby.sort_by_key(|(m, _)| hash64(bssid.as_u64(), &m.bytes()));
+                nearby.truncate(self.nearby_count);
+                ApiResponse::Found { location, nearby }
+            }
+        }
+    }
+
+    /// Queries consumed so far.
+    pub fn used(&self) -> u64 {
+        self.used
+    }
+
+    /// Remaining quota.
+    pub fn remaining(&self) -> u64 {
+        self.quota - self.used
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn db() -> WardriveDb {
+        let mut db = WardriveDb::new();
+        for i in 0..10u32 {
+            let m: Mac = Mac::new([0xaa, 0xbb, 0xcc, 0, 0, i as u8]);
+            db.insert(m, LatLon::new(52.0 + i as f64 * 0.01, 13.0));
+        }
+        // A far-away AP in the same OUI: must not be "nearby".
+        db.insert(
+            Mac::new([0xaa, 0xbb, 0xcc, 0, 1, 0]),
+            LatLon::new(-33.0, 151.0),
+        );
+        db
+    }
+
+    #[test]
+    fn found_with_nearby() {
+        let mut api = WifiLocationApi::new(db(), 100);
+        match api.query(Mac::new([0xaa, 0xbb, 0xcc, 0, 0, 0])) {
+            ApiResponse::Found { location, nearby } => {
+                assert!((location.lat - 52.0).abs() < 1e-9);
+                assert!(!nearby.is_empty());
+                assert!(nearby.len() <= 4);
+                for (_, l) in &nearby {
+                    assert!(l.distance_km(&location) < 100.0);
+                }
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn unknown_bssid() {
+        let mut api = WifiLocationApi::new(db(), 100);
+        assert_eq!(
+            api.query(Mac::new([0x00, 0x11, 0x22, 0, 0, 0])),
+            ApiResponse::NotFound
+        );
+    }
+
+    #[test]
+    fn quota_enforced() {
+        let mut api = WifiLocationApi::new(db(), 2);
+        let m = Mac::new([0xaa, 0xbb, 0xcc, 0, 0, 0]);
+        assert!(matches!(api.query(m), ApiResponse::Found { .. }));
+        assert!(matches!(api.query(m), ApiResponse::Found { .. }));
+        assert_eq!(api.query(m), ApiResponse::RateLimited);
+        assert_eq!(api.used(), 2);
+        assert_eq!(api.remaining(), 0);
+    }
+}

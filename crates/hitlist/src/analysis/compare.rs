@@ -1,0 +1,136 @@
+//! Dataset comparison — the paper's Table 1.
+//!
+//! For each dataset: unique addresses, intersection with the NTP corpus,
+//! distinct origin ASNs (and common), distinct /48s (and common), and the
+//! mean addresses per /48. The paper's headline shape: the NTP corpus is
+//! orders of magnitude larger and denser per /48, yet sees *fewer* ASes
+//! than the traceroute-based campaigns.
+
+use serde::{Deserialize, Serialize};
+
+use v6netsim::World;
+
+use crate::dataset::Dataset;
+
+/// One row of Table 1.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Table1Row {
+    /// Dataset name.
+    pub dataset: String,
+    /// Unique IPv6 addresses.
+    pub addresses: u64,
+    /// Addresses shared with the reference (NTP) dataset; `None` for the
+    /// reference row itself.
+    pub common_addresses: Option<u64>,
+    /// Distinct origin ASNs.
+    pub asns: u64,
+    /// ASNs shared with the reference.
+    pub common_asns: Option<u64>,
+    /// Distinct /48 prefixes.
+    pub prefixes_48: u64,
+    /// /48s shared with the reference.
+    pub common_48s: Option<u64>,
+    /// Mean addresses per /48.
+    pub avg_addrs_per_48: f64,
+}
+
+/// The computed Table 1.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Table1 {
+    /// Rows: reference (NTP) first, then each comparison dataset.
+    pub rows: Vec<Table1Row>,
+}
+
+/// Computes Table 1 with `reference` as the first row (the NTP corpus in
+/// the paper) and each of `others` compared against it.
+pub fn table1(world: &World, reference: &Dataset, others: &[&Dataset]) -> Table1 {
+    let mut rows = Vec::with_capacity(1 + others.len());
+    rows.push(Table1Row {
+        dataset: reference.name().to_string(),
+        addresses: reference.len() as u64,
+        common_addresses: None,
+        asns: reference.distinct_asns(world).len() as u64,
+        common_asns: None,
+        prefixes_48: reference.distinct_48s(),
+        common_48s: None,
+        avg_addrs_per_48: reference.density_per_48(),
+    });
+    for d in others {
+        rows.push(Table1Row {
+            dataset: d.name().to_string(),
+            addresses: d.len() as u64,
+            common_addresses: Some(reference.common_addresses(d)),
+            asns: d.distinct_asns(world).len() as u64,
+            common_asns: Some(reference.common_asns(d, world)),
+            prefixes_48: d.distinct_48s(),
+            common_48s: Some(reference.common_48s(d)),
+            avg_addrs_per_48: d.density_per_48(),
+        });
+    }
+    Table1 { rows }
+}
+
+impl Table1 {
+    /// Renders the table as aligned text, one row per dataset.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "{:<20} {:>12} {:>10} {:>7} {:>7} {:>10} {:>9} {:>12}\n",
+            "Dataset", "Addresses", "Common", "ASNs", "Common", "/48s", "Common", "Avg per /48"
+        ));
+        for r in &self.rows {
+            let c = |v: Option<u64>| v.map(|x| x.to_string()).unwrap_or_else(|| "-".into());
+            out.push_str(&format!(
+                "{:<20} {:>12} {:>10} {:>7} {:>7} {:>10} {:>9} {:>12.1}\n",
+                r.dataset,
+                r.addresses,
+                c(r.common_addresses),
+                r.asns,
+                c(r.common_asns),
+                r.prefixes_48,
+                c(r.common_48s),
+                r.avg_addrs_per_48,
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::Observation;
+    use v6netsim::{SimTime, WorldConfig};
+
+    #[test]
+    fn table_shape_and_counts() {
+        let w = World::build(WorldConfig::tiny(), 105);
+        let a0 = w.ases[0].router48().offset(1);
+        let a1 = w.ases[1].router48().offset(1);
+        let a2 = w.ases[2].router48().offset(1);
+        let ntp = Dataset::from_observations(
+            "NTP Pool",
+            [a0, a1].map(|addr| Observation {
+                addr,
+                t: SimTime(0),
+            }),
+        );
+        let hl = Dataset::from_observations(
+            "IPv6 Hitlist",
+            [a1, a2].map(|addr| Observation {
+                addr,
+                t: SimTime(0),
+            }),
+        );
+        let t = table1(&w, &ntp, &[&hl]);
+        assert_eq!(t.rows.len(), 2);
+        assert_eq!(t.rows[0].addresses, 2);
+        assert_eq!(t.rows[0].common_addresses, None);
+        assert_eq!(t.rows[1].common_addresses, Some(1));
+        assert_eq!(t.rows[1].common_asns, Some(1));
+        assert_eq!(t.rows[1].common_48s, Some(1));
+        let text = t.render();
+        assert!(text.contains("NTP Pool"));
+        assert!(text.contains("IPv6 Hitlist"));
+    }
+}

@@ -1,0 +1,350 @@
+//! The §5.3 geolocation attack: EUI-64 MACs × wardriving databases.
+//!
+//! Rye & Beverly's IPvSeeYou technique, applied passively: a device's
+//! wired MAC leaks through its EUI-64 IPv6 address; its WiFi BSSID — a
+//! sibling MAC a small vendor-constant away — sits geolocated in public
+//! wardriving databases. The attack (1) infers the per-OUI wired→wireless
+//! offset from pair statistics, then (2) joins every leaked MAC through
+//! that offset into the BSSID database, yielding street-level locations.
+//!
+//! Nothing in this module touches the simulator's hidden ground-truth
+//! offsets; inference works purely from the observed MAC sets, exactly
+//! as the real attack must.
+
+use std::collections::HashMap;
+
+use serde::{Deserialize, Serialize};
+
+use v6addr::mac::Oui;
+use v6addr::Mac;
+use v6geo::{LatLon, WardriveDb};
+use v6netsim::{Country, World};
+
+/// Attack configuration.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct GeolocConfig {
+    /// Minimum wired-MAC-to-BSSID pairs in an OUI before its inferred
+    /// offset is trusted (paper: 500; scaled worlds use less).
+    pub min_pairs: u64,
+    /// Offsets with |Δ| beyond this are ignored as noise (vendor
+    /// constants are small).
+    pub max_abs_offset: i64,
+}
+
+impl Default for GeolocConfig {
+    fn default() -> Self {
+        GeolocConfig {
+            min_pairs: 30,
+            max_abs_offset: 4096,
+        }
+    }
+}
+
+/// An inferred per-OUI wired→wireless offset.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct InferredOffset {
+    /// The OUI.
+    pub oui: Oui,
+    /// The winning offset.
+    pub offset: i64,
+    /// Number of pairs voting for it.
+    pub votes: u64,
+    /// Total pairs tallied in the OUI.
+    pub pairs: u64,
+}
+
+/// One geolocated device.
+#[derive(Debug, Clone, Copy)]
+pub struct GeolocatedMac {
+    /// The wired MAC recovered from the EUI-64 IID.
+    pub mac: Mac,
+    /// The matched BSSID.
+    pub bssid: Mac,
+    /// Location from the wardriving database.
+    pub location: LatLon,
+}
+
+/// Attack output.
+#[derive(Debug)]
+pub struct GeolocationReport {
+    /// OUIs with trusted inferred offsets.
+    pub offsets: Vec<InferredOffset>,
+    /// Every geolocated device.
+    pub geolocated: Vec<GeolocatedMac>,
+    /// Distinct wired MACs given to the attack.
+    pub input_macs: u64,
+}
+
+/// Infers per-OUI offsets from the observed wired MACs and the BSSID
+/// database (step 1 of the attack).
+pub fn infer_offsets(
+    wired_macs: &[Mac],
+    db: &WardriveDb,
+    cfg: &GeolocConfig,
+) -> Vec<InferredOffset> {
+    // Group wired MACs per OUI.
+    let mut per_oui: HashMap<Oui, Vec<Mac>> = HashMap::new();
+    for &m in wired_macs {
+        per_oui.entry(m.oui()).or_default().push(m);
+    }
+    let mut out = Vec::new();
+    for (oui, wired) in per_oui {
+        let bssids = db.bssids_in_oui(oui);
+        if bssids.is_empty() {
+            continue;
+        }
+        let mut votes: HashMap<i64, u64> = HashMap::new();
+        let mut pairs = 0u64;
+        for w in &wired {
+            for b in &bssids {
+                if let Some(d) = w.nic_offset_to(*b) {
+                    if d != 0 && d.abs() <= cfg.max_abs_offset {
+                        *votes.entry(d).or_insert(0) += 1;
+                        pairs += 1;
+                    }
+                }
+            }
+        }
+        if pairs < cfg.min_pairs {
+            continue;
+        }
+        // Plain argmax over the tallied offsets, as the paper does; ties
+        // prefer the smaller |offset| (vendor constants are small). A
+        // floor of 3 votes rejects pure-noise winners in sparse OUIs.
+        if let Some((&offset, &n)) = votes.iter().max_by_key(|&(&d, &n)| (n, -d.abs())) {
+            if n >= 3 {
+                out.push(InferredOffset {
+                    oui,
+                    offset,
+                    votes: n,
+                    pairs,
+                });
+            }
+        }
+    }
+    out.sort_by_key(|o| o.oui);
+    out
+}
+
+/// Runs the full attack: infer offsets, then join every wired MAC whose
+/// OUI has a trusted offset against the BSSID database.
+pub fn geolocate(wired_macs: &[Mac], db: &WardriveDb, cfg: &GeolocConfig) -> GeolocationReport {
+    let offsets = infer_offsets(wired_macs, db, cfg);
+    let by_oui: HashMap<Oui, i64> = offsets.iter().map(|o| (o.oui, o.offset)).collect();
+    let mut geolocated = Vec::new();
+    let mut seen: std::collections::BTreeSet<u64> = std::collections::BTreeSet::new();
+    for &mac in wired_macs {
+        if !seen.insert(mac.as_u64()) {
+            continue;
+        }
+        let Some(&off) = by_oui.get(&mac.oui()) else {
+            continue;
+        };
+        let bssid = mac.wrapping_add_nic(off);
+        if let Some(location) = db.lookup(bssid) {
+            geolocated.push(GeolocatedMac {
+                mac,
+                bssid,
+                location,
+            });
+        }
+    }
+    GeolocationReport {
+        offsets,
+        geolocated,
+        input_macs: seen.len() as u64,
+    }
+}
+
+impl GeolocationReport {
+    /// Per-country share of geolocated devices, by nearest registry
+    /// centroid (descending). The paper's version of this table is 75%
+    /// Germany.
+    pub fn country_histogram(&self, world: &World) -> Vec<(Country, u64)> {
+        let mut counts: HashMap<Country, u64> = HashMap::new();
+        for g in &self.geolocated {
+            let nearest = world
+                .countries
+                .all()
+                .iter()
+                .min_by(|a, b| {
+                    let da = LatLon::new(a.centroid.0, a.centroid.1).distance_km(&g.location);
+                    let db = LatLon::new(b.centroid.0, b.centroid.1).distance_km(&g.location);
+                    da.partial_cmp(&db).unwrap()
+                })
+                .map(|c| c.code);
+            if let Some(c) = nearest {
+                *counts.entry(c).or_insert(0) += 1;
+            }
+        }
+        let mut v: Vec<(Country, u64)> = counts.into_iter().collect();
+        v.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        v
+    }
+
+    /// Fraction of geolocated devices whose MAC belongs to a vendor name
+    /// (e.g. "AVM GmbH"), via the world's OUI registry.
+    pub fn vendor_share(&self, world: &World, vendor: &str) -> f64 {
+        if self.geolocated.is_empty() {
+            return 0.0;
+        }
+        let n = self
+            .geolocated
+            .iter()
+            .filter(|g| world.oui_db.name_or_unlisted(g.mac.oui()) == vendor)
+            .count();
+        n as f64 / self.geolocated.len() as f64
+    }
+
+    /// The full distance-error distribution against ground truth (km),
+    /// for error-CDF reporting.
+    pub fn error_cdf(&self, world: &World) -> crate::cdf::Cdf {
+        let mut truth: HashMap<u64, LatLon> = HashMap::new();
+        for net in &world.networks {
+            let cpe = world.device(net.cpe);
+            truth.insert(cpe.mac.as_u64(), v6geo::network_location(world, net.id));
+        }
+        crate::cdf::Cdf::new(
+            self.geolocated
+                .iter()
+                .filter_map(|g| {
+                    truth
+                        .get(&g.mac.as_u64())
+                        .map(|t| t.distance_km(&g.location))
+                })
+                .collect(),
+        )
+    }
+
+    /// Validates geolocations against simulator ground truth: the median
+    /// error (km) between the claimed location and the device's true
+    /// home-network location. Only available in simulation (the paper
+    /// validated against one US ISP's ground truth).
+    pub fn validate(&self, world: &World) -> Option<f64> {
+        // Map CPE wired MAC → network location.
+        let mut truth: HashMap<u64, LatLon> = HashMap::new();
+        for net in &world.networks {
+            let cpe = world.device(net.cpe);
+            truth.insert(cpe.mac.as_u64(), v6geo::network_location(world, net.id));
+        }
+        let mut errors: Vec<f64> = self
+            .geolocated
+            .iter()
+            .filter_map(|g| {
+                truth
+                    .get(&g.mac.as_u64())
+                    .map(|t| t.distance_km(&g.location))
+            })
+            .collect();
+        if errors.is_empty() {
+            return None;
+        }
+        errors.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        Some(errors[errors.len() / 2])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use v6geo::wardrive::{bssid_for_wired, ground_truth_offset};
+    use v6netsim::{DeviceKind, WorldConfig};
+
+    /// Builds a wired population + DB where the hidden offset is honored.
+    fn synthetic(oui_str: &str, n: u32) -> (Vec<Mac>, WardriveDb, i64) {
+        let oui: Oui = oui_str.parse().unwrap();
+        let truth = ground_truth_offset(oui);
+        let mut db = WardriveDb::new();
+        let mut wired = Vec::new();
+        for i in 0..n {
+            let w = oui.mac(i * 7 + 5);
+            wired.push(w);
+            db.insert(bssid_for_wired(w), LatLon::new(50.0, 10.0));
+        }
+        (wired, db, truth)
+    }
+
+    #[test]
+    fn infers_the_hidden_offset() {
+        let (wired, db, truth) = synthetic("3c:a6:2f", 60);
+        let cfg = GeolocConfig::default();
+        let offs = infer_offsets(&wired, &db, &cfg);
+        assert_eq!(offs.len(), 1);
+        assert_eq!(offs[0].offset, truth);
+        assert!(offs[0].votes >= 60);
+    }
+
+    #[test]
+    fn too_few_pairs_rejected() {
+        let (wired, db, _) = synthetic("3c:a6:2f", 3);
+        let cfg = GeolocConfig {
+            min_pairs: 500,
+            ..Default::default()
+        };
+        assert!(infer_offsets(&wired, &db, &cfg).is_empty());
+    }
+
+    #[test]
+    fn geolocates_through_inferred_offset() {
+        let (wired, db, _) = synthetic("3c:a6:2f", 60);
+        let r = geolocate(&wired, &db, &GeolocConfig::default());
+        assert_eq!(r.geolocated.len(), 60);
+        assert_eq!(r.input_macs, 60);
+        for g in &r.geolocated {
+            assert_eq!(g.bssid, bssid_for_wired(g.mac));
+        }
+    }
+
+    #[test]
+    fn full_attack_against_world() {
+        let w = World::build(WorldConfig::tiny(), 115);
+        let db = WardriveDb::collect(&w);
+        // The attacker's input: every CPE wired MAC that leaks via EUI-64.
+        let leaked: Vec<Mac> = w
+            .networks
+            .iter()
+            .map(|n| w.device(n.cpe))
+            .filter(|d| {
+                d.kind == DeviceKind::CpeRouter
+                    && d.strategy == v6netsim::addressing::IidStrategy::Eui64
+            })
+            .map(|d| d.mac)
+            .collect();
+        assert!(leaked.len() > 50, "only {} leaked CPE", leaked.len());
+        let cfg = GeolocConfig {
+            min_pairs: 10,
+            ..Default::default()
+        };
+        let r = geolocate(&leaked, &db, &cfg);
+        assert!(
+            !r.geolocated.is_empty(),
+            "attack produced no geolocations ({} offsets)",
+            r.offsets.len()
+        );
+        // Validation: claimed locations are the true AP locations.
+        let med = r.validate(&w).expect("validation set empty");
+        assert!(med < 50.0, "median error {med} km");
+        // Germany should be heavily represented (AVM + coverage).
+        let hist = r.country_histogram(&w);
+        let de = hist
+            .iter()
+            .find(|(c, _)| *c == Country::new("DE"))
+            .map(|&(_, n)| n)
+            .unwrap_or(0);
+        assert!(
+            de as f64 / r.geolocated.len() as f64 > 0.3,
+            "DE share {de}/{}",
+            r.geolocated.len()
+        );
+    }
+
+    #[test]
+    fn unknown_oui_macs_not_geolocated() {
+        let (wired, db, _) = synthetic("3c:a6:2f", 60);
+        let mut input = wired.clone();
+        let stranger: Mac = "00:de:ad:00:00:01".parse().unwrap();
+        input.push(stranger);
+        let r = geolocate(&input, &db, &GeolocConfig::default());
+        assert!(r.geolocated.iter().all(|g| g.mac != stranger));
+    }
+}

@@ -1,0 +1,14 @@
+//! The paper's analyses, one module per result family.
+
+pub mod asdb;
+pub mod backscan;
+pub mod compare;
+pub mod entropy_dist;
+pub mod geoloc;
+pub mod lifetime;
+pub mod outage;
+pub mod patterns;
+pub mod population;
+pub mod rotation;
+pub mod tga_eval;
+pub mod tracking;

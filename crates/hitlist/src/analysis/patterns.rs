@@ -1,0 +1,289 @@
+//! Addressing-pattern classification — Figure 5 (§4.3).
+//!
+//! Buckets every unique address of a dataset into the paper's seven
+//! classes. The IPv4-mapped class applies the paper's two-step AS-level
+//! acceptance: a decode only counts if the embedded IPv4 address lies in
+//! the same AS, and an AS's IPv4-mapped candidates are only accepted when
+//! there are at least `min_instances` of them *and* they exceed 10% of
+//! the AS's addresses — killing random-IID false decodes.
+
+use std::collections::HashMap;
+
+use serde::{Deserialize, Serialize};
+
+use v6addr::pattern::{classify_structural, AddressClass};
+use v6addr::{ipv4_embed, Iid};
+use v6netsim::World;
+
+use crate::dataset::Dataset;
+
+/// Acceptance thresholds for the IPv4-mapped class.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct Ipv4Acceptance {
+    /// Minimum same-AS embedded-IPv4 instances in the AS (paper: 100;
+    /// scaled worlds use less).
+    pub min_instances: u64,
+    /// Minimum fraction of the AS's addresses (paper: 0.10).
+    pub min_fraction: f64,
+}
+
+impl Default for Ipv4Acceptance {
+    fn default() -> Self {
+        Ipv4Acceptance {
+            min_instances: 25,
+            min_fraction: 0.10,
+        }
+    }
+}
+
+/// Per-class address fractions for one dataset.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ClassBreakdown {
+    /// Dataset name.
+    pub dataset: String,
+    /// Unique addresses classified.
+    pub total: u64,
+    /// `(class, count)` in [`AddressClass::ALL`] order.
+    pub counts: Vec<(AddressClass, u64)>,
+}
+
+impl ClassBreakdown {
+    /// The fraction of addresses in one class.
+    pub fn fraction(&self, class: AddressClass) -> f64 {
+        let c = self
+            .counts
+            .iter()
+            .find(|(k, _)| *k == class)
+            .map(|&(_, n)| n)
+            .unwrap_or(0);
+        if self.total == 0 {
+            0.0
+        } else {
+            c as f64 / self.total as f64
+        }
+    }
+}
+
+/// Classifies a dataset's unique addresses (Figure 5, one bar group).
+pub fn classify_dataset(
+    world: &World,
+    dataset: &Dataset,
+    accept: &Ipv4Acceptance,
+) -> ClassBreakdown {
+    // Pass 1: structural classes + per-AS same-AS IPv4 candidate tally.
+    struct Pending {
+        as_index: Option<u16>,
+        class: AddressClass,
+        v4_same_as: bool,
+    }
+    let mut pending: Vec<Pending> = Vec::with_capacity(dataset.len());
+    let mut per_as_total: HashMap<u16, u64> = HashMap::new();
+    let mut per_as_v4: HashMap<u16, u64> = HashMap::new();
+
+    for r in dataset.records() {
+        let as_index = world.as_index_of(r.addr);
+        let sc = classify_structural(Iid::from_addr(r.addr));
+        let mut v4_same_as = false;
+        if sc.v4_candidate {
+            if let Some(ai) = as_index {
+                let (base, len) = world.ases[ai as usize].v4_block();
+                let mask = u32::MAX << (32 - len);
+                v4_same_as = ipv4_embed::decode_all(Iid::from_addr(r.addr))
+                    .iter()
+                    .any(|e| (u32::from(e.v4) & mask) == base);
+            }
+        }
+        if let Some(ai) = as_index {
+            *per_as_total.entry(ai).or_insert(0) += 1;
+            if v4_same_as {
+                *per_as_v4.entry(ai).or_insert(0) += 1;
+            }
+        }
+        pending.push(Pending {
+            as_index,
+            class: sc.without_v4,
+            v4_same_as,
+        });
+    }
+
+    // Which ASes pass the acceptance filter?
+    let accepted: HashMap<u16, bool> = per_as_v4
+        .iter()
+        .map(|(&ai, &v4)| {
+            let total = per_as_total[&ai];
+            (
+                ai,
+                v4 >= accept.min_instances && v4 as f64 / total as f64 > accept.min_fraction,
+            )
+        })
+        .collect();
+
+    // Pass 2: final classes.
+    let mut counts: HashMap<AddressClass, u64> = HashMap::new();
+    for p in &pending {
+        let class = if p.v4_same_as
+            && p.as_index
+                .map(|ai| *accepted.get(&ai).unwrap_or(&false))
+                .unwrap_or(false)
+        {
+            AddressClass::Ipv4Mapped
+        } else {
+            p.class
+        };
+        *counts.entry(class).or_insert(0) += 1;
+    }
+
+    ClassBreakdown {
+        dataset: dataset.name().to_string(),
+        total: dataset.len() as u64,
+        counts: AddressClass::ALL
+            .iter()
+            .map(|&c| (c, *counts.get(&c).unwrap_or(&0)))
+            .collect(),
+    }
+}
+
+/// Figure 5: the NTP corpus vs the Hitlist, one day's snapshot each.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Figure5 {
+    /// One breakdown per dataset.
+    pub breakdowns: Vec<ClassBreakdown>,
+}
+
+impl Figure5 {
+    /// Renders as a per-class fraction table.
+    pub fn render(&self) -> String {
+        let mut out = format!("{:<22}", "Class");
+        for b in &self.breakdowns {
+            out.push_str(&format!(" {:>16}", b.dataset));
+        }
+        out.push('\n');
+        for class in AddressClass::ALL {
+            out.push_str(&format!("{:<22}", class.label()));
+            for b in &self.breakdowns {
+                out.push_str(&format!(" {:>15.4}%", b.fraction(class) * 100.0));
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Computes Figure 5 over any number of datasets.
+pub fn figure5(world: &World, datasets: &[&Dataset], accept: &Ipv4Acceptance) -> Figure5 {
+    Figure5 {
+        breakdowns: datasets
+            .iter()
+            .map(|d| classify_dataset(world, d, accept))
+            .collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::Observation;
+    use v6addr::ipv4_embed::Ipv4Encoding;
+    use v6netsim::{SimTime, WorldConfig};
+
+    fn world() -> World {
+        World::build(WorldConfig::tiny(), 109)
+    }
+
+    fn obs(addr: std::net::Ipv6Addr) -> Observation {
+        Observation {
+            addr,
+            t: SimTime(0),
+        }
+    }
+
+    #[test]
+    fn fractions_sum_to_one() {
+        let w = world();
+        let addrs: Vec<Observation> = w.ases[0..6]
+            .iter()
+            .map(|a| obs(a.router48().offset(1)))
+            .collect();
+        let d = Dataset::from_observations("t", addrs);
+        let b = classify_dataset(&w, &d, &Ipv4Acceptance::default());
+        let total: u64 = b.counts.iter().map(|&(_, n)| n).sum();
+        assert_eq!(total, b.total);
+        let sum: f64 = AddressClass::ALL.iter().map(|&c| b.fraction(c)).sum();
+        assert!((sum - 1.0).abs() < 1e-9);
+        // Router ::1 interfaces are Low Byte.
+        assert!(b.fraction(AddressClass::LowByte) > 0.9);
+    }
+
+    #[test]
+    fn ipv4_acceptance_requires_both_thresholds() {
+        let w = world();
+        let asr = &w.ases[0];
+        let (base, _) = asr.v4_block();
+        // 30 addresses with same-AS embedded IPv4 out of 40 total in the
+        // AS: passes min_instances=25 and >10%.
+        let mut addrs = Vec::new();
+        for i in 0..30u32 {
+            let v4 = std::net::Ipv4Addr::from(base | i);
+            let iid = Ipv4Encoding::LowHex.encode(v4);
+            addrs.push(obs(v6addr::join(
+                (asr.customer33().bits() >> 64) as u64 + i as u64,
+                iid,
+            )));
+        }
+        for i in 0..10u64 {
+            addrs.push(obs(v6addr::join(
+                (asr.customer33().bits() >> 64) as u64,
+                v6addr::Iid::new(0xdead_0000_0000_0000 + i),
+            )));
+        }
+        let d = Dataset::from_observations("t", addrs.clone());
+        let b = classify_dataset(&w, &d, &Ipv4Acceptance::default());
+        assert_eq!(
+            b.counts
+                .iter()
+                .find(|(c, _)| *c == AddressClass::Ipv4Mapped)
+                .unwrap()
+                .1,
+            30
+        );
+        // Stricter minimum: rejected, falls back to entropy classes.
+        let strict = Ipv4Acceptance {
+            min_instances: 100,
+            min_fraction: 0.10,
+        };
+        let b2 = classify_dataset(&w, &d, &strict);
+        assert_eq!(b2.fraction(AddressClass::Ipv4Mapped), 0.0);
+    }
+
+    #[test]
+    fn foreign_v4_embeddings_rejected() {
+        let w = world();
+        let asr = &w.ases[0];
+        // Embedded IPv4s from a *different* AS's block never count.
+        let (other_base, _) = w.ases[5].v4_block();
+        let mut addrs = Vec::new();
+        for i in 0..40u32 {
+            let v4 = std::net::Ipv4Addr::from(other_base | i);
+            addrs.push(obs(v6addr::join(
+                (asr.customer33().bits() >> 64) as u64 + i as u64,
+                Ipv4Encoding::LowHex.encode(v4),
+            )));
+        }
+        let d = Dataset::from_observations("t", addrs);
+        let b = classify_dataset(&w, &d, &Ipv4Acceptance::default());
+        assert_eq!(b.fraction(AddressClass::Ipv4Mapped), 0.0);
+    }
+
+    #[test]
+    fn figure5_render() {
+        let w = world();
+        let d1 = Dataset::from_observations("NTP Pool", vec![obs(w.ases[0].router48().offset(1))]);
+        let d2 =
+            Dataset::from_observations("IPv6 Hitlist", vec![obs(w.ases[1].router48().offset(2))]);
+        let f = figure5(&w, &[&d1, &d2], &Ipv4Acceptance::default());
+        let text = f.render();
+        assert!(text.contains("Low Byte"));
+        assert!(text.contains("NTP Pool"));
+        assert_eq!(f.breakdowns.len(), 2);
+    }
+}

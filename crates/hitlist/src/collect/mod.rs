@@ -1,0 +1,5 @@
+//! Data collection: passive (NTP) and active (campaign adapters).
+
+pub mod active;
+pub mod crowdsource;
+pub mod ntp_passive;

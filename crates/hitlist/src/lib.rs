@@ -1,0 +1,37 @@
+//! # v6hitlist — the core library
+//!
+//! The primary contribution of *IPv6 Hitlists at Scale: Be Careful What
+//! You Wish For* (SIGCOMM 2023), reproduced end to end:
+//!
+//! * [`collect`] — passive NTP corpus collection through real RFC 5905
+//!   packets and pool geo-DNS; adapters for the active baselines.
+//! * [`dataset`] — timestamped address datasets with the aggregations
+//!   every table and figure consumes.
+//! * [`analysis`] — the paper's results: dataset comparison (Table 1),
+//!   entropy distributions (Fig. 1/3/4), lifetimes (Fig. 2), address
+//!   classes (Fig. 5), backscanning and alias discovery (§4.2), EUI-64
+//!   tracking (§5.1–5.2, Table 2, Fig. 6–7), and the geolocation attack
+//!   (§5.3).
+//! * [`release`] — the ethical /48-truncated public release.
+//! * [`pipeline`] — one-call orchestration of the whole study.
+//! * [`cdf`] / [`report`] — distribution and paper-vs-measured plumbing.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod analysis;
+pub mod cdf;
+pub mod collect;
+pub mod dataset;
+pub mod pipeline;
+pub mod release;
+pub mod report;
+pub mod service;
+
+pub use cdf::Cdf;
+pub use collect::ntp_passive::NtpCorpus;
+pub use dataset::{AddrRecord, Dataset, Observation};
+pub use pipeline::{Experiment, ExperimentConfig};
+pub use release::Release48;
+pub use service::HitlistService;
+pub use report::ExperimentRecord;

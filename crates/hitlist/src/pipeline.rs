@@ -1,0 +1,205 @@
+//! End-to-end experiment orchestration.
+//!
+//! One [`ExperimentConfig`] fixes the world, the passive collection, both
+//! active baselines and every analysis threshold; [`Experiment::run`]
+//! executes the whole study — the programmatic equivalent of the paper's
+//! seven months plus the backscan week — and returns everything the bench
+//! harness needs to regenerate each table and figure.
+
+use serde::{Deserialize, Serialize};
+
+use v6geo::WardriveDb;
+use v6netsim::{SimTime, World, WorldConfig};
+use v6scan::{AliasList, CaidaCampaignConfig, HitlistCampaignConfig};
+
+use crate::analysis::backscan::{alias_findings, backscan, AliasFindings, BackscanConfig, BackscanResult};
+use crate::analysis::geoloc::{geolocate, GeolocConfig, GeolocationReport};
+use crate::analysis::patterns::Ipv4Acceptance;
+use crate::analysis::tracking::{analyze as analyze_tracking, TrackingAnalysis};
+use crate::collect::active::{collect_caida, collect_hitlist, ActiveDataset};
+use crate::collect::ntp_passive::NtpCorpus;
+use crate::dataset::Dataset;
+
+/// Everything that parameterizes one full study run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ExperimentConfig {
+    /// World scale.
+    pub world: WorldConfig,
+    /// Master seed.
+    pub seed: u64,
+    /// Hitlist-campaign knobs.
+    #[serde(skip)]
+    pub hitlist: HitlistCampaignConfig,
+    /// CAIDA-campaign knobs.
+    #[serde(skip)]
+    pub caida: CaidaCampaignConfig,
+    /// Backscan knobs.
+    pub backscan: BackscanConfig,
+    /// IPv4-mapped acceptance thresholds.
+    pub ipv4_accept: Ipv4Acceptance,
+    /// §5.2 transition threshold ("high" when > this; paper: 10).
+    pub transition_threshold: u64,
+    /// Geolocation-attack knobs.
+    pub geoloc: GeolocConfig,
+}
+
+impl ExperimentConfig {
+    /// A fast configuration for tests.
+    pub fn tiny(seed: u64) -> Self {
+        ExperimentConfig {
+            world: with_standard_outage(WorldConfig::tiny()),
+            seed,
+            hitlist: HitlistCampaignConfig {
+                weeks: 2,
+                ..Default::default()
+            },
+            caida: CaidaCampaignConfig {
+                stride: 512,
+                ..Default::default()
+            },
+            backscan: BackscanConfig::default(),
+            ipv4_accept: Ipv4Acceptance {
+                min_instances: 5,
+                ..Default::default()
+            },
+            transition_threshold: 10,
+            geoloc: GeolocConfig {
+                // Tiny worlds have only a dozen German homes; the
+                // threshold scales with the world.
+                min_pairs: 4,
+                ..Default::default()
+            },
+        }
+    }
+
+    /// The configuration the bench harness uses to regenerate the paper.
+    pub fn paper(seed: u64) -> Self {
+        ExperimentConfig {
+            world: with_standard_outage(WorldConfig::paper_scale()),
+            seed,
+            hitlist: HitlistCampaignConfig {
+                weeks: 28, // Feb 16 – Aug 29 in the paper
+                ..Default::default()
+            },
+            caida: CaidaCampaignConfig::default(),
+            backscan: BackscanConfig::default(),
+            ipv4_accept: Ipv4Acceptance::default(),
+            transition_threshold: 10,
+            geoloc: GeolocConfig::default(),
+        }
+    }
+}
+
+/// Injects the standard ground-truth event every preset carries: a
+/// three-day ChinaNet outage in late May (study day 120), which the
+/// outage-detection extension must find.
+fn with_standard_outage(mut cfg: WorldConfig) -> WorldConfig {
+    cfg.outages.push(v6netsim::config::OutageSpec {
+        as_name: "ChinaNet".into(),
+        start_day: 120,
+        duration_days: 3,
+    });
+    cfg
+}
+
+/// All artifacts of one full study run.
+pub struct Experiment {
+    /// The configuration used.
+    pub config: ExperimentConfig,
+    /// The synthetic Internet.
+    pub world: World,
+    /// The passive NTP corpus (raw observations).
+    pub corpus: NtpCorpus,
+    /// The NTP corpus as a dataset.
+    pub ntp: Dataset,
+    /// The emulated IPv6 Hitlist.
+    pub hitlist: ActiveDataset,
+    /// The emulated CAIDA routed-/48 dataset.
+    pub caida: ActiveDataset,
+    /// Backscan results (§4.2 / Fig. 3).
+    pub backscan: BackscanResult,
+    /// Alias cross-references (§4.2).
+    pub alias_findings: AliasFindings,
+    /// EUI-64 tracking analysis (§5.1–5.2, Table 2, Fig. 6–7).
+    pub tracking: TrackingAnalysis,
+    /// Geolocation attack (§5.3).
+    pub geolocation: GeolocationReport,
+    /// The wardriving DB the attack used.
+    pub wardrive: WardriveDb,
+}
+
+impl Experiment {
+    /// Runs the entire study.
+    pub fn run(config: ExperimentConfig) -> Experiment {
+        let world = World::build(config.world.clone(), config.seed);
+
+        // Passive collection over the study window.
+        let corpus = NtpCorpus::collect_study(&world);
+        let ntp = corpus.dataset();
+
+        // Active baselines.
+        let hitlist = collect_hitlist(&world, 0, &config.hitlist);
+        let caida = collect_caida(&world, 1, &config.caida);
+
+        // Backscan + alias cross-reference.
+        let backscan_result = backscan(&world, &config.backscan);
+        let hl_aliases = AliasList::from_prefixes(hitlist.campaign.aliased.iter().copied());
+        let findings = alias_findings(
+            &world,
+            &backscan_result,
+            &hl_aliases,
+            &ntp.addr_set(),
+            &hitlist.dataset.addr_set(),
+        );
+
+        // Tracking.
+        let tracking = analyze_tracking(&world, &corpus, config.transition_threshold);
+
+        // Geolocation attack on all leaked MACs.
+        let wardrive = WardriveDb::collect(&world);
+        let leaked: Vec<v6addr::Mac> = tracking.tracks.iter().map(|t| t.mac).collect();
+        let geolocation = geolocate(&leaked, &wardrive, &config.geoloc);
+
+        Experiment {
+            config,
+            world,
+            corpus,
+            ntp,
+            hitlist,
+            caida,
+            backscan: backscan_result,
+            alias_findings: findings,
+            tracking,
+            geolocation,
+            wardrive,
+        }
+    }
+
+    /// The single-day slice of the corpus used by Figures 4b and 5
+    /// (the paper picked 1 July 2022 ≈ study day 157).
+    pub fn one_day_slice(&self, day: u64) -> Dataset {
+        let from = SimTime(day * 86_400);
+        let to = SimTime((day + 1) * 86_400);
+        self.ntp.slice(format!("NTP Pool (day {day})"), from, to)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_pipeline_runs_and_is_coherent() {
+        let e = Experiment::run(ExperimentConfig::tiny(2024));
+        // The three datasets exist and have the paper's size ordering.
+        assert!(e.ntp.len() > e.hitlist.dataset.len());
+        assert!(!e.caida.dataset.is_empty());
+        // Backscan probed someone.
+        assert!(e.backscan.clients_probed > 0);
+        // Tracking found EUI-64 devices.
+        assert!(e.tracking.stats.unique_macs > 0);
+        // The one-day slice is a strict subset.
+        let day = e.one_day_slice(100);
+        assert!(day.len() < e.ntp.len());
+    }
+}

@@ -1,0 +1,118 @@
+//! Ethical dataset release: /48 truncation (§3 Ethics, §6).
+//!
+//! The paper concludes that full addresses in a client-rich hitlist are
+//! themselves sensitive — lower-order bits enable tracking and
+//! geolocation — and releases only /48 prefixes, as agreed with the NTP
+//! Pool operators. This module produces that release artifact and checks
+//! the invariant that no IID information survives.
+
+use serde::{Deserialize, Serialize};
+
+use v6addr::{AddrSet, Prefix};
+
+/// The /48-truncated public release of a corpus.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Release48 {
+    /// Release name.
+    pub name: String,
+    /// Active /48s, ascending; counts deliberately *omitted* per-prefix
+    /// granularity finer than "active".
+    pub prefixes: Vec<Prefix>,
+    /// Total unique addresses that went in (aggregate only).
+    pub source_addresses: u64,
+}
+
+impl Release48 {
+    /// Builds the release from a full-address set.
+    pub fn from_addr_set(name: impl Into<String>, set: &AddrSet) -> Self {
+        let prefixes = set.aggregate(48).into_iter().map(|(p, _)| p).collect();
+        Release48 {
+            name: name.into(),
+            prefixes,
+            source_addresses: set.len() as u64,
+        }
+    }
+
+    /// Number of released prefixes.
+    pub fn len(&self) -> usize {
+        self.prefixes.len()
+    }
+
+    /// True when the release is empty.
+    pub fn is_empty(&self) -> bool {
+        self.prefixes.is_empty()
+    }
+
+    /// Renders the release as the published text format (one prefix per
+    /// line, with a provenance header).
+    pub fn render(&self) -> String {
+        let mut out = format!(
+            "# {} — active /48 prefixes (addresses truncated for privacy)\n# source addresses: {}\n",
+            self.name, self.source_addresses
+        );
+        for p in &self.prefixes {
+            out.push_str(&p.to_string());
+            out.push('\n');
+        }
+        out
+    }
+
+    /// The release invariant: every entry is exactly a /48 with zero
+    /// host bits — no lower-order address information escapes.
+    pub fn verify_privacy_invariant(&self) -> bool {
+        self.prefixes
+            .iter()
+            .all(|p| p.len() == 48 && p.bits() & !Prefix::mask(48) == 0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::Ipv6Addr;
+
+    fn set(addrs: &[&str]) -> AddrSet {
+        AddrSet::from_addrs(addrs.iter().map(|s| s.parse::<Ipv6Addr>().unwrap()))
+    }
+
+    #[test]
+    fn truncates_and_dedups() {
+        let s = set(&[
+            "2a00:1:2:3::dead:beef",
+            "2a00:1:2:4::1",
+            "2a00:1:2:3:1234:5678:9abc:def0",
+        ]);
+        let r = Release48::from_addr_set("NTP Pool", &s);
+        assert_eq!(r.len(), 1); // all three share 2a00:1:2::/48
+        assert_eq!(r.prefixes[0].to_string(), "2a00:1:2::/48");
+        assert_eq!(r.source_addresses, 3);
+        assert!(r.verify_privacy_invariant());
+    }
+
+    #[test]
+    fn render_contains_no_full_addresses() {
+        let s = set(&["2a00:1:2:3::dead:beef", "2a00:9:8:7::42"]);
+        let r = Release48::from_addr_set("test", &s);
+        let text = r.render();
+        assert!(!text.contains("dead:beef"));
+        assert!(!text.contains("::42"));
+        assert!(text.contains("2a00:1:2::/48"));
+        assert!(text.contains("2a00:9:8::/48"));
+    }
+
+    #[test]
+    fn prefixes_sorted_ascending() {
+        let s = set(&["2a00:9::1", "2a00:1::1", "2a00:5::1"]);
+        let r = Release48::from_addr_set("test", &s);
+        for w in r.prefixes.windows(2) {
+            assert!(w[0] < w[1]);
+        }
+    }
+
+    #[test]
+    fn empty_release() {
+        let r = Release48::from_addr_set("empty", &AddrSet::new());
+        assert!(r.is_empty());
+        assert!(r.verify_privacy_invariant());
+    }
+}

@@ -1,0 +1,202 @@
+//! Paper-vs-measured experiment records and rendering.
+//!
+//! The bench harness regenerates every table and figure; each run emits
+//! [`ExperimentRecord`]s comparing the paper's published value with the
+//! reproduction's measurement, which `run_all` assembles into
+//! EXPERIMENTS.md.
+
+use serde::{Deserialize, Serialize};
+
+/// One paper-vs-measured comparison line.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ExperimentRecord {
+    /// Experiment id ("Table 1", "Figure 2a", "§5.2", …).
+    pub experiment: String,
+    /// What is being compared.
+    pub metric: String,
+    /// The paper's published value, as text (may be a ratio or range).
+    pub paper: String,
+    /// Our measured value.
+    pub measured: String,
+    /// Whether the qualitative shape holds (who wins / direction /
+    /// order of magnitude), judged by the generating harness.
+    pub shape_holds: bool,
+    /// Free-form note (scale factors, caveats).
+    pub note: String,
+}
+
+impl ExperimentRecord {
+    /// Convenience constructor.
+    pub fn new(
+        experiment: impl Into<String>,
+        metric: impl Into<String>,
+        paper: impl Into<String>,
+        measured: impl Into<String>,
+        shape_holds: bool,
+        note: impl Into<String>,
+    ) -> Self {
+        ExperimentRecord {
+            experiment: experiment.into(),
+            metric: metric.into(),
+            paper: paper.into(),
+            measured: measured.into(),
+            shape_holds,
+            note: note.into(),
+        }
+    }
+}
+
+/// Renders records as a Markdown table grouped by experiment.
+pub fn render_markdown(records: &[ExperimentRecord]) -> String {
+    let mut out = String::from(
+        "| Experiment | Metric | Paper | Measured | Shape holds | Note |\n|---|---|---|---|---|---|\n",
+    );
+    for r in records {
+        out.push_str(&format!(
+            "| {} | {} | {} | {} | {} | {} |\n",
+            r.experiment,
+            r.metric,
+            r.paper,
+            r.measured,
+            if r.shape_holds { "yes" } else { "NO" },
+            r.note
+        ));
+    }
+    out
+}
+
+/// Renders a plottable series as aligned text (x, y per line).
+pub fn render_series(title: &str, series: &[(f64, f64)]) -> String {
+    let mut out = format!("# {title}\n");
+    for (x, y) in series {
+        out.push_str(&format!("{x:10.4} {y:8.4}\n"));
+    }
+    out
+}
+
+/// Renders one or more CDF series as an ASCII plot (terminal "figure").
+///
+/// Each series is drawn with its own glyph; x spans `[lo, hi]`, y spans
+/// `[0, 1]`. Good enough to eyeball the orderings the paper's figures
+/// show without leaving the terminal.
+pub fn ascii_cdf_plot(
+    title: &str,
+    series: &[(&str, Vec<(f64, f64)>)],
+    width: usize,
+    height: usize,
+) -> String {
+    const GLYPHS: [char; 6] = ['*', 'o', '+', 'x', '#', '@'];
+    let width = width.max(16);
+    let height = height.max(6);
+    let (lo, hi) = series
+        .iter()
+        .flat_map(|(_, pts)| pts.iter().map(|&(x, _)| x))
+        .fold((f64::INFINITY, f64::NEG_INFINITY), |(a, b), x| {
+            (a.min(x), b.max(x))
+        });
+    if !lo.is_finite() || hi <= lo {
+        return format!("# {title}\n(no data)\n");
+    }
+    let mut grid = vec![vec![' '; width]; height];
+    for (si, (_, pts)) in series.iter().enumerate() {
+        let glyph = GLYPHS[si % GLYPHS.len()];
+        for &(x, y) in pts {
+            let col = (((x - lo) / (hi - lo)) * (width - 1) as f64).round() as usize;
+            let row = ((1.0 - y.clamp(0.0, 1.0)) * (height - 1) as f64).round() as usize;
+            grid[row.min(height - 1)][col.min(width - 1)] = glyph;
+        }
+    }
+    let mut out = format!("# {title}\n");
+    for (i, row) in grid.iter().enumerate() {
+        let label = if i == 0 {
+            "1.0"
+        } else if i == height - 1 {
+            "0.0"
+        } else {
+            "   "
+        };
+        out.push_str(label);
+        out.push('|');
+        out.extend(row.iter());
+        out.push('\n');
+    }
+    out.push_str(&format!(
+        "   +{}\n    {:<10.3}{:>width$.3}\n",
+        "-".repeat(width),
+        lo,
+        hi,
+        width = width - 10
+    ));
+    for (si, (name, _)) in series.iter().enumerate() {
+        out.push_str(&format!("    {} {}\n", GLYPHS[si % GLYPHS.len()], name));
+    }
+    out
+}
+
+/// Formats a count with thousands separators (readability in reports).
+pub fn fmt_count(n: u64) -> String {
+    let s = n.to_string();
+    let bytes = s.as_bytes();
+    let mut out = String::with_capacity(s.len() + s.len() / 3);
+    for (i, b) in bytes.iter().enumerate() {
+        if i > 0 && (bytes.len() - i).is_multiple_of(3) {
+            out.push(',');
+        }
+        out.push(*b as char);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn markdown_rendering() {
+        let recs = vec![ExperimentRecord::new(
+            "Table 1",
+            "NTP / Hitlist address ratio",
+            "370x",
+            "212x",
+            true,
+            "scaled world",
+        )];
+        let md = render_markdown(&recs);
+        assert!(md.contains("| Table 1 |"));
+        assert!(md.contains("| yes |"));
+    }
+
+    #[test]
+    fn failed_shape_is_loud() {
+        let recs = vec![ExperimentRecord::new("X", "m", "1", "2", false, "")];
+        assert!(render_markdown(&recs).contains("| NO |"));
+    }
+
+    #[test]
+    fn count_formatting() {
+        assert_eq!(fmt_count(0), "0");
+        assert_eq!(fmt_count(999), "999");
+        assert_eq!(fmt_count(1_000), "1,000");
+        assert_eq!(fmt_count(7_914_066_999), "7,914,066,999");
+    }
+
+    #[test]
+    fn ascii_plot_shape() {
+        let s1: Vec<(f64, f64)> = (0..=10).map(|i| (i as f64 / 10.0, i as f64 / 10.0)).collect();
+        let s2: Vec<(f64, f64)> = (0..=10).map(|i| (i as f64 / 10.0, 1.0)).collect();
+        let plot = ascii_cdf_plot("demo", &[("diag", s1), ("flat", s2)], 40, 10);
+        assert!(plot.contains("# demo"));
+        assert!(plot.contains("1.0|"));
+        assert!(plot.contains("* diag"));
+        assert!(plot.contains("o flat"));
+        // Empty input degrades gracefully.
+        assert!(ascii_cdf_plot("x", &[], 40, 10).contains("no data"));
+    }
+
+    #[test]
+    fn series_rendering() {
+        let s = render_series("cdf", &[(0.0, 0.0), (1.0, 1.0)]);
+        assert!(s.starts_with("# cdf\n"));
+        assert_eq!(s.lines().count(), 3);
+    }
+}

@@ -1,0 +1,229 @@
+//! A hitlist *service*: weekly publications of responsive addresses and
+//! alias lists.
+//!
+//! The IPv6 Hitlist project "continue[s] to publish a weekly hitlist of
+//! responsive addresses and known aliased and non-aliased networks"
+//! (§2.2 [1]); the paper consumes those snapshots for its comparisons
+//! (e.g. the 1 July 2022 release in §4.3). This module turns a campaign's
+//! discoveries into the same artifact: per-week snapshots with a
+//! registered alias list and machine-readable export — including the
+//! ethics-aware variant the paper argues future services need, where
+//! client-rich address sets are truncated to /48.
+
+use serde::{Deserialize, Serialize};
+use std::net::Ipv6Addr;
+
+use v6addr::Prefix;
+use v6scan::{AliasList, CampaignResult};
+
+use crate::release::Release48;
+
+/// One weekly snapshot.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct WeeklySnapshot {
+    /// Study week number.
+    pub week: u64,
+    /// Responsive addresses first published this week.
+    pub new_responsive: Vec<Ipv6Addr>,
+    /// Cumulative responsive count as of this week.
+    pub cumulative: u64,
+}
+
+/// The publication stream of a hitlist service.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct HitlistService {
+    /// Service name.
+    pub name: String,
+    /// Weekly snapshots, in order.
+    pub snapshots: Vec<WeeklySnapshot>,
+    /// The published aliased prefixes.
+    pub aliased: Vec<Prefix>,
+}
+
+impl HitlistService {
+    /// Builds the service publications from a campaign run.
+    pub fn from_campaign(name: impl Into<String>, campaign: &CampaignResult) -> Self {
+        use std::collections::BTreeSet;
+        let mut seen: BTreeSet<u128> = BTreeSet::new();
+        let mut by_week: std::collections::BTreeMap<u64, Vec<Ipv6Addr>> =
+            std::collections::BTreeMap::new();
+        for d in &campaign.discoveries {
+            if seen.insert(u128::from(d.addr)) {
+                by_week.entry(d.t.week()).or_default().push(d.addr);
+            }
+        }
+        let mut snapshots = Vec::new();
+        let mut cumulative = 0u64;
+        for (week, mut new_responsive) in by_week {
+            new_responsive.sort_unstable();
+            cumulative += new_responsive.len() as u64;
+            snapshots.push(WeeklySnapshot {
+                week,
+                new_responsive,
+                cumulative,
+            });
+        }
+        HitlistService {
+            name: name.into(),
+            snapshots,
+            aliased: campaign.aliased.clone(),
+        }
+    }
+
+    /// The alias list consumers should filter against.
+    pub fn alias_list(&self) -> AliasList {
+        AliasList::from_prefixes(self.aliased.iter().copied())
+    }
+
+    /// The full responsive set as of a week (inclusive).
+    pub fn responsive_as_of(&self, week: u64) -> Vec<Ipv6Addr> {
+        let mut out: Vec<Ipv6Addr> = self
+            .snapshots
+            .iter()
+            .filter(|s| s.week <= week)
+            .flat_map(|s| s.new_responsive.iter().copied())
+            .collect();
+        out.sort_unstable();
+        out
+    }
+
+    /// Total unique responsive addresses ever published.
+    pub fn total_responsive(&self) -> u64 {
+        self.snapshots.last().map(|s| s.cumulative).unwrap_or(0)
+    }
+
+    /// Exports the whole service state as JSON (the machine-readable
+    /// publication format).
+    pub fn to_json(&self) -> serde_json::Result<String> {
+        serde_json::to_string_pretty(self)
+    }
+
+    /// Imports a previously exported service state.
+    pub fn from_json(json: &str) -> serde_json::Result<HitlistService> {
+        serde_json::from_str(json)
+    }
+
+    /// The §6-style privacy-aware publication: full addresses for the
+    /// (infrastructure-dominated) responsive set are replaced by their
+    /// /48s whenever a week's snapshot contains more than
+    /// `client_threshold` addresses — the paper's proposed middle ground
+    /// for client-rich hitlists.
+    pub fn privacy_aware_release(&self, client_threshold: usize) -> Vec<PrivacyRelease> {
+        self.snapshots
+            .iter()
+            .map(|s| {
+                if s.new_responsive.len() > client_threshold {
+                    let set = v6addr::AddrSet::from_addrs(s.new_responsive.iter().copied());
+                    PrivacyRelease::Truncated(Release48::from_addr_set(
+                        format!("{} week {}", self.name, s.week),
+                        &set,
+                    ))
+                } else {
+                    PrivacyRelease::Full {
+                        week: s.week,
+                        addresses: s.new_responsive.clone(),
+                    }
+                }
+            })
+            .collect()
+    }
+}
+
+/// One week's privacy-aware publication.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub enum PrivacyRelease {
+    /// Small, infrastructure-dominated snapshot: full addresses.
+    Full {
+        /// Study week.
+        week: u64,
+        /// The addresses.
+        addresses: Vec<Ipv6Addr>,
+    },
+    /// Client-rich snapshot: /48-truncated.
+    Truncated(Release48),
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::collect::active::collect_hitlist;
+    use v6netsim::{World, WorldConfig};
+    use v6scan::HitlistCampaignConfig;
+
+    fn service() -> HitlistService {
+        let w = World::build(WorldConfig::tiny(), 606);
+        let hl = collect_hitlist(
+            &w,
+            0,
+            &HitlistCampaignConfig {
+                weeks: 3,
+                ..Default::default()
+            },
+        );
+        HitlistService::from_campaign("IPv6 Hitlist Service", &hl.campaign)
+    }
+
+    #[test]
+    fn snapshots_are_weekly_and_cumulative() {
+        let s = service();
+        assert!(!s.snapshots.is_empty());
+        let mut last = 0;
+        for snap in &s.snapshots {
+            assert!(!snap.new_responsive.is_empty());
+            assert!(snap.cumulative > last || snap.new_responsive.is_empty());
+            last = snap.cumulative;
+        }
+        assert_eq!(
+            s.total_responsive(),
+            s.snapshots
+                .iter()
+                .map(|x| x.new_responsive.len() as u64)
+                .sum::<u64>()
+        );
+    }
+
+    #[test]
+    fn no_address_published_twice() {
+        let s = service();
+        let all = s.responsive_as_of(u64::MAX);
+        let mut dedup = all.clone();
+        dedup.dedup();
+        assert_eq!(all.len(), dedup.len());
+    }
+
+    #[test]
+    fn responsive_as_of_is_monotone() {
+        let s = service();
+        let w0 = s.responsive_as_of(0).len();
+        let w2 = s.responsive_as_of(2).len();
+        assert!(w2 >= w0);
+        assert_eq!(w2 as u64, s.total_responsive());
+    }
+
+    #[test]
+    fn json_round_trip() {
+        let s = service();
+        let json = s.to_json().unwrap();
+        let back = HitlistService::from_json(&json).unwrap();
+        assert_eq!(back.total_responsive(), s.total_responsive());
+        assert_eq!(back.aliased.len(), s.aliased.len());
+        assert_eq!(back.snapshots.len(), s.snapshots.len());
+    }
+
+    #[test]
+    fn privacy_release_truncates_large_weeks() {
+        let s = service();
+        let releases = s.privacy_aware_release(0); // everything truncates
+        for r in &releases {
+            match r {
+                PrivacyRelease::Truncated(t) => assert!(t.verify_privacy_invariant()),
+                PrivacyRelease::Full { .. } => panic!("threshold 0 must truncate all"),
+            }
+        }
+        // And with an enormous threshold, nothing truncates.
+        let releases = s.privacy_aware_release(usize::MAX);
+        assert!(releases
+            .iter()
+            .all(|r| matches!(r, PrivacyRelease::Full { .. })));
+    }
+}

@@ -1,0 +1,423 @@
+//! Devices: the end hosts and infrastructure boxes of the synthetic world.
+//!
+//! Device *kind* drives everything the paper measures: which NTP service a
+//! device uses (§2.3 — only a subset of the world uses the NTP Pool, which
+//! is why even a 7.9 B-address corpus is incomplete), its MAC vendor
+//! (Table 2), its addressing strategy, whether it answers backscans, and
+//! how often it talks to NTP at all.
+
+use serde::{Deserialize, Serialize};
+
+use v6addr::mac::Oui;
+use v6addr::Mac;
+
+use crate::rng::Rng;
+
+/// Dense world-wide device identifier.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub struct DeviceId(pub u32);
+
+/// What kind of box a device is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DeviceKind {
+    /// A handset (WiFi at home, cellular outside).
+    Smartphone,
+    /// A laptop.
+    Laptop,
+    /// A desktop workstation.
+    Desktop,
+    /// A small always-on IoT gadget (sensor, plug, camera).
+    IotSensor,
+    /// A smart speaker / connected-audio device.
+    SmartSpeaker,
+    /// A TV set-top box or streaming stick.
+    SetTopBox,
+    /// Customer-premises router: WAN side visible to the ISP network.
+    CpeRouter,
+    /// A server in a hosting or enterprise network.
+    Server,
+    /// A core/transit router interface.
+    CoreRouter,
+}
+
+impl DeviceKind {
+    /// True for end-user client devices (vs infrastructure).
+    pub fn is_client(self) -> bool {
+        !matches!(self, DeviceKind::Server | DeviceKind::CoreRouter | DeviceKind::CpeRouter)
+    }
+
+    /// Probability the device answers an ICMPv6 echo for an address it
+    /// currently holds and that reaches it (i.e. after firewall checks).
+    pub fn respond_prob(self) -> f64 {
+        match self {
+            DeviceKind::CoreRouter => 0.98,
+            DeviceKind::Server => 0.96,
+            DeviceKind::CpeRouter => 0.92,
+            DeviceKind::IotSensor => 0.88,
+            DeviceKind::SmartSpeaker => 0.88,
+            DeviceKind::SetTopBox => 0.85,
+            DeviceKind::Desktop => 0.80,
+            DeviceKind::Laptop => 0.75,
+            DeviceKind::Smartphone => 0.72,
+        }
+    }
+}
+
+/// Operating system, as far as NTP behaviour is concerned (§2.3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Os {
+    /// Android ≤ 7: factory-configured to use the NTP Pool.
+    AndroidLegacy,
+    /// Android ≥ 8: uses `time.android.com`, invisible to pool servers.
+    AndroidModern,
+    /// iOS/iPadOS: `time.apple.com`.
+    Ios,
+    /// Windows: `time.windows.com`.
+    Windows,
+    /// macOS: `time.apple.com`.
+    MacOs,
+    /// Linux distributions: distro vendor zones of the NTP Pool.
+    Linux,
+    /// Embedded firmware (IoT, CPE, STB): vendor zones of the NTP Pool.
+    Embedded,
+}
+
+impl Os {
+    /// Whether this OS's default time source is the NTP Pool — i.e.
+    /// whether a passive pool server can ever observe the device.
+    pub fn uses_ntp_pool(self) -> bool {
+        matches!(self, Os::AndroidLegacy | Os::Linux | Os::Embedded)
+    }
+
+    /// The pool zone the OS queries (when it queries the pool at all).
+    pub fn pool_zone(self) -> Option<&'static str> {
+        match self {
+            Os::AndroidLegacy => Some("android.pool.ntp.org"),
+            Os::Linux => Some("ubuntu.pool.ntp.org"),
+            Os::Embedded => Some("pool.ntp.org"),
+            _ => None,
+        }
+    }
+}
+
+/// NTP contact behaviour of a device.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct ActivityProfile {
+    /// Probability the device issues at least one NTP query on any day.
+    pub contact_day_prob: f64,
+    /// Mean queries on a day the device is active (Poisson).
+    pub mean_queries_per_active_day: f64,
+}
+
+impl ActivityProfile {
+    /// Default profile per device kind. Always-on gadgets query nearly
+    /// daily; handsets are sporadic (boot, reconnect).
+    pub fn for_kind(kind: DeviceKind) -> Self {
+        let (p, q) = match kind {
+            DeviceKind::IotSensor => (0.85, 1.8),
+            DeviceKind::SmartSpeaker => (0.80, 1.6),
+            DeviceKind::SetTopBox => (0.55, 1.4),
+            DeviceKind::Smartphone => (0.22, 1.1),
+            DeviceKind::Laptop => (0.30, 1.2),
+            DeviceKind::Desktop => (0.35, 1.3),
+            DeviceKind::CpeRouter => (0.75, 1.5),
+            DeviceKind::Server => (0.95, 4.0),
+            DeviceKind::CoreRouter => (0.90, 3.0),
+        };
+        ActivityProfile {
+            contact_day_prob: p,
+            mean_queries_per_active_day: q,
+        }
+    }
+}
+
+/// Vendor OUI pools used when assigning MACs to new devices.
+///
+/// Reproduces the paper's Table 2 shape: most embedded MACs resolve to no
+/// registered vendor ("Unlisted", led by `f0:02:20`), with Amazon, Samsung,
+/// Sonos, vivo, the IoT ODMs, Huawei and the STB makers following.
+#[derive(Debug, Clone)]
+pub struct VendorPools {
+    /// Registered OUIs per device kind, with draw weights.
+    by_kind: Vec<(DeviceKind, Vec<(Oui, f64)>)>,
+    /// Unregistered OUI space (resolves to "Unlisted").
+    unlisted: Vec<Oui>,
+    /// Probability a device draws from unregistered space.
+    unlisted_prob: f64,
+    /// Tiny pool of MACs that manufacturers ship on *many* devices
+    /// (§5.1/§5.2 "MAC reuse": all-zeros and friends).
+    reuse_pool: Vec<Mac>,
+    /// Probability a device gets a reused MAC.
+    reuse_prob: f64,
+}
+
+impl VendorPools {
+    /// Builds pools from the workspace OUI registry.
+    pub fn builtin(db: &v6addr::oui_db::OuiDb) -> Self {
+        let of = |name: &str| db.ouis_of(name);
+        let weighted = |ouis: Vec<Oui>, w: f64| -> Vec<(Oui, f64)> {
+            let each = w / ouis.len().max(1) as f64;
+            ouis.into_iter().map(|o| (o, each)).collect()
+        };
+        let mut by_kind: Vec<(DeviceKind, Vec<(Oui, f64)>)> = Vec::new();
+
+        let mut phone = weighted(of("Samsung Electronics Co.,Ltd"), 0.5);
+        phone.extend(weighted(of("vivo Mobile Communication Co., Ltd."), 0.3));
+        phone.extend(weighted(of("Huawei Technologies"), 0.2));
+        by_kind.push((DeviceKind::Smartphone, phone));
+
+        let mut iot = weighted(of("Sunnovo International Limited"), 0.4);
+        iot.extend(weighted(of("Hui Zhou Gaoshengda Technology Co.,LTD"), 0.4));
+        iot.extend(weighted(of("Amazon Technologies Inc."), 0.2));
+        by_kind.push((DeviceKind::IotSensor, iot));
+
+        by_kind.push((DeviceKind::SmartSpeaker, {
+            let mut v = weighted(of("Sonos, Inc."), 0.7);
+            v.extend(weighted(of("Amazon Technologies Inc."), 0.3));
+            v
+        }));
+
+        let mut stb = weighted(of("Shenzhen Chuangwei-RGB Electronics"), 0.5);
+        stb.extend(weighted(
+            of("Skyworth Digital Technology (Shenzhen) Co.,Ltd"),
+            0.5,
+        ));
+        by_kind.push((DeviceKind::SetTopBox, stb));
+
+        // AVM serves mostly the German market; elsewhere CPE is
+        // Huawei-dominated (drives the §5.3 Germany skew).
+        let mut cpe = weighted(of("AVM GmbH"), 0.12);
+        cpe.extend(weighted(of("Huawei Technologies"), 0.88));
+        by_kind.push((DeviceKind::CpeRouter, cpe));
+
+        by_kind.push((
+            DeviceKind::Server,
+            weighted(of("Amazon Technologies Inc."), 1.0),
+        ));
+        by_kind.push((
+            DeviceKind::CoreRouter,
+            weighted(of("Huawei Technologies"), 1.0),
+        ));
+        // Laptops/desktops: generic vendors.
+        let generic: Vec<(Oui, f64)> = db
+            .iter()
+            .filter(|(_, v)| v.name.starts_with("Generic Vendor"))
+            .map(|(o, _)| (o, 1.0))
+            .collect();
+        by_kind.push((DeviceKind::Laptop, generic.clone()));
+        by_kind.push((DeviceKind::Desktop, generic));
+
+        // Unregistered OUI space: the paper's headline `f0:02:20` plus a
+        // spread of other unlisted blocks (it saw 42,901 distinct
+        // unlisted OUIs).
+        let mut unlisted = vec!["f0:02:20".parse().unwrap(), "a8:aa:20".parse().unwrap()];
+        for i in 0..96u32 {
+            let candidate = Oui::from_u32(0xe0_1000 + i * 0x0111);
+            if db.lookup(candidate).is_none() {
+                unlisted.push(candidate);
+            }
+        }
+
+        VendorPools {
+            by_kind,
+            unlisted,
+            unlisted_prob: 0.55,
+            reuse_pool: vec![
+                Mac::ZERO,
+                "00:11:22:33:44:55".parse().unwrap(),
+                "f0:02:20:00:00:01".parse().unwrap(),
+                "a8:aa:20:00:00:01".parse().unwrap(),
+            ],
+            reuse_prob: 0.0008,
+        }
+    }
+
+    /// The AVM OUI block (used to model Fritz!Box CPE in German ISPs).
+    pub fn avm_ouis(db: &v6addr::oui_db::OuiDb) -> Vec<Oui> {
+        db.ouis_of("AVM GmbH")
+    }
+
+    /// Draws a MAC for a device of `kind`.
+    pub fn draw_mac(&self, kind: DeviceKind, rng: &mut Rng) -> Mac {
+        if rng.chance(self.reuse_prob) {
+            return *rng.choose(&self.reuse_pool);
+        }
+        let oui = if rng.chance(self.unlisted_prob) && kind.is_client() {
+            *rng.choose(&self.unlisted)
+        } else {
+            let pool = self
+                .by_kind
+                .iter()
+                .find(|(k, _)| *k == kind)
+                .map(|(_, p)| p)
+                .expect("every kind has a pool");
+            let weights: Vec<f64> = pool.iter().map(|&(_, w)| w).collect();
+            pool[rng.weighted(&weights)].0
+        };
+        // NIC portion: biased toward low, dense ranges as real production
+        // runs are — this is what makes per-OUI wired↔wireless offset
+        // inference (§5.3) statistically possible.
+        let nic = (rng.below(1 << 20) as u32) & 0x00ff_ffff;
+        oui.mac(nic)
+    }
+
+    /// Draws a MAC with a specific OUI (e.g. forcing AVM for German CPE).
+    pub fn draw_mac_with_oui(&self, oui: Oui, rng: &mut Rng) -> Mac {
+        let nic = (rng.below(1 << 20) as u32) & 0x00ff_ffff;
+        oui.mac(nic)
+    }
+}
+
+/// Draws an operating system for a client device of `kind`.
+pub fn draw_os(kind: DeviceKind, rng: &mut Rng) -> Os {
+    match kind {
+        DeviceKind::Smartphone => {
+            // The paper notes modern Androids no longer use the pool —
+            // a large invisible population.
+            let w = [0.18, 0.47, 0.35]; // legacy android / modern android / ios
+            match rng.weighted(&w) {
+                0 => Os::AndroidLegacy,
+                1 => Os::AndroidModern,
+                _ => Os::Ios,
+            }
+        }
+        DeviceKind::Laptop | DeviceKind::Desktop => {
+            let w = [0.55, 0.25, 0.20]; // windows / macos / linux
+            match rng.weighted(&w) {
+                0 => Os::Windows,
+                1 => Os::MacOs,
+                _ => Os::Linux,
+            }
+        }
+        DeviceKind::Server => {
+            if rng.chance(0.9) {
+                Os::Linux
+            } else {
+                Os::Windows
+            }
+        }
+        _ => Os::Embedded,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use v6addr::oui_db::OuiDb;
+
+    #[test]
+    fn pool_usage_matches_paper() {
+        assert!(Os::AndroidLegacy.uses_ntp_pool());
+        assert!(!Os::AndroidModern.uses_ntp_pool());
+        assert!(!Os::Ios.uses_ntp_pool());
+        assert!(!Os::Windows.uses_ntp_pool());
+        assert!(Os::Linux.uses_ntp_pool());
+        assert!(Os::Embedded.uses_ntp_pool());
+        assert_eq!(Os::AndroidLegacy.pool_zone(), Some("android.pool.ntp.org"));
+        assert_eq!(Os::Windows.pool_zone(), None);
+    }
+
+    #[test]
+    fn client_vs_infrastructure() {
+        assert!(DeviceKind::Smartphone.is_client());
+        assert!(DeviceKind::IotSensor.is_client());
+        assert!(!DeviceKind::Server.is_client());
+        assert!(!DeviceKind::CpeRouter.is_client());
+        assert!(!DeviceKind::CoreRouter.is_client());
+    }
+
+    #[test]
+    fn infrastructure_responds_more_than_clients() {
+        assert!(DeviceKind::CoreRouter.respond_prob() > DeviceKind::Smartphone.respond_prob());
+        assert!(DeviceKind::Server.respond_prob() > DeviceKind::Laptop.respond_prob());
+    }
+
+    #[test]
+    fn vendor_pools_draw_for_every_kind() {
+        let pools = VendorPools::builtin(&OuiDb::builtin());
+        let mut rng = Rng::new(1);
+        for kind in [
+            DeviceKind::Smartphone,
+            DeviceKind::Laptop,
+            DeviceKind::Desktop,
+            DeviceKind::IotSensor,
+            DeviceKind::SmartSpeaker,
+            DeviceKind::SetTopBox,
+            DeviceKind::CpeRouter,
+            DeviceKind::Server,
+            DeviceKind::CoreRouter,
+        ] {
+            let mac = pools.draw_mac(kind, &mut rng);
+            assert_ne!(mac.as_u64() >> 24, 0, "kind {kind:?} drew empty OUI");
+        }
+    }
+
+    #[test]
+    fn unlisted_dominates_client_macs() {
+        let db = OuiDb::builtin();
+        let pools = VendorPools::builtin(&db);
+        let mut rng = Rng::new(7);
+        let n = 5_000;
+        let unlisted = (0..n)
+            .filter(|_| {
+                let mac = pools.draw_mac(DeviceKind::IotSensor, &mut rng);
+                db.lookup(mac.oui()).is_none()
+            })
+            .count();
+        let frac = unlisted as f64 / n as f64;
+        // Paper: 73.9% of embedded MACs are unlisted. Our pool draws
+        // should be in the same regime for client devices.
+        assert!(frac > 0.4 && frac < 0.75, "unlisted frac = {frac}");
+    }
+
+    #[test]
+    fn servers_never_unlisted() {
+        let db = OuiDb::builtin();
+        let pools = VendorPools::builtin(&db);
+        let mut rng = Rng::new(9);
+        for _ in 0..500 {
+            let mac = pools.draw_mac(DeviceKind::Server, &mut rng);
+            if mac != Mac::ZERO && !pools.reuse_pool.contains(&mac) {
+                assert!(db.lookup(mac.oui()).is_some(), "server MAC {mac} unlisted");
+            }
+        }
+    }
+
+    #[test]
+    fn mac_reuse_happens_but_rarely() {
+        let pools = VendorPools::builtin(&OuiDb::builtin());
+        let mut rng = Rng::new(11);
+        let n = 100_000;
+        let reused = (0..n)
+            .filter(|_| {
+                let mac = pools.draw_mac(DeviceKind::IotSensor, &mut rng);
+                pools.reuse_pool.contains(&mac)
+            })
+            .count();
+        assert!(reused > 10, "reuse never fired in {n} draws");
+        assert!((reused as f64) < n as f64 * 0.01, "reuse too common: {reused}");
+    }
+
+    #[test]
+    fn activity_profiles_ordered_sensibly() {
+        let iot = ActivityProfile::for_kind(DeviceKind::IotSensor);
+        let phone = ActivityProfile::for_kind(DeviceKind::Smartphone);
+        assert!(iot.contact_day_prob > phone.contact_day_prob);
+    }
+
+    #[test]
+    fn os_draw_distributions() {
+        let mut rng = Rng::new(13);
+        let n = 10_000;
+        let legacy = (0..n)
+            .filter(|_| draw_os(DeviceKind::Smartphone, &mut rng) == Os::AndroidLegacy)
+            .count();
+        let frac = legacy as f64 / n as f64;
+        assert!((frac - 0.18).abs() < 0.02, "legacy android frac = {frac}");
+        for _ in 0..100 {
+            assert_eq!(draw_os(DeviceKind::IotSensor, &mut rng), Os::Embedded);
+        }
+    }
+}

@@ -1,0 +1,209 @@
+//! Countries of the synthetic Internet.
+//!
+//! The paper's corpus skews heavily toward a handful of countries — India
+//! (1.9 B), China (1.6 B), US (1.2 B), Brazil (700 M) and Indonesia (630 M)
+//! together account for 76% of addresses (§3). The registry below encodes
+//! those weights, continent assignments used by the NTP Pool's geo-DNS,
+//! and a coarse centroid used by the wardriving/geolocation substrate.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// An ISO-3166-1 alpha-2 country code.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Country(pub [u8; 2]);
+
+impl Country {
+    /// Builds a country code from a two-letter ASCII string.
+    ///
+    /// # Panics
+    /// Panics if `code` is not exactly two ASCII uppercase letters.
+    pub fn new(code: &str) -> Self {
+        let b = code.as_bytes();
+        assert!(
+            b.len() == 2 && b.iter().all(|c| c.is_ascii_uppercase()),
+            "bad country code {code:?}"
+        );
+        Country([b[0], b[1]])
+    }
+
+    /// The code as a string slice.
+    pub fn as_str(&self) -> &str {
+        std::str::from_utf8(&self.0).expect("country codes are ASCII")
+    }
+}
+
+impl fmt::Display for Country {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+impl fmt::Debug for Country {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Country({})", self.as_str())
+    }
+}
+
+/// Continent grouping used by pool geo-DNS.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Continent {
+    /// Africa.
+    Africa,
+    /// Asia.
+    Asia,
+    /// Europe.
+    Europe,
+    /// North America.
+    NorthAmerica,
+    /// Oceania.
+    Oceania,
+    /// South America.
+    SouthAmerica,
+}
+
+/// Static facts about one country in the model.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CountryInfo {
+    /// ISO code.
+    pub code: Country,
+    /// Continent for geo-DNS grouping.
+    pub continent: Continent,
+    /// Share of the world's NTP-visible client population (sums to 1).
+    pub client_weight: f64,
+    /// Coarse geographic centroid (degrees), for the geolocation substrate.
+    pub centroid: (f64, f64),
+}
+
+/// The registry of all modeled countries.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CountryRegistry {
+    countries: Vec<CountryInfo>,
+}
+
+impl CountryRegistry {
+    /// Builds the default registry mirroring the paper's country mix.
+    ///
+    /// Top five (IN, CN, US, BR, ID) carry 76% of the client weight; the
+    /// remainder is spread over a long tail that includes every vantage
+    /// point country from §3.
+    pub fn builtin() -> Self {
+        use Continent::*;
+        // (code, continent, weight, lat, lon)
+        let raw: &[(&str, Continent, f64, f64, f64)] = &[
+            ("IN", Asia, 0.240, 21.0, 78.0),
+            ("CN", Asia, 0.200, 35.0, 104.0),
+            ("US", NorthAmerica, 0.150, 39.0, -98.0),
+            ("BR", SouthAmerica, 0.088, -10.0, -52.0),
+            ("ID", Asia, 0.080, -2.0, 118.0),
+            // Long tail, includes all 20 VP countries from §3.
+            ("DE", Europe, 0.040, 51.0, 10.0),
+            ("JP", Asia, 0.022, 36.0, 138.0),
+            ("GB", Europe, 0.018, 54.0, -2.0),
+            ("FR", Europe, 0.016, 46.0, 2.0),
+            ("MX", NorthAmerica, 0.014, 23.0, -102.0),
+            ("KR", Asia, 0.012, 36.0, 128.0),
+            ("NL", Europe, 0.010, 52.0, 5.0),
+            ("ES", Europe, 0.010, 40.0, -4.0),
+            ("PL", Europe, 0.009, 52.0, 19.0),
+            ("SE", Europe, 0.008, 62.0, 15.0),
+            ("AU", Oceania, 0.008, -25.0, 134.0),
+            ("TW", Asia, 0.007, 23.7, 121.0),
+            ("HK", Asia, 0.006, 22.3, 114.2),
+            ("SG", Asia, 0.006, 1.35, 103.8),
+            ("ZA", Africa, 0.006, -29.0, 24.0),
+            ("BG", Europe, 0.005, 43.0, 25.0),
+            ("BH", Asia, 0.004, 26.0, 50.5),
+            ("LU", Europe, 0.004, 49.8, 6.1),
+            ("IT", Europe, 0.007, 42.8, 12.8),
+            ("CA", NorthAmerica, 0.007, 56.0, -106.0),
+            ("AR", SouthAmerica, 0.005, -34.0, -64.0),
+            ("TR", Asia, 0.005, 39.0, 35.0),
+            ("VN", Asia, 0.005, 16.0, 108.0),
+            ("TH", Asia, 0.004, 15.0, 101.0),
+            ("RU", Europe, 0.004, 60.0, 100.0),
+        ];
+        let total: f64 = raw.iter().map(|r| r.2).sum();
+        let countries = raw
+            .iter()
+            .map(|&(code, continent, w, lat, lon)| CountryInfo {
+                code: Country::new(code),
+                continent,
+                client_weight: w / total,
+                centroid: (lat, lon),
+            })
+            .collect();
+        CountryRegistry { countries }
+    }
+
+    /// All countries.
+    pub fn all(&self) -> &[CountryInfo] {
+        &self.countries
+    }
+
+    /// Number of countries.
+    pub fn len(&self) -> usize {
+        self.countries.len()
+    }
+
+    /// True when the registry is empty.
+    pub fn is_empty(&self) -> bool {
+        self.countries.is_empty()
+    }
+
+    /// Facts about one country.
+    pub fn get(&self, code: Country) -> Option<&CountryInfo> {
+        self.countries.iter().find(|c| c.code == code)
+    }
+
+    /// Client weights aligned with [`all`](Self::all), for weighted draws.
+    pub fn weights(&self) -> Vec<f64> {
+        self.countries.iter().map(|c| c.client_weight).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn weights_sum_to_one() {
+        let reg = CountryRegistry::builtin();
+        let sum: f64 = reg.weights().iter().sum();
+        assert!((sum - 1.0).abs() < 1e-9, "sum = {sum}");
+    }
+
+    #[test]
+    fn top_five_carry_paper_share() {
+        let reg = CountryRegistry::builtin();
+        let top: f64 = ["IN", "CN", "US", "BR", "ID"]
+            .iter()
+            .map(|c| reg.get(Country::new(c)).unwrap().client_weight)
+            .sum();
+        assert!((top - 0.76).abs() < 0.02, "top-5 share = {top}");
+    }
+
+    #[test]
+    fn vantage_point_countries_present() {
+        let reg = CountryRegistry::builtin();
+        for c in [
+            "US", "JP", "DE", "AU", "BH", "BR", "BG", "HK", "IN", "ID", "MX", "NL", "PL", "SG",
+            "ZA", "KR", "ES", "SE", "TW", "GB",
+        ] {
+            assert!(reg.get(Country::new(c)).is_some(), "missing VP country {c}");
+        }
+    }
+
+    #[test]
+    fn country_code_round_trip() {
+        let c = Country::new("DE");
+        assert_eq!(c.as_str(), "DE");
+        assert_eq!(c.to_string(), "DE");
+    }
+
+    #[test]
+    #[should_panic]
+    fn lowercase_code_rejected() {
+        Country::new("de");
+    }
+}

@@ -1,0 +1,54 @@
+//! # v6netsim — a deterministic synthetic IPv6 Internet
+//!
+//! The substrate for the `ipv6-hitlists` reproduction of *IPv6 Hitlists at
+//! Scale* (SIGCOMM 2023). The paper measured the production Internet; this
+//! crate builds a scaled-down but behaviourally faithful model of it:
+//!
+//! * [`geo_model`] — countries with the paper's client-population mix.
+//! * [`asn`] — typed ASes (eyeball, mobile, transit, hosting, edu)
+//!   including the paper's named exemplars (Reliance Jio, T-Mobile,
+//!   ChinaNet, China Mobile, Telkomsel, the Brazilian pair, German
+//!   AVM-heavy ISPs).
+//! * [`addressing`] — IID strategies (privacy-random, RFC 7217, EUI-64,
+//!   low-byte, IPv4-embedded, DHCPv6, Jio's low-4-byte) and per-AS
+//!   profiles; prefix-rotation policies.
+//! * [`device`] — device kinds, OS→NTP-source mapping, vendor MAC pools
+//!   shaped like the paper's Table 2.
+//! * [`world`] / [`resolve`] — the built world: a deterministic address
+//!   plan with O(1) forward (device→address) and inverse (address→holder)
+//!   mappings, an ICMPv6 probe surface with TTL semantics, firewalls,
+//!   aliased prefixes and mobility.
+//! * [`events`] — the statistical NTP contact stream the passive corpus
+//!   is collected from.
+//! * [`rng`] / [`permute`] / [`time`] — deterministic infrastructure.
+//!
+//! Everything derives from a single `u64` seed; rebuilding with the same
+//! seed and config is bit-identical.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod addressing;
+pub mod asn;
+pub mod config;
+pub mod device;
+pub mod events;
+pub mod geo_model;
+pub mod permute;
+pub mod resolve;
+pub mod rng;
+pub mod stats;
+pub mod time;
+pub mod world;
+
+pub use asn::{AliasFront, AsCatalog, AsInfo, AsKind, Asn};
+pub use config::WorldConfig;
+pub use device::{DeviceId, DeviceKind, Os};
+pub use events::{NtpEvent, NtpEventStream};
+pub use geo_model::{Country, CountryRegistry};
+pub use permute::IndexPermutation;
+pub use resolve::{AttachKind, ProbeKind, ProbeOutcome, Resolution, ServerRole};
+pub use rng::Rng;
+pub use stats::WorldStats;
+pub use time::{SimDuration, SimTime};
+pub use world::{Device, HomeNetwork, VantagePoint, World};

@@ -1,0 +1,184 @@
+//! Keyed bijections over integer ranges.
+//!
+//! Two places need "a random-looking but invertible shuffle":
+//!
+//! * **Prefix rotation** (§2.1, §5.2): at each rotation epoch an ISP
+//!   reassigns delegated prefixes to customers. Modeling this as a keyed
+//!   permutation of pool slots lets the simulator answer both directions —
+//!   "what prefix does customer *n* hold at epoch *e*?" (forward) and
+//!   "which customer holds prefix slot *s*?" (inverse, needed when a probe
+//!   arrives at an arbitrary address).
+//! * **Stateless scanning** (ZMap/Yarrp): probing targets in a keyed
+//!   pseudo-random order spreads load across networks. `v6scan` reuses
+//!   this type for its target iteration.
+//!
+//! Implementation: a 4-round Feistel network over the smallest even-split
+//! power-of-two domain ≥ `n`, with cycle-walking to stay inside `[0, n)`.
+
+use crate::rng::hash64;
+
+/// A keyed bijection on `[0, n)`.
+#[derive(Debug, Clone)]
+pub struct IndexPermutation {
+    n: u64,
+    half_bits: u32,
+    keys: [u64; 4],
+}
+
+impl IndexPermutation {
+    /// Creates the permutation of `[0, n)` determined by `key`.
+    ///
+    /// # Panics
+    /// Panics if `n == 0`.
+    pub fn new(n: u64, key: u64) -> Self {
+        assert!(n > 0, "cannot permute an empty domain");
+        // Domain 2^(2*half_bits) >= n with half_bits >= 1.
+        let bits = 64 - (n - 1).max(1).leading_zeros();
+        let half_bits = bits.div_ceil(2).max(1);
+        let keys = [
+            hash64(key, b"feistel-0"),
+            hash64(key, b"feistel-1"),
+            hash64(key, b"feistel-2"),
+            hash64(key, b"feistel-3"),
+        ];
+        IndexPermutation { n, half_bits, keys }
+    }
+
+    /// Size of the permuted domain.
+    pub fn len(&self) -> u64 {
+        self.n
+    }
+
+    /// True when the domain is the single element `{0}`.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    #[inline]
+    fn round(&self, k: u64, x: u64) -> u64 {
+        let mask = (1u64 << self.half_bits) - 1;
+        let mut s = x ^ k;
+        crate::rng::splitmix64(&mut s) & mask
+    }
+
+    #[inline]
+    fn feistel(&self, v: u64, forward: bool) -> u64 {
+        let mask = (1u64 << self.half_bits) - 1;
+        let mut l = (v >> self.half_bits) & mask;
+        let mut r = v & mask;
+        if forward {
+            for &k in &self.keys {
+                let t = r;
+                r = l ^ self.round(k, r);
+                l = t;
+            }
+        } else {
+            for &k in self.keys.iter().rev() {
+                let t = l;
+                l = r ^ self.round(k, l);
+                r = t;
+            }
+        }
+        (l << self.half_bits) | r
+    }
+
+    /// Maps index `i` to its permuted position.
+    ///
+    /// # Panics
+    /// Panics if `i >= len()`.
+    pub fn apply(&self, i: u64) -> u64 {
+        assert!(i < self.n, "index {i} out of domain 0..{}", self.n);
+        let mut v = i;
+        loop {
+            v = self.feistel(v, true);
+            if v < self.n {
+                return v;
+            }
+        }
+    }
+
+    /// Inverts the permutation: `invert(apply(i)) == i`.
+    ///
+    /// # Panics
+    /// Panics if `i >= len()`.
+    pub fn invert(&self, i: u64) -> u64 {
+        assert!(i < self.n, "index {i} out of domain 0..{}", self.n);
+        let mut v = i;
+        loop {
+            v = self.feistel(v, false);
+            if v < self.n {
+                return v;
+            }
+        }
+    }
+
+    /// Iterates the whole domain in permuted order.
+    pub fn iter(&self) -> impl Iterator<Item = u64> + '_ {
+        (0..self.n).map(move |i| self.apply(i))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn is_a_bijection() {
+        for n in [1u64, 2, 3, 10, 100, 1000, 1 << 16] {
+            let p = IndexPermutation::new(n, 0xdead_beef);
+            let mut seen = vec![false; n as usize];
+            for i in 0..n {
+                let v = p.apply(i);
+                assert!(v < n);
+                assert!(!seen[v as usize], "collision at {v} (n={n})");
+                seen[v as usize] = true;
+            }
+        }
+    }
+
+    #[test]
+    fn invert_round_trips() {
+        let p = IndexPermutation::new(12_345, 99);
+        for i in 0..12_345 {
+            assert_eq!(p.invert(p.apply(i)), i);
+            assert_eq!(p.apply(p.invert(i)), i);
+        }
+    }
+
+    #[test]
+    fn different_keys_differ() {
+        let a = IndexPermutation::new(1000, 1);
+        let b = IndexPermutation::new(1000, 2);
+        let same = (0..1000).filter(|&i| a.apply(i) == b.apply(i)).count();
+        assert!(same < 20, "{same} fixed agreements is suspicious");
+    }
+
+    #[test]
+    fn permutation_actually_scrambles() {
+        let p = IndexPermutation::new(1 << 12, 7);
+        // Count positions mapping to themselves; should be ~1 (Poisson(1)).
+        let fixed = (0..(1u64 << 12)).filter(|&i| p.apply(i) == i).count();
+        assert!(fixed < 10, "{fixed} fixed points");
+    }
+
+    #[test]
+    fn singleton_domain() {
+        let p = IndexPermutation::new(1, 42);
+        assert_eq!(p.apply(0), 0);
+        assert_eq!(p.invert(0), 0);
+    }
+
+    #[test]
+    fn iter_visits_everything_once() {
+        let p = IndexPermutation::new(257, 5);
+        let mut v: Vec<u64> = p.iter().collect();
+        v.sort_unstable();
+        assert_eq!(v, (0..257).collect::<Vec<_>>());
+    }
+
+    #[test]
+    #[should_panic]
+    fn out_of_domain_panics() {
+        IndexPermutation::new(10, 1).apply(10);
+    }
+}

@@ -1,0 +1,200 @@
+//! World summary statistics.
+//!
+//! A built world is a large opaque object; [`WorldStats`] condenses it
+//! into the inventory a reader (or a debugging session) needs: device
+//! mix, addressing-strategy mix, NTP-visibility split, per-country client
+//! counts, and alias/firewall rates. The bench harness prints this next
+//! to every experiment so scale factors are always visible.
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+
+use crate::addressing::IidStrategy;
+use crate::asn::AsKind;
+use crate::device::DeviceKind;
+use crate::world::World;
+
+/// Summary statistics of a built world.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct WorldStats {
+    /// Total devices.
+    pub devices: u64,
+    /// Devices whose OS syncs against the NTP Pool (observable).
+    pub pool_visible: u64,
+    /// Home networks.
+    pub home_networks: u64,
+    /// Firewalled home networks.
+    pub firewalled_networks: u64,
+    /// Mobile-only subscribers.
+    pub mobile_subscribers: u64,
+    /// ASes by kind.
+    pub ases_by_kind: BTreeMap<String, u64>,
+    /// Devices by kind.
+    pub devices_by_kind: BTreeMap<String, u64>,
+    /// Client devices by addressing strategy.
+    pub strategies: BTreeMap<String, u64>,
+    /// Client devices per country (descending by count when rendered).
+    pub clients_by_country: BTreeMap<String, u64>,
+    /// Ground-truth fully aliased prefixes.
+    pub aliased_prefixes: u64,
+}
+
+impl WorldStats {
+    /// Computes the summary.
+    pub fn compute(world: &World) -> WorldStats {
+        let mut devices_by_kind: BTreeMap<String, u64> = BTreeMap::new();
+        let mut strategies: BTreeMap<String, u64> = BTreeMap::new();
+        let mut clients_by_country: BTreeMap<String, u64> = BTreeMap::new();
+        let mut pool_visible = 0u64;
+        for d in &world.devices {
+            *devices_by_kind
+                .entry(format!("{:?}", d.kind))
+                .or_insert(0) += 1;
+            if d.uses_pool {
+                pool_visible += 1;
+            }
+            if d.kind.is_client() {
+                *strategies
+                    .entry(format!("{:?}", d.strategy))
+                    .or_insert(0) += 1;
+                let as_index = d
+                    .home
+                    .map(|h| world.networks[h.network as usize].as_index)
+                    .or(d.cellular.map(|c| c.as_index));
+                if let Some(ai) = as_index {
+                    *clients_by_country
+                        .entry(world.ases[ai as usize].info.country.as_str().to_string())
+                        .or_insert(0) += 1;
+                }
+            }
+        }
+        let mut ases_by_kind: BTreeMap<String, u64> = BTreeMap::new();
+        for a in &world.ases {
+            *ases_by_kind.entry(format!("{:?}", a.info.kind)).or_insert(0) += 1;
+        }
+        WorldStats {
+            devices: world.devices.len() as u64,
+            pool_visible,
+            home_networks: world.networks.len() as u64,
+            firewalled_networks: world.networks.iter().filter(|n| n.firewalled).count() as u64,
+            mobile_subscribers: world
+                .ases
+                .iter()
+                .filter(|a| a.info.kind == AsKind::MobileIsp)
+                .map(|a| a.subscriber_ids.len() as u64)
+                .sum(),
+            ases_by_kind,
+            devices_by_kind,
+            strategies,
+            clients_by_country,
+            aliased_prefixes: world.aliased_prefixes().len() as u64,
+        }
+    }
+
+    /// Fraction of client devices using a given strategy.
+    pub fn strategy_fraction(&self, strategy: IidStrategy) -> f64 {
+        let total: u64 = self.strategies.values().sum();
+        let n = self
+            .strategies
+            .get(&format!("{strategy:?}"))
+            .copied()
+            .unwrap_or(0);
+        if total == 0 {
+            0.0
+        } else {
+            n as f64 / total as f64
+        }
+    }
+
+    /// Fraction of devices a pool server can ever observe.
+    pub fn pool_visibility(&self) -> f64 {
+        if self.devices == 0 {
+            0.0
+        } else {
+            self.pool_visible as f64 / self.devices as f64
+        }
+    }
+
+    /// Renders as aligned text.
+    pub fn render(&self) -> String {
+        let mut out = format!(
+            "devices: {} ({} pool-visible, {:.0}%)\nhome networks: {} ({} firewalled)\nmobile subscribers: {}\naliased prefixes: {}\n",
+            self.devices,
+            self.pool_visible,
+            self.pool_visibility() * 100.0,
+            self.home_networks,
+            self.firewalled_networks,
+            self.mobile_subscribers,
+            self.aliased_prefixes,
+        );
+        out.push_str("ASes by kind:\n");
+        for (k, n) in &self.ases_by_kind {
+            out.push_str(&format!("  {k:<14} {n}\n"));
+        }
+        out.push_str("client strategies:\n");
+        let total: u64 = self.strategies.values().sum();
+        for (k, n) in &self.strategies {
+            out.push_str(&format!(
+                "  {k:<20} {n:>7} ({:.1}%)\n",
+                *n as f64 / total.max(1) as f64 * 100.0
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::WorldConfig;
+
+    fn stats() -> WorldStats {
+        WorldStats::compute(&World::build(WorldConfig::tiny(), 1234))
+    }
+
+    #[test]
+    fn totals_consistent() {
+        let s = stats();
+        let by_kind: u64 = s.devices_by_kind.values().sum();
+        assert_eq!(by_kind, s.devices);
+        assert!(s.pool_visible > 0 && s.pool_visible < s.devices);
+        assert!(s.firewalled_networks < s.home_networks);
+        assert!(s.aliased_prefixes > 0);
+    }
+
+    #[test]
+    fn privacy_random_dominates_clients() {
+        let s = stats();
+        // The paper's world: most client addresses are ephemeral random.
+        let pr = s.strategy_fraction(IidStrategy::PrivacyRandom);
+        assert!(pr > 0.5, "privacy-random fraction {pr:.2}");
+        // And EUI-64 exists in the single-digit-to-teens range.
+        let eui = s.strategy_fraction(IidStrategy::Eui64);
+        assert!((0.01..0.35).contains(&eui), "eui64 fraction {eui:.2}");
+    }
+
+    #[test]
+    fn pool_visibility_is_partial() {
+        let s = stats();
+        // §2.3: Windows/Apple/modern-Android devices never use the pool —
+        // a passive pool corpus can never be complete.
+        let v = s.pool_visibility();
+        assert!((0.2..0.9).contains(&v), "visibility {v:.2}");
+    }
+
+    #[test]
+    fn every_country_has_clients() {
+        let s = stats();
+        assert!(s.clients_by_country.len() >= 20);
+        assert!(s.clients_by_country.values().all(|&n| n > 0));
+    }
+
+    #[test]
+    fn render_mentions_key_lines() {
+        let text = stats().render();
+        assert!(text.contains("pool-visible"));
+        assert!(text.contains("client strategies"));
+        assert!(text.contains("PrivacyRandom"));
+    }
+}

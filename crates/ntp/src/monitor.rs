@@ -1,0 +1,157 @@
+//! The pool's monitoring system.
+//!
+//! The NTP Pool health-checks member servers and only hands out DNS
+//! records for servers whose monitor score is high enough (§2.3); a
+//! flapping server drops out of rotation and its clients shift elsewhere.
+//! The paper's 27 VPSes were deliberately reliable ("exceptionally high
+//! availability", §3 Ethics) precisely to stay in rotation.
+
+use std::collections::HashMap;
+
+use v6netsim::SimTime;
+
+use crate::pool::NtpPool;
+
+/// Outcome of one health check against one server.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CheckResult {
+    /// Server answered correctly and promptly.
+    Ok,
+    /// Server answered but with degraded quality (high stratum, offset).
+    Degraded,
+    /// No usable answer.
+    Failed,
+}
+
+/// Score dynamics mirroring the pool's published algorithm shape:
+/// successes add a little, failures subtract a lot, scores saturate.
+#[derive(Debug, Clone, Copy)]
+pub struct MonitorConfig {
+    /// Score gained per successful check.
+    pub gain: f64,
+    /// Score lost per degraded check.
+    pub degrade_penalty: f64,
+    /// Score lost per failed check.
+    pub fail_penalty: f64,
+    /// Score ceiling.
+    pub max_score: f64,
+    /// Score floor.
+    pub min_score: f64,
+}
+
+impl Default for MonitorConfig {
+    fn default() -> Self {
+        MonitorConfig {
+            gain: 1.0,
+            degrade_penalty: 2.0,
+            fail_penalty: 5.0,
+            max_score: 20.0,
+            min_score: -10.0,
+        }
+    }
+}
+
+/// The pool monitor: tracks per-server scores and pushes them into the
+/// pool's rotation logic.
+#[derive(Debug)]
+pub struct PoolMonitor {
+    cfg: MonitorConfig,
+    scores: HashMap<u16, f64>,
+    checks: u64,
+}
+
+impl PoolMonitor {
+    /// A monitor over a pool's current servers (initial score 15: new
+    /// servers must earn their way to full rotation weight).
+    pub fn new(pool: &NtpPool, cfg: MonitorConfig) -> Self {
+        let scores = pool.servers().iter().map(|s| (s.id, 15.0)).collect();
+        PoolMonitor {
+            cfg,
+            scores,
+            checks: 0,
+        }
+    }
+
+    /// Applies one check result for a server and syncs the pool.
+    pub fn record(&mut self, pool: &mut NtpPool, vp_id: u16, result: CheckResult, _t: SimTime) {
+        self.checks += 1;
+        let s = self.scores.entry(vp_id).or_insert(15.0);
+        *s = match result {
+            CheckResult::Ok => (*s + self.cfg.gain).min(self.cfg.max_score),
+            CheckResult::Degraded => (*s - self.cfg.degrade_penalty).max(self.cfg.min_score),
+            CheckResult::Failed => (*s - self.cfg.fail_penalty).max(self.cfg.min_score),
+        };
+        pool.set_score(vp_id, *s);
+    }
+
+    /// Current score of a server.
+    pub fn score(&self, vp_id: u16) -> Option<f64> {
+        self.scores.get(&vp_id).copied()
+    }
+
+    /// Checks performed so far.
+    pub fn checks(&self) -> u64 {
+        self.checks
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use v6netsim::{CountryRegistry, World, WorldConfig};
+
+    fn pool() -> NtpPool {
+        let w = World::build(WorldConfig::tiny(), 808);
+        NtpPool::new(w.vantage_points.clone(), CountryRegistry::builtin())
+    }
+
+    #[test]
+    fn healthy_server_climbs_to_ceiling() {
+        let mut pool = pool();
+        let mut m = PoolMonitor::new(&pool, MonitorConfig::default());
+        for i in 0..30 {
+            m.record(&mut pool, 0, CheckResult::Ok, SimTime(i * 900));
+        }
+        assert_eq!(m.score(0), Some(20.0));
+        assert_eq!(m.checks(), 30);
+    }
+
+    #[test]
+    fn flapping_server_leaves_rotation_and_recovers() {
+        let mut pool = pool();
+        let country = pool.servers()[0].country;
+        let vp = pool.servers()[0].id;
+        let mut m = PoolMonitor::new(&pool, MonitorConfig::default());
+        // Fail it below 10: candidates for its country must exclude it.
+        for i in 0..3 {
+            m.record(&mut pool, vp, CheckResult::Failed, SimTime(i * 900));
+        }
+        assert!(m.score(vp).unwrap() < 10.0);
+        assert!(pool.candidates(country).iter().all(|s| s.id != vp));
+        // Sustained health brings it back.
+        for i in 0..20 {
+            m.record(&mut pool, vp, CheckResult::Ok, SimTime(10_000 + i * 900));
+        }
+        assert!(m.score(vp).unwrap() >= 10.0);
+        assert!(pool.candidates(country).iter().any(|s| s.id == vp));
+    }
+
+    #[test]
+    fn degraded_checks_bleed_slowly() {
+        let mut pool = pool();
+        let mut m = PoolMonitor::new(&pool, MonitorConfig::default());
+        m.record(&mut pool, 3, CheckResult::Degraded, SimTime(0));
+        m.record(&mut pool, 4, CheckResult::Failed, SimTime(0));
+        assert!(m.score(3).unwrap() > m.score(4).unwrap());
+    }
+
+    #[test]
+    fn score_floor_holds() {
+        let mut pool = pool();
+        let mut m = PoolMonitor::new(&pool, MonitorConfig::default());
+        for i in 0..100 {
+            m.record(&mut pool, 1, CheckResult::Failed, SimTime(i));
+        }
+        assert_eq!(m.score(1), Some(-10.0));
+    }
+}

@@ -1,0 +1,101 @@
+//! Property-based tests for the NTP codec and client/server exchange.
+
+use proptest::prelude::*;
+use v6ntp::{
+    LeapIndicator, Mode, NtpClient, NtpPacket, NtpShort, NtpTimestamp, PacketError,
+    Stratum2Server, PACKET_LEN,
+};
+
+fn arb_packet() -> impl Strategy<Value = NtpPacket> {
+    (
+        0u8..4,
+        1u8..=4,
+        0u8..8,
+        any::<u8>(),
+        any::<i8>(),
+        any::<i8>(),
+        any::<u32>(),
+        any::<u32>(),
+        any::<u32>(),
+        any::<(u64, u64, u64, u64)>(),
+    )
+        .prop_map(
+            |(leap, version, mode, stratum, poll, precision, rd, rdisp, refid, ts)| NtpPacket {
+                leap: match leap {
+                    0 => LeapIndicator::NoWarning,
+                    1 => LeapIndicator::LastMinute61,
+                    2 => LeapIndicator::LastMinute59,
+                    _ => LeapIndicator::Unknown,
+                },
+                version,
+                mode: match mode {
+                    0 => Mode::Reserved,
+                    1 => Mode::SymmetricActive,
+                    2 => Mode::SymmetricPassive,
+                    3 => Mode::Client,
+                    4 => Mode::Server,
+                    5 => Mode::Broadcast,
+                    6 => Mode::Control,
+                    _ => Mode::Private,
+                },
+                stratum,
+                poll,
+                precision,
+                root_delay: NtpShort(rd),
+                root_dispersion: NtpShort(rdisp),
+                reference_id: refid,
+                reference_ts: NtpTimestamp(ts.0),
+                origin_ts: NtpTimestamp(ts.1),
+                receive_ts: NtpTimestamp(ts.2),
+                transmit_ts: NtpTimestamp(ts.3),
+            },
+        )
+}
+
+proptest! {
+    /// Encode → decode is the identity on every representable packet.
+    #[test]
+    fn packet_round_trip(p in arb_packet()) {
+        let wire = p.encode();
+        prop_assert_eq!(wire.len(), PACKET_LEN);
+        prop_assert_eq!(NtpPacket::decode(&wire).unwrap(), p);
+    }
+
+    /// The decoder never panics on arbitrary bytes; short inputs are
+    /// rejected as truncated.
+    #[test]
+    fn decode_is_total(bytes in prop::collection::vec(any::<u8>(), 0..128)) {
+        match NtpPacket::decode(&bytes) {
+            Ok(p) => prop_assert!((1..=4).contains(&p.version)),
+            Err(PacketError::Truncated) => prop_assert!(bytes.len() < PACKET_LEN),
+            Err(PacketError::BadVersion(v)) => prop_assert!(!(1..=4).contains(&v)),
+        }
+    }
+
+    /// Timestamp subtraction is antisymmetric and second-accurate.
+    #[test]
+    fn timestamp_subtraction(a in any::<u64>(), b in any::<u64>()) {
+        let (x, y) = (NtpTimestamp(a), NtpTimestamp(b));
+        prop_assert!(((x - y) + (y - x)).abs() < 1e-6);
+    }
+
+    /// A full client↔server exchange yields a bounded offset whenever the
+    /// client's clock skew is bounded (here: client is `skew` behind).
+    #[test]
+    fn exchange_recovers_offset(skew in 0u32..1000, t0 in 1_000_000u64..100_000_000) {
+        // Use a VP from a throwaway tiny world for the server identity.
+        use v6netsim::{World, WorldConfig, SimTime};
+        let w = World::build(WorldConfig::tiny(), 1);
+        let mut server = Stratum2Server::new(w.vantage_points[0].clone());
+        let now = SimTime(t0 % 18_000_000);
+        // Client clock runs `skew` seconds behind the server's.
+        let t1 = NtpTimestamp::from_sim(now - v6netsim::SimDuration(skew as u64), 0);
+        let (client, req) = NtpClient::start(t1);
+        let resp = server.handle(&req, "2a00:1::1".parse().unwrap(), now).unwrap();
+        let t4 = NtpTimestamp::from_sim(now - v6netsim::SimDuration(skew as u64), 600_000_000);
+        let sync = client.finish(&resp, t4).unwrap();
+        // Recovered offset ≈ skew (within the sub-second serve time).
+        prop_assert!((sync.offset - skew as f64).abs() < 1.0,
+            "offset {} for skew {}", sync.offset, skew);
+    }
+}

@@ -1,0 +1,132 @@
+//! The probing abstraction scanners are written against.
+//!
+//! Scanners don't know they're running against a simulator: they see a
+//! [`Prober`] that accepts an ICMPv6 echo toward a destination with a hop
+//! limit and eventually yields an outcome. [`WorldProber`] adapts the
+//! synthetic Internet's probe surface; tests use closures.
+
+use std::net::Ipv6Addr;
+
+use v6netsim::{ProbeKind, ProbeOutcome, SimTime, VantagePoint, World};
+
+/// Something that can emit ICMPv6 echoes and observe what comes back.
+pub trait Prober {
+    /// The source address probes are sent from.
+    fn source(&self) -> Ipv6Addr;
+
+    /// Sends one echo request with the given hop limit at time `t`.
+    fn probe(&self, dst: Ipv6Addr, ttl: u8, t: SimTime) -> ProbeOutcome;
+
+    /// Sends a probe of an arbitrary kind (full TTL). The default only
+    /// understands ICMPv6; transport-capable probers override it.
+    fn probe_kind(&self, dst: Ipv6Addr, kind: ProbeKind, t: SimTime) -> ProbeOutcome {
+        match kind {
+            ProbeKind::IcmpEcho => self.probe(dst, 64, t),
+            _ => ProbeOutcome::NoResponse,
+        }
+    }
+}
+
+/// A prober rooted at one of the world's vantage points.
+pub struct WorldProber<'w> {
+    world: &'w World,
+    vp: VantagePoint,
+}
+
+impl<'w> WorldProber<'w> {
+    /// Probes from vantage point `vp_id`.
+    ///
+    /// # Panics
+    /// Panics if `vp_id` does not exist.
+    pub fn new(world: &'w World, vp_id: u16) -> Self {
+        let vp = world
+            .vantage_points
+            .iter()
+            .find(|v| v.id == vp_id)
+            .expect("unknown vantage point")
+            .clone();
+        WorldProber { world, vp }
+    }
+
+    /// The underlying world.
+    pub fn world(&self) -> &World {
+        self.world
+    }
+
+    /// The vantage point.
+    pub fn vantage(&self) -> &VantagePoint {
+        &self.vp
+    }
+}
+
+impl Prober for WorldProber<'_> {
+    fn source(&self) -> Ipv6Addr {
+        self.vp.addr
+    }
+
+    fn probe(&self, dst: Ipv6Addr, ttl: u8, t: SimTime) -> ProbeOutcome {
+        self.world.probe_ttl(self.vp.as_index, dst, ttl, t)
+    }
+
+    fn probe_kind(&self, dst: Ipv6Addr, kind: ProbeKind, t: SimTime) -> ProbeOutcome {
+        self.world.probe_kind(self.vp.as_index, dst, kind, t)
+    }
+}
+
+/// A prober defined by a closure (for tests and synthetic topologies).
+pub struct FnProber<F> {
+    src: Ipv6Addr,
+    f: F,
+}
+
+impl<F: Fn(Ipv6Addr, u8, SimTime) -> ProbeOutcome> FnProber<F> {
+    /// Wraps a closure as a prober.
+    pub fn new(src: Ipv6Addr, f: F) -> Self {
+        FnProber { src, f }
+    }
+}
+
+impl<F: Fn(Ipv6Addr, u8, SimTime) -> ProbeOutcome> Prober for FnProber<F> {
+    fn source(&self) -> Ipv6Addr {
+        self.src
+    }
+
+    fn probe(&self, dst: Ipv6Addr, ttl: u8, t: SimTime) -> ProbeOutcome {
+        (self.f)(dst, ttl, t)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use v6netsim::WorldConfig;
+
+    #[test]
+    fn world_prober_probes_from_vp() {
+        let w = World::build(WorldConfig::tiny(), 21);
+        let p = WorldProber::new(&w, 0);
+        assert_eq!(p.source(), w.vantage_points[0].addr);
+        // An alias prefix always echoes, independent of vantage.
+        let alias = w.aliased_prefixes()[0].offset(42);
+        assert!(p.probe(alias, 64, SimTime(0)).is_echo());
+    }
+
+    #[test]
+    fn fn_prober_delegates() {
+        let src: Ipv6Addr = "2a00:1::1".parse().unwrap();
+        let p = FnProber::new(src, |dst, _ttl, _t| ProbeOutcome::EchoReply { from: dst });
+        assert_eq!(p.source(), src);
+        let dst: Ipv6Addr = "2a00:2::2".parse().unwrap();
+        assert_eq!(
+            p.probe(dst, 64, SimTime(0)),
+            ProbeOutcome::EchoReply { from: dst }
+        );
+    }
+
+    #[test]
+    #[should_panic]
+    fn unknown_vp_panics() {
+        let w = World::build(WorldConfig::tiny(), 21);
+        WorldProber::new(&w, 999);
+    }
+}

@@ -1,0 +1,227 @@
+//! A 6Gen-style range-clustering target generation algorithm (§2.2).
+//!
+//! Where [`PatternTga`](crate::target_gen::PatternTga) only re-emits IIDs
+//! that recur *verbatim*, 6Gen (Murdock et al.) generalizes: it clusters
+//! seed addresses into nibble-wise *ranges* and probes the tightest
+//! ranges densely. A DHCPv6 pool that assigned `::1:0042` and `::1:0047`
+//! induces the range `::1:004?` — candidates no exact-recurrence model
+//! would propose. Both algorithms share the paper's core bias: ranges
+//! induced by random privacy IIDs are astronomically large and therefore
+//! unprobeable, so client space stays out of reach.
+
+use std::collections::HashMap;
+use std::net::Ipv6Addr;
+
+use v6addr::Iid;
+
+/// One nibble-wise range over IIDs within a single /64.
+#[derive(Debug, Clone)]
+pub struct NibbleRange {
+    /// The routing prefix (upper 64 bits).
+    pub upper: u64,
+    /// Observed values per nibble position (sorted, deduplicated).
+    pub nibble_values: [Vec<u8>; 16],
+    /// Number of seeds that induced this range.
+    pub seeds: u64,
+}
+
+impl NibbleRange {
+    fn new(upper: u64) -> Self {
+        NibbleRange {
+            upper,
+            nibble_values: Default::default(),
+            seeds: 0,
+        }
+    }
+
+    fn absorb(&mut self, iid: Iid) {
+        for (pos, v) in iid.nibbles().into_iter().enumerate() {
+            let vals = &mut self.nibble_values[pos];
+            if let Err(i) = vals.binary_search(&v) {
+                vals.insert(i, v);
+            }
+        }
+        self.seeds += 1;
+    }
+
+    /// Number of addresses the range spans (product of nibble set sizes,
+    /// saturating — random seeds quickly saturate to "unprobeable").
+    pub fn size(&self) -> u128 {
+        self.nibble_values
+            .iter()
+            .fold(1u128, |acc, v| acc.saturating_mul(v.len().max(1) as u128))
+    }
+
+    /// Enumerates up to `cap` addresses in the range (odometer order).
+    pub fn enumerate(&self, cap: usize) -> Vec<Ipv6Addr> {
+        let mut out = Vec::new();
+        let mut idx = [0usize; 16];
+        'outer: loop {
+            let mut iid: u64 = 0;
+            for pos in 0..16 {
+                let vals = &self.nibble_values[pos];
+                let v = if vals.is_empty() { 0 } else { vals[idx[pos]] };
+                iid = (iid << 4) | v as u64;
+            }
+            out.push(v6addr::join(self.upper, Iid::new(iid)));
+            if out.len() >= cap {
+                break;
+            }
+            // Odometer increment over the nibble index vector.
+            for pos in (0..16).rev() {
+                let n = self.nibble_values[pos].len().max(1);
+                idx[pos] += 1;
+                if idx[pos] < n {
+                    continue 'outer;
+                }
+                idx[pos] = 0;
+            }
+            break; // odometer wrapped: range exhausted
+        }
+        out
+    }
+}
+
+/// The range-clustering TGA.
+#[derive(Debug, Clone, Default)]
+pub struct RangeTga {
+    ranges: HashMap<u64, NibbleRange>,
+    seeds: u64,
+}
+
+impl RangeTga {
+    /// An empty model.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Trains on one seed address (clustered per /64).
+    pub fn observe(&mut self, addr: Ipv6Addr) {
+        let upper = v6addr::upper64(addr);
+        self.ranges
+            .entry(upper)
+            .or_insert_with(|| NibbleRange::new(upper))
+            .absorb(Iid::from_addr(addr));
+        self.seeds += 1;
+    }
+
+    /// Trains on many seeds.
+    pub fn observe_all<I: IntoIterator<Item = Ipv6Addr>>(&mut self, seeds: I) {
+        for a in seeds {
+            self.observe(a);
+        }
+    }
+
+    /// Seeds observed.
+    pub fn seed_count(&self) -> u64 {
+        self.seeds
+    }
+
+    /// Emits up to `budget` candidates from the tightest multi-seed
+    /// ranges (6Gen's densest-first strategy). Single-seed ranges carry
+    /// no generalization power and ranges wider than `max_range` are
+    /// unprobeable by construction.
+    pub fn generate(&self, budget: usize) -> Vec<Ipv6Addr> {
+        let max_range: u128 = 1 << 16;
+        let mut ranges: Vec<&NibbleRange> = self
+            .ranges
+            .values()
+            .filter(|r| r.seeds >= 2 && r.size() <= max_range)
+            .collect();
+        ranges.sort_by_key(|r| (r.size() / r.seeds as u128, u128::MAX - r.seeds as u128));
+        let mut out = Vec::with_capacity(budget);
+        for r in ranges {
+            if out.len() >= budget {
+                break;
+            }
+            out.extend(r.enumerate(budget - out.len()));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn a(upper: u64, iid: u64) -> Ipv6Addr {
+        v6addr::join(upper, Iid::new(iid))
+    }
+
+    #[test]
+    fn interpolates_within_a_dhcp_pool() {
+        let mut tga = RangeTga::new();
+        let upper = 0x2a00_0001_8000_0000;
+        // DHCPv6-style pools: ::1:0042, ::1:0047 and ::2:0042 induce the
+        // nibble range {1,2} × 004 × {2,7}.
+        for iid in [0x1_0042u64, 0x1_0047, 0x2_0042] {
+            tga.observe(a(upper, iid));
+        }
+        let cands = tga.generate(200);
+        // The unseen cross combination ::2:0047 must be proposed.
+        assert!(cands.contains(&a(upper, 0x2_0047)), "{} cands", cands.len());
+        assert!(!cands.is_empty());
+        // All candidates stay within the /64 that seeded them.
+        for c in &cands {
+            assert_eq!(v6addr::upper64(*c), upper);
+        }
+    }
+
+    #[test]
+    fn random_seeds_induce_unprobeable_ranges() {
+        let mut tga = RangeTga::new();
+        let upper = 0x2a00_0002_8000_0000;
+        // Three random privacy IIDs: nearly every nibble position ends up
+        // with 3 observed values, so the induced range spans ~3^16
+        // addresses — far past the probeable cap.
+        for iid in [0x8f3a_d2c1_9b47_e605u64, 0x17c4_a98e_03f2_5bd8, 0x6e01_f7b3_c28a_944d] {
+            tga.observe(a(upper, iid));
+        }
+        let cands = tga.generate(1000);
+        assert!(
+            cands.is_empty(),
+            "random seeds must not yield probeable ranges ({} cands)",
+            cands.len()
+        );
+    }
+
+    #[test]
+    fn single_seed_ranges_skipped() {
+        let mut tga = RangeTga::new();
+        tga.observe(a(1, 0x42));
+        assert!(tga.generate(10).is_empty());
+        assert_eq!(tga.seed_count(), 1);
+    }
+
+    #[test]
+    fn budget_respected_and_tightest_first() {
+        let mut tga = RangeTga::new();
+        // Tight range: two seeds differing in one nibble.
+        tga.observe(a(10, 0x100));
+        tga.observe(a(10, 0x101));
+        // Looser range: differs in three nibbles.
+        tga.observe(a(20, 0x111));
+        tga.observe(a(20, 0x999));
+        let cands = tga.generate(3);
+        assert_eq!(cands.len(), 3);
+        // The tight /64 (upper 10) must be enumerated first.
+        assert!(cands.iter().all(|c| v6addr::upper64(*c) == 10 || v6addr::upper64(*c) == 20));
+        assert_eq!(v6addr::upper64(cands[0]), 10);
+    }
+
+    #[test]
+    fn enumerate_covers_small_range_exactly() {
+        let mut r = NibbleRange::new(7);
+        r.absorb(Iid::new(0x0));
+        r.absorb(Iid::new(0x1));
+        r.absorb(Iid::new(0x10));
+        // Positions 14 and 15 each have {0,1}: size 4.
+        assert_eq!(r.size(), 4);
+        let all = r.enumerate(100);
+        assert_eq!(all.len(), 4);
+        let mut dedup = all.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), 4);
+    }
+}

@@ -1,0 +1,70 @@
+//! Alias discovery by backscanning (§4.2): probe a random address next to
+//! every NTP client and watch aliased /64s light up — including aliased
+//! client networks that active-only measurement can never tell apart from
+//! live hosts.
+//!
+//! ```sh
+//! cargo run --release --example alias_discovery
+//! ```
+
+use ipv6_hitlists::hitlist::analysis::backscan::{alias_findings, backscan, BackscanConfig};
+use ipv6_hitlists::hitlist::collect::active::collect_hitlist;
+use ipv6_hitlists::hitlist::NtpCorpus;
+use ipv6_hitlists::netsim::{World, WorldConfig};
+use ipv6_hitlists::scan::{AliasList, HitlistCampaignConfig};
+
+fn main() {
+    let world = World::build(WorldConfig::tiny(), 55);
+
+    // The comparison baseline: a hitlist campaign with its alias list.
+    eprintln!("running hitlist campaign (for its alias list) …");
+    let hitlist = collect_hitlist(
+        &world,
+        0,
+        &HitlistCampaignConfig {
+            weeks: 3,
+            ..Default::default()
+        },
+    );
+    let hl_aliases = AliasList::from_prefixes(hitlist.campaign.aliased.iter().copied());
+    println!("hitlist alias list: {} prefixes", hl_aliases.len());
+
+    // The backscan week: five servers, ten-minute batches, ICMPv6 only.
+    eprintln!("running backscan week …");
+    let result = backscan(&world, &BackscanConfig::default());
+    println!(
+        "clients probed: {} ({:.0}% responsive)",
+        result.clients_probed,
+        result.client_response_rate() * 100.0
+    );
+    println!(
+        "random same-/64 probes: {} ({:.1}% responsive → aliases)",
+        result.random_probed,
+        result.random_response_rate() * 100.0
+    );
+    println!("aliased /64s inferred: {}", result.aliased_64s.len());
+
+    // Cross-reference with the hitlist's view of the world.
+    eprintln!("collecting passive corpus for cross-reference …");
+    let corpus = NtpCorpus::collect_study(&world);
+    let findings = alias_findings(
+        &world,
+        &result,
+        &hl_aliases,
+        &corpus.dataset().addr_set(),
+        &hitlist.dataset.addr_set(),
+    );
+    println!(
+        "\nof those aliased /64s: {} already on the hitlist alias list, {} NEW",
+        findings.known_to_hitlist, findings.new_aliased
+    );
+    println!(
+        "NTP clients living inside aliased /64s: {} (from {} ASes)\n\
+         hitlist addresses in the same /64s: {}",
+        findings.ntp_clients_in_aliased, findings.client_ases, findings.hitlist_clients_in_aliased
+    );
+    println!(
+        "\nActive measurement cannot distinguish those clients from alias\n\
+         responses — passive collection is the only way to see them (§4.2)."
+    );
+}

@@ -1,0 +1,66 @@
+//! Outage detection: the passive corpus as an Internet-health sensor —
+//! one of the applications the paper's introduction motivates for live-
+//! address knowledge.
+//!
+//! We inject a ground-truth outage into the synthetic Internet, collect
+//! the corpus, and let the detector find it from query volumes alone.
+//!
+//! ```sh
+//! cargo run --release --example outage_detection
+//! ```
+
+use ipv6_hitlists::hitlist::analysis::outage::{
+    daily_series, detect_outages, OutageDetectorConfig,
+};
+use ipv6_hitlists::hitlist::NtpCorpus;
+use ipv6_hitlists::netsim::config::OutageSpec;
+use ipv6_hitlists::netsim::{SimDuration, SimTime, World, WorldConfig};
+
+fn main() {
+    // Ground truth: ChinaNet goes dark for four days starting day 25.
+    let mut cfg = WorldConfig::tiny();
+    cfg.outages.push(OutageSpec {
+        as_name: "ChinaNet".into(),
+        start_day: 25,
+        duration_days: 4,
+    });
+    let world = World::build(cfg, 2023);
+
+    eprintln!("collecting 45 days of passive NTP data …");
+    let corpus = NtpCorpus::collect(&world, SimTime::START, SimDuration::days(45));
+
+    // Show the affected AS's daily series around the event.
+    let chinanet = world
+        .ases
+        .iter()
+        .find(|a| a.info.name == "ChinaNet")
+        .expect("ChinaNet is in the catalog");
+    let series = daily_series(&corpus);
+    if let Some(s) = series.get(&chinanet.index) {
+        println!("ChinaNet daily NTP query volume (days 20–34):");
+        for (day, n) in s.iter().enumerate().take(35).skip(20) {
+            let bar = "#".repeat((*n / 8).min(60) as usize);
+            println!("  day {day:>2}: {n:>5} {bar}");
+        }
+    }
+
+    // The detector sees only the corpus.
+    let found = detect_outages(&world, &corpus, &OutageDetectorConfig::default());
+    println!("\ndetected outages:");
+    for o in &found {
+        println!(
+            "  {} dark from day {} for {} days (baseline {} queries/day)",
+            o.as_name, o.start_day, o.duration_days, o.baseline
+        );
+    }
+    assert!(
+        found
+            .iter()
+            .any(|o| o.as_name == "ChinaNet" && o.start_day.abs_diff(25) <= 1),
+        "the injected outage was missed"
+    );
+    println!(
+        "\nThe injected event was recovered from passive NTP metadata alone\n\
+         — no probing, no cooperation from the affected network."
+    );
+}

@@ -1,0 +1,67 @@
+//! Passive vs. active: reproduce the paper's core comparison (§4.1) on a
+//! small world — run the passive NTP collection alongside the two active
+//! baselines (IPv6-Hitlist-style and CAIDA-routed-/48-style campaigns)
+//! and print the Table-1-shaped result.
+//!
+//! ```sh
+//! cargo run --release --example passive_vs_active
+//! ```
+
+use ipv6_hitlists::hitlist::analysis::compare::table1;
+use ipv6_hitlists::hitlist::analysis::entropy_dist::entropy_cdf;
+use ipv6_hitlists::hitlist::collect::active::{collect_caida, collect_hitlist};
+use ipv6_hitlists::hitlist::NtpCorpus;
+use ipv6_hitlists::netsim::{World, WorldConfig};
+use ipv6_hitlists::scan::{CaidaCampaignConfig, HitlistCampaignConfig};
+
+fn main() {
+    let world = World::build(WorldConfig::tiny(), 7);
+
+    // Passive: 27 NTP pool servers, full study window.
+    eprintln!("collecting passive NTP corpus …");
+    let corpus = NtpCorpus::collect_study(&world);
+    let ntp = corpus.dataset();
+
+    // Active baseline 1: weekly hitlist campaign (seeds + TGA + low-IID
+    // probing + traceroute + alias filtering).
+    eprintln!("running IPv6-Hitlist-style campaign …");
+    let hitlist = collect_hitlist(
+        &world,
+        0,
+        &HitlistCampaignConfig {
+            weeks: 4,
+            ..Default::default()
+        },
+    );
+
+    // Active baseline 2: Yarrp to ::1 of sampled routed /48s.
+    eprintln!("running CAIDA-routed-/48-style campaign …");
+    let caida = collect_caida(
+        &world,
+        1,
+        &CaidaCampaignConfig {
+            stride: 256,
+            ..Default::default()
+        },
+    );
+
+    // The comparison (Table 1 of the paper).
+    let t = table1(&world, &ntp, &[&hitlist.dataset, &caida.dataset]);
+    println!("\n{}", t.render());
+
+    // The device-type lens (Figure 1): entropy medians.
+    for d in [&ntp, &hitlist.dataset, &caida.dataset] {
+        let cdf = entropy_cdf(d);
+        println!(
+            "{:<18} median IID entropy: {:.2}   (n = {})",
+            d.name(),
+            cdf.median().unwrap_or(0.0),
+            cdf.len()
+        );
+    }
+    println!(
+        "\nThe passive corpus dwarfs both active datasets in addresses and\n\
+         density but sees fewer ASes — the active/passive complementarity\n\
+         the paper argues for."
+    );
+}

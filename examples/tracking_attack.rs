@@ -1,0 +1,57 @@
+//! The §5.2 tracking attack: follow EUI-64 devices across networks using
+//! nothing but a passively collected corpus.
+//!
+//! ```sh
+//! cargo run --release --example tracking_attack
+//! ```
+
+use ipv6_hitlists::hitlist::analysis::tracking::{analyze, exemplars};
+use ipv6_hitlists::hitlist::NtpCorpus;
+use ipv6_hitlists::netsim::{World, WorldConfig};
+
+fn main() {
+    let world = World::build(WorldConfig::tiny(), 99);
+    eprintln!("collecting passive NTP corpus (full study window) …");
+    let corpus = NtpCorpus::collect_study(&world);
+
+    let t = analyze(&world, &corpus, 10);
+    println!(
+        "corpus: {} unique addresses; {} EUI-64 ({:.1}%), {} embedded MACs",
+        t.stats.corpus_addresses,
+        t.stats.eui64_addresses,
+        t.stats.fraction() * 100.0,
+        t.stats.unique_macs
+    );
+    println!(
+        "expected EUI-64 lookalikes if IIDs were random: {:.1} — the\n\
+         population is real, and every one of these MACs is trackable.",
+        t.stats.expected_random
+    );
+
+    println!("\ntop manufacturers of leaked MACs (Table 2):");
+    for m in t.manufacturers.iter().take(5) {
+        println!("  {:<48} {}", m.manufacturer, m.macs);
+    }
+
+    println!(
+        "\n{} MACs ({:.1}%) appeared in ≥2 /64s — classified:",
+        t.multi_prefix_macs,
+        t.multi_prefix_macs as f64 / t.stats.unique_macs.max(1) as f64 * 100.0
+    );
+    for &(class, n) in &t.class_counts {
+        println!("  {:<28} {n}", class.label());
+    }
+
+    println!("\nexemplar timelines (the paper's Figure 7):");
+    for ex in exemplars(&world, &t) {
+        println!("-- {} ({:?})", ex.mac, ex.class);
+        for (day, prefix, as_name) in ex.timeline.iter().take(8) {
+            println!("   day {day:>3}: /64 #{prefix} in {as_name}");
+        }
+    }
+    println!(
+        "\nEvery line above tracks one physical device across prefixes,\n\
+         providers and networks — from NTP metadata alone. This is the\n\
+         paper's case for releasing hitlists at /48 granularity only."
+    );
+}

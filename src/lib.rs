@@ -1,0 +1,39 @@
+//! # ipv6-hitlists
+//!
+//! A full reproduction of *IPv6 Hitlists at Scale: Be Careful What You
+//! Wish For* (Rye & Levin, SIGCOMM 2023) as a Rust workspace:
+//!
+//! * [`addr`] (`v6addr`) — IPv6 address mechanics: prefixes, IIDs,
+//!   entropy, EUI-64/MAC/OUI, IPv4 embeddings, address sets, tries.
+//! * [`netsim`] (`v6netsim`) — the deterministic synthetic Internet the
+//!   study runs against.
+//! * [`ntp`] (`v6ntp`) — RFC 5905 NTP and the NTP Pool model.
+//! * [`scan`] (`v6scan`) — ZMap6/Yarrp-style active measurement, alias
+//!   detection, target generation, campaign baselines.
+//! * [`geo`] (`v6geo`) — MaxMind-like and wardriving-like geolocation
+//!   substrates.
+//! * [`hitlist`] (`v6hitlist`) — the paper's contribution: passive NTP
+//!   corpus collection, dataset comparison, entropy/lifetime/pattern
+//!   analyses, backscanning, EUI-64 tracking, the geolocation attack,
+//!   and the ethical /48 release.
+//!
+//! Quick start:
+//!
+//! ```no_run
+//! use ipv6_hitlists::hitlist::{Experiment, ExperimentConfig};
+//!
+//! let experiment = Experiment::run(ExperimentConfig::tiny(42));
+//! println!("collected {} unique IPv6 addresses", experiment.ntp.len());
+//! ```
+//!
+//! See `examples/` for runnable scenarios and `crates/bench` for the
+//! harness that regenerates every table and figure of the paper.
+
+#![forbid(unsafe_code)]
+
+pub use v6addr as addr;
+pub use v6geo as geo;
+pub use v6hitlist as hitlist;
+pub use v6netsim as netsim;
+pub use v6ntp as ntp;
+pub use v6scan as scan;

@@ -1,0 +1,143 @@
+//! Cross-crate integration: run the whole study on a tiny world and
+//! assert the paper's qualitative results hold end to end.
+
+use std::sync::OnceLock;
+
+use ipv6_hitlists::hitlist::analysis::compare::table1;
+use ipv6_hitlists::hitlist::analysis::entropy_dist::entropy_cdf;
+use ipv6_hitlists::hitlist::analysis::lifetime::address_lifetimes;
+use ipv6_hitlists::hitlist::analysis::tracking::TrackClass;
+use ipv6_hitlists::hitlist::{Experiment, ExperimentConfig, Release48};
+
+fn experiment() -> &'static Experiment {
+    static EXP: OnceLock<Experiment> = OnceLock::new();
+    EXP.get_or_init(|| Experiment::run(ExperimentConfig::tiny(20230831)))
+}
+
+#[test]
+fn dataset_size_ordering_matches_paper() {
+    let e = experiment();
+    // NTP ≫ active datasets (paper: 370x and 681x).
+    assert!(e.ntp.len() > 10 * e.hitlist.dataset.len());
+    assert!(e.ntp.len() > 10 * e.caida.dataset.len());
+    assert!(!e.hitlist.dataset.is_empty());
+    assert!(!e.caida.dataset.is_empty());
+}
+
+#[test]
+fn as_coverage_is_reversed() {
+    let e = experiment();
+    let t = table1(&e.world, &e.ntp, &[&e.hitlist.dataset, &e.caida.dataset]);
+    // The paper's surprising reversal: the giant passive corpus sees
+    // *fewer* ASes than either traceroute-based dataset.
+    assert!(t.rows[0].asns < t.rows[1].asns);
+    assert!(t.rows[0].asns < t.rows[2].asns);
+}
+
+#[test]
+fn density_ordering_matches_paper() {
+    let e = experiment();
+    let ntp = e.ntp.density_per_48();
+    let hl = e.hitlist.dataset.density_per_48();
+    let ca = e.caida.dataset.density_per_48();
+    assert!(ntp > hl, "NTP {ntp:.1} ≤ Hitlist {hl:.1}");
+    assert!(hl >= ca, "Hitlist {hl:.1} < CAIDA {ca:.1}");
+    assert!(ca < 3.0, "CAIDA should be ≈1 per /48, got {ca:.1}");
+}
+
+#[test]
+fn entropy_ordering_matches_paper() {
+    let e = experiment();
+    let m = |d: &ipv6_hitlists::hitlist::Dataset| entropy_cdf(d).median().unwrap();
+    let (ntp, hl, ca) = (
+        m(&e.ntp),
+        m(&e.hitlist.dataset),
+        m(&e.caida.dataset),
+    );
+    assert!(ntp > hl, "NTP median {ntp:.2} ≤ Hitlist {hl:.2}");
+    assert!(hl > ca, "Hitlist median {hl:.2} ≤ CAIDA {ca:.2}");
+    assert!(ca < 0.25, "CAIDA median should be near zero, got {ca:.2}");
+}
+
+#[test]
+fn datasets_are_nearly_disjoint() {
+    let e = experiment();
+    let common = e.ntp.common_addresses(&e.hitlist.dataset);
+    // Paper: the NTP corpus contains only 1.3% of Hitlist addresses.
+    assert!(
+        (common as f64) < 0.5 * e.hitlist.dataset.len() as f64,
+        "{common} of {} shared",
+        e.hitlist.dataset.len()
+    );
+}
+
+#[test]
+fn most_addresses_are_ephemeral() {
+    let e = experiment();
+    let lt = address_lifetimes(&e.ntp);
+    assert!(lt.seen_once > 0.4, "seen-once {:.2}", lt.seen_once);
+    assert!(lt.week_or_longer < 0.3);
+    assert!(lt.six_months_or_longer <= lt.month_or_longer);
+    assert!(lt.month_or_longer <= lt.week_or_longer);
+}
+
+#[test]
+fn backscan_rates_match_paper_shape() {
+    let e = experiment();
+    let cr = e.backscan.client_response_rate();
+    let rr = e.backscan.random_response_rate();
+    assert!((0.35..0.95).contains(&cr), "client rate {cr:.2}");
+    assert!(rr < cr / 3.0, "random {rr:.3} not ≪ client {cr:.3}");
+    assert!(!e.backscan.aliased_64s.is_empty());
+}
+
+#[test]
+fn alias_complementarity() {
+    let e = experiment();
+    let f = &e.alias_findings;
+    // Backscanning must surface aliased client space with NTP clients in
+    // it that the hitlist dataset essentially lacks (paper: 3.8M vs 23).
+    assert!(f.ntp_clients_in_aliased > 0);
+    assert!(f.hitlist_clients_in_aliased <= f.ntp_clients_in_aliased / 10);
+}
+
+#[test]
+fn tracking_taxonomy_present() {
+    let e = experiment();
+    let t = &e.tracking;
+    assert!(t.stats.unique_macs > 100);
+    assert!(t.multi_prefix_macs > 10);
+    let count = |c: TrackClass| {
+        t.class_counts
+            .iter()
+            .find(|&&(k, _)| k == c)
+            .map(|&(_, n)| n)
+            .unwrap_or(0)
+    };
+    // Static + prefix reassignment dominate; movement exists but small.
+    let dominant = count(TrackClass::MostlyStatic) + count(TrackClass::PrefixReassignment);
+    assert!(dominant * 2 > t.multi_prefix_macs);
+    assert!(count(TrackClass::UserMovement) > 0);
+    assert!(count(TrackClass::UserMovement) < t.multi_prefix_macs / 4);
+}
+
+#[test]
+fn geolocation_attack_succeeds_and_validates() {
+    let e = experiment();
+    let g = &e.geolocation;
+    assert!(!g.geolocated.is_empty(), "no devices geolocated");
+    let med = g.validate(&e.world).expect("no validation overlap");
+    assert!(med < 50.0, "median geolocation error {med:.0} km");
+    // Germany must lead (AVM EUI-64 CPE + wardriving coverage).
+    let hist = g.country_histogram(&e.world);
+    assert_eq!(hist[0].0.as_str(), "DE", "{hist:?}");
+}
+
+#[test]
+fn release_never_leaks_iids() {
+    let e = experiment();
+    let r = Release48::from_addr_set("corpus", &e.ntp.addr_set());
+    assert!(r.verify_privacy_invariant());
+    assert!(!r.is_empty());
+    assert!((r.len() as u64) < r.source_addresses);
+}
