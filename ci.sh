@@ -1,0 +1,18 @@
+#!/usr/bin/env bash
+# Tier-1 gate: everything a PR must pass. Run from the repo root.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "== cargo build --release --workspace =="
+cargo build --release --workspace
+
+echo "== cargo test -q --workspace =="
+cargo test -q --workspace
+
+echo "== cargo clippy --workspace --all-targets -- -D warnings =="
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "== cargo fmt --check =="
+cargo fmt --check
+
+echo "CI OK"

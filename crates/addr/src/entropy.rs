@@ -76,7 +76,8 @@ impl EntropyClass {
     }
 
     /// All classes in ascending order.
-    pub const ALL: [EntropyClass; 3] = [EntropyClass::Low, EntropyClass::Medium, EntropyClass::High];
+    pub const ALL: [EntropyClass; 3] =
+        [EntropyClass::Low, EntropyClass::Medium, EntropyClass::High];
 }
 
 #[cfg(test)]
@@ -123,7 +124,10 @@ mod tests {
             0x5555_5555_5555_5555,
         ] {
             let h = iid_entropy(Iid::new(v));
-            assert!((0.0..=1.0).contains(&h), "entropy {h} out of range for {v:#x}");
+            assert!(
+                (0.0..=1.0).contains(&h),
+                "entropy {h} out of range for {v:#x}"
+            );
         }
     }
 

@@ -69,14 +69,19 @@ mod tests {
         let addr = slaac_address(0x2001_0db8_0000_0001, mac);
         assert_eq!(
             addr,
-            "2001:db8:0:1:212:34ff:fe56:789a".parse::<Ipv6Addr>().unwrap()
+            "2001:db8:0:1:212:34ff:fe56:789a"
+                .parse::<Ipv6Addr>()
+                .unwrap()
         );
         assert_eq!(extract_mac(addr), Some(mac));
     }
 
     #[test]
     fn screen_rejects_random() {
-        assert_eq!(screen(Iid::new(0xdead_beef_cafe_f00d)), Eui64Screen::NotEui64);
+        assert_eq!(
+            screen(Iid::new(0xdead_beef_cafe_f00d)),
+            Eui64Screen::NotEui64
+        );
     }
 
     #[test]

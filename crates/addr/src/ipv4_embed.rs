@@ -45,11 +45,17 @@ impl Ipv4Encoding {
                     (h << 8) | (t << 4) | u
                 };
                 Iid::new(
-                    (hextet(o[0]) << 48) | (hextet(o[1]) << 32) | (hextet(o[2]) << 16) | hextet(o[3]),
+                    (hextet(o[0]) << 48)
+                        | (hextet(o[1]) << 32)
+                        | (hextet(o[2]) << 16)
+                        | hextet(o[3]),
                 )
             }
             Ipv4Encoding::BytePerHextet => Iid::new(
-                ((o[0] as u64) << 48) | ((o[1] as u64) << 32) | ((o[2] as u64) << 16) | (o[3] as u64),
+                ((o[0] as u64) << 48)
+                    | ((o[1] as u64) << 32)
+                    | ((o[2] as u64) << 16)
+                    | (o[3] as u64),
             ),
         }
     }
@@ -126,11 +132,7 @@ pub struct EmbeddedV4 {
 pub fn decode_all(iid: Iid) -> Vec<EmbeddedV4> {
     Ipv4Encoding::ALL
         .iter()
-        .filter_map(|&encoding| {
-            encoding
-                .decode(iid)
-                .map(|v4| EmbeddedV4 { encoding, v4 })
-        })
+        .filter_map(|&encoding| encoding.decode(iid).map(|v4| EmbeddedV4 { encoding, v4 }))
         .collect()
 }
 

@@ -44,7 +44,7 @@ pub use iid::Iid;
 pub use mac::{Mac, Oui};
 pub use pattern::AddressClass;
 pub use prefix::{Prefix, PrefixParseError};
-pub use set::AddrSet;
+pub use set::{shard48, AddrSet};
 pub use trie::PrefixMap;
 
 use std::net::Ipv6Addr;

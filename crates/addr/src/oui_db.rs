@@ -77,7 +77,9 @@ impl OuiDb {
 
     /// The manufacturer name for an OUI, or `"Unlisted"`.
     pub fn name_or_unlisted(&self, oui: Oui) -> &str {
-        self.lookup(oui).map(|v| v.name.as_str()).unwrap_or("Unlisted")
+        self.lookup(oui)
+            .map(|v| v.name.as_str())
+            .unwrap_or("Unlisted")
     }
 
     /// Number of registered OUIs.
@@ -116,7 +118,12 @@ impl OuiDb {
         // (name, kind, number of OUI blocks, base block id)
         let vendors: [(&str, VendorKind, u32, u32); 10] = [
             ("Amazon Technologies Inc.", VendorKind::Cloud, 8, 0x0c_47c9),
-            ("Samsung Electronics Co.,Ltd", VendorKind::MobilePhone, 12, 0x08_d42b),
+            (
+                "Samsung Electronics Co.,Ltd",
+                VendorKind::MobilePhone,
+                12,
+                0x08_d42b,
+            ),
             ("Sonos, Inc.", VendorKind::SmartHome, 3, 0x00_0e58),
             (
                 "vivo Mobile Communication Co., Ltd.",
@@ -124,7 +131,12 @@ impl OuiDb {
                 6,
                 0x50_29f5,
             ),
-            ("Sunnovo International Limited", VendorKind::Iot, 2, 0x44_33a4),
+            (
+                "Sunnovo International Limited",
+                VendorKind::Iot,
+                2,
+                0x44_33a4,
+            ),
             (
                 "Hui Zhou Gaoshengda Technology Co.,LTD",
                 VendorKind::Iot,

@@ -180,6 +180,21 @@ impl Prefix {
         debug_assert!(self.len == 0 || i < self.size(), "offset out of range");
         Ipv6Addr::from(self.bits | (i & !Self::mask(self.len)))
     }
+
+    /// The single shard (keyed as in [`crate::set::shard48`]) containing
+    /// every address of this prefix, or `None` when the prefix is shorter
+    /// than /48 and may span several shards.
+    ///
+    /// A prefix of length `L` fixes address bits `128-L..128`; the shard
+    /// key occupies bits `80..80+shard_bits`, so the key is fully
+    /// determined exactly when `L >= 48`.
+    pub fn shard48(&self, shard_bits: u32) -> Option<usize> {
+        if self.len >= 48 {
+            Some(crate::set::shard48(self.bits, shard_bits))
+        } else {
+            None
+        }
+    }
 }
 
 impl fmt::Display for Prefix {
@@ -338,5 +353,24 @@ mod tests {
             v,
             vec![p("2001:db8::/32"), p("2001:db8::/48"), p("2001:db8:1::/48")]
         );
+    }
+
+    #[test]
+    fn shard48_agrees_with_member_addresses() {
+        let pre = p("2001:db8:77::/48");
+        for shard_bits in [0u32, 2, 4] {
+            let shard = pre.shard48(shard_bits).expect("/48 has one shard");
+            for i in [0u128, 1, 999] {
+                let addr = pre.offset(i);
+                assert_eq!(crate::set::shard48(u128::from(addr), shard_bits), shard);
+            }
+        }
+        // Longer-than-/48 prefixes are shard-local too; shorter are not.
+        assert!(p("2001:db8:77:1::/64").shard48(4).is_some());
+        assert_eq!(
+            p("2001:db8:77::/48").shard48(4),
+            p("2001:db8:77:1::/64").shard48(4)
+        );
+        assert!(p("2001:db8::/32").shard48(4).is_none());
     }
 }

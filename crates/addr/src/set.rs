@@ -227,6 +227,34 @@ impl AddrSet {
         let end = self.addrs.partition_point(|&a| a <= hi);
         &self.addrs[start..end]
     }
+
+    /// Splits into `2^shard_bits` shard sets keyed by [`shard48`].
+    ///
+    /// Every address lands in exactly one shard, all addresses of a /48
+    /// stay together (so per-/48 aggregates remain shard-local), and the
+    /// union of the shards is this set. Keying on the *low* bits of the
+    /// /48 balances the shards even though announced space concentrates
+    /// under `2000::/3`.
+    pub fn shard_split(&self, shard_bits: u32) -> Vec<AddrSet> {
+        let mut out: Vec<Vec<u128>> = vec![Vec::new(); 1usize << shard_bits];
+        for &a in &self.addrs {
+            out[shard48(a, shard_bits)].push(a);
+        }
+        // Each per-shard vec inherits the sorted order, so this is O(n).
+        out.into_iter().map(|addrs| AddrSet { addrs }).collect()
+    }
+}
+
+/// The shard index of an address among `2^shard_bits` shards.
+///
+/// The key is the low `shard_bits` bits of the address's /48 prefix
+/// (address bits 80..80+`shard_bits`). High /48 bits would skew badly —
+/// nearly all announced IPv6 space shares the `001` top bits — while the
+/// low bits vary per allocation.
+#[inline]
+pub fn shard48(bits: u128, shard_bits: u32) -> usize {
+    debug_assert!(shard_bits < 48, "shard key must fit inside the /48");
+    ((bits >> 80) as usize) & ((1usize << shard_bits) - 1)
 }
 
 impl FromIterator<Ipv6Addr> for AddrSet {
@@ -341,8 +369,14 @@ mod tests {
         assert_eq!(x.intersection_count(&y), 2);
         assert_eq!(x.intersection(&y).len(), 2);
         assert_eq!(x.union(&y).len(), 4);
-        assert_eq!(x.difference(&y).iter().collect::<Vec<_>>(), vec![a("2001:db8::1")]);
-        assert_eq!(y.difference(&x).iter().collect::<Vec<_>>(), vec![a("2001:db8::4")]);
+        assert_eq!(
+            x.difference(&y).iter().collect::<Vec<_>>(),
+            vec![a("2001:db8::1")]
+        );
+        assert_eq!(
+            y.difference(&x).iter().collect::<Vec<_>>(),
+            vec![a("2001:db8::4")]
+        );
     }
 
     #[test]
@@ -380,11 +414,7 @@ mod tests {
 
     #[test]
     fn aggregate_counts() {
-        let s = set(&[
-            "2001:db8:1::1",
-            "2001:db8:1::2",
-            "2001:db8:2::1",
-        ]);
+        let s = set(&["2001:db8:1::1", "2001:db8:1::2", "2001:db8:2::1"]);
         let agg = s.aggregate(48);
         assert_eq!(agg.len(), 2);
         assert_eq!(agg[0].0, "2001:db8:1::/48".parse().unwrap());
@@ -396,11 +426,7 @@ mod tests {
 
     #[test]
     fn within_prefix_slicing() {
-        let s = set(&[
-            "2001:db8:1::1",
-            "2001:db8:1:2::5",
-            "2001:db8:2::1",
-        ]);
+        let s = set(&["2001:db8:1::1", "2001:db8:1:2::5", "2001:db8:2::1"]);
         let p: Prefix = "2001:db8:1::/48".parse().unwrap();
         assert_eq!(s.within(&p).len(), 2);
         let none: Prefix = "2001:db9::/48".parse().unwrap();
@@ -426,5 +452,39 @@ mod tests {
             b.push(a(&format!("2001:db8::{:x}", i % 10)));
         }
         assert_eq!(b.build().len(), 10);
+    }
+
+    #[test]
+    fn shard_split_partitions_completely() {
+        // Vary the /48's low bits so addresses spread across shards.
+        let s = AddrSet::from_addrs((0..256u16).map(|i| a(&format!("2001:db8:{:x}::{:x}", i, i))));
+        for shard_bits in [0u32, 2, 4] {
+            let shards = s.shard_split(shard_bits);
+            assert_eq!(shards.len(), 1 << shard_bits);
+            let total: usize = shards.iter().map(|x| x.len()).sum();
+            assert_eq!(total, s.len());
+            let mut all: Vec<u128> = shards
+                .iter()
+                .flat_map(|x| x.as_bits().iter().copied())
+                .collect();
+            all.sort_unstable();
+            assert_eq!(all, s.as_bits());
+            for (i, shard) in shards.iter().enumerate() {
+                for &bits in shard.as_bits() {
+                    assert_eq!(shard48(bits, shard_bits), i);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn shard48_keeps_a_slash48_together() {
+        let s = AddrSet::from_addrs((0..64u16).map(|i| a(&format!("2001:db8:7::{:x}", i))));
+        let shards = s.shard_split(4);
+        let nonempty: Vec<usize> = (0..shards.len())
+            .filter(|&i| !shards[i].is_empty())
+            .collect();
+        assert_eq!(nonempty.len(), 1, "one /48 must land in exactly one shard");
+        assert_eq!(shards[nonempty[0]].len(), s.len());
     }
 }

@@ -166,7 +166,8 @@ impl<'a, T> Iterator for Iter<'a, T> {
         while let Some((node, bits, depth)) = self.stack.pop() {
             // Push right child first so the left (0) branch pops first.
             if let Some(c) = node.children[1].as_deref() {
-                self.stack.push((c, bits | (1u128 << (127 - depth)), depth + 1));
+                self.stack
+                    .push((c, bits | (1u128 << (127 - depth)), depth + 1));
             }
             if let Some(c) = node.children[0].as_deref() {
                 self.stack.push((c, bits, depth + 1));

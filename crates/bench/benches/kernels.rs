@@ -44,7 +44,9 @@ fn bench_eui64(c: &mut Criterion) {
         .map(|(i, b)| {
             if i % 32 == 0 {
                 // Plant the EUI-64 signature in a slice of the input.
-                Iid::new((b as u64 & 0xffff_ffff_0000_0000) | 0xff_fe00_0000 | (b as u64 & 0xffffff))
+                Iid::new(
+                    (b as u64 & 0xffff_ffff_0000_0000) | 0xff_fe00_0000 | (b as u64 & 0xffffff),
+                )
             } else {
                 Iid::new(b as u64)
             }
@@ -74,11 +76,7 @@ fn bench_sets(c: &mut Criterion) {
         bch.iter(|| a.aggregate(black_box(48)).len())
     });
     c.bench_function("sets/build_from_100k", |bch| {
-        bch.iter_batched(
-            || a_bits.clone(),
-            AddrSet::from_bits,
-            BatchSize::SmallInput,
-        )
+        bch.iter_batched(|| a_bits.clone(), AddrSet::from_bits, BatchSize::SmallInput)
     });
 }
 

@@ -1,0 +1,138 @@
+//! Micro-benchmarks of the `v6serve` query path.
+//!
+//! Measures the per-query primitives the load harness aggregates:
+//! sharded membership probes, full lookups (membership + alias trie),
+//! /48 density queries, batched lookups, and the cost of publishing a
+//! new epoch (validate + swap).
+
+use std::net::Ipv6Addr;
+use std::sync::Arc;
+
+use criterion::{black_box, criterion_group, criterion_main, BatchSize, Criterion};
+
+use v6addr::Prefix;
+use v6netsim::rng::Rng;
+use v6serve::{HitlistStore, QueryEngine, SnapshotBuilder};
+
+const ADDRS: u32 = 100_000;
+
+fn build_engine(shards: usize) -> QueryEngine {
+    let store = HitlistStore::new("bench", shards);
+    let mut b = SnapshotBuilder::new("bench", shards);
+    let mut rng = Rng::new(7);
+    for i in 0..ADDRS {
+        let net48 = rng.next_u64() as u128 % 4096;
+        b.add_bits(
+            (0x2001_0db8u128 << 96) | (net48 << 80) | u128::from(i),
+            i % 8,
+        );
+    }
+    for p in 0..32u128 {
+        b.add_alias(
+            Prefix::new(Ipv6Addr::from((0x2001_0db8u128 << 96) | (p << 80)), 48),
+            0,
+        );
+    }
+    store.publish(b.build()).unwrap();
+    QueryEngine::new(Arc::new(store))
+}
+
+fn probes(n: usize, engine: &QueryEngine) -> Vec<Ipv6Addr> {
+    // Half sampled present, half pseudorandom (absent).
+    let snap = engine.store().snapshot();
+    let mut rng = Rng::new(11);
+    let mut out = Vec::with_capacity(n);
+    for i in 0..n {
+        if i % 2 == 0 {
+            let shard = &snap.shards()[i % snap.shard_count()];
+            if let Some(&bits) = shard
+                .addrs()
+                .get(rng.below(shard.len().max(1) as u64) as usize)
+            {
+                out.push(Ipv6Addr::from(bits));
+                continue;
+            }
+        }
+        out.push(Ipv6Addr::from((0x2u128 << 124) | (rng.next_u128() >> 4)));
+    }
+    out
+}
+
+fn bench_membership(c: &mut Criterion) {
+    for shards in [1usize, 16] {
+        let engine = build_engine(shards);
+        let addrs = probes(4096, &engine);
+        c.bench_function(&format!("serve/contains_4096_s{shards}"), |b| {
+            b.iter(|| {
+                addrs
+                    .iter()
+                    .filter(|&&a| engine.contains(black_box(a)))
+                    .count()
+            })
+        });
+    }
+}
+
+fn bench_lookup(c: &mut Criterion) {
+    let engine = build_engine(16);
+    let addrs = probes(4096, &engine);
+    c.bench_function("serve/lookup_4096_s16", |b| {
+        b.iter(|| {
+            addrs
+                .iter()
+                .filter(|&&a| engine.lookup(black_box(a)).present)
+                .count()
+        })
+    });
+}
+
+fn bench_density(c: &mut Criterion) {
+    let engine = build_engine(16);
+    let prefixes: Vec<Prefix> = probes(512, &engine)
+        .into_iter()
+        .map(|a| Prefix::of(a, 48))
+        .collect();
+    c.bench_function("serve/count_within_512_s16", |b| {
+        b.iter(|| {
+            prefixes
+                .iter()
+                .map(|p| engine.count_within(black_box(p)))
+                .sum::<u64>()
+        })
+    });
+}
+
+fn bench_batch(c: &mut Criterion) {
+    let engine = build_engine(16);
+    let addrs = probes(4096, &engine);
+    c.bench_function("serve/batch_lookup_4096_s16", |b| {
+        b.iter(|| engine.batch_lookup(black_box(&addrs)).present)
+    });
+}
+
+fn bench_publish(c: &mut Criterion) {
+    let engine = build_engine(16);
+    let store = engine.store().clone();
+    let base = store.snapshot();
+    c.bench_function("serve/publish_100k_s16", |b| {
+        b.iter_batched(
+            || {
+                let mut builder = SnapshotBuilder::new(base.name(), base.shard_count());
+                builder.merge_snapshot(&base);
+                builder.build()
+            },
+            |snap| store.publish(snap).unwrap(),
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_membership,
+    bench_lookup,
+    bench_density,
+    bench_batch,
+    bench_publish
+);
+criterion_main!(benches);

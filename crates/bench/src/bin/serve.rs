@@ -1,0 +1,163 @@
+//! Load harness for the `v6serve` query subsystem.
+//!
+//! Builds a hitlist from a tiny-world campaign, ingests all but the
+//! final week into a [`v6serve::HitlistStore`], then replays millions of
+//! seeded queries from N client threads while a publisher thread pushes
+//! the held-back final week as a fresh epoch mid-run. Prints throughput
+//! and latency percentiles, and asserts the concurrency contract: the
+//! publish overlapped the run, never blocked readers for long, and no
+//! known-present address was ever reported absent.
+//!
+//! Env knobs: `V6HL_SEED` (default 2022), `V6SERVE_QUERIES` (default
+//! 1_000_000), `V6SERVE_THREADS` (default 4), `V6SERVE_SHARDS`
+//! (default 8).
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use v6hitlist::collect::active::collect_hitlist;
+use v6hitlist::HitlistService;
+use v6netsim::{World, WorldConfig};
+use v6scan::HitlistCampaignConfig;
+use v6serve::{
+    loadgen, HitlistStore, Ingestor, LoadSpec, PublicationUpdate, QueryEngine, SnapshotBuilder,
+};
+
+fn env_u64(key: &str, default: u64) -> u64 {
+    std::env::var(key)
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(default)
+}
+
+fn main() {
+    let seed = v6bench::seed_from_env();
+    // Floor keeps the mid-run-publish assertions meaningful: far fewer
+    // queries and the publisher may land after the run already ended.
+    let queries = env_u64("V6SERVE_QUERIES", 1_000_000).max(10_000);
+    let threads = env_u64("V6SERVE_THREADS", 4).max(1) as usize;
+    let shards = env_u64("V6SERVE_SHARDS", 8).next_power_of_two() as usize;
+
+    eprintln!("[serve] building tiny world + 3-week campaign (seed={seed}) …");
+    let world = World::build(WorldConfig::tiny(), seed);
+    let hl = collect_hitlist(
+        &world,
+        0,
+        &HitlistCampaignConfig {
+            weeks: 3,
+            ..Default::default()
+        },
+    );
+    let service = HitlistService::from_campaign("IPv6 Hitlist Service", &hl.campaign);
+    eprintln!(
+        "[serve] campaign: {} weeks, {} responsive, {} aliased prefixes",
+        service.snapshots.len(),
+        service.total_responsive(),
+        service.aliased.len()
+    );
+
+    // Hold back the final week; it becomes the mid-run publication.
+    let mut initial = service.clone();
+    let held_back = if initial.snapshots.len() >= 2 {
+        initial.snapshots.pop()
+    } else {
+        None
+    };
+
+    // Ingest the initial weeks through the concurrent pipeline.
+    let store = Arc::new(HitlistStore::new(&service.name, shards));
+    let ingest = Ingestor::default().spawn(store.clone());
+    ingest.submit(PublicationUpdate::Service(initial));
+    let stats = ingest.finish();
+    eprintln!(
+        "[serve] ingested {} updates / {} unique addresses across {} epochs ({} dups coalesced)",
+        stats.updates, stats.unique_addresses, stats.epochs_published, stats.duplicates
+    );
+
+    // Pre-build the next epoch so the publisher's only mid-run work is
+    // validate + swap (the part the harness is exercising).
+    let base = store.snapshot();
+    let mut builder = SnapshotBuilder::new(base.name(), shards);
+    builder.merge_snapshot(&base);
+    match &held_back {
+        Some(week) => builder.add_week(week.week as u32, &week.new_responsive),
+        None => {
+            // Single-week campaign: synthesize a small follow-up week so
+            // the mid-run publish still happens.
+            let next = base.week() as u32 + 1;
+            for i in 0..1024u128 {
+                builder.add_bits((0x2001_0db8u128 << 96) | (i << 40) | i, next);
+            }
+        }
+    }
+    let next_snapshot = builder.build();
+
+    let spec = LoadSpec {
+        queries,
+        threads,
+        seed,
+        ..Default::default()
+    };
+    eprintln!(
+        "[serve] replaying {queries} queries across {threads} threads against {shards} shards …"
+    );
+
+    // Publisher: wait until the load is warm (a quarter of the target
+    // queries served), then publish the new weekly epoch while the
+    // clients keep reading.
+    let publisher = {
+        let store = store.clone();
+        let threshold = store.metrics().queries_total() + queries / 4;
+        std::thread::spawn(move || {
+            while store.metrics().queries_total() < threshold {
+                std::thread::sleep(Duration::from_micros(200));
+            }
+            store
+                .publish(next_snapshot)
+                .expect("mid-run publish must succeed")
+        })
+    };
+
+    let engine = QueryEngine::new(store.clone());
+    let report = loadgen::run(&engine, &spec);
+    let receipt = publisher.join().expect("publisher thread panicked");
+
+    println!("== v6serve load report ==");
+    println!("{report}");
+    println!(
+        "publish: epoch {} ({} addresses), validate {:?}, swap {:?}",
+        receipt.epoch, receipt.addresses, receipt.validate, receipt.swap
+    );
+    println!("{}", store.metrics().report());
+
+    // The concurrency contract, enforced:
+    assert!(
+        report.queries >= queries,
+        "undershot the query target: {} < {queries}",
+        report.queries
+    );
+    assert_eq!(
+        report.verification_failures, 0,
+        "a known-present address was reported absent during the run"
+    );
+    assert!(
+        report.last_epoch > report.first_epoch,
+        "the weekly publish did not land during the run"
+    );
+    assert!(
+        report.queries_after_publish > 0,
+        "no query observed the new epoch; publish did not overlap the load"
+    );
+    assert!(
+        receipt.swap < Duration::from_millis(100),
+        "epoch swap blocked too long: {:?}",
+        receipt.swap
+    );
+    let final_snap = store.snapshot();
+    assert!(final_snap.verify_integrity(), "final snapshot corrupted");
+    assert_eq!(final_snap.epoch(), receipt.epoch);
+    println!(
+        "OK: publish overlapped the run ({} ops on epoch {}), swap {:?}, reads stayed consistent",
+        report.queries_after_publish, report.last_epoch, receipt.swap
+    );
+}

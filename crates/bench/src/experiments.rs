@@ -6,11 +6,11 @@
 //! the *shape* — orderings, ratios, directions — that the paper reports.
 
 use v6addr::pattern::AddressClass;
+use v6hitlist::analysis::compare::table1 as compute_table1;
 use v6hitlist::analysis::entropy_dist::{figure1, figure4};
 use v6hitlist::analysis::lifetime::{address_lifetimes, iid_lifetimes};
 use v6hitlist::analysis::patterns::figure5;
 use v6hitlist::analysis::tracking::{exemplars, TrackClass};
-use v6hitlist::analysis::compare::table1 as compute_table1;
 use v6hitlist::report::{fmt_count, render_series, ExperimentRecord};
 use v6hitlist::{Experiment, Release48};
 use v6netsim::Country;
@@ -332,15 +332,12 @@ pub fn fig4(e: &Experiment) -> Output {
     let end = e.corpus.window.as_secs() as u32;
     let full = figure4(&e.world, &e.corpus, 0, end, 5);
     let day = 157u32; // 1 July 2022 in study days
-    let one_day = figure4(
-        &e.world,
-        &e.corpus,
-        day * 86_400,
-        (day + 1) * 86_400,
-        5,
-    );
+    let one_day = figure4(&e.world, &e.corpus, day * 86_400, (day + 1) * 86_400, 5);
     let jio = full.rows.iter().find(|r| r.name == "Reliance Jio");
-    let tsel = full.rows.iter().find(|r| r.name == "Telekomunikasi Selular");
+    let tsel = full
+        .rows
+        .iter()
+        .find(|r| r.name == "Telekomunikasi Selular");
     let others_median: Vec<f64> = full
         .rows
         .iter()
@@ -367,7 +364,11 @@ pub fn fig4(e: &Experiment) -> Output {
             "Figure 4a",
             "Telkomsel skews low-entropy",
             "much lower median",
-            format!("median {:.2}, low fraction {:.0}%", t.median_entropy, t.low_fraction * 100.0),
+            format!(
+                "median {:.2}, low fraction {:.0}%",
+                t.median_entropy,
+                t.low_fraction * 100.0
+            ),
             t.median_entropy < 0.75,
             "",
         ));
@@ -413,14 +414,18 @@ pub fn fig5(e: &Experiment) -> Output {
     let hl = &f.breakdowns[1];
     let ntp_high = ntp.fraction(AddressClass::HighEntropy);
     let ntp_med = ntp.fraction(AddressClass::MediumEntropy);
-    let lb_ratio = hl.fraction(AddressClass::LowByte)
-        / ntp.fraction(AddressClass::LowByte).max(1e-9);
+    let lb_ratio =
+        hl.fraction(AddressClass::LowByte) / ntp.fraction(AddressClass::LowByte).max(1e-9);
     let records = vec![
         rec(
             "Figure 5",
             "NTP one-day slice is mostly high entropy",
             "≈2/3 high + 21% medium",
-            format!("{:.0}% high + {:.0}% medium", ntp_high * 100.0, ntp_med * 100.0),
+            format!(
+                "{:.0}% high + {:.0}% medium",
+                ntp_high * 100.0,
+                ntp_med * 100.0
+            ),
             ntp_high > 0.4,
             "",
         ),
@@ -502,7 +507,11 @@ pub fn table2(e: &Experiment) -> Output {
         fmt_count(t.stats.unique_macs)
     ));
     for m in t.manufacturers.iter().take(10) {
-        text.push_str(&format!("{:<48} {:>10}\n", m.manufacturer, fmt_count(m.macs)));
+        text.push_str(&format!(
+            "{:<48} {:>10}\n",
+            m.manufacturer,
+            fmt_count(m.macs)
+        ));
     }
     (text, records)
 }
@@ -513,11 +522,7 @@ pub fn fig6(e: &Experiment) -> Output {
     let multi_frac = t.multi_prefix_macs as f64 / t.stats.unique_macs.max(1) as f64;
     let all_iids = iid_lifetimes(&e.ntp);
     let all_once: f64 = {
-        let zero = all_iids
-            .iids
-            .iter()
-            .filter(|i| i.lifetime() == 0)
-            .count();
+        let zero = all_iids.iids.iter().filter(|i| i.lifetime() == 0).count();
         zero as f64 / all_iids.iids.len().max(1) as f64
     };
     let eui_once = t.lifetime_cdf.fraction_at_or_below(0.0);
@@ -613,9 +618,7 @@ pub fn fig7(e: &Experiment) -> Output {
     for ex in exemplars(&e.world, &e.tracking) {
         text.push_str(&format!("-- {} ({:?}) --\n", ex.mac, ex.class));
         for (day, prefix_idx, as_name) in ex.timeline.iter().take(18) {
-            text.push_str(&format!(
-                "  day {day:>3}  /64 #{prefix_idx:<4} {as_name}\n"
-            ));
+            text.push_str(&format!("  day {day:>3}  /64 #{prefix_idx:<4} {as_name}\n"));
         }
         if ex.timeline.len() > 18 {
             text.push_str(&format!("  … {} more samples\n", ex.timeline.len() - 18));
@@ -734,7 +737,11 @@ pub fn geoloc(e: &Experiment) -> Output {
     ));
     text.push_str("top countries:\n");
     for (c, n) in hist.iter().take(5) {
-        text.push_str(&format!("  {c}  {:>8} ({:.0}%)\n", fmt_count(*n), *n as f64 / total * 100.0));
+        text.push_str(&format!(
+            "  {c}  {:>8} ({:.0}%)\n",
+            fmt_count(*n),
+            *n as f64 / total * 100.0
+        ));
     }
     // Error distribution vs ground truth (simulation-only luxury).
     let err = g.error_cdf(&e.world);
@@ -762,7 +769,11 @@ pub fn release(e: &Experiment) -> Output {
             "{} /48s from {} addresses, invariant {}",
             fmt_count(r.len() as u64),
             fmt_count(r.source_addresses),
-            if r.verify_privacy_invariant() { "holds" } else { "VIOLATED" }
+            if r.verify_privacy_invariant() {
+                "holds"
+            } else {
+                "VIOLATED"
+            }
         ),
         r.verify_privacy_invariant(),
         "",
@@ -912,7 +923,11 @@ pub fn extensions(e: &Experiment) -> Output {
         "Ext (outage detection)",
         "injected 3-day ChinaNet outage (day 120) detected",
         "passive corpora double as outage sensors (§1)",
-        format!("{} outages flagged, ChinaNet@120 {}", found.len(), if hit { "found" } else { "MISSED" }),
+        format!(
+            "{} outages flagged, ChinaNet@120 {}",
+            found.len(),
+            if hit { "found" } else { "MISSED" }
+        ),
         hit && found.len() <= 4,
         "",
     ));

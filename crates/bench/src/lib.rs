@@ -106,9 +106,7 @@ pub fn run_experiment() -> Experiment {
 
 /// Prints one experiment's human-readable output and its paper-vs-
 /// measured records as Markdown.
-pub fn print_experiment(
-    (text, records): (String, Vec<v6hitlist::ExperimentRecord>),
-) {
+pub fn print_experiment((text, records): (String, Vec<v6hitlist::ExperimentRecord>)) {
     println!("{text}");
     println!("{}", v6hitlist::report::render_markdown(&records));
 }

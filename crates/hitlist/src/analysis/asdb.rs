@@ -78,7 +78,11 @@ pub fn subtype_breakdown(world: &World, dataset: &Dataset) -> AsTypeBreakdown {
             fraction: addresses as f64 / total.max(1) as f64,
         })
         .collect();
-    rows.sort_by(|a, b| b.addresses.cmp(&a.addresses).then(a.subtype.cmp(&b.subtype)));
+    rows.sort_by(|a, b| {
+        b.addresses
+            .cmp(&a.addresses)
+            .then(a.subtype.cmp(&b.subtype))
+    });
     AsTypeBreakdown {
         dataset: dataset.name().to_string(),
         rows,
@@ -110,13 +114,13 @@ mod tests {
         // A router-only dataset has zero phone-provider *client* share
         // only if no mobile-AS routers are in it; routers exist in every
         // AS, so instead check ISP subtypes dominate a server dataset.
-        let servers = Dataset::from_addresses(
-            "servers",
-            w.public_servers(),
-            SimTime::START,
-        );
+        let servers = Dataset::from_addresses("servers", w.public_servers(), SimTime::START);
         let b = subtype_breakdown(&w, &servers);
-        assert!(b.fraction("Hosting and Cloud Provider") > 0.9, "{}", b.render());
+        assert!(
+            b.fraction("Hosting and Cloud Provider") > 0.9,
+            "{}",
+            b.render()
+        );
     }
 
     #[test]

@@ -305,8 +305,8 @@ mod tests {
         for p in &r.aliased_64s {
             let ai = w.as_index_of(p.network()).unwrap() as usize;
             let asr = &w.ases[ai];
-            let truly = asr.info.clients_aliased()
-                || asr.alias_48s.iter().any(|a| a.contains_prefix(p));
+            let truly =
+                asr.info.clients_aliased() || asr.alias_48s.iter().any(|a| a.contains_prefix(p));
             assert!(truly, "{p} is not actually aliased");
         }
     }

@@ -46,16 +46,8 @@ pub fn figure1(reference: &Dataset, others: &[&Dataset]) -> Figure1 {
     for d in others {
         datasets.push((d.name().to_string(), entropy_cdf(d)));
         let inter = ref_set.intersection(&d.addr_set());
-        let cdf = Cdf::new(
-            inter
-                .iter()
-                .map(|a| iid_entropy(v6addr::iid(a)))
-                .collect(),
-        );
-        intersections.push((
-            format!("{} ∩ {}", reference.name(), d.name()),
-            cdf,
-        ));
+        let cdf = Cdf::new(inter.iter().map(|a| iid_entropy(v6addr::iid(a))).collect());
+        intersections.push((format!("{} ∩ {}", reference.name(), d.name()), cdf));
     }
     Figure1 {
         datasets,

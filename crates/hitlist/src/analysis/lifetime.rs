@@ -134,12 +134,12 @@ mod tests {
         let d = Dataset::from_observations(
             "t",
             vec![
-                obs(1, 0x10, 0),                    // once
-                obs(2, 0x20, 0),                    // once
+                obs(1, 0x10, 0), // once
+                obs(2, 0x20, 0), // once
                 obs(3, 0x30, 0),
-                obs(3, 0x30, 8 * DAY),              // ≥ week
+                obs(3, 0x30, 8 * DAY), // ≥ week
                 obs(4, 0x40, 0),
-                obs(4, 0x40, 200 * DAY),            // ≥ 6 months
+                obs(4, 0x40, 200 * DAY), // ≥ 6 months
             ],
         );
         let lt = address_lifetimes(&d);
@@ -169,9 +169,9 @@ mod tests {
         let d = Dataset::from_observations(
             "t",
             vec![
-                obs(1, 0x1, 0),                         // low entropy
-                obs(2, 0x0f0f_0f0f_0f0f_0f0f, 0),       // medium (0.25)
-                obs(3, 0x0123_4567_89ab_cdef, 0),       // high
+                obs(1, 0x1, 0),                   // low entropy
+                obs(2, 0x0f0f_0f0f_0f0f_0f0f, 0), // medium (0.25)
+                obs(3, 0x0123_4567_89ab_cdef, 0), // high
             ],
         );
         let il = iid_lifetimes(&d);

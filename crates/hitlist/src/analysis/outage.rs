@@ -103,7 +103,11 @@ pub fn detect_outages(
         }
         flush(run_start.take(), series.len() as u64, &mut outages);
     }
-    outages.sort_by(|a, b| a.as_name.cmp(&b.as_name).then(a.start_day.cmp(&b.start_day)));
+    outages.sort_by(|a, b| {
+        a.as_name
+            .cmp(&b.as_name)
+            .then(a.start_day.cmp(&b.start_day))
+    });
     outages
 }
 

@@ -36,8 +36,7 @@ pub struct PopulationEstimate {
 impl PopulationEstimate {
     /// Chapman estimator: `(n1+1)(n2+1)/(m+1) − 1` (unbiased for m > 0).
     pub fn chapman(n1: u64, n2: u64, m: u64) -> PopulationEstimate {
-        let estimate =
-            ((n1 + 1) as f64 * (n2 + 1) as f64) / (m + 1) as f64 - 1.0;
+        let estimate = ((n1 + 1) as f64 * (n2 + 1) as f64) / (m + 1) as f64 - 1.0;
         PopulationEstimate {
             first_capture: n1,
             second_capture: n2,
@@ -134,8 +133,7 @@ mod tests {
         let sa = capture(0, month);
         let sb = capture(3 * month, 4 * month);
         let m = sa.intersection(&sb).count() as u64;
-        let addr_est =
-            PopulationEstimate::chapman(sa.len() as u64, sb.len() as u64, m);
+        let addr_est = PopulationEstimate::chapman(sa.len() as u64, sb.len() as u64, m);
         let device_truth = w.devices.iter().filter(|d| d.uses_pool).count() as f64;
         assert!(
             addr_est.estimate > 3.0 * device_truth,

@@ -137,10 +137,8 @@ mod tests {
         assert!(!ests.is_empty(), "no AS had enough EUI-64 samples");
         // German ISPs rotate daily; with daily-queried CPE the inference
         // must land within 2x.
-        let daily: Vec<&RotationEstimate> = ests
-            .iter()
-            .filter(|e| e.truth_days == Some(1.0))
-            .collect();
+        let daily: Vec<&RotationEstimate> =
+            ests.iter().filter(|e| e.truth_days == Some(1.0)).collect();
         assert!(!daily.is_empty(), "no daily-rotation AS measured: {ests:?}");
         let accurate = daily.iter().filter(|e| e.is_accurate()).count();
         assert!(

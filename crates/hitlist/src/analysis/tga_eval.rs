@@ -105,7 +105,15 @@ pub fn evaluate_tga(
     t: SimTime,
     sample_cap: usize,
 ) -> TgaEval {
-    evaluate_tga_kind(world, training, TgaKind::Pattern, budget, vp_id, t, sample_cap)
+    evaluate_tga_kind(
+        world,
+        training,
+        TgaKind::Pattern,
+        budget,
+        vp_id,
+        t,
+        sample_cap,
+    )
 }
 
 fn probe_candidates(
@@ -211,8 +219,8 @@ mod tests {
         assert_eq!(evals.len(), 4);
         let hl_eval = &evals[0]; // hitlist-trained, pattern TGA
         let ntp_eval = &evals[2]; // NTP-trained, pattern TGA
-        // The paper's bias point: stable infrastructure seeds generalize;
-        // ephemeral random client seeds do not.
+                                  // The paper's bias point: stable infrastructure seeds generalize;
+                                  // ephemeral random client seeds do not.
         assert!(
             hl_eval.hit_rate() > ntp_eval.hit_rate(),
             "hitlist-trained {:.3} ≤ ntp-trained {:.3}",

@@ -248,7 +248,11 @@ pub fn analyze(world: &World, corpus: &NtpCorpus, transition_threshold: u64) -> 
             macs,
         })
         .collect();
-    manufacturers.sort_by(|a, b| b.macs.cmp(&a.macs).then(a.manufacturer.cmp(&b.manufacturer)));
+    manufacturers.sort_by(|a, b| {
+        b.macs
+            .cmp(&a.macs)
+            .then(a.manufacturer.cmp(&b.manufacturer))
+    });
 
     // Figures 6a/6b and the classification.
     let lifetime_cdf = Cdf::new(tracks.iter().map(|t| t.lifetime() as f64).collect());
@@ -318,7 +322,11 @@ pub fn exemplars(world: &World, analysis: &TrackingAnalysis) -> Vec<Exemplar> {
                     .timeline
                     .iter()
                     .map(|&(day, p64, ai)| {
-                        (day, index_of(p64), world.ases[ai as usize].info.name.clone())
+                        (
+                            day,
+                            index_of(p64),
+                            world.ases[ai as usize].info.name.clone(),
+                        )
                     })
                     .collect(),
             });
@@ -363,7 +371,8 @@ mod tests {
         let (_w, a) = analysis();
         assert!(!a.manufacturers.is_empty());
         assert_eq!(
-            a.manufacturers[0].manufacturer, "Unlisted",
+            a.manufacturers[0].manufacturer,
+            "Unlisted",
             "top makers: {:?}",
             &a.manufacturers[..a.manufacturers.len().min(3)]
         );
@@ -430,7 +439,10 @@ mod tests {
             transitions: trans,
             timeline: Vec::new(),
         };
-        assert_eq!(classify(&mk(&[1], &["DE"], 2), 10), TrackClass::MostlyStatic);
+        assert_eq!(
+            classify(&mk(&[1], &["DE"], 2), 10),
+            TrackClass::MostlyStatic
+        );
         assert_eq!(
             classify(&mk(&[1], &["DE"], 50), 10),
             TrackClass::PrefixReassignment
@@ -478,8 +490,6 @@ mod tests {
         assert_eq!(a.prefix_count_cdf.len(), a.tracks.len());
         // CCDF at 1.5 = fraction of MACs in ≥2 /64s.
         let frac = a.prefix_count_cdf.fraction_above(1.5);
-        assert!(
-            (frac - a.multi_prefix_macs as f64 / a.tracks.len() as f64).abs() < 1e-9
-        );
+        assert!((frac - a.multi_prefix_macs as f64 / a.tracks.len() as f64).abs() < 1e-9);
     }
 }

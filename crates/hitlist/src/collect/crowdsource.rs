@@ -111,11 +111,7 @@ mod tests {
             .iter()
             .filter(|r| iid_entropy(r.iid()) >= 0.75)
             .count();
-        assert!(
-            high * 2 > d.len(),
-            "{high}/{} high-entropy",
-            d.len()
-        );
+        assert!(high * 2 > d.len(), "{high}/{} high-entropy", d.len());
     }
 
     #[test]

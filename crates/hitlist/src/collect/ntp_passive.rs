@@ -97,10 +97,7 @@ impl NtpCorpus {
 
         // The servers' own logs must agree with what we recorded.
         let served_per_vp: Vec<u64> = servers.iter().map(|s| s.served()).collect();
-        debug_assert_eq!(
-            served_per_vp.iter().sum::<u64>(),
-            observations.len() as u64
-        );
+        debug_assert_eq!(served_per_vp.iter().sum::<u64>(), observations.len() as u64);
         NtpCorpus {
             observations,
             served_per_vp,

@@ -112,10 +112,7 @@ impl Dataset {
     where
         I: IntoIterator<Item = Ipv6Addr>,
     {
-        Self::from_observations(
-            name,
-            addrs.into_iter().map(|addr| Observation { addr, t }),
-        )
+        Self::from_observations(name, addrs.into_iter().map(|addr| Observation { addr, t }))
     }
 
     /// Dataset name.
@@ -295,7 +292,11 @@ mod tests {
     fn common_counters() {
         let x = Dataset::from_observations(
             "x",
-            vec![obs("2a00:1::1", 0), obs("2a00:2::1", 0), obs("2a00:1:0:1::9", 0)],
+            vec![
+                obs("2a00:1::1", 0),
+                obs("2a00:2::1", 0),
+                obs("2a00:1:0:1::9", 0),
+            ],
         );
         let y = Dataset::from_observations("y", vec![obs("2a00:1::1", 9), obs("2a00:3::1", 9)]);
         assert_eq!(x.common_addresses(&y), 1);
@@ -317,13 +318,18 @@ mod tests {
     fn time_slice() {
         let d = Dataset::from_observations(
             "t",
-            vec![obs("2a00:1::1", 100), obs("2a00:1::2", 900), obs("2a00:1::3", 500)],
+            vec![
+                obs("2a00:1::1", 100),
+                obs("2a00:1::2", 900),
+                obs("2a00:1::3", 500),
+            ],
         );
         let s = d.slice("s", SimTime(400), SimTime(600));
         assert_eq!(s.len(), 1);
         assert!(s.contains(a("2a00:1::3")));
         // A record spanning the window edge is included.
-        let d2 = Dataset::from_observations("t", vec![obs("2a00:1::1", 100), obs("2a00:1::1", 700)]);
+        let d2 =
+            Dataset::from_observations("t", vec![obs("2a00:1::1", 100), obs("2a00:1::1", 700)]);
         assert_eq!(d2.slice("s", SimTime(400), SimTime(600)).len(), 1);
     }
 

@@ -33,5 +33,5 @@ pub use collect::ntp_passive::NtpCorpus;
 pub use dataset::{AddrRecord, Dataset, Observation};
 pub use pipeline::{Experiment, ExperimentConfig};
 pub use release::Release48;
-pub use service::HitlistService;
 pub use report::ExperimentRecord;
+pub use service::HitlistService;

@@ -12,7 +12,9 @@ use v6geo::WardriveDb;
 use v6netsim::{SimTime, World, WorldConfig};
 use v6scan::{AliasList, CaidaCampaignConfig, HitlistCampaignConfig};
 
-use crate::analysis::backscan::{alias_findings, backscan, AliasFindings, BackscanConfig, BackscanResult};
+use crate::analysis::backscan::{
+    alias_findings, backscan, AliasFindings, BackscanConfig, BackscanResult,
+};
 use crate::analysis::geoloc::{geolocate, GeolocConfig, GeolocationReport};
 use crate::analysis::patterns::Ipv4Acceptance;
 use crate::analysis::tracking::{analyze as analyze_tracking, TrackingAnalysis};

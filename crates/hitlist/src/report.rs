@@ -182,7 +182,9 @@ mod tests {
 
     #[test]
     fn ascii_plot_shape() {
-        let s1: Vec<(f64, f64)> = (0..=10).map(|i| (i as f64 / 10.0, i as f64 / 10.0)).collect();
+        let s1: Vec<(f64, f64)> = (0..=10)
+            .map(|i| (i as f64 / 10.0, i as f64 / 10.0))
+            .collect();
         let s2: Vec<(f64, f64)> = (0..=10).map(|i| (i as f64 / 10.0, 1.0)).collect();
         let plot = ascii_cdf_plot("demo", &[("diag", s1), ("flat", s2)], 40, 10);
         assert!(plot.contains("# demo"));

@@ -76,14 +76,45 @@ impl HitlistService {
     }
 
     /// The full responsive set as of a week (inclusive).
+    ///
+    /// Each weekly snapshot is already sorted at construction, so the
+    /// cumulative set is a k-way merge of sorted runs — O(n log k) with
+    /// no re-sort, instead of collecting everything and sorting from
+    /// scratch (O(n log n)) on every call.
     pub fn responsive_as_of(&self, week: u64) -> Vec<Ipv6Addr> {
-        let mut out: Vec<Ipv6Addr> = self
+        use std::cmp::Reverse;
+        use std::collections::BinaryHeap;
+
+        let runs: Vec<&[Ipv6Addr]> = self
             .snapshots
             .iter()
             .filter(|s| s.week <= week)
-            .flat_map(|s| s.new_responsive.iter().copied())
+            .map(|s| s.new_responsive.as_slice())
             .collect();
-        out.sort_unstable();
+        let total = runs.iter().map(|r| r.len()).sum();
+        let mut out: Vec<Ipv6Addr> = Vec::with_capacity(total);
+        match runs.len() {
+            0 => {}
+            1 => out.extend_from_slice(runs[0]),
+            _ => {
+                // Heap of (next address, run index); each pop advances
+                // one run's cursor.
+                let mut cursors = vec![0usize; runs.len()];
+                let mut heap: BinaryHeap<Reverse<(Ipv6Addr, usize)>> = runs
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, r)| !r.is_empty())
+                    .map(|(i, r)| Reverse((r[0], i)))
+                    .collect();
+                while let Some(Reverse((addr, i))) = heap.pop() {
+                    out.push(addr);
+                    cursors[i] += 1;
+                    if let Some(&next) = runs[i].get(cursors[i]) {
+                        heap.push(Reverse((next, i)));
+                    }
+                }
+            }
+        }
         out
     }
 
@@ -201,6 +232,38 @@ mod tests {
     }
 
     #[test]
+    fn merge_matches_collect_and_sort() {
+        let s = service();
+        for week in [0u64, 1, 2, u64::MAX] {
+            // Reference: the pre-merge implementation (collect + sort).
+            let mut reference: Vec<Ipv6Addr> = s
+                .snapshots
+                .iter()
+                .filter(|snap| snap.week <= week)
+                .flat_map(|snap| snap.new_responsive.iter().copied())
+                .collect();
+            reference.sort_unstable();
+            assert_eq!(s.responsive_as_of(week), reference, "week {week}");
+        }
+        // Degenerate inputs: no snapshots, and a single run.
+        let empty = HitlistService {
+            name: "empty".into(),
+            snapshots: Vec::new(),
+            aliased: Vec::new(),
+        };
+        assert!(empty.responsive_as_of(u64::MAX).is_empty());
+        let one = HitlistService {
+            name: "one".into(),
+            snapshots: s.snapshots[..1].to_vec(),
+            aliased: Vec::new(),
+        };
+        assert_eq!(
+            one.responsive_as_of(u64::MAX),
+            s.snapshots[0].new_responsive
+        );
+    }
+
+    #[test]
     fn json_round_trip() {
         let s = service();
         let json = s.to_json().unwrap();
@@ -208,6 +271,53 @@ mod tests {
         assert_eq!(back.total_responsive(), s.total_responsive());
         assert_eq!(back.aliased.len(), s.aliased.len());
         assert_eq!(back.snapshots.len(), s.snapshots.len());
+    }
+
+    #[test]
+    fn json_round_trip_is_exact() {
+        let s = service();
+        let back = HitlistService::from_json(&s.to_json().unwrap()).unwrap();
+        assert_eq!(back.name, s.name);
+        assert_eq!(back.aliased, s.aliased);
+        for (b, orig) in back.snapshots.iter().zip(&s.snapshots) {
+            assert_eq!(b.week, orig.week);
+            assert_eq!(b.cumulative, orig.cumulative);
+            assert_eq!(b.new_responsive, orig.new_responsive);
+        }
+        // And the re-imported service answers queries identically.
+        assert_eq!(back.responsive_as_of(1), s.responsive_as_of(1));
+    }
+
+    #[test]
+    fn privacy_release_json_round_trip() {
+        let s = service();
+        // Threshold 1 forces a mix: tiny weeks stay Full, big ones
+        // truncate; serialize the whole release stream and re-import.
+        for threshold in [0usize, 1, usize::MAX] {
+            let releases = s.privacy_aware_release(threshold);
+            let json = serde_json::to_string(&releases).unwrap();
+            let back: Vec<PrivacyRelease> = serde_json::from_str(&json).unwrap();
+            assert_eq!(back.len(), releases.len());
+            for (b, orig) in back.iter().zip(&releases) {
+                match (b, orig) {
+                    (
+                        PrivacyRelease::Full { week, addresses },
+                        PrivacyRelease::Full {
+                            week: w2,
+                            addresses: a2,
+                        },
+                    ) => {
+                        assert_eq!(week, w2);
+                        assert_eq!(addresses, a2);
+                    }
+                    (PrivacyRelease::Truncated(t), PrivacyRelease::Truncated(t2)) => {
+                        assert_eq!(t.len(), t2.len());
+                        assert!(t.verify_privacy_invariant());
+                    }
+                    _ => panic!("variant changed across JSON round trip"),
+                }
+            }
+        }
     }
 
     #[test]

@@ -408,25 +408,18 @@ mod tests {
     #[test]
     fn ipv4_embedding_decodes() {
         let inp = inputs(4);
-        let iid = generate_iid(
-            IidStrategy::Ipv4Embedded(Ipv4Encoding::LowHex),
-            &inp,
-            0,
-            0,
+        let iid = generate_iid(IidStrategy::Ipv4Embedded(Ipv4Encoding::LowHex), &inp, 0, 0);
+        assert_eq!(
+            Ipv4Encoding::LowHex.decode(iid),
+            Some("10.1.2.3".parse().unwrap())
         );
-        assert_eq!(Ipv4Encoding::LowHex.decode(iid), Some("10.1.2.3".parse().unwrap()));
     }
 
     #[test]
     fn ipv4_embedding_without_v4_falls_back() {
         let mut inp = inputs(5);
         inp.ipv4 = None;
-        let iid = generate_iid(
-            IidStrategy::Ipv4Embedded(Ipv4Encoding::LowHex),
-            &inp,
-            0,
-            0,
-        );
+        let iid = generate_iid(IidStrategy::Ipv4Embedded(Ipv4Encoding::LowHex), &inp, 0, 0);
         // Fallback is full-width random, so the top half is almost surely
         // nonzero (probability 2⁻³² otherwise).
         assert_ne!(iid.as_u64() >> 32, 0);

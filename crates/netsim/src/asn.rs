@@ -154,30 +154,149 @@ impl AsCatalog {
             };
 
         // ---- The paper's named heavyweights (Fig. 4, Fig. 7) ----
-        push(&mut ases, "Reliance Jio", "IN", AsKind::MobileIsp, P::jio(), 0.62);
-        push(&mut ases, "Bharti Airtel", "IN", AsKind::MobileIsp, P::mobile_default(), 0.22);
-        push(&mut ases, "BSNL", "IN", AsKind::EyeballIsp, P::eyeball_default(), 0.16);
+        push(
+            &mut ases,
+            "Reliance Jio",
+            "IN",
+            AsKind::MobileIsp,
+            P::jio(),
+            0.62,
+        );
+        push(
+            &mut ases,
+            "Bharti Airtel",
+            "IN",
+            AsKind::MobileIsp,
+            P::mobile_default(),
+            0.22,
+        );
+        push(
+            &mut ases,
+            "BSNL",
+            "IN",
+            AsKind::EyeballIsp,
+            P::eyeball_default(),
+            0.16,
+        );
 
-        push(&mut ases, "ChinaNet", "CN", AsKind::EyeballIsp, P::eyeball_default(), 0.40);
-        push(&mut ases, "China Mobile", "CN", AsKind::MobileIsp, P::mobile_default(), 0.38);
-        push(&mut ases, "China Unicom", "CN", AsKind::EyeballIsp, P::eyeball_default(), 0.22);
+        push(
+            &mut ases,
+            "ChinaNet",
+            "CN",
+            AsKind::EyeballIsp,
+            P::eyeball_default(),
+            0.40,
+        );
+        push(
+            &mut ases,
+            "China Mobile",
+            "CN",
+            AsKind::MobileIsp,
+            P::mobile_default(),
+            0.38,
+        );
+        push(
+            &mut ases,
+            "China Unicom",
+            "CN",
+            AsKind::EyeballIsp,
+            P::eyeball_default(),
+            0.22,
+        );
 
-        push(&mut ases, "T-Mobile US", "US", AsKind::MobileIsp, P::mobile_default(), 0.30);
-        push(&mut ases, "Comcast", "US", AsKind::EyeballIsp, P::eyeball_default(), 0.28);
-        push(&mut ases, "Verizon", "US", AsKind::MobileIsp, P::mobile_default(), 0.20);
-        push(&mut ases, "Charter", "US", AsKind::EyeballIsp, P::eyeball_default(), 0.22);
+        push(
+            &mut ases,
+            "T-Mobile US",
+            "US",
+            AsKind::MobileIsp,
+            P::mobile_default(),
+            0.30,
+        );
+        push(
+            &mut ases,
+            "Comcast",
+            "US",
+            AsKind::EyeballIsp,
+            P::eyeball_default(),
+            0.28,
+        );
+        push(
+            &mut ases,
+            "Verizon",
+            "US",
+            AsKind::MobileIsp,
+            P::mobile_default(),
+            0.20,
+        );
+        push(
+            &mut ases,
+            "Charter",
+            "US",
+            AsKind::EyeballIsp,
+            P::eyeball_default(),
+            0.22,
+        );
 
-        push(&mut ases, "Telefonica Brasil", "BR", AsKind::EyeballIsp, P::eyeball_default(), 0.40);
-        push(&mut ases, "Claro BR", "BR", AsKind::MobileIsp, P::mobile_default(), 0.35);
-        push(&mut ases, "Nova Santos Telecom", "BR", AsKind::EyeballIsp, P::eyeball_eui64_heavy(), 0.25);
+        push(
+            &mut ases,
+            "Telefonica Brasil",
+            "BR",
+            AsKind::EyeballIsp,
+            P::eyeball_default(),
+            0.40,
+        );
+        push(
+            &mut ases,
+            "Claro BR",
+            "BR",
+            AsKind::MobileIsp,
+            P::mobile_default(),
+            0.35,
+        );
+        push(
+            &mut ases,
+            "Nova Santos Telecom",
+            "BR",
+            AsKind::EyeballIsp,
+            P::eyeball_eui64_heavy(),
+            0.25,
+        );
 
-        push(&mut ases, "Telekomunikasi Selular", "ID", AsKind::MobileIsp, P::telkomsel(), 0.60);
-        push(&mut ases, "Indosat", "ID", AsKind::MobileIsp, P::mobile_default(), 0.40);
+        push(
+            &mut ases,
+            "Telekomunikasi Selular",
+            "ID",
+            AsKind::MobileIsp,
+            P::telkomsel(),
+            0.60,
+        );
+        push(
+            &mut ases,
+            "Indosat",
+            "ID",
+            AsKind::MobileIsp,
+            P::mobile_default(),
+            0.40,
+        );
 
         // German ISPs ship AVM Fritz!Box CPE with (pre-7.50) EUI-64 WAN
         // addresses — the §5.3 geolocation population.
-        push(&mut ases, "Deutsche Telekom", "DE", AsKind::EyeballIsp, P::german_avm(), 0.55);
-        push(&mut ases, "Vodafone DE", "DE", AsKind::EyeballIsp, P::german_avm(), 0.45);
+        push(
+            &mut ases,
+            "Deutsche Telekom",
+            "DE",
+            AsKind::EyeballIsp,
+            P::german_avm(),
+            0.55,
+        );
+        push(
+            &mut ases,
+            "Vodafone DE",
+            "DE",
+            AsKind::EyeballIsp,
+            P::german_avm(),
+            0.45,
+        );
 
         // ---- Generated per-country tails ----
         for info in registry.all() {
@@ -217,8 +336,10 @@ impl AsCatalog {
         }
 
         // ---- Transit backbone (no clients; traceroute fodder) ----
-        for (i, cc) in ["US", "US", "DE", "GB", "NL", "SE", "JP", "SG", "BR", "ZA", "FR", "HK",
-            "US", "DE", "IN", "CN", "AU", "ES", "PL", "KR", "IT", "CA", "RU", "TR", "MX"]
+        for (i, cc) in [
+            "US", "US", "DE", "GB", "NL", "SE", "JP", "SG", "BR", "ZA", "FR", "HK", "US", "DE",
+            "IN", "CN", "AU", "ES", "PL", "KR", "IT", "CA", "RU", "TR", "MX",
+        ]
         .iter()
         .enumerate()
         {
@@ -233,9 +354,11 @@ impl AsCatalog {
         }
 
         // ---- Hosting / cloud (servers + aliased prefixes) ----
-        for (i, cc) in ["US", "US", "DE", "NL", "SG", "JP", "GB", "IN", "BR", "AU", "FR", "CA"]
-            .iter()
-            .enumerate()
+        for (i, cc) in [
+            "US", "US", "DE", "NL", "SG", "JP", "GB", "IN", "BR", "AU", "FR", "CA",
+        ]
+        .iter()
+        .enumerate()
         {
             push(
                 &mut ases,
@@ -366,7 +489,10 @@ mod tests {
         let aliased = c.ases.iter().filter(|a| a.clients_aliased()).count();
         assert!(aliased >= 2, "expected several client-aliased ASes");
         assert!(c.ases.iter().any(|a| a.alias_front == AliasFront::Full));
-        assert!(c.ases.iter().any(|a| a.alias_front == AliasFront::ActiveOnly));
+        assert!(c
+            .ases
+            .iter()
+            .any(|a| a.alias_front == AliasFront::ActiveOnly));
     }
 
     #[test]
@@ -375,7 +501,10 @@ mod tests {
         let jio = c.by_name("Reliance Jio").unwrap();
         assert_eq!(jio.kind.asdb_subtype(), "Phone Provider");
         let comcast = c.by_name("Comcast").unwrap();
-        assert_eq!(comcast.kind.asdb_subtype(), "Internet Service Provider (ISP)");
+        assert_eq!(
+            comcast.kind.asdb_subtype(),
+            "Internet Service Provider (ISP)"
+        );
     }
 
     #[test]

@@ -14,9 +14,7 @@ use v6addr::Mac;
 use crate::rng::Rng;
 
 /// Dense world-wide device identifier.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct DeviceId(pub u32);
 
 /// What kind of box a device is.
@@ -45,7 +43,10 @@ pub enum DeviceKind {
 impl DeviceKind {
     /// True for end-user client devices (vs infrastructure).
     pub fn is_client(self) -> bool {
-        !matches!(self, DeviceKind::Server | DeviceKind::CoreRouter | DeviceKind::CpeRouter)
+        !matches!(
+            self,
+            DeviceKind::Server | DeviceKind::CoreRouter | DeviceKind::CpeRouter
+        )
     }
 
     /// Probability the device answers an ICMPv6 echo for an address it
@@ -397,7 +398,10 @@ mod tests {
             })
             .count();
         assert!(reused > 10, "reuse never fired in {n} draws");
-        assert!((reused as f64) < n as f64 * 0.01, "reuse too common: {reused}");
+        assert!(
+            (reused as f64) < n as f64 * 0.01,
+            "reuse too common: {reused}"
+        );
     }
 
     #[test]

@@ -223,8 +223,10 @@ mod tests {
                 }
             }
             if d.strategy == crate::addressing::IidStrategy::Eui64 {
-                let iids: HashSet<u64> =
-                    set.iter().map(|&a| Iid::from_addr(a.into()).as_u64()).collect();
+                let iids: HashSet<u64> = set
+                    .iter()
+                    .map(|&a| Iid::from_addr(a.into()).as_u64())
+                    .collect();
                 assert_eq!(iids.len(), 1, "EUI-64 device changed IID");
             }
         }

@@ -167,7 +167,9 @@ impl World {
         let asr = &self.ases[net.as_index as usize];
         let profile = &asr.info.profile;
         let epoch = profile.rotation.epoch(t);
-        let slot = self.home_perm(net.as_index, epoch).apply(net.local_index as u64);
+        let slot = self
+            .home_perm(net.as_index, epoch)
+            .apply(net.local_index as u64);
         let idx = slot * self.home_stride(net.as_index);
         asr.customer33().subprefix(profile.delegation_len, idx)
     }
@@ -184,7 +186,9 @@ impl World {
 
         let upper: u64 = if dev.kind == DeviceKind::CpeRouter {
             // WAN side: the per-slot /64 in the CPE WAN pool.
-            let s = self.home_perm(net.as_index, prefix_epoch).apply(net.local_index as u64);
+            let s = self
+                .home_perm(net.as_index, prefix_epoch)
+                .apply(net.local_index as u64);
             let idx = s * self.wan_stride(net.as_index);
             (asr.cpe_wan34().subprefix(64, idx).bits() >> 64) as u64
         } else {
@@ -345,8 +349,7 @@ impl World {
                 }
             }
             Region::HomePool => {
-                let Some(net_id) =
-                    self.active_home_network(addr, region_prefix, entry.as_index, t)
+                let Some(net_id) = self.active_home_network(addr, region_prefix, entry.as_index, t)
                 else {
                     return Resolution::Vacant;
                 };
@@ -447,7 +450,8 @@ impl World {
         // is held (this is how Yarrp discovers the network periphery).
         if let Some((region_prefix, entry)) = self.route_lookup(dst) {
             if entry.region == Region::HomePool {
-                if let Some(network) = self.active_home_network(dst, region_prefix, entry.as_index, t)
+                if let Some(network) =
+                    self.active_home_network(dst, region_prefix, entry.as_index, t)
                 {
                     let cpe = self.networks[network as usize].cpe;
                     if let Some(a) = self.home_addr_at(cpe, t) {
@@ -485,10 +489,7 @@ impl World {
             let from = hops[ttl as usize - 1];
             // Routers occasionally rate-limit TTL-exceeded generation.
             return if self.responds(0.95, from, t) {
-                ProbeOutcome::TimeExceeded {
-                    from,
-                    hop: ttl,
-                }
+                ProbeOutcome::TimeExceeded { from, hop: ttl }
             } else {
                 ProbeOutcome::NoResponse
             };
@@ -508,8 +509,7 @@ impl World {
                 // ICMP-quiet web servers drop ping entirely (found only
                 // by multi-protocol campaigns).
                 let p = if dev.kind == DeviceKind::Server {
-                    ServerRole::of_seed(dev.seed)
-                        .answer_prob(ProbeKind::IcmpEcho)
+                    ServerRole::of_seed(dev.seed).answer_prob(ProbeKind::IcmpEcho)
                 } else {
                     dev.kind.respond_prob()
                 };
@@ -558,9 +558,7 @@ impl World {
                 // (sometimes; silence is common too).
                 let hops = self.route_hops(vp_as, dst, t);
                 match hops.last() {
-                    Some(&from) if self.responds(0.5, dst, t) => {
-                        ProbeOutcome::Unreachable { from }
-                    }
+                    Some(&from) if self.responds(0.5, dst, t) => ProbeOutcome::Unreachable { from },
                     _ => ProbeOutcome::NoResponse,
                 }
             }
@@ -576,7 +574,13 @@ impl World {
     /// multi-protocol campaign can find), alias middleboxes answer
     /// everything, CPE occasionally exposes a management HTTPS port, and
     /// client devices expose no services.
-    pub fn probe_kind(&self, vp_as: u16, dst: Ipv6Addr, kind: ProbeKind, t: SimTime) -> ProbeOutcome {
+    pub fn probe_kind(
+        &self,
+        vp_as: u16,
+        dst: Ipv6Addr,
+        kind: ProbeKind,
+        t: SimTime,
+    ) -> ProbeOutcome {
         if kind == ProbeKind::IcmpEcho {
             return self.probe_echo(vp_as, dst, t);
         }
@@ -907,7 +911,9 @@ mod tests {
         // Aliased space answers any probe kind.
         let alias = w.aliased_prefixes()[0].offset(7);
         assert!(w.probe_kind(0, alias, ProbeKind::TcpSyn(80), t).is_echo());
-        assert!(w.probe_kind(0, alias, ProbeKind::UdpDatagram(53), t).is_echo());
+        assert!(w
+            .probe_kind(0, alias, ProbeKind::UdpDatagram(53), t)
+            .is_echo());
         // Routers never answer TCP.
         let router = w.ases[0].router48().offset(1);
         assert!(!w.probe_kind(0, router, ProbeKind::TcpSyn(443), t).is_echo());

@@ -12,7 +12,6 @@ use serde::{Deserialize, Serialize};
 
 use crate::addressing::IidStrategy;
 use crate::asn::AsKind;
-use crate::device::DeviceKind;
 use crate::world::World;
 
 /// Summary statistics of a built world.
@@ -48,16 +47,12 @@ impl WorldStats {
         let mut clients_by_country: BTreeMap<String, u64> = BTreeMap::new();
         let mut pool_visible = 0u64;
         for d in &world.devices {
-            *devices_by_kind
-                .entry(format!("{:?}", d.kind))
-                .or_insert(0) += 1;
+            *devices_by_kind.entry(format!("{:?}", d.kind)).or_insert(0) += 1;
             if d.uses_pool {
                 pool_visible += 1;
             }
             if d.kind.is_client() {
-                *strategies
-                    .entry(format!("{:?}", d.strategy))
-                    .or_insert(0) += 1;
+                *strategies.entry(format!("{:?}", d.strategy)).or_insert(0) += 1;
                 let as_index = d
                     .home
                     .map(|h| world.networks[h.network as usize].as_index)
@@ -71,7 +66,9 @@ impl WorldStats {
         }
         let mut ases_by_kind: BTreeMap<String, u64> = BTreeMap::new();
         for a in &world.ases {
-            *ases_by_kind.entry(format!("{:?}", a.info.kind)).or_insert(0) += 1;
+            *ases_by_kind
+                .entry(format!("{:?}", a.info.kind))
+                .or_insert(0) += 1;
         }
         WorldStats {
             devices: world.devices.len() as u64,

@@ -415,9 +415,7 @@ impl World {
             // Aliased /48s at the top of the customer half.
             let max48 = cust.subprefix_count(48);
             for j in 0..config.aliased_48s_per_hosting_as as u64 {
-                ases[ai]
-                    .alias_48s
-                    .push(cust.subprefix(48, max48 - 1 - j));
+                ases[ai].alias_48s.push(cust.subprefix(48, max48 - 1 - j));
             }
         }
 
@@ -600,7 +598,9 @@ impl World {
             {
                 if subscriber == u32::MAX {
                     let sub = ases[as_index as usize].subscriber_ids.len() as u32;
-                    ases[as_index as usize].subscriber_ids.push(DeviceId(d as u32));
+                    ases[as_index as usize]
+                        .subscriber_ids
+                        .push(DeviceId(d as u32));
                     devices[d].cellular = Some(CellSlot {
                         as_index,
                         subscriber: sub,
@@ -772,7 +772,10 @@ impl World {
         let asr = &self.ases[as_index as usize];
         IndexPermutation::new(
             asr.home_slot_count,
-            hash64(self.seed ^ epoch.wrapping_mul(0x9e37), format!("hperm/{as_index}").as_bytes()),
+            hash64(
+                self.seed ^ epoch.wrapping_mul(0x9e37),
+                format!("hperm/{as_index}").as_bytes(),
+            ),
         )
     }
 
@@ -781,7 +784,10 @@ impl World {
         let asr = &self.ases[as_index as usize];
         IndexPermutation::new(
             asr.mobile_slot_count,
-            hash64(self.seed ^ epoch.wrapping_mul(0x85eb), format!("mperm/{as_index}").as_bytes()),
+            hash64(
+                self.seed ^ epoch.wrapping_mul(0x85eb),
+                format!("mperm/{as_index}").as_bytes(),
+            ),
         )
     }
 
@@ -1001,7 +1007,12 @@ mod tests {
     #[test]
     fn fixed_addrs_resolve_to_their_devices() {
         let w = tiny();
-        for d in w.devices.iter().filter(|d| d.fixed_addr.is_some()).take(100) {
+        for d in w
+            .devices
+            .iter()
+            .filter(|d| d.fixed_addr.is_some())
+            .take(100)
+        {
             let got = w.fixed_addrs.get(&u128::from(d.fixed_addr.unwrap()));
             assert_eq!(got, Some(&d.id));
         }
@@ -1028,7 +1039,7 @@ mod tests {
     fn slot_domain_bounds() {
         assert!(slot_domain(100, 56, 33) >= 6400);
         assert_eq!(slot_domain(0, 56, 33), 64); // max(1*64)
-        // /64 delegations in a /33 cap at 2^31 but want stays small.
+                                                // /64 delegations in a /33 cap at 2^31 but want stays small.
         assert_eq!(slot_domain(1000, 64, 33), 65_536);
         // Edu /48 delegations cap at 2^15.
         assert_eq!(slot_domain(40_000, 48, 33), 1 << 15);

@@ -3,9 +3,7 @@
 use std::sync::OnceLock;
 
 use proptest::prelude::*;
-use v6netsim::{
-    AttachKind, IndexPermutation, Resolution, SimTime, World, WorldConfig,
-};
+use v6netsim::{AttachKind, IndexPermutation, Resolution, SimTime, World, WorldConfig};
 
 fn world() -> &'static World {
     static W: OnceLock<World> = OnceLock::new();

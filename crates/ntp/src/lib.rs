@@ -23,8 +23,8 @@ pub mod server;
 pub mod timestamp;
 
 pub use client::{NtpClient, SyncError, SyncResult};
-pub use packet::{LeapIndicator, Mode, NtpPacket, PacketError, PACKET_LEN};
 pub use monitor::{CheckResult, MonitorConfig, PoolMonitor};
+pub use packet::{LeapIndicator, Mode, NtpPacket, PacketError, PACKET_LEN};
 pub use pool::{NtpPool, Zone};
 pub use server::{QueryRecord, ServeError, Stratum2Server};
 pub use timestamp::{NtpShort, NtpTimestamp};

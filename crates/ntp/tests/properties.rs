@@ -2,8 +2,8 @@
 
 use proptest::prelude::*;
 use v6ntp::{
-    LeapIndicator, Mode, NtpClient, NtpPacket, NtpShort, NtpTimestamp, PacketError,
-    Stratum2Server, PACKET_LEN,
+    LeapIndicator, Mode, NtpClient, NtpPacket, NtpShort, NtpTimestamp, PacketError, Stratum2Server,
+    PACKET_LEN,
 };
 
 fn arb_packet() -> impl Strategy<Value = NtpPacket> {

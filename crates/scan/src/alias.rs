@@ -59,12 +59,7 @@ impl AliasDetector {
     }
 
     /// Runs detection over many candidates, returning the aliased ones.
-    pub fn sweep<P: Prober>(
-        &self,
-        prober: &P,
-        candidates: &[Prefix],
-        t: SimTime,
-    ) -> Vec<Prefix> {
+    pub fn sweep<P: Prober>(&self, prober: &P, candidates: &[Prefix], t: SimTime) -> Vec<Prefix> {
         candidates
             .iter()
             .filter(|p| self.detect(prober, p, t))

@@ -49,7 +49,11 @@ pub struct CampaignResult {
 impl CampaignResult {
     /// Distinct discovered addresses.
     pub fn unique_addresses(&self) -> Vec<Ipv6Addr> {
-        let mut v: Vec<u128> = self.discoveries.iter().map(|d| u128::from(d.addr)).collect();
+        let mut v: Vec<u128> = self
+            .discoveries
+            .iter()
+            .map(|d| u128::from(d.addr))
+            .collect();
         v.sort_unstable();
         v.dedup();
         v.into_iter().map(Ipv6Addr::from).collect()
@@ -342,7 +346,10 @@ mod tests {
             let ai = w.as_index_of(p.network()).unwrap() as usize;
             let asr = &w.ases[ai];
             let ok = asr.info.clients_aliased()
-                || asr.alias_48s.iter().any(|a| a.contains_prefix(p) || p.contains_prefix(a));
+                || asr
+                    .alias_48s
+                    .iter()
+                    .any(|a| a.contains_prefix(p) || p.contains_prefix(a));
             assert!(ok, "false alias {p} in {}", asr.info.name);
         }
     }

@@ -129,8 +129,16 @@ impl Icmpv6Message {
     pub fn encode(&self, src: Ipv6Addr, dst: Ipv6Addr) -> Bytes {
         let mut buf = BytesMut::with_capacity(64);
         match self {
-            Icmpv6Message::EchoRequest { ident, seq, payload }
-            | Icmpv6Message::EchoReply { ident, seq, payload } => {
+            Icmpv6Message::EchoRequest {
+                ident,
+                seq,
+                payload,
+            }
+            | Icmpv6Message::EchoReply {
+                ident,
+                seq,
+                payload,
+            } => {
                 buf.put_u8(self.type_byte());
                 buf.put_u8(0); // code
                 buf.put_u16(0); // checksum placeholder
@@ -178,9 +186,17 @@ impl Icmpv6Message {
                 let seq = body.get_u16();
                 let payload = Bytes::copy_from_slice(body);
                 Ok(if wire[0] == TYPE_ECHO_REQUEST {
-                    Icmpv6Message::EchoRequest { ident, seq, payload }
+                    Icmpv6Message::EchoRequest {
+                        ident,
+                        seq,
+                        payload,
+                    }
                 } else {
-                    Icmpv6Message::EchoReply { ident, seq, payload }
+                    Icmpv6Message::EchoReply {
+                        ident,
+                        seq,
+                        payload,
+                    }
                 })
             }
             TYPE_TIME_EXCEEDED => {

@@ -35,7 +35,7 @@ pub use campaign::{
     run_caida_campaign, run_hitlist_campaign, CaidaCampaignConfig, CampaignResult, Discovery,
     HitlistCampaignConfig,
 };
-pub use icmp::{Icmpv6Message, IcmpError};
+pub use icmp::{IcmpError, Icmpv6Message};
 pub use prober::{FnProber, Prober, WorldProber};
 pub use range_tga::RangeTga;
 pub use target_gen::{caida_routed48_targets, eui64_vendor_targets, low_iid_targets, PatternTga};

@@ -174,7 +174,11 @@ mod tests {
         // Three random privacy IIDs: nearly every nibble position ends up
         // with 3 observed values, so the induced range spans ~3^16
         // addresses — far past the probeable cap.
-        for iid in [0x8f3a_d2c1_9b47_e605u64, 0x17c4_a98e_03f2_5bd8, 0x6e01_f7b3_c28a_944d] {
+        for iid in [
+            0x8f3a_d2c1_9b47_e605u64,
+            0x17c4_a98e_03f2_5bd8,
+            0x6e01_f7b3_c28a_944d,
+        ] {
             tga.observe(a(upper, iid));
         }
         let cands = tga.generate(1000);
@@ -205,7 +209,9 @@ mod tests {
         let cands = tga.generate(3);
         assert_eq!(cands.len(), 3);
         // The tight /64 (upper 10) must be enumerated first.
-        assert!(cands.iter().all(|c| v6addr::upper64(*c) == 10 || v6addr::upper64(*c) == 20));
+        assert!(cands
+            .iter()
+            .all(|c| v6addr::upper64(*c) == 10 || v6addr::upper64(*c) == 20));
         assert_eq!(v6addr::upper64(cands[0]), 10);
     }
 

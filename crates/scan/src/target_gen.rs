@@ -222,11 +222,18 @@ mod tests {
     fn tga_finds_recurring_low_iids() {
         let mut tga = PatternTga::new();
         // Servers at ::1/::2 across three prefixes; one random client.
-        for upper in [0x2a00_0001_0000_0000u64, 0x2a00_0002_0000_0000, 0x2a00_0003_0000_0000] {
+        for upper in [
+            0x2a00_0001_0000_0000u64,
+            0x2a00_0002_0000_0000,
+            0x2a00_0003_0000_0000,
+        ] {
             tga.observe(v6addr::join(upper, Iid::new(1)));
             tga.observe(v6addr::join(upper, Iid::new(2)));
         }
-        tga.observe(v6addr::join(0x2a00_0001_0000_0000, Iid::new(0xdead_beef_cafe_f00d)));
+        tga.observe(v6addr::join(
+            0x2a00_0001_0000_0000,
+            Iid::new(0xdead_beef_cafe_f00d),
+        ));
         let cands = tga.generate(100);
         // The cross product must predict ::1 in prefix 3 and ::2 in 1, etc.
         assert!(cands.contains(&v6addr::join(0x2a00_0003_0000_0000, Iid::new(2))));

@@ -204,7 +204,8 @@ mod tests {
                 ProbeOutcome::EchoReply { from: dst }
             }
         });
-        let targets: Vec<Ipv6Addr> = vec!["2a00:1::1".parse().unwrap(), "2a00:2::1".parse().unwrap()];
+        let targets: Vec<Ipv6Addr> =
+            vec!["2a00:1::1".parse().unwrap(), "2a00:2::1".parse().unwrap()];
         let cfg = YarrpConfig {
             ttl_max: 6,
             ..Default::default()
@@ -218,10 +219,7 @@ mod tests {
             assert_eq!(path[0], (1, hop(1)));
             assert_eq!(path[2], (3, hop(3)));
             // Destination reached at TTLs 4..=6.
-            assert_eq!(
-                r.reached.iter().filter(|&&(a, _, _)| a == t).count(),
-                3
-            );
+            assert_eq!(r.reached.iter().filter(|&&(a, _, _)| a == t).count(), 3);
         }
         // Discovered = 3 hops + 2 targets.
         assert_eq!(r.discovered_addresses().len(), 5);

@@ -123,9 +123,7 @@ pub fn scan<P: Prober>(prober: &P, targets: &[Ipv6Addr], cfg: &Zmap6Config) -> S
                 .encode(from, src);
                 match Icmpv6Message::decode(from, src, &reply) {
                     Ok(Icmpv6Message::EchoReply {
-                        ident: ri,
-                        seq: rs,
-                        ..
+                        ident: ri, seq: rs, ..
                     }) => {
                         let (wi, ws) = validation(cfg.seed, from);
                         if (ri, rs) == (wi, ws) {

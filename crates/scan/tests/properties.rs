@@ -4,7 +4,7 @@ use proptest::prelude::*;
 use std::net::Ipv6Addr;
 
 use v6netsim::{ProbeOutcome, SimTime};
-use v6scan::{scan, AliasList, FnProber, Icmpv6Message, IcmpError, Zmap6Config};
+use v6scan::{scan, AliasList, FnProber, IcmpError, Icmpv6Message, Zmap6Config};
 
 fn addr(bits: u128) -> Ipv6Addr {
     Ipv6Addr::from(bits)

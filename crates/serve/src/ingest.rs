@@ -1,0 +1,381 @@
+//! Concurrent ingestion: publications in, snapshot epochs out.
+//!
+//! Updates flow through two bounded crossbeam channels:
+//!
+//! ```text
+//! submit() ──▶ [updates] ──▶ shard workers ──▶ [batches] ──▶ merger ──▶ store.publish()
+//! ```
+//!
+//! Shard workers normalize each [`PublicationUpdate`] into per-shard
+//! sorted `(bits, week)` runs off the serving threads; the single merger
+//! thread owns the accumulated state, merges each run in O(n), and
+//! publishes a fresh epoch per update. Bounded channels give natural
+//! backpressure: when ingestion falls behind, `submit` blocks the
+//! producer instead of growing queues without limit — readers are never
+//! involved, they keep serving the last published epoch.
+
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use crossbeam::channel::{bounded, Receiver, Sender};
+
+use v6addr::{shard48, Prefix};
+use v6hitlist::{HitlistService, NtpCorpus};
+use v6scan::CampaignResult;
+
+use crate::snapshot::Snapshot;
+use crate::store::HitlistStore;
+
+const WEEK_SECS: u64 = 7 * 86_400;
+
+/// One unit of publication input.
+#[derive(Debug, Clone)]
+pub enum PublicationUpdate {
+    /// A full service publication stream (all weekly snapshots at once).
+    Service(HitlistService),
+    /// One incremental weekly release.
+    Week {
+        /// Study week of the release.
+        week: u64,
+        /// Addresses published this week.
+        addresses: Vec<std::net::Ipv6Addr>,
+    },
+    /// Passive observations as `(address bits, seconds since study start)`.
+    Passive {
+        /// The raw observations.
+        observations: Vec<(u128, u32)>,
+    },
+    /// Aliased-prefix registrations, effective from `week`.
+    Aliases {
+        /// Week the aliases were detected.
+        week: u64,
+        /// The aliased prefixes.
+        prefixes: Vec<Prefix>,
+    },
+}
+
+impl PublicationUpdate {
+    /// Wraps an active campaign's results as a service publication.
+    pub fn from_campaign(name: impl Into<String>, campaign: &CampaignResult) -> Self {
+        PublicationUpdate::Service(HitlistService::from_campaign(name, campaign))
+    }
+
+    /// Wraps a passive NTP corpus.
+    pub fn from_corpus(corpus: &NtpCorpus) -> Self {
+        PublicationUpdate::Passive {
+            observations: corpus.observations.iter().map(|o| (o.addr, o.t)).collect(),
+        }
+    }
+
+    /// Addresses carried (before dedup), for stats and backpressure sizing.
+    pub fn address_count(&self) -> u64 {
+        match self {
+            PublicationUpdate::Service(s) => s
+                .snapshots
+                .iter()
+                .map(|w| w.new_responsive.len() as u64)
+                .sum(),
+            PublicationUpdate::Week { addresses, .. } => addresses.len() as u64,
+            PublicationUpdate::Passive { observations } => observations.len() as u64,
+            PublicationUpdate::Aliases { .. } => 0,
+        }
+    }
+}
+
+/// A normalized update: per-shard sorted `(bits, week)` runs + aliases.
+struct ShardBatch {
+    per_shard: Vec<Vec<(u128, u32)>>,
+    aliases: Vec<(Prefix, u32)>,
+    raw_addresses: u64,
+}
+
+fn normalize(update: PublicationUpdate, shard_bits: u32) -> ShardBatch {
+    let shard_count = 1usize << shard_bits;
+    let mut per_shard: Vec<Vec<(u128, u32)>> = vec![Vec::new(); shard_count];
+    let mut aliases: Vec<(Prefix, u32)> = Vec::new();
+    let raw_addresses = update.address_count();
+    let push = |bits: u128, week: u32, shards: &mut Vec<Vec<(u128, u32)>>| {
+        shards[shard48(bits, shard_bits)].push((bits, week));
+    };
+    match update {
+        PublicationUpdate::Service(service) => {
+            for snap in &service.snapshots {
+                for &a in &snap.new_responsive {
+                    push(u128::from(a), snap.week as u32, &mut per_shard);
+                }
+            }
+            let first_week = service
+                .snapshots
+                .first()
+                .map(|s| s.week as u32)
+                .unwrap_or(0);
+            aliases.extend(service.aliased.iter().map(|&p| (p, first_week)));
+        }
+        PublicationUpdate::Week { week, addresses } => {
+            for &a in &addresses {
+                push(u128::from(a), week as u32, &mut per_shard);
+            }
+        }
+        PublicationUpdate::Passive { observations } => {
+            for &(bits, t) in &observations {
+                push(bits, (u64::from(t) / WEEK_SECS) as u32, &mut per_shard);
+            }
+        }
+        PublicationUpdate::Aliases { week, prefixes } => {
+            aliases.extend(prefixes.iter().map(|&p| (p, week as u32)));
+        }
+    }
+    for run in &mut per_shard {
+        // Sort by (bits, week) then dedup keeping the first entry of each
+        // equal-bits run — i.e. the earliest week within this update.
+        run.sort_unstable();
+        run.dedup_by_key(|&mut (b, _)| b);
+    }
+    ShardBatch {
+        per_shard,
+        aliases,
+        raw_addresses,
+    }
+}
+
+/// Merges a sorted run into sorted accumulated state, keeping the
+/// earliest week for duplicate addresses. Returns duplicates coalesced.
+fn merge_run(acc: &mut Vec<(u128, u32)>, run: Vec<(u128, u32)>) -> u64 {
+    if run.is_empty() {
+        return 0;
+    }
+    if acc.is_empty() {
+        *acc = run;
+        return 0;
+    }
+    let mut out = Vec::with_capacity(acc.len() + run.len());
+    let mut duplicates = 0u64;
+    let (mut i, mut j) = (0usize, 0usize);
+    while i < acc.len() && j < run.len() {
+        let (ab, aw) = acc[i];
+        let (rb, rw) = run[j];
+        match ab.cmp(&rb) {
+            std::cmp::Ordering::Less => {
+                out.push((ab, aw));
+                i += 1;
+            }
+            std::cmp::Ordering::Greater => {
+                out.push((rb, rw));
+                j += 1;
+            }
+            std::cmp::Ordering::Equal => {
+                out.push((ab, aw.min(rw)));
+                duplicates += 1;
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    out.extend_from_slice(&acc[i..]);
+    out.extend_from_slice(&run[j..]);
+    *acc = out;
+    duplicates
+}
+
+/// What an ingestion run accomplished.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct IngestStats {
+    /// Updates processed.
+    pub updates: u64,
+    /// Raw addresses submitted (before any dedup).
+    pub raw_addresses: u64,
+    /// Unique addresses in the final snapshot.
+    pub unique_addresses: u64,
+    /// Duplicates coalesced across updates (weekly re-publications).
+    pub duplicates: u64,
+    /// Epochs published.
+    pub epochs_published: u64,
+}
+
+/// Configuration for the ingestion pipeline.
+#[derive(Debug, Clone, Copy)]
+pub struct Ingestor {
+    /// Shard-normalization worker threads.
+    pub workers: usize,
+    /// Capacity of each bounded channel (backpressure threshold).
+    pub queue_capacity: usize,
+}
+
+impl Default for Ingestor {
+    fn default() -> Self {
+        Ingestor {
+            workers: 2,
+            queue_capacity: 8,
+        }
+    }
+}
+
+impl Ingestor {
+    /// Starts the pipeline against `store`.
+    pub fn spawn(self, store: Arc<HitlistStore>) -> IngestHandle {
+        assert!(self.workers >= 1, "need at least one worker");
+        let shard_bits = store.snapshot().shard_count().trailing_zeros();
+        let (update_tx, update_rx) = bounded::<PublicationUpdate>(self.queue_capacity);
+        let (batch_tx, batch_rx) = bounded::<ShardBatch>(self.queue_capacity);
+
+        let workers: Vec<JoinHandle<()>> = (0..self.workers)
+            .map(|_| {
+                let rx: Receiver<PublicationUpdate> = update_rx.clone();
+                let tx: Sender<ShardBatch> = batch_tx.clone();
+                std::thread::spawn(move || {
+                    for update in rx.iter() {
+                        if tx.send(normalize(update, shard_bits)).is_err() {
+                            return; // merger gone; nothing to do but exit
+                        }
+                    }
+                })
+            })
+            .collect();
+        // Drop the originals so the batch channel closes when the last
+        // worker exits, which in turn ends the merger loop.
+        drop(update_rx);
+        drop(batch_tx);
+
+        let merger = std::thread::spawn(move || merge_loop(store, shard_bits, batch_rx));
+
+        IngestHandle {
+            tx: Some(update_tx),
+            workers,
+            merger: Some(merger),
+        }
+    }
+}
+
+fn merge_loop(
+    store: Arc<HitlistStore>,
+    shard_bits: u32,
+    batches: Receiver<ShardBatch>,
+) -> IngestStats {
+    let name = store.snapshot().name().to_string();
+    let mut acc: Vec<Vec<(u128, u32)>> = vec![Vec::new(); 1usize << shard_bits];
+    let mut aliases: Vec<(Prefix, u32)> = Vec::new();
+    let mut stats = IngestStats::default();
+    for batch in batches.iter() {
+        stats.updates += 1;
+        stats.raw_addresses += batch.raw_addresses;
+        store.metrics().record_ingested(batch.raw_addresses);
+        for (slot, run) in acc.iter_mut().zip(batch.per_shard) {
+            stats.duplicates += merge_run(slot, run);
+        }
+        for (prefix, week) in batch.aliases {
+            match aliases.iter_mut().find(|(p, _)| *p == prefix) {
+                Some((_, w)) => *w = (*w).min(week),
+                None => aliases.push((prefix, week)),
+            }
+        }
+        let snapshot = Snapshot::from_sorted_parts(name.clone(), shard_bits, &acc, &aliases);
+        stats.unique_addresses = snapshot.len();
+        if store.publish(snapshot).is_ok() {
+            stats.epochs_published += 1;
+        }
+    }
+    stats
+}
+
+/// A running ingestion pipeline.
+pub struct IngestHandle {
+    tx: Option<Sender<PublicationUpdate>>,
+    workers: Vec<JoinHandle<()>>,
+    merger: Option<JoinHandle<IngestStats>>,
+}
+
+impl IngestHandle {
+    /// Submits one update, blocking when the pipeline is backlogged.
+    ///
+    /// # Panics
+    /// Panics if the pipeline threads have died.
+    pub fn submit(&self, update: PublicationUpdate) {
+        self.tx
+            .as_ref()
+            .expect("pipeline already finished")
+            .send(update)
+            .expect("ingest pipeline closed");
+    }
+
+    /// Closes the intake, drains in-flight updates, and returns stats.
+    pub fn finish(mut self) -> IngestStats {
+        self.tx.take(); // close the update channel
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+        self.merger
+            .take()
+            .expect("finish called twice")
+            .join()
+            .expect("merger thread panicked")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::Ipv6Addr;
+
+    fn addr(s: &str) -> Ipv6Addr {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn weekly_updates_accumulate_and_dedup() {
+        let store = Arc::new(HitlistStore::new("svc", 4));
+        let handle = Ingestor::default().spawn(store.clone());
+        handle.submit(PublicationUpdate::Week {
+            week: 0,
+            addresses: vec![addr("2001:db8:1::1"), addr("2001:db8:2::1")],
+        });
+        handle.submit(PublicationUpdate::Week {
+            week: 1,
+            addresses: vec![addr("2001:db8:1::1"), addr("2001:db8:3::1")],
+        });
+        handle.submit(PublicationUpdate::Aliases {
+            week: 1,
+            prefixes: vec!["2001:db8:3::/48".parse().unwrap()],
+        });
+        let stats = handle.finish();
+
+        assert_eq!(stats.updates, 3);
+        assert_eq!(stats.raw_addresses, 4);
+        assert_eq!(stats.unique_addresses, 3);
+        assert_eq!(stats.duplicates, 1);
+        assert_eq!(stats.epochs_published, 3);
+
+        let snap = store.snapshot();
+        assert_eq!(snap.epoch(), 3);
+        // Re-published address keeps its first week.
+        assert_eq!(snap.first_week(addr("2001:db8:1::1")), Some(0));
+        assert_eq!(snap.first_week(addr("2001:db8:3::1")), Some(1));
+        assert!(snap.is_aliased(addr("2001:db8:3::42")));
+        assert!(snap.verify_integrity());
+    }
+
+    #[test]
+    fn passive_observations_map_to_weeks() {
+        let store = Arc::new(HitlistStore::new("svc", 1));
+        let handle = Ingestor {
+            workers: 1,
+            queue_capacity: 2,
+        }
+        .spawn(store.clone());
+        let bits = u128::from(addr("2001:db8::1"));
+        handle.submit(PublicationUpdate::Passive {
+            observations: vec![(bits, 0), (bits, 8 * 86_400)],
+        });
+        let stats = handle.finish();
+        assert_eq!(stats.unique_addresses, 1);
+        // Both observations are week 0 / week 1; earliest wins.
+        assert_eq!(store.snapshot().first_week(addr("2001:db8::1")), Some(0));
+    }
+
+    #[test]
+    fn merge_run_keeps_earliest_week() {
+        let mut acc = vec![(1u128, 5u32), (3, 1)];
+        let dup = merge_run(&mut acc, vec![(1, 2), (2, 9), (3, 4)]);
+        assert_eq!(dup, 2);
+        assert_eq!(acc, vec![(1, 2), (2, 9), (3, 1)]);
+    }
+}

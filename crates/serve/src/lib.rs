@@ -1,0 +1,35 @@
+//! v6serve: in-process IPv6 hitlist query serving.
+//!
+//! The measurement pipeline (`v6hitlist`) produces weekly hitlist
+//! publications; this crate turns them into a queryable, concurrently
+//! readable store, modeling the "serving" half of a hitlist service like
+//! the one the paper's measurement platform publishes from.
+//!
+//! Architecture:
+//!
+//! - [`snapshot`] — immutable, sharded view of one publication epoch:
+//!   sorted `u128` address shards plus a per-shard radix trie of aliased
+//!   prefixes, partitioned by /48 so density aggregates stay shard-local.
+//! - [`store`] — epoch-swapped publication: readers clone an `Arc` to the
+//!   current [`snapshot::Snapshot`]; publishing swaps the `Arc` under a
+//!   briefly held write lock, so reads never block on ingestion.
+//! - [`ingest`] — bounded-channel worker pipeline turning campaign and
+//!   passive-corpus publications into snapshots off the serving threads.
+//! - [`query`] — the typed query API served from any snapshot.
+//! - [`metrics`] — cheap atomic counters for served queries and epochs.
+//! - [`loadgen`] — deterministic load harness replaying seeded query
+//!   mixes across client threads, with latency percentiles.
+
+pub mod ingest;
+pub mod loadgen;
+pub mod metrics;
+pub mod query;
+pub mod snapshot;
+pub mod store;
+
+pub use ingest::{IngestHandle, IngestStats, Ingestor, PublicationUpdate};
+pub use loadgen::{LoadReport, LoadSpec, QueryMix};
+pub use metrics::{MetricsReport, ServeMetrics};
+pub use query::{BatchAnswer, LookupAnswer, QueryEngine};
+pub use snapshot::{Shard, Snapshot, SnapshotBuilder};
+pub use store::{HitlistStore, PublishError, PublishReceipt};

@@ -1,0 +1,491 @@
+//! Deterministic load harness for the serving path.
+//!
+//! Replays a seeded mix of queries from N client threads against a
+//! [`QueryEngine`], measuring throughput and per-query latency (log2
+//! histogram → p50/p90/p99). The address stream derives entirely from
+//! `(seed, thread index, op index)` via the workspace PRNG, so two runs
+//! with the same spec issue the same queries in the same per-thread
+//! order — only the timing varies.
+//!
+//! The harness doubles as a correctness check under concurrent
+//! publication: addresses drawn from the "present" pool were sampled
+//! from the snapshot at start, and because the hitlist only grows,
+//! every later epoch must still contain them. Any miss is counted as a
+//! verification failure, and the integrity of the snapshot serving the
+//! final query is re-verified.
+
+use std::net::Ipv6Addr;
+use std::time::Instant;
+
+use v6addr::Prefix;
+use v6netsim::rng::{hash64, Rng};
+
+use crate::query::QueryEngine;
+use crate::snapshot::Snapshot;
+
+/// Relative weights of the query kinds in the generated stream.
+#[derive(Debug, Clone, Copy)]
+pub struct QueryMix {
+    /// Exact membership probes.
+    pub membership: u32,
+    /// Alias-filtered membership probes.
+    pub filtered: u32,
+    /// Full lookups.
+    pub lookup: u32,
+    /// Per-/48 density queries.
+    pub density: u32,
+    /// Weekly-diff queries.
+    pub diff: u32,
+    /// Batched lookups (each counts `batch_size` queries).
+    pub batch: u32,
+}
+
+impl Default for QueryMix {
+    fn default() -> Self {
+        QueryMix {
+            membership: 40,
+            filtered: 15,
+            lookup: 25,
+            density: 10,
+            diff: 5,
+            batch: 5,
+        }
+    }
+}
+
+impl QueryMix {
+    fn weights(&self) -> [u32; 6] {
+        [
+            self.membership,
+            self.filtered,
+            self.lookup,
+            self.density,
+            self.diff,
+            self.batch,
+        ]
+    }
+}
+
+/// One load-generation run.
+#[derive(Debug, Clone, Copy)]
+pub struct LoadSpec {
+    /// Total queries across all threads (batch addresses counted once
+    /// per address).
+    pub queries: u64,
+    /// Client threads.
+    pub threads: usize,
+    /// Seed for the deterministic query stream.
+    pub seed: u64,
+    /// Fraction of single-address probes drawn from the known-present
+    /// pool (the rest are pseudorandom and almost surely absent).
+    pub hit_fraction: f64,
+    /// Addresses per batched lookup.
+    pub batch_size: usize,
+    /// Query-kind weights.
+    pub mix: QueryMix,
+}
+
+impl Default for LoadSpec {
+    fn default() -> Self {
+        LoadSpec {
+            queries: 1_000_000,
+            threads: 4,
+            seed: 2022,
+            hit_fraction: 0.5,
+            batch_size: 16,
+            mix: QueryMix::default(),
+        }
+    }
+}
+
+/// What a load run measured.
+#[derive(Debug, Clone)]
+pub struct LoadReport {
+    /// Queries actually issued (>= spec due to batch rounding).
+    pub queries: u64,
+    /// Wall-clock for the whole run.
+    pub elapsed_secs: f64,
+    /// Aggregate throughput.
+    pub qps: f64,
+    /// Median per-operation latency (log2-bucket upper bound).
+    pub p50_ns: u64,
+    /// 90th-percentile latency.
+    pub p90_ns: u64,
+    /// 99th-percentile latency.
+    pub p99_ns: u64,
+    /// Slowest bucket observed.
+    pub max_ns: u64,
+    /// Probes that found their address present.
+    pub present_hits: u64,
+    /// Known-present addresses reported absent (must be 0: snapshots
+    /// only grow, so a miss means a torn or corrupted read).
+    pub verification_failures: u64,
+    /// Epoch at run start.
+    pub first_epoch: u64,
+    /// Epoch serving the final observation.
+    pub last_epoch: u64,
+    /// Operations answered by an epoch newer than `first_epoch` (proof
+    /// the run overlapped a publication).
+    pub queries_after_publish: u64,
+}
+
+impl std::fmt::Display for LoadReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "{} queries in {:.3} s  ->  {:.0} queries/s",
+            self.queries, self.elapsed_secs, self.qps
+        )?;
+        writeln!(
+            f,
+            "latency p50 <= {} ns, p90 <= {} ns, p99 <= {} ns, max <= {} ns",
+            self.p50_ns, self.p90_ns, self.p99_ns, self.max_ns
+        )?;
+        write!(
+            f,
+            "epochs {}..{}, {} ops after publish, {} hits, {} verification failures",
+            self.first_epoch,
+            self.last_epoch,
+            self.queries_after_publish,
+            self.present_hits,
+            self.verification_failures
+        )
+    }
+}
+
+/// Log2-bucketed latency histogram: bucket `i` holds counts for
+/// durations in `(2^(i-1), 2^i]` nanoseconds.
+#[derive(Debug, Clone)]
+struct Histogram {
+    buckets: [u64; 64],
+    count: u64,
+}
+
+impl Histogram {
+    fn new() -> Self {
+        Histogram {
+            buckets: [0; 64],
+            count: 0,
+        }
+    }
+
+    fn record(&mut self, ns: u64) {
+        let bucket = (64 - (ns | 1).leading_zeros()).min(63) as usize;
+        self.buckets[bucket] += 1;
+        self.count += 1;
+    }
+
+    fn merge(&mut self, other: &Histogram) {
+        for (a, b) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *a += b;
+        }
+        self.count += other.count;
+    }
+
+    /// Upper bound of the bucket containing the q-quantile observation.
+    fn percentile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((self.count as f64) * q).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                return 1u64 << i;
+            }
+        }
+        1u64 << 63
+    }
+
+    fn max_bucket(&self) -> u64 {
+        match self.buckets.iter().rposition(|&n| n > 0) {
+            Some(i) => 1u64 << i,
+            None => 0,
+        }
+    }
+}
+
+struct WorkerResult {
+    hist: Histogram,
+    issued: u64,
+    hits: u64,
+    failures: u64,
+    after_publish: u64,
+    last_epoch: u64,
+}
+
+/// Samples up to `target` present addresses evenly across the snapshot.
+fn sample_present(snap: &Snapshot, target: usize) -> Vec<u128> {
+    let total = snap.len() as usize;
+    if total == 0 {
+        return Vec::new();
+    }
+    let stride = (total / target).max(1);
+    let mut out = Vec::with_capacity(total.min(target) + 1);
+    for shard in snap.shards() {
+        out.extend(shard.addrs().iter().step_by(stride).copied());
+    }
+    out
+}
+
+/// A pseudorandom global-unicast address; with ~2^125 candidates it is
+/// absent from any realistic snapshot with overwhelming probability.
+fn random_probe(rng: &mut Rng) -> u128 {
+    (0x2u128 << 124) | (rng.next_u128() >> 4)
+}
+
+fn run_worker(
+    engine: &QueryEngine,
+    spec: &LoadSpec,
+    present: &[u128],
+    thread_index: usize,
+    quota: u64,
+    first_epoch: u64,
+) -> WorkerResult {
+    let mut rng = Rng::new(hash64(
+        spec.seed,
+        format!("loadgen-{thread_index}").as_bytes(),
+    ));
+    let weights = spec.mix.weights();
+    let weight_total: u64 = weights.iter().map(|&w| u64::from(w)).sum::<u64>().max(1);
+    let max_week = engine.store().snapshot().week();
+    let mut hist = Histogram::new();
+    let mut result = WorkerResult {
+        hist: Histogram::new(),
+        issued: 0,
+        hits: 0,
+        failures: 0,
+        after_publish: 0,
+        last_epoch: first_epoch,
+    };
+
+    let pick_addr = |rng: &mut Rng, from_present: &mut bool| -> Ipv6Addr {
+        *from_present = !present.is_empty() && rng.chance(spec.hit_fraction);
+        if *from_present {
+            Ipv6Addr::from(present[rng.below(present.len() as u64) as usize])
+        } else {
+            Ipv6Addr::from(random_probe(rng))
+        }
+    };
+
+    while result.issued < quota {
+        let mut pick = rng.below(weight_total);
+        let mut kind = 0usize;
+        for (i, &w) in weights.iter().enumerate() {
+            if pick < u64::from(w) {
+                kind = i;
+                break;
+            }
+            pick -= u64::from(w);
+        }
+        let mut from_present = false;
+        match kind {
+            // membership
+            0 => {
+                let a = pick_addr(&mut rng, &mut from_present);
+                let t = Instant::now();
+                let found = engine.contains(a);
+                hist.record(t.elapsed().as_nanos() as u64);
+                result.issued += 1;
+                result.hits += u64::from(found);
+                if from_present && !found {
+                    result.failures += 1;
+                }
+            }
+            // alias-filtered membership
+            1 => {
+                let a = pick_addr(&mut rng, &mut from_present);
+                let t = Instant::now();
+                let _ = engine.contains_unaliased(a);
+                hist.record(t.elapsed().as_nanos() as u64);
+                result.issued += 1;
+            }
+            // full lookup
+            2 => {
+                let a = pick_addr(&mut rng, &mut from_present);
+                let t = Instant::now();
+                let ans = engine.lookup(a);
+                hist.record(t.elapsed().as_nanos() as u64);
+                result.issued += 1;
+                result.hits += u64::from(ans.present);
+                if from_present && !ans.present {
+                    result.failures += 1;
+                }
+                result.last_epoch = result.last_epoch.max(ans.epoch);
+                result.after_publish += u64::from(ans.epoch > first_epoch);
+            }
+            // per-/48 density
+            3 => {
+                let a = pick_addr(&mut rng, &mut from_present);
+                let p = Prefix::of(a, 48);
+                let t = Instant::now();
+                let n = engine.count_within(&p);
+                hist.record(t.elapsed().as_nanos() as u64);
+                result.issued += 1;
+                if from_present && n == 0 {
+                    result.failures += 1;
+                }
+            }
+            // weekly diff
+            4 => {
+                let week = rng.below(max_week + 2);
+                let t = Instant::now();
+                let _ = engine.new_since(week);
+                hist.record(t.elapsed().as_nanos() as u64);
+                result.issued += 1;
+            }
+            // batched lookup
+            _ => {
+                let mut batch = Vec::with_capacity(spec.batch_size);
+                let mut expect_present = 0u64;
+                for _ in 0..spec.batch_size.max(1) {
+                    let a = pick_addr(&mut rng, &mut from_present);
+                    expect_present += u64::from(from_present);
+                    batch.push(a);
+                }
+                let t = Instant::now();
+                let ans = engine.batch_lookup(&batch);
+                hist.record(t.elapsed().as_nanos() as u64);
+                result.issued += batch.len() as u64;
+                result.hits += ans.present;
+                if ans.present < expect_present {
+                    result.failures += 1;
+                }
+                result.last_epoch = result.last_epoch.max(ans.epoch);
+                result.after_publish += u64::from(ans.epoch > first_epoch);
+            }
+        }
+    }
+    result.hist = hist;
+    result
+}
+
+/// Runs the load against `engine` and reports throughput and latency.
+pub fn run(engine: &QueryEngine, spec: &LoadSpec) -> LoadReport {
+    assert!(spec.threads >= 1, "need at least one client thread");
+    let snap0 = engine.store().snapshot();
+    let first_epoch = snap0.epoch();
+    let present = sample_present(&snap0, 65_536);
+
+    let per_thread = spec.queries / spec.threads as u64;
+    let remainder = spec.queries % spec.threads as u64;
+
+    let started = Instant::now();
+    let results: Vec<WorkerResult> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..spec.threads)
+            .map(|t| {
+                let quota = per_thread + u64::from((t as u64) < remainder);
+                let engine = &*engine;
+                let present = &present[..];
+                let spec = &*spec;
+                scope.spawn(move || run_worker(engine, spec, present, t, quota, first_epoch))
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    let elapsed = started.elapsed();
+
+    // The snapshot serving the final observations must still be intact.
+    let final_snap = engine.store().snapshot();
+    assert!(
+        final_snap.verify_integrity(),
+        "snapshot integrity violated during load"
+    );
+
+    let mut hist = Histogram::new();
+    let mut queries = 0u64;
+    let mut hits = 0u64;
+    let mut failures = 0u64;
+    let mut after_publish = 0u64;
+    let mut last_epoch = first_epoch;
+    for r in &results {
+        hist.merge(&r.hist);
+        queries += r.issued;
+        hits += r.hits;
+        failures += r.failures;
+        after_publish += r.after_publish;
+        last_epoch = last_epoch.max(r.last_epoch);
+    }
+    last_epoch = last_epoch.max(final_snap.epoch());
+    let elapsed_secs = elapsed.as_secs_f64();
+    LoadReport {
+        queries,
+        elapsed_secs,
+        qps: queries as f64 / elapsed_secs.max(1e-9),
+        p50_ns: hist.percentile(0.50),
+        p90_ns: hist.percentile(0.90),
+        p99_ns: hist.percentile(0.99),
+        max_ns: hist.max_bucket(),
+        present_hits: hits,
+        verification_failures: failures,
+        first_epoch,
+        last_epoch,
+        queries_after_publish: after_publish,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::snapshot::SnapshotBuilder;
+    use crate::store::HitlistStore;
+    use std::sync::Arc;
+
+    fn engine_with(n: u32) -> QueryEngine {
+        let store = HitlistStore::new("svc", 4);
+        let mut b = SnapshotBuilder::new("svc", 4);
+        for i in 0..n {
+            b.add_bits(
+                u128::from(u16::try_from(i % 97).unwrap()) << 80
+                    | (0x2001_0db8u128 << 96)
+                    | u128::from(i),
+                i % 4,
+            );
+        }
+        store.publish(b.build()).unwrap();
+        QueryEngine::new(Arc::new(store))
+    }
+
+    #[test]
+    fn histogram_percentiles_are_monotone() {
+        let mut h = Histogram::new();
+        for ns in [10u64, 20, 40, 80, 5000, 100_000] {
+            h.record(ns);
+        }
+        assert!(h.percentile(0.5) <= h.percentile(0.9));
+        assert!(h.percentile(0.9) <= h.percentile(0.99));
+        assert!(h.percentile(0.99) <= h.max_bucket());
+    }
+
+    #[test]
+    fn deterministic_same_seed_same_failures_and_hits() {
+        let engine = engine_with(5000);
+        let spec = LoadSpec {
+            queries: 20_000,
+            threads: 2,
+            ..Default::default()
+        };
+        let a = run(&engine, &spec);
+        let b = run(&engine, &spec);
+        assert_eq!(a.queries, b.queries);
+        assert_eq!(a.present_hits, b.present_hits);
+        assert_eq!(a.verification_failures, 0);
+        assert_eq!(b.verification_failures, 0);
+    }
+
+    #[test]
+    fn quota_split_covers_total() {
+        let engine = engine_with(100);
+        let spec = LoadSpec {
+            queries: 10_001,
+            threads: 3,
+            ..Default::default()
+        };
+        let r = run(&engine, &spec);
+        // Batched ops may overshoot the quota by at most one batch per
+        // thread; never undershoot.
+        assert!(r.queries >= 10_001);
+        assert!(r.queries <= 10_001 + (spec.batch_size as u64) * 3);
+    }
+}

@@ -1,0 +1,146 @@
+//! Cheap atomic counters for the serving path.
+//!
+//! Counters are relaxed atomics: they are diagnostics, not synchronization
+//! — the snapshot `Arc` swap in [`crate::store`] is what orders reads
+//! against publications.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Counters shared by a store, its query engines, and its ingestors.
+#[derive(Debug, Default)]
+pub struct ServeMetrics {
+    membership: AtomicU64,
+    lookups: AtomicU64,
+    density: AtomicU64,
+    diffs: AtomicU64,
+    batches: AtomicU64,
+    batch_addresses: AtomicU64,
+    publishes: AtomicU64,
+    ingested_addresses: AtomicU64,
+}
+
+/// A point-in-time copy of [`ServeMetrics`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct MetricsReport {
+    /// Exact/alias-filtered membership queries served.
+    pub membership: u64,
+    /// Full lookups served.
+    pub lookups: u64,
+    /// Density/count queries served.
+    pub density: u64,
+    /// Weekly-diff queries served.
+    pub diffs: u64,
+    /// Batched lookup calls served.
+    pub batches: u64,
+    /// Addresses resolved inside batched calls.
+    pub batch_addresses: u64,
+    /// Snapshot epochs published.
+    pub publishes: u64,
+    /// Raw addresses accepted by ingestion (before dedup).
+    pub ingested_addresses: u64,
+}
+
+impl MetricsReport {
+    /// All query operations, counting each batched address once.
+    pub fn queries_total(&self) -> u64 {
+        self.membership + self.lookups + self.density + self.diffs + self.batch_addresses
+    }
+}
+
+impl std::fmt::Display for MetricsReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "queries={} (membership={} lookups={} density={} diffs={} batches={}/{} addrs) \
+             publishes={} ingested={}",
+            self.queries_total(),
+            self.membership,
+            self.lookups,
+            self.density,
+            self.diffs,
+            self.batches,
+            self.batch_addresses,
+            self.publishes,
+            self.ingested_addresses,
+        )
+    }
+}
+
+impl ServeMetrics {
+    fn bump(counter: &AtomicU64, by: u64) {
+        counter.fetch_add(by, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_membership(&self) {
+        Self::bump(&self.membership, 1);
+    }
+
+    pub(crate) fn record_lookup(&self) {
+        Self::bump(&self.lookups, 1);
+    }
+
+    pub(crate) fn record_density(&self) {
+        Self::bump(&self.density, 1);
+    }
+
+    pub(crate) fn record_diff(&self) {
+        Self::bump(&self.diffs, 1);
+    }
+
+    pub(crate) fn record_batch(&self, addresses: u64) {
+        Self::bump(&self.batches, 1);
+        Self::bump(&self.batch_addresses, addresses);
+    }
+
+    pub(crate) fn record_publish(&self) {
+        Self::bump(&self.publishes, 1);
+    }
+
+    pub(crate) fn record_ingested(&self, addresses: u64) {
+        Self::bump(&self.ingested_addresses, addresses);
+    }
+
+    /// Queries served so far (batched addresses counted individually).
+    pub fn queries_total(&self) -> u64 {
+        self.report().queries_total()
+    }
+
+    /// Epochs published so far.
+    pub fn publishes(&self) -> u64 {
+        self.publishes.load(Ordering::Relaxed)
+    }
+
+    /// A consistent-enough copy of all counters.
+    pub fn report(&self) -> MetricsReport {
+        MetricsReport {
+            membership: self.membership.load(Ordering::Relaxed),
+            lookups: self.lookups.load(Ordering::Relaxed),
+            density: self.density.load(Ordering::Relaxed),
+            diffs: self.diffs.load(Ordering::Relaxed),
+            batches: self.batches.load(Ordering::Relaxed),
+            batch_addresses: self.batch_addresses.load(Ordering::Relaxed),
+            publishes: self.publishes.load(Ordering::Relaxed),
+            ingested_addresses: self.ingested_addresses.load(Ordering::Relaxed),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let m = ServeMetrics::default();
+        m.record_membership();
+        m.record_lookup();
+        m.record_batch(16);
+        m.record_publish();
+        let r = m.report();
+        assert_eq!(r.membership, 1);
+        assert_eq!(r.batch_addresses, 16);
+        assert_eq!(r.queries_total(), 18);
+        assert_eq!(m.publishes(), 1);
+        assert!(r.to_string().contains("publishes=1"));
+    }
+}

@@ -1,0 +1,181 @@
+//! The typed query API served from the store's current snapshot.
+//!
+//! Every call clones the current snapshot `Arc` once and answers from
+//! that immutable view, so a single call is always internally consistent
+//! even while a new epoch is being published. Batched lookups extend the
+//! same guarantee to a whole batch: all its addresses are resolved
+//! against one epoch.
+
+use std::net::Ipv6Addr;
+use std::sync::Arc;
+
+use v6addr::Prefix;
+
+use crate::snapshot::Snapshot;
+use crate::store::HitlistStore;
+
+/// The full answer for a single address.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LookupAnswer {
+    /// Is the address in the published hitlist?
+    pub present: bool,
+    /// Week first published, when present.
+    pub first_week: Option<u32>,
+    /// Longest registered aliased prefix covering the address, if any.
+    pub alias: Option<Prefix>,
+    /// Epoch of the snapshot that answered.
+    pub epoch: u64,
+}
+
+/// The answer for a batched lookup, resolved against one epoch.
+#[derive(Debug, Clone)]
+pub struct BatchAnswer {
+    /// Epoch of the snapshot that answered every address in the batch.
+    pub epoch: u64,
+    /// Per-address answers, in input order.
+    pub answers: Vec<LookupAnswer>,
+    /// How many were present.
+    pub present: u64,
+    /// How many fell under an aliased prefix.
+    pub aliased: u64,
+}
+
+/// A cheaply cloneable handle answering queries from a [`HitlistStore`].
+#[derive(Debug, Clone)]
+pub struct QueryEngine {
+    store: Arc<HitlistStore>,
+}
+
+fn lookup_in(snap: &Snapshot, addr: Ipv6Addr) -> LookupAnswer {
+    LookupAnswer {
+        present: snap.contains(addr),
+        first_week: snap.first_week(addr),
+        alias: snap.longest_alias(addr),
+        epoch: snap.epoch(),
+    }
+}
+
+impl QueryEngine {
+    /// An engine over `store`.
+    pub fn new(store: Arc<HitlistStore>) -> Self {
+        QueryEngine { store }
+    }
+
+    /// The underlying store.
+    pub fn store(&self) -> &Arc<HitlistStore> {
+        &self.store
+    }
+
+    /// Exact membership.
+    pub fn contains(&self, addr: Ipv6Addr) -> bool {
+        self.store.metrics().record_membership();
+        self.store.snapshot().contains(addr)
+    }
+
+    /// Alias-filtered membership: present *and* not under an aliased
+    /// prefix — the set scanners should actually target (§2.2).
+    pub fn contains_unaliased(&self, addr: Ipv6Addr) -> bool {
+        self.store.metrics().record_membership();
+        let snap = self.store.snapshot();
+        snap.contains(addr) && !snap.is_aliased(addr)
+    }
+
+    /// Full lookup: membership, first-published week, and alias cover.
+    pub fn lookup(&self, addr: Ipv6Addr) -> LookupAnswer {
+        self.store.metrics().record_lookup();
+        lookup_in(&self.store.snapshot(), addr)
+    }
+
+    /// Published addresses inside `prefix` (per-/48 density and coarser).
+    pub fn count_within(&self, prefix: &Prefix) -> u64 {
+        self.store.metrics().record_density();
+        self.store.snapshot().count_within(prefix)
+    }
+
+    /// Addresses first published after study week `week`.
+    pub fn new_since(&self, week: u64) -> u64 {
+        self.store.metrics().record_diff();
+        self.store.snapshot().new_since(week)
+    }
+
+    /// Resolves a whole batch against a single epoch.
+    pub fn batch_lookup(&self, addrs: &[Ipv6Addr]) -> BatchAnswer {
+        self.store.metrics().record_batch(addrs.len() as u64);
+        let snap = self.store.snapshot();
+        let mut present = 0u64;
+        let mut aliased = 0u64;
+        let answers: Vec<LookupAnswer> = addrs
+            .iter()
+            .map(|&a| {
+                let ans = lookup_in(&snap, a);
+                present += u64::from(ans.present);
+                aliased += u64::from(ans.alias.is_some());
+                ans
+            })
+            .collect();
+        BatchAnswer {
+            epoch: snap.epoch(),
+            answers,
+            present,
+            aliased,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::snapshot::SnapshotBuilder;
+
+    fn addr(s: &str) -> Ipv6Addr {
+        s.parse().unwrap()
+    }
+
+    fn engine() -> QueryEngine {
+        let store = HitlistStore::new("svc", 4);
+        let mut b = SnapshotBuilder::new("svc", 4);
+        b.add_week(0, &[addr("2001:db8:1::1"), addr("2001:db8:2::1")]);
+        b.add_week(3, &[addr("2001:db8:3::1")]);
+        b.add_alias("2001:db8:2::/48".parse().unwrap(), 0);
+        store.publish(b.build()).unwrap();
+        QueryEngine::new(Arc::new(store))
+    }
+
+    #[test]
+    fn typed_queries_answer() {
+        let q = engine();
+        assert!(q.contains(addr("2001:db8:1::1")));
+        assert!(q.contains(addr("2001:db8:2::1")));
+        assert!(!q.contains_unaliased(addr("2001:db8:2::1")));
+        assert!(q.contains_unaliased(addr("2001:db8:1::1")));
+
+        let ans = q.lookup(addr("2001:db8:3::1"));
+        assert!(ans.present);
+        assert_eq!(ans.first_week, Some(3));
+        assert_eq!(ans.alias, None);
+        assert_eq!(ans.epoch, 1);
+
+        assert_eq!(q.count_within(&"2001:db8::/32".parse().unwrap()), 3);
+        assert_eq!(q.new_since(0), 1);
+        assert_eq!(q.new_since(3), 0);
+    }
+
+    #[test]
+    fn batch_is_single_epoch_and_counts() {
+        let q = engine();
+        let batch = q.batch_lookup(&[
+            addr("2001:db8:1::1"),
+            addr("2001:db8:2::1"),
+            addr("2001:db8:9::9"),
+        ]);
+        assert_eq!(batch.epoch, 1);
+        assert_eq!(batch.answers.len(), 3);
+        assert_eq!(batch.present, 2);
+        assert_eq!(batch.aliased, 1);
+        assert!(!batch.answers[2].present);
+
+        let m = q.store().metrics().report();
+        assert_eq!(m.batches, 1);
+        assert_eq!(m.batch_addresses, 3);
+    }
+}

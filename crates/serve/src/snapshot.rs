@@ -1,0 +1,519 @@
+//! Immutable, sharded snapshots of one hitlist publication epoch.
+//!
+//! A [`Snapshot`] is the unit of publication: once built it is never
+//! mutated, so any number of reader threads can query it without
+//! synchronization while the ingestion pipeline assembles the next epoch.
+//!
+//! Addresses are partitioned into `2^shard_bits` [`Shard`]s keyed by the
+//! *low* bits of each address's /48 prefix ([`v6addr::shard48`]): the high
+//! bits would skew badly (announced space concentrates under `2000::/3`),
+//! and keeping whole /48s shard-local makes per-/48 density aggregates a
+//! single-shard operation. Each shard stores its addresses as one sorted
+//! `u128` vector (binary-search membership, cache-dense scans) with a
+//! parallel first-published-week vector, plus a radix trie of aliased
+//! prefixes for longest-prefix alias answers.
+
+use std::net::Ipv6Addr;
+
+use v6addr::{shard48, Prefix, PrefixMap};
+
+/// One partition of a snapshot: the addresses whose /48 low bits select it.
+#[derive(Debug, Clone, Default)]
+pub struct Shard {
+    /// Sorted, deduplicated address bits.
+    pub(crate) addrs: Vec<u128>,
+    /// Parallel to `addrs`: study week each address was first published.
+    pub(crate) first_week: Vec<u32>,
+    /// Aliased prefixes relevant to this shard (week registered as value).
+    pub(crate) aliases: PrefixMap<u32>,
+    /// `(network bits, count)` per distinct /48, ascending.
+    pub(crate) agg48: Vec<(u128, u32)>,
+    /// `(week, newly published count)` pairs, ascending by week.
+    pub(crate) week_counts: Vec<(u32, u64)>,
+}
+
+impl Shard {
+    /// Number of addresses in this shard.
+    pub fn len(&self) -> usize {
+        self.addrs.len()
+    }
+
+    /// True when the shard holds no addresses.
+    pub fn is_empty(&self) -> bool {
+        self.addrs.is_empty()
+    }
+
+    /// The sorted address bits.
+    pub fn addrs(&self) -> &[u128] {
+        &self.addrs
+    }
+
+    /// Exact membership of an address (by bits).
+    pub fn contains_bits(&self, bits: u128) -> bool {
+        self.addrs.binary_search(&bits).is_ok()
+    }
+
+    /// The week an address was first published, if present.
+    pub fn first_week_of(&self, bits: u128) -> Option<u32> {
+        self.addrs
+            .binary_search(&bits)
+            .ok()
+            .map(|i| self.first_week[i])
+    }
+
+    /// Longest aliased prefix covering `addr`, if any.
+    pub fn longest_alias(&self, addr: Ipv6Addr) -> Option<Prefix> {
+        self.aliases.longest_match(addr).map(|(p, _)| p)
+    }
+
+    /// Addresses published in this shard's /48 with the given network bits.
+    pub fn count48(&self, net48: u128) -> u64 {
+        self.agg48
+            .binary_search_by_key(&net48, |&(net, _)| net)
+            .map(|i| u64::from(self.agg48[i].1))
+            .unwrap_or(0)
+    }
+
+    fn rebuild_aggregates(&mut self) {
+        let mask48 = Prefix::mask(48);
+        self.agg48.clear();
+        for &a in &self.addrs {
+            let net = a & mask48;
+            match self.agg48.last_mut() {
+                Some((last, n)) if *last == net => *n += 1,
+                _ => self.agg48.push((net, 1)),
+            }
+        }
+        let mut weeks: Vec<u32> = self.first_week.clone();
+        weeks.sort_unstable();
+        self.week_counts.clear();
+        for w in weeks {
+            match self.week_counts.last_mut() {
+                Some((last, n)) if *last == w => *n += 1,
+                _ => self.week_counts.push((w, 1)),
+            }
+        }
+    }
+}
+
+/// An immutable view of one publication epoch.
+#[derive(Debug, Clone)]
+pub struct Snapshot {
+    pub(crate) name: String,
+    pub(crate) epoch: u64,
+    pub(crate) week: u64,
+    pub(crate) shard_bits: u32,
+    pub(crate) shards: Vec<Shard>,
+    pub(crate) total: u64,
+    pub(crate) checksum: u64,
+}
+
+/// Order-independent content checksum over `(bits, week)` pairs.
+fn fold_addr(acc: u64, bits: u128, week: u32) -> u64 {
+    let mixed = (bits as u64)
+        ^ ((bits >> 64) as u64).rotate_left(17)
+        ^ u64::from(week).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+    acc.wrapping_add(mixed.wrapping_mul(0xbf58_476d_1ce4_e5b9) | 1)
+}
+
+impl Snapshot {
+    /// An empty snapshot (epoch 0) with `shard_count` shards.
+    ///
+    /// # Panics
+    /// Panics unless `shard_count` is a power of two.
+    pub fn empty(name: impl Into<String>, shard_count: usize) -> Self {
+        assert!(
+            shard_count.is_power_of_two(),
+            "shard count must be a power of two, got {shard_count}"
+        );
+        let shard_bits = shard_count.trailing_zeros();
+        Snapshot {
+            name: name.into(),
+            epoch: 0,
+            week: 0,
+            shard_bits,
+            shards: vec![Shard::default(); shard_count],
+            total: 0,
+            checksum: 0,
+        }
+    }
+
+    /// Builds from per-shard `(bits, week)` vectors that are already
+    /// sorted by bits and deduplicated, plus `(prefix, week)` alias
+    /// registrations. This is the O(n) path the ingestion merger uses.
+    pub(crate) fn from_sorted_parts(
+        name: impl Into<String>,
+        shard_bits: u32,
+        shard_data: &[Vec<(u128, u32)>],
+        aliases: &[(Prefix, u32)],
+    ) -> Self {
+        assert_eq!(shard_data.len(), 1usize << shard_bits);
+        let mut snap = Snapshot::empty(name, 1usize << shard_bits);
+        let mut checksum = 0u64;
+        let mut total = 0u64;
+        let mut max_week = 0u64;
+        for (shard, data) in snap.shards.iter_mut().zip(shard_data) {
+            shard.addrs = data.iter().map(|&(b, _)| b).collect();
+            shard.first_week = data.iter().map(|&(_, w)| w).collect();
+            debug_assert!(shard.addrs.windows(2).all(|w| w[0] < w[1]));
+            for &(b, w) in data {
+                checksum = fold_addr(checksum, b, w);
+                max_week = max_week.max(u64::from(w));
+            }
+            total += data.len() as u64;
+            shard.rebuild_aggregates();
+        }
+        for &(prefix, week) in aliases {
+            match prefix.shard48(shard_bits) {
+                Some(i) => {
+                    snap.shards[i].aliases.insert(prefix, week);
+                }
+                None => {
+                    for shard in &mut snap.shards {
+                        shard.aliases.insert(prefix, week);
+                    }
+                }
+            }
+        }
+        snap.total = total;
+        snap.week = max_week;
+        snap.checksum = checksum;
+        snap
+    }
+
+    /// Service name this snapshot was published under.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Publication sequence number (0 = never published).
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Latest study week included.
+    pub fn week(&self) -> u64 {
+        self.week
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Total addresses across all shards.
+    pub fn len(&self) -> u64 {
+        self.total
+    }
+
+    /// True when no addresses are published.
+    pub fn is_empty(&self) -> bool {
+        self.total == 0
+    }
+
+    /// The shards, in index order.
+    pub fn shards(&self) -> &[Shard] {
+        &self.shards
+    }
+
+    /// The shard an address belongs to.
+    pub fn shard_for(&self, addr: Ipv6Addr) -> &Shard {
+        &self.shards[shard48(u128::from(addr), self.shard_bits)]
+    }
+
+    /// Exact membership.
+    pub fn contains(&self, addr: Ipv6Addr) -> bool {
+        self.shard_for(addr).contains_bits(u128::from(addr))
+    }
+
+    /// The week `addr` was first published, if it is in the hitlist.
+    pub fn first_week(&self, addr: Ipv6Addr) -> Option<u32> {
+        self.shard_for(addr).first_week_of(u128::from(addr))
+    }
+
+    /// Longest registered aliased prefix covering `addr`, if any.
+    pub fn longest_alias(&self, addr: Ipv6Addr) -> Option<Prefix> {
+        self.shard_for(addr).longest_alias(addr)
+    }
+
+    /// True when `addr` falls under a registered aliased prefix.
+    pub fn is_aliased(&self, addr: Ipv6Addr) -> bool {
+        self.longest_alias(addr).is_some()
+    }
+
+    /// Number of published addresses inside `prefix`.
+    ///
+    /// Prefixes of length >= 48 resolve within one shard; shorter ones
+    /// sum the per-/48 aggregates across shards.
+    pub fn count_within(&self, prefix: &Prefix) -> u64 {
+        if prefix.len() >= 48 {
+            let shard = &self.shards[prefix
+                .shard48(self.shard_bits)
+                .expect("len >= 48 is shard-local")];
+            let lo = prefix.bits();
+            let hi = u128::from(prefix.last());
+            let start = shard.addrs.partition_point(|&a| a < lo);
+            let end = shard.addrs.partition_point(|&a| a <= hi);
+            (end - start) as u64
+        } else {
+            let lo = prefix.bits();
+            let hi = u128::from(prefix.last());
+            self.shards
+                .iter()
+                .map(|s| {
+                    let start = s.agg48.partition_point(|&(net, _)| net < lo);
+                    let end = s.agg48.partition_point(|&(net, _)| net <= hi);
+                    s.agg48[start..end]
+                        .iter()
+                        .map(|&(_, n)| u64::from(n))
+                        .sum::<u64>()
+                })
+                .sum()
+        }
+    }
+
+    /// Number of addresses first published *after* study week `week` —
+    /// the "what's new since the release I already hold" diff query.
+    pub fn new_since(&self, week: u64) -> u64 {
+        self.shards
+            .iter()
+            .map(|s| {
+                let start = s
+                    .week_counts
+                    .partition_point(|&(w, _)| u64::from(w) <= week);
+                s.week_counts[start..].iter().map(|&(_, n)| n).sum::<u64>()
+            })
+            .sum()
+    }
+
+    /// Recomputes every structural invariant and the content checksum.
+    ///
+    /// The store calls this before publishing; the load harness calls it
+    /// on snapshots observed mid-run to prove concurrent publication
+    /// never exposed a torn view.
+    pub fn verify_integrity(&self) -> bool {
+        if self.shards.len() != 1usize << self.shard_bits {
+            return false;
+        }
+        let mut checksum = 0u64;
+        let mut total = 0u64;
+        for (i, shard) in self.shards.iter().enumerate() {
+            if shard.addrs.len() != shard.first_week.len() {
+                return false;
+            }
+            if !shard.addrs.windows(2).all(|w| w[0] < w[1]) {
+                return false;
+            }
+            if shard
+                .addrs
+                .iter()
+                .any(|&b| shard48(b, self.shard_bits) != i)
+            {
+                return false;
+            }
+            let agg_total: u64 = shard.agg48.iter().map(|&(_, n)| u64::from(n)).sum();
+            let week_total: u64 = shard.week_counts.iter().map(|&(_, n)| n).sum();
+            if agg_total != shard.addrs.len() as u64 || week_total != agg_total {
+                return false;
+            }
+            for (&b, &w) in shard.addrs.iter().zip(&shard.first_week) {
+                checksum = fold_addr(checksum, b, w);
+            }
+            total += shard.addrs.len() as u64;
+        }
+        checksum == self.checksum && total == self.total
+    }
+}
+
+/// Accumulates addresses and aliases, then builds a [`Snapshot`].
+///
+/// Accepts unsorted input with duplicates; duplicates keep their earliest
+/// week (re-publishing an address in a later weekly release must not move
+/// its first-seen week).
+pub struct SnapshotBuilder {
+    name: String,
+    shard_bits: u32,
+    pending: Vec<(u128, u32)>,
+    aliases: Vec<(Prefix, u32)>,
+}
+
+impl SnapshotBuilder {
+    /// A builder for `shard_count` (power of two) shards.
+    pub fn new(name: impl Into<String>, shard_count: usize) -> Self {
+        assert!(
+            shard_count.is_power_of_two(),
+            "shard count must be a power of two, got {shard_count}"
+        );
+        SnapshotBuilder {
+            name: name.into(),
+            shard_bits: shard_count.trailing_zeros(),
+            pending: Vec::new(),
+            aliases: Vec::new(),
+        }
+    }
+
+    /// Adds one address, first published in `week`.
+    pub fn add_address(&mut self, addr: Ipv6Addr, week: u32) {
+        self.pending.push((u128::from(addr), week));
+    }
+
+    /// Adds raw address bits, first published in `week`.
+    pub fn add_bits(&mut self, bits: u128, week: u32) {
+        self.pending.push((bits, week));
+    }
+
+    /// Adds a whole weekly release.
+    pub fn add_week(&mut self, week: u32, addresses: &[Ipv6Addr]) {
+        self.pending
+            .extend(addresses.iter().map(|&a| (u128::from(a), week)));
+    }
+
+    /// Registers an aliased prefix (seen from `week` on).
+    pub fn add_alias(&mut self, prefix: Prefix, week: u32) {
+        self.aliases.push((prefix, week));
+    }
+
+    /// Re-adds everything from an existing snapshot (incremental rebuild).
+    pub fn merge_snapshot(&mut self, snap: &Snapshot) {
+        for shard in &snap.shards {
+            self.pending.extend(
+                shard
+                    .addrs
+                    .iter()
+                    .copied()
+                    .zip(shard.first_week.iter().copied()),
+            );
+            for (prefix, &week) in shard.aliases.iter() {
+                self.aliases.push((prefix, week));
+            }
+        }
+    }
+
+    /// Builds the snapshot (epoch 0 until published through a store).
+    pub fn build(self) -> Snapshot {
+        self.build_counting().0
+    }
+
+    /// Builds the snapshot, also returning how many duplicate address
+    /// submissions were coalesced.
+    pub fn build_counting(mut self) -> (Snapshot, u64) {
+        // Sorting by (bits, week) makes the earliest week the first entry
+        // of each equal-bits run, so dedup-keep-first is dedup-keep-min.
+        self.pending.sort_unstable();
+        let before = self.pending.len();
+        self.pending.dedup_by_key(|&mut (b, _)| b);
+        let duplicates = (before - self.pending.len()) as u64;
+
+        let mut shard_data: Vec<Vec<(u128, u32)>> = vec![Vec::new(); 1usize << self.shard_bits];
+        for &(b, w) in &self.pending {
+            shard_data[shard48(b, self.shard_bits)].push((b, w));
+        }
+        self.aliases
+            .sort_unstable_by_key(|&(p, w)| (p.bits(), p.len(), w));
+        self.aliases.dedup_by_key(|&mut (p, _)| p);
+        let snap =
+            Snapshot::from_sorted_parts(self.name, self.shard_bits, &shard_data, &self.aliases);
+        (snap, duplicates)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn addr(s: &str) -> Ipv6Addr {
+        s.parse().unwrap()
+    }
+
+    fn pfx(s: &str) -> Prefix {
+        s.parse().unwrap()
+    }
+
+    fn sample() -> Snapshot {
+        let mut b = SnapshotBuilder::new("test", 4);
+        b.add_week(
+            0,
+            &[
+                addr("2001:db8:1::1"),
+                addr("2001:db8:1::2"),
+                addr("2001:db8:2::1"),
+            ],
+        );
+        b.add_week(2, &[addr("2001:db8:3::1"), addr("2001:db8:1::1")]);
+        b.add_alias(pfx("2001:db8:2::/48"), 0);
+        b.build()
+    }
+
+    #[test]
+    fn membership_and_first_week() {
+        let s = sample();
+        assert_eq!(s.len(), 4);
+        assert!(s.contains(addr("2001:db8:1::1")));
+        assert!(!s.contains(addr("2001:db8:9::1")));
+        // Duplicate re-publication in week 2 keeps the week-0 first-seen.
+        assert_eq!(s.first_week(addr("2001:db8:1::1")), Some(0));
+        assert_eq!(s.first_week(addr("2001:db8:3::1")), Some(2));
+        assert_eq!(s.first_week(addr("2001:db8:9::1")), None);
+        assert_eq!(s.week(), 2);
+    }
+
+    #[test]
+    fn alias_lookup_is_longest_match() {
+        let mut b = SnapshotBuilder::new("test", 4);
+        b.add_address(addr("2001:db8:2::1"), 0);
+        b.add_alias(pfx("2001:db8::/32"), 0);
+        b.add_alias(pfx("2001:db8:2::/48"), 1);
+        let s = b.build();
+        assert_eq!(
+            s.longest_alias(addr("2001:db8:2::1")),
+            Some(pfx("2001:db8:2::/48"))
+        );
+        assert_eq!(
+            s.longest_alias(addr("2001:db8:7::1")),
+            Some(pfx("2001:db8::/32"))
+        );
+        assert!(s.is_aliased(addr("2001:db8:ffff::1")));
+        assert!(!s.is_aliased(addr("2001:db9::1")));
+    }
+
+    #[test]
+    fn counts_and_diffs() {
+        let s = sample();
+        assert_eq!(s.count_within(&pfx("2001:db8:1::/48")), 2);
+        assert_eq!(s.count_within(&pfx("2001:db8::/32")), 4);
+        assert_eq!(s.count_within(&pfx("2001:db8:1::/64")), 2);
+        assert_eq!(s.count_within(&pfx("2001:db9::/32")), 0);
+        assert_eq!(s.new_since(0), 1); // only 2001:db8:3::1 is newer
+        assert_eq!(s.new_since(2), 0);
+    }
+
+    #[test]
+    fn integrity_detects_corruption() {
+        let s = sample();
+        assert!(s.verify_integrity());
+        let mut broken = s.clone();
+        let shard = broken.shards.iter_mut().find(|sh| !sh.is_empty()).unwrap();
+        shard.first_week[0] ^= 1;
+        assert!(!broken.verify_integrity());
+
+        let mut broken = s;
+        broken.total += 1;
+        assert!(!broken.verify_integrity());
+    }
+
+    #[test]
+    fn shard_counts_agree() {
+        for shard_count in [1usize, 4, 16] {
+            let mut b = SnapshotBuilder::new("test", shard_count);
+            for i in 0..200u32 {
+                b.add_address(addr(&format!("2001:db8:{:x}::{:x}", i % 23, i)), i % 5);
+            }
+            let s = b.build();
+            assert_eq!(s.shard_count(), shard_count);
+            assert_eq!(s.len(), 200);
+            assert!(s.verify_integrity());
+            let per_shard: u64 = s.shards().iter().map(|sh| sh.len() as u64).sum();
+            assert_eq!(per_shard, 200);
+        }
+    }
+}

@@ -1,0 +1,206 @@
+//! Epoch-swapped snapshot publication.
+//!
+//! The store holds the current [`Snapshot`] behind `RwLock<Arc<Snapshot>>`.
+//! Readers take the read lock just long enough to clone the `Arc` — a
+//! few nanoseconds — and then query their snapshot without any lock at
+//! all. Publishing validates the new snapshot *outside* the lock, then
+//! takes the write lock only to compare epochs and swap one pointer, so
+//! a publication never blocks readers for longer than that swap.
+//!
+//! The alternative — a mutex around a mutable store — would stall every
+//! reader for the full duration of a weekly merge (millions of
+//! addresses); the ablation in DESIGN.md quantifies the difference.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use parking_lot::RwLock;
+
+use crate::metrics::ServeMetrics;
+use crate::snapshot::Snapshot;
+
+/// Why a publication was rejected.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PublishError {
+    /// The snapshot failed [`Snapshot::verify_integrity`].
+    IntegrityFailure,
+    /// The snapshot's shard count differs from the store's.
+    ShardMismatch {
+        /// Shards the store serves.
+        expected: usize,
+        /// Shards the snapshot has.
+        got: usize,
+    },
+}
+
+impl std::fmt::Display for PublishError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PublishError::IntegrityFailure => write!(f, "snapshot failed integrity verification"),
+            PublishError::ShardMismatch { expected, got } => {
+                write!(f, "snapshot has {got} shards, store serves {expected}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PublishError {}
+
+/// What a successful publication did and what it cost.
+#[derive(Debug, Clone, Copy)]
+pub struct PublishReceipt {
+    /// The epoch assigned to the published snapshot.
+    pub epoch: u64,
+    /// Addresses in the published snapshot.
+    pub addresses: u64,
+    /// Time spent validating outside the lock.
+    pub validate: Duration,
+    /// Time the write lock was actually held (the pointer swap).
+    pub swap: Duration,
+}
+
+/// The concurrently readable hitlist store.
+#[derive(Debug)]
+pub struct HitlistStore {
+    current: RwLock<Arc<Snapshot>>,
+    next_epoch: AtomicU64,
+    shard_count: usize,
+    metrics: Arc<ServeMetrics>,
+}
+
+impl HitlistStore {
+    /// An empty store serving `shard_count` (power of two) shards.
+    pub fn new(name: impl Into<String>, shard_count: usize) -> Self {
+        HitlistStore {
+            current: RwLock::new(Arc::new(Snapshot::empty(name, shard_count))),
+            next_epoch: AtomicU64::new(1),
+            shard_count,
+            metrics: Arc::new(ServeMetrics::default()),
+        }
+    }
+
+    /// The shared metrics counters.
+    pub fn metrics(&self) -> &Arc<ServeMetrics> {
+        &self.metrics
+    }
+
+    /// The current snapshot. Readers hold no lock after this returns.
+    pub fn snapshot(&self) -> Arc<Snapshot> {
+        self.current.read().clone()
+    }
+
+    /// The current publication epoch (0 until the first publish).
+    pub fn epoch(&self) -> u64 {
+        self.snapshot().epoch()
+    }
+
+    /// Validates and publishes a snapshot, assigning it the next epoch.
+    ///
+    /// Integrity verification runs before taking any lock; the write lock
+    /// is held only for an epoch comparison and an `Arc` swap. Concurrent
+    /// publishers are safe: epochs are allocated atomically and a stale
+    /// publisher can never roll back a newer epoch.
+    pub fn publish(&self, mut snapshot: Snapshot) -> Result<PublishReceipt, PublishError> {
+        if snapshot.shard_count() != self.shard_count {
+            return Err(PublishError::ShardMismatch {
+                expected: self.shard_count,
+                got: snapshot.shard_count(),
+            });
+        }
+        let t0 = Instant::now();
+        if !snapshot.verify_integrity() {
+            return Err(PublishError::IntegrityFailure);
+        }
+        let validate = t0.elapsed();
+
+        let epoch = self.next_epoch.fetch_add(1, Ordering::Relaxed);
+        snapshot.epoch = epoch;
+        let addresses = snapshot.len();
+        let arc = Arc::new(snapshot);
+
+        let t1 = Instant::now();
+        {
+            let mut current = self.current.write();
+            if current.epoch() < epoch {
+                *current = arc;
+            }
+        }
+        let swap = t1.elapsed();
+        self.metrics.record_publish();
+        Ok(PublishReceipt {
+            epoch,
+            addresses,
+            validate,
+            swap,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::snapshot::SnapshotBuilder;
+    use std::net::Ipv6Addr;
+
+    fn addr(s: &str) -> Ipv6Addr {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn publish_swaps_epochs() {
+        let store = HitlistStore::new("svc", 4);
+        assert_eq!(store.epoch(), 0);
+        assert!(store.snapshot().is_empty());
+
+        let mut b = SnapshotBuilder::new("svc", 4);
+        b.add_address(addr("2001:db8::1"), 0);
+        let receipt = store.publish(b.build()).unwrap();
+        assert_eq!(receipt.epoch, 1);
+        assert_eq!(receipt.addresses, 1);
+        assert_eq!(store.epoch(), 1);
+        assert!(store.snapshot().contains(addr("2001:db8::1")));
+        assert_eq!(store.metrics().publishes(), 1);
+    }
+
+    #[test]
+    fn old_readers_keep_their_snapshot() {
+        let store = HitlistStore::new("svc", 1);
+        let mut b = SnapshotBuilder::new("svc", 1);
+        b.add_address(addr("2001:db8::1"), 0);
+        store.publish(b.build()).unwrap();
+
+        let held = store.snapshot();
+        let mut b = SnapshotBuilder::new("svc", 1);
+        b.add_address(addr("2001:db8::2"), 1);
+        store.publish(b.build()).unwrap();
+
+        // The old epoch stays fully usable after the swap.
+        assert_eq!(held.epoch(), 1);
+        assert!(held.contains(addr("2001:db8::1")));
+        assert!(!held.contains(addr("2001:db8::2")));
+        assert!(store.snapshot().contains(addr("2001:db8::2")));
+    }
+
+    #[test]
+    fn rejects_wrong_shard_count_and_corruption() {
+        let store = HitlistStore::new("svc", 4);
+        let b = SnapshotBuilder::new("svc", 2);
+        assert!(matches!(
+            store.publish(b.build()),
+            Err(PublishError::ShardMismatch {
+                expected: 4,
+                got: 2
+            })
+        ));
+
+        let mut b = SnapshotBuilder::new("svc", 4);
+        b.add_address(addr("2001:db8::1"), 0);
+        let mut snap = b.build();
+        snap.total += 1; // corrupt
+        assert!(matches!(
+            store.publish(snap),
+            Err(PublishError::IntegrityFailure)
+        ));
+    }
+}

@@ -1,0 +1,124 @@
+//! Property tests for the sharded snapshot store.
+//!
+//! The invariants hold for every shard count: any address added to a
+//! snapshot is found (with its earliest week), addresses never added are
+//! not found, and all shardings answer every query identically.
+
+use std::net::Ipv6Addr;
+use std::sync::Arc;
+
+use proptest::prelude::*;
+
+use v6addr::Prefix;
+use v6serve::{HitlistStore, QueryEngine, SnapshotBuilder};
+
+const SHARD_COUNTS: [usize; 3] = [1, 4, 16];
+
+/// Strategy: a global-unicast-ish address with entropy concentrated in
+/// the /48 and IID bits so collisions and shared prefixes both happen.
+fn addr_bits() -> impl Strategy<Value = u128> {
+    (0u128..64, 0u128..256).prop_map(|(net48, iid)| (0x2001_0db8u128 << 96) | (net48 << 80) | iid)
+}
+
+fn engines_for(entries: &[(u128, u32)]) -> Vec<QueryEngine> {
+    SHARD_COUNTS
+        .iter()
+        .map(|&shards| {
+            let store = HitlistStore::new("prop", shards);
+            let mut b = SnapshotBuilder::new("prop", shards);
+            for &(bits, week) in entries {
+                b.add_bits(bits, week);
+            }
+            store.publish(b.build()).unwrap();
+            QueryEngine::new(Arc::new(store))
+        })
+        .collect()
+}
+
+proptest! {
+    #[test]
+    fn present_found_absent_not(
+        entries in proptest::collection::vec((addr_bits(), 0u32..8), 0..200),
+        probes in proptest::collection::vec(addr_bits(), 0..50),
+    ) {
+        let engines = engines_for(&entries);
+        for engine in &engines {
+            let snap = engine.store().snapshot();
+            prop_assert!(snap.verify_integrity());
+            prop_assert_eq!(
+                snap.len(),
+                entries.iter().map(|(b, _)| b).collect::<std::collections::BTreeSet<_>>().len() as u64
+            );
+            // Every inserted address is present with its earliest week.
+            for &(bits, _) in &entries {
+                let a = Ipv6Addr::from(bits);
+                prop_assert!(engine.contains(a));
+                let earliest = entries
+                    .iter()
+                    .filter(|&&(b, _)| b == bits)
+                    .map(|&(_, w)| w)
+                    .min()
+                    .unwrap();
+                prop_assert_eq!(engine.lookup(a).first_week, Some(earliest));
+            }
+            // Probes not inserted are absent.
+            for &bits in &probes {
+                if !entries.iter().any(|&(b, _)| b == bits) {
+                    prop_assert!(!engine.contains(Ipv6Addr::from(bits)));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn all_shard_counts_answer_identically(
+        entries in proptest::collection::vec((addr_bits(), 0u32..8), 1..150),
+        probes in proptest::collection::vec(addr_bits(), 1..50),
+        week in 0u64..10,
+    ) {
+        let engines = engines_for(&entries);
+        let reference = &engines[0];
+        for engine in &engines[1..] {
+            for &bits in &probes {
+                let a = Ipv6Addr::from(bits);
+                prop_assert_eq!(engine.contains(a), reference.contains(a));
+                prop_assert_eq!(engine.lookup(a).first_week, reference.lookup(a).first_week);
+                let p = Prefix::of(a, 48);
+                prop_assert_eq!(engine.count_within(&p), reference.count_within(&p));
+            }
+            prop_assert_eq!(engine.new_since(week), reference.new_since(week));
+            prop_assert_eq!(
+                engine.store().snapshot().len(),
+                reference.store().snapshot().len()
+            );
+        }
+    }
+
+    #[test]
+    fn aliases_filter_membership(
+        entries in proptest::collection::vec((addr_bits(), 0u32..4), 1..100),
+        alias_net in 0u128..64,
+    ) {
+        let alias = Prefix::new(
+            Ipv6Addr::from((0x2001_0db8u128 << 96) | (alias_net << 80)),
+            48,
+        );
+        for &shards in &SHARD_COUNTS {
+            let store = HitlistStore::new("prop", shards);
+            let mut b = SnapshotBuilder::new("prop", shards);
+            for &(bits, week) in &entries {
+                b.add_bits(bits, week);
+            }
+            b.add_alias(alias, 0);
+            store.publish(b.build()).unwrap();
+            let engine = QueryEngine::new(Arc::new(store));
+            for &(bits, _) in &entries {
+                let a = Ipv6Addr::from(bits);
+                prop_assert!(engine.contains(a));
+                let expect_aliased = alias.contains(a);
+                prop_assert_eq!(engine.lookup(a).alias.is_some(), expect_aliased);
+                prop_assert_eq!(engine.contains_unaliased(a), !expect_aliased);
+            }
+        }
+    }
+}

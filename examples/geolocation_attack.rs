@@ -65,7 +65,5 @@ fn main() {
              — street-level geolocation from a *passive* NTP corpus."
         );
     }
-    println!(
-        "\nDefense (the paper's plea): stop using EUI-64; randomize IIDs."
-    );
+    println!("\nDefense (the paper's plea): stop using EUI-64; randomize IIDs.");
 }

@@ -1,0 +1,91 @@
+//! Serving a hitlist: turn a campaign's weekly publications into a
+//! concurrently queryable store and ask it the questions a hitlist
+//! consumer would.
+//!
+//! ```sh
+//! cargo run --release --example serve_hitlist
+//! ```
+
+use std::sync::Arc;
+
+use ipv6_hitlists::addr::Prefix;
+use ipv6_hitlists::hitlist::collect::active::collect_hitlist;
+use ipv6_hitlists::hitlist::HitlistService;
+use ipv6_hitlists::netsim::{World, WorldConfig};
+use ipv6_hitlists::scan::HitlistCampaignConfig;
+use ipv6_hitlists::serve::{HitlistStore, Ingestor, PublicationUpdate, QueryEngine};
+
+fn main() {
+    // 1. Run a 3-week hitlist campaign on a tiny synthetic Internet.
+    let world = World::build(WorldConfig::tiny(), 42);
+    let hl = collect_hitlist(
+        &world,
+        0,
+        &HitlistCampaignConfig {
+            weeks: 3,
+            ..Default::default()
+        },
+    );
+    let service = HitlistService::from_campaign("IPv6 Hitlist Service", &hl.campaign);
+    println!(
+        "campaign: {} weekly releases, {} responsive addresses, {} aliased prefixes",
+        service.snapshots.len(),
+        service.total_responsive(),
+        service.aliased.len()
+    );
+
+    // 2. Publish it through the concurrent ingestion pipeline: weekly
+    //    releases flow through bounded channels into sharded, immutable
+    //    snapshots; each update becomes a new epoch.
+    let store = Arc::new(HitlistStore::new(&service.name, 8));
+    let ingest = Ingestor::default().spawn(store.clone());
+    ingest.submit(PublicationUpdate::Service(service.clone()));
+    let stats = ingest.finish();
+    println!(
+        "ingested: {} unique addresses ({} duplicates coalesced), epoch {}",
+        stats.unique_addresses,
+        stats.duplicates,
+        store.epoch()
+    );
+
+    // 3. Query it. Readers clone an Arc to the current snapshot, so
+    //    these calls never block publication (and vice versa).
+    let engine = QueryEngine::new(store.clone());
+    let sample = service.snapshots[0].new_responsive[0];
+
+    let ans = engine.lookup(sample);
+    println!(
+        "lookup {sample}: present={}, first seen week {:?}, aliased={}",
+        ans.present,
+        ans.first_week,
+        ans.alias.is_some()
+    );
+
+    let net = Prefix::of(sample, 48);
+    println!(
+        "density: {} responsive addresses in {net}",
+        engine.count_within(&net)
+    );
+
+    let first_week = service.snapshots.first().map(|s| s.week).unwrap_or(0);
+    println!(
+        "weekly diff: {} addresses are new since the week-{first_week} release",
+        engine.new_since(first_week)
+    );
+
+    let batch: Vec<_> = service
+        .responsive_as_of(u64::MAX)
+        .into_iter()
+        .take(64)
+        .collect();
+    let ans = engine.batch_lookup(&batch);
+    println!(
+        "batch of {}: {} present, {} aliased (served by epoch {})",
+        batch.len(),
+        ans.present,
+        ans.aliased,
+        ans.epoch
+    );
+
+    println!("{}", store.metrics().report());
+}

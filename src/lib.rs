@@ -16,6 +16,9 @@
 //!   corpus collection, dataset comparison, entropy/lifetime/pattern
 //!   analyses, backscanning, EUI-64 tracking, the geolocation attack,
 //!   and the ethical /48 release.
+//! * [`serve`] (`v6serve`) — the serving half of a hitlist service:
+//!   sharded immutable snapshots, epoch-swapped publication, concurrent
+//!   ingestion, a typed query API, and a deterministic load harness.
 //!
 //! Quick start:
 //!
@@ -37,3 +40,4 @@ pub use v6hitlist as hitlist;
 pub use v6netsim as netsim;
 pub use v6ntp as ntp;
 pub use v6scan as scan;
+pub use v6serve as serve;

@@ -29,8 +29,7 @@ fn event_stream_windows_compose() {
     // statistical generator must be consistent under windowing.
     let w = World::build(WorldConfig::tiny(), 77);
     let full: Vec<_> = NtpEventStream::new(&w, SimTime::START, SimDuration::days(10)).collect();
-    let mut parts: Vec<_> =
-        NtpEventStream::new(&w, SimTime::START, SimDuration::days(5)).collect();
+    let mut parts: Vec<_> = NtpEventStream::new(&w, SimTime::START, SimDuration::days(5)).collect();
     parts.extend(NtpEventStream::new(
         &w,
         SimTime(SimDuration::days(5).as_secs()),

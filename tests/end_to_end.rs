@@ -49,11 +49,7 @@ fn density_ordering_matches_paper() {
 fn entropy_ordering_matches_paper() {
     let e = experiment();
     let m = |d: &ipv6_hitlists::hitlist::Dataset| entropy_cdf(d).median().unwrap();
-    let (ntp, hl, ca) = (
-        m(&e.ntp),
-        m(&e.hitlist.dataset),
-        m(&e.caida.dataset),
-    );
+    let (ntp, hl, ca) = (m(&e.ntp), m(&e.hitlist.dataset), m(&e.caida.dataset));
     assert!(ntp > hl, "NTP median {ntp:.2} ≤ Hitlist {hl:.2}");
     assert!(hl > ca, "Hitlist median {hl:.2} ≤ CAIDA {ca:.2}");
     assert!(ca < 0.25, "CAIDA median should be near zero, got {ca:.2}");

@@ -5,7 +5,7 @@
 
 use ipv6_hitlists::netsim::{SimTime, World, WorldConfig};
 use ipv6_hitlists::ntp::{Mode, NtpClient, NtpPacket, NtpTimestamp, Stratum2Server};
-use ipv6_hitlists::scan::{trace, scan, WorldProber, YarrpConfig, Zmap6Config};
+use ipv6_hitlists::scan::{scan, trace, WorldProber, YarrpConfig, Zmap6Config};
 
 fn world() -> World {
     World::build(WorldConfig::tiny(), 314)
@@ -42,11 +42,7 @@ fn zmap_finds_every_router_interface() {
     let targets: Vec<std::net::Ipv6Addr> = w
         .ases
         .iter()
-        .flat_map(|a| {
-            a.router_ids
-                .iter()
-                .filter_map(|&r| w.device(r).fixed_addr)
-        })
+        .flat_map(|a| a.router_ids.iter().filter_map(|&r| w.device(r).fixed_addr))
         .collect();
     let result = scan(&prober, &targets, &Zmap6Config::default());
     assert_eq!(result.stats.sent, targets.len() as u64);

@@ -1,0 +1,88 @@
+//! Cross-crate integration: collect a hitlist from the simulator,
+//! publish it through the v6serve ingestion pipeline, and query the
+//! resulting store — the full collect → publish → serve → query loop.
+
+use std::sync::Arc;
+
+use ipv6_hitlists::hitlist::collect::active::collect_hitlist;
+use ipv6_hitlists::hitlist::HitlistService;
+use ipv6_hitlists::netsim::{World, WorldConfig};
+use ipv6_hitlists::scan::HitlistCampaignConfig;
+use ipv6_hitlists::serve::{
+    loadgen, HitlistStore, Ingestor, LoadSpec, PublicationUpdate, QueryEngine,
+};
+
+#[test]
+fn collect_publish_serve_query() {
+    // Collect: a 3-week campaign on a tiny world.
+    let world = World::build(WorldConfig::tiny(), 909);
+    let hl = collect_hitlist(
+        &world,
+        0,
+        &HitlistCampaignConfig {
+            weeks: 3,
+            ..Default::default()
+        },
+    );
+    let service = HitlistService::from_campaign("integration", &hl.campaign);
+    assert!(service.total_responsive() > 0, "campaign found nothing");
+
+    // Publish: week by week through the concurrent ingestion pipeline.
+    let store = Arc::new(HitlistStore::new("integration", 4));
+    let ingest = Ingestor::default().spawn(store.clone());
+    for snap in &service.snapshots {
+        ingest.submit(PublicationUpdate::Week {
+            week: snap.week,
+            addresses: snap.new_responsive.clone(),
+        });
+    }
+    ingest.submit(PublicationUpdate::Aliases {
+        week: 0,
+        prefixes: service.aliased.clone(),
+    });
+    let stats = ingest.finish();
+    assert_eq!(stats.updates, service.snapshots.len() as u64 + 1);
+    assert_eq!(stats.unique_addresses, service.total_responsive());
+    assert_eq!(stats.epochs_published, stats.updates);
+
+    // Serve: the final snapshot matches the service's cumulative set.
+    let snap = store.snapshot();
+    assert!(snap.verify_integrity());
+    assert_eq!(snap.len(), service.total_responsive());
+    let engine = QueryEngine::new(store.clone());
+
+    // Query: every published address answers, with its publication week.
+    for weekly in &service.snapshots {
+        for &a in &weekly.new_responsive {
+            let ans = engine.lookup(a);
+            assert!(ans.present, "{a} missing from the served snapshot");
+            assert_eq!(ans.first_week, Some(weekly.week as u32));
+        }
+    }
+    // The alias list is served too.
+    for p in &service.aliased {
+        assert!(engine.lookup(p.offset(1)).alias.is_some());
+    }
+    // Density totals across all /48s equal the full set.
+    let mut nets: Vec<_> = service
+        .responsive_as_of(u64::MAX)
+        .iter()
+        .map(|&a| ipv6_hitlists::addr::Prefix::of(a, 48))
+        .collect();
+    nets.dedup();
+    let total: u64 = nets.iter().map(|p| engine.count_within(p)).sum();
+    assert_eq!(total, service.total_responsive());
+
+    // And a small deterministic load run stays consistent.
+    let report = loadgen::run(
+        &engine,
+        &LoadSpec {
+            queries: 50_000,
+            threads: 2,
+            ..Default::default()
+        },
+    );
+    assert!(report.queries >= 50_000);
+    assert_eq!(report.verification_failures, 0);
+    assert!(report.present_hits > 0);
+}

@@ -1,0 +1,6 @@
+//! Empty offline placeholder for `rand` (see `vendor/README.md`).
+//!
+//! No code in this workspace uses `rand`: all randomness flows through the
+//! deterministic in-crate PRNG (`v6netsim::rng`), as DESIGN.md requires for
+//! cross-version reproducibility. The dependency edge is kept so existing
+//! manifests resolve offline.

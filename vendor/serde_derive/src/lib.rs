@@ -1,0 +1,413 @@
+//! Offline stand-in for `serde_derive` (see `vendor/README.md`).
+//!
+//! Implements `#[derive(Serialize)]` / `#[derive(Deserialize)]` against the
+//! `vendor/serde` value-tree data model without `syn`/`quote`: the derive
+//! input is walked as raw `proc_macro::TokenTree`s (we only need item kind,
+//! names, field names/arities, and `#[serde(skip)]` markers — never field
+//! types), and the trait impls are emitted as source strings re-parsed into
+//! a `TokenStream`. Shapes follow real serde: named structs are maps, tuple
+//! structs are sequences, newtype structs are transparent, enums are
+//! externally tagged.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+struct Field {
+    name: String,
+    skip: bool,
+}
+
+enum VariantKind {
+    Unit,
+    Tuple(usize),
+    Named(Vec<Field>),
+}
+
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+enum Body {
+    NamedStruct(Vec<Field>),
+    TupleStruct(Vec<bool>),
+    UnitStruct,
+    Enum(Vec<Variant>),
+}
+
+struct Input {
+    name: String,
+    body: Body,
+}
+
+/// True when the token is the given punctuation character.
+fn is_punct(tt: &TokenTree, ch: char) -> bool {
+    matches!(tt, TokenTree::Punct(p) if p.as_char() == ch)
+}
+
+/// Consumes leading attributes, returning whether any was `#[serde(skip)]`.
+fn eat_attrs(tokens: &mut std::iter::Peekable<impl Iterator<Item = TokenTree>>) -> bool {
+    let mut skip = false;
+    while let Some(tt) = tokens.peek() {
+        if !is_punct(tt, '#') {
+            break;
+        }
+        tokens.next();
+        match tokens.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket => {
+                skip |= attr_is_serde_skip(g.stream());
+            }
+            other => panic!("expected [...] after # in derive input, got {other:?}"),
+        }
+    }
+    skip
+}
+
+/// Recognizes the body of a `#[serde(skip)]` attribute.
+fn attr_is_serde_skip(body: TokenStream) -> bool {
+    let mut it = body.into_iter();
+    match (it.next(), it.next()) {
+        (Some(TokenTree::Ident(name)), Some(TokenTree::Group(args)))
+            if name.to_string() == "serde" && args.delimiter() == Delimiter::Parenthesis =>
+        {
+            args.stream()
+                .into_iter()
+                .any(|tt| matches!(&tt, TokenTree::Ident(i) if i.to_string() == "skip"))
+        }
+        _ => false,
+    }
+}
+
+/// Consumes a leading visibility qualifier (`pub`, `pub(crate)`, ...).
+fn eat_visibility(tokens: &mut std::iter::Peekable<impl Iterator<Item = TokenTree>>) {
+    if matches!(tokens.peek(), Some(TokenTree::Ident(i)) if i.to_string() == "pub") {
+        tokens.next();
+        if matches!(
+            tokens.peek(),
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis
+        ) {
+            tokens.next();
+        }
+    }
+}
+
+/// Consumes tokens through the next comma that is outside `<...>` nesting
+/// (so types like `BTreeMap<String, u64>` read as one field type).
+fn eat_to_toplevel_comma(tokens: &mut std::iter::Peekable<impl Iterator<Item = TokenTree>>) {
+    let mut angle_depth = 0i32;
+    for tt in tokens.by_ref() {
+        match &tt {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => return,
+            _ => {}
+        }
+    }
+}
+
+/// Parses `{ name: Type, ... }` struct or variant bodies.
+fn parse_named_fields(stream: TokenStream) -> Vec<Field> {
+    let mut tokens = stream.into_iter().peekable();
+    let mut fields = Vec::new();
+    while tokens.peek().is_some() {
+        let skip = eat_attrs(&mut tokens);
+        eat_visibility(&mut tokens);
+        let name = match tokens.next() {
+            Some(TokenTree::Ident(i)) => i.to_string(),
+            other => panic!("expected field name, got {other:?}"),
+        };
+        match tokens.next() {
+            Some(tt) if is_punct(&tt, ':') => {}
+            other => panic!("expected `:` after field {name}, got {other:?}"),
+        }
+        eat_to_toplevel_comma(&mut tokens);
+        fields.push(Field { name, skip });
+    }
+    fields
+}
+
+/// Parses `( Type, ... )` tuple bodies into per-field skip flags.
+fn parse_tuple_fields(stream: TokenStream) -> Vec<bool> {
+    let mut tokens = stream.into_iter().peekable();
+    let mut skips = Vec::new();
+    while tokens.peek().is_some() {
+        let skip = eat_attrs(&mut tokens);
+        eat_visibility(&mut tokens);
+        eat_to_toplevel_comma(&mut tokens);
+        skips.push(skip);
+    }
+    skips
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let mut tokens = stream.into_iter().peekable();
+    let mut variants = Vec::new();
+    while tokens.peek().is_some() {
+        eat_attrs(&mut tokens);
+        let name = match tokens.next() {
+            Some(TokenTree::Ident(i)) => i.to_string(),
+            other => panic!("expected variant name, got {other:?}"),
+        };
+        let kind = match tokens.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let arity = parse_tuple_fields(g.stream()).len();
+                tokens.next();
+                VariantKind::Tuple(arity)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fields = parse_named_fields(g.stream());
+                tokens.next();
+                VariantKind::Named(fields)
+            }
+            _ => VariantKind::Unit,
+        };
+        // Skip any explicit discriminant, then the separating comma.
+        eat_to_toplevel_comma(&mut tokens);
+        variants.push(Variant { name, kind });
+    }
+    variants
+}
+
+fn parse_input(input: TokenStream) -> Input {
+    let mut tokens = input.into_iter().peekable();
+    eat_attrs(&mut tokens);
+    eat_visibility(&mut tokens);
+    let keyword = match tokens.next() {
+        Some(TokenTree::Ident(i)) => i.to_string(),
+        other => panic!("expected struct/enum, got {other:?}"),
+    };
+    let name = match tokens.next() {
+        Some(TokenTree::Ident(i)) => i.to_string(),
+        other => panic!("expected type name, got {other:?}"),
+    };
+    if matches!(tokens.peek(), Some(tt) if is_punct(tt, '<')) {
+        panic!("vendored serde_derive does not support generic type {name}");
+    }
+    let body = match keyword.as_str() {
+        "struct" => match tokens.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Body::NamedStruct(parse_named_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Body::TupleStruct(parse_tuple_fields(g.stream()))
+            }
+            Some(tt) if is_punct(&tt, ';') => Body::UnitStruct,
+            other => panic!("unsupported struct body for {name}: {other:?}"),
+        },
+        "enum" => match tokens.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Body::Enum(parse_variants(g.stream()))
+            }
+            other => panic!("unsupported enum body for {name}: {other:?}"),
+        },
+        other => panic!("cannot derive for {other} {name}"),
+    };
+    Input { name, body }
+}
+
+fn serialize_named_fields(fields: &[Field], accessor: &str) -> String {
+    let mut out = String::from("{ let mut m: Vec<(String, ::serde::Value)> = Vec::new(); ");
+    for f in fields.iter().filter(|f| !f.skip) {
+        out.push_str(&format!(
+            "m.push((\"{n}\".to_string(), ::serde::Serialize::serialize(&{accessor}{n}))); ",
+            n = f.name
+        ));
+    }
+    out.push_str("::serde::Value::Map(m) }");
+    out
+}
+
+fn deserialize_named_fields(fields: &[Field], map_var: &str, type_label: &str) -> String {
+    let mut out = String::from("{ ");
+    for f in fields {
+        if f.skip {
+            out.push_str(&format!(
+                "{}: ::std::default::Default::default(), ",
+                f.name
+            ));
+        } else {
+            out.push_str(&format!(
+                "{n}: ::serde::Deserialize::deserialize(::serde::map_get({map_var}, \"{n}\")\
+                 .ok_or_else(|| ::serde::Error::msg(\"missing field {type_label}.{n}\"))?)?, ",
+                n = f.name
+            ));
+        }
+    }
+    out.push('}');
+    out
+}
+
+fn generate_serialize(input: &Input) -> String {
+    let name = &input.name;
+    let body = match &input.body {
+        Body::NamedStruct(fields) => serialize_named_fields(fields, "self."),
+        Body::UnitStruct => "::serde::Value::Null".to_string(),
+        Body::TupleStruct(skips) => {
+            let live: Vec<usize> = (0..skips.len()).filter(|&i| !skips[i]).collect();
+            if live.len() == 1 && skips.len() == 1 {
+                format!("::serde::Serialize::serialize(&self.{})", live[0])
+            } else {
+                let items: Vec<String> = live
+                    .iter()
+                    .map(|i| format!("::serde::Serialize::serialize(&self.{i})"))
+                    .collect();
+                format!("::serde::Value::Seq(vec![{}])", items.join(", "))
+            }
+        }
+        Body::Enum(variants) => {
+            let mut arms = String::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.kind {
+                    VariantKind::Unit => arms.push_str(&format!(
+                        "{name}::{vn} => ::serde::Value::Str(\"{vn}\".to_string()), "
+                    )),
+                    VariantKind::Tuple(1) => arms.push_str(&format!(
+                        "{name}::{vn}(__f0) => ::serde::Value::Map(vec![(\"{vn}\".to_string(), \
+                         ::serde::Serialize::serialize(__f0))]), "
+                    )),
+                    VariantKind::Tuple(n) => {
+                        let binds: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
+                        let items: Vec<String> = binds
+                            .iter()
+                            .map(|b| format!("::serde::Serialize::serialize({b})"))
+                            .collect();
+                        arms.push_str(&format!(
+                            "{name}::{vn}({}) => ::serde::Value::Map(vec![(\"{vn}\".to_string(), \
+                             ::serde::Value::Seq(vec![{}]))]), ",
+                            binds.join(", "),
+                            items.join(", ")
+                        ));
+                    }
+                    VariantKind::Named(fields) => {
+                        let binds: Vec<&str> =
+                            fields.iter().map(|f| f.name.as_str()).collect();
+                        let inner = serialize_named_fields(fields, "*");
+                        arms.push_str(&format!(
+                            "{name}::{vn} {{ {} }} => ::serde::Value::Map(vec![(\"{vn}\"\
+                             .to_string(), {inner})]), ",
+                            binds.join(", ")
+                        ));
+                    }
+                }
+            }
+            format!("match self {{ {arms} }}")
+        }
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+         fn serialize(&self) -> ::serde::Value {{ {body} }}\n\
+         }}"
+    )
+}
+
+fn generate_deserialize(input: &Input) -> String {
+    let name = &input.name;
+    let body = match &input.body {
+        Body::NamedStruct(fields) => format!(
+            "let m = v.as_map().ok_or_else(|| ::serde::Error::msg(\"expected map for \
+             {name}\"))?; ::std::result::Result::Ok({name} {fields})",
+            fields = deserialize_named_fields(fields, "m", name)
+        ),
+        Body::UnitStruct => format!("::std::result::Result::Ok({name})"),
+        Body::TupleStruct(skips) => {
+            let live: Vec<usize> = (0..skips.len()).filter(|&i| !skips[i]).collect();
+            if live.len() == 1 && skips.len() == 1 {
+                format!(
+                    "::std::result::Result::Ok({name}(::serde::Deserialize::deserialize(v)?))"
+                )
+            } else {
+                let mut items = Vec::new();
+                let mut next_seq = 0usize;
+                for skip in skips {
+                    if *skip {
+                        items.push("::std::default::Default::default()".to_string());
+                    } else {
+                        items.push(format!(
+                            "::serde::Deserialize::deserialize(&s[{next_seq}])?"
+                        ));
+                        next_seq += 1;
+                    }
+                }
+                format!(
+                    "let s = v.as_seq().ok_or_else(|| ::serde::Error::msg(\"expected seq for \
+                     {name}\"))?; if s.len() != {n} {{ return ::std::result::Result::Err(\
+                     ::serde::Error::msg(\"wrong arity for {name}\")); }} \
+                     ::std::result::Result::Ok({name}({items}))",
+                    n = next_seq,
+                    items = items.join(", ")
+                )
+            }
+        }
+        Body::Enum(variants) => {
+            let mut str_arms = String::new();
+            let mut map_arms = String::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.kind {
+                    VariantKind::Unit => str_arms.push_str(&format!(
+                        "\"{vn}\" => ::std::result::Result::Ok({name}::{vn}), "
+                    )),
+                    VariantKind::Tuple(1) => map_arms.push_str(&format!(
+                        "\"{vn}\" => ::std::result::Result::Ok({name}::{vn}(\
+                         ::serde::Deserialize::deserialize(__body)?)), "
+                    )),
+                    VariantKind::Tuple(n) => {
+                        let items: Vec<String> = (0..*n)
+                            .map(|i| format!("::serde::Deserialize::deserialize(&s[{i}])?"))
+                            .collect();
+                        map_arms.push_str(&format!(
+                            "\"{vn}\" => {{ let s = __body.as_seq().ok_or_else(|| \
+                             ::serde::Error::msg(\"expected seq for {name}::{vn}\"))?; \
+                             if s.len() != {n} {{ return ::std::result::Result::Err(\
+                             ::serde::Error::msg(\"wrong arity for {name}::{vn}\")); }} \
+                             ::std::result::Result::Ok({name}::{vn}({items})) }} ",
+                            items = items.join(", ")
+                        ));
+                    }
+                    VariantKind::Named(fields) => map_arms.push_str(&format!(
+                        "\"{vn}\" => {{ let m = __body.as_map().ok_or_else(|| \
+                         ::serde::Error::msg(\"expected map for {name}::{vn}\"))?; \
+                         ::std::result::Result::Ok({name}::{vn} {fields}) }} ",
+                        fields =
+                            deserialize_named_fields(fields, "m", &format!("{name}::{vn}"))
+                    )),
+                }
+            }
+            format!(
+                "match v {{ \
+                 ::serde::Value::Str(s) => match s.as_str() {{ {str_arms} other => \
+                 ::std::result::Result::Err(::serde::Error::msg(format!(\"unknown {name} \
+                 variant {{other}}\"))) }}, \
+                 ::serde::Value::Map(m) if m.len() == 1 => {{ let (__tag, __body) = &m[0]; \
+                 match __tag.as_str() {{ {map_arms} other => ::std::result::Result::Err(\
+                 ::serde::Error::msg(format!(\"unknown {name} variant {{other}}\"))) }} }}, \
+                 _ => ::std::result::Result::Err(::serde::Error::msg(\"expected {name} \
+                 variant tag\")) }}"
+            )
+        }
+    };
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+         fn deserialize(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> \
+         {{ {body} }}\n\
+         }}"
+    )
+}
+
+/// Derives `serde::Serialize` for plain (non-generic) structs and enums.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let parsed = parse_input(input);
+    generate_serialize(&parsed)
+        .parse()
+        .expect("serde_derive generated invalid Serialize impl")
+}
+
+/// Derives `serde::Deserialize` for plain (non-generic) structs and enums.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let parsed = parse_input(input);
+    generate_deserialize(&parsed)
+        .parse()
+        .expect("serde_derive generated invalid Deserialize impl")
+}
