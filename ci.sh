@@ -6,13 +6,23 @@ cd "$(dirname "$0")"
 echo "== cargo build --release --workspace =="
 cargo build --release --workspace
 
-echo "== cargo test -q --workspace =="
-cargo test -q --workspace
+echo "== cargo test -q --workspace (V6_THREADS=1) =="
+V6_THREADS=1 cargo test -q --workspace
+
+echo "== cargo test -q --workspace (V6_THREADS=4) =="
+V6_THREADS=4 cargo test -q --workspace
 
 echo "== cargo clippy --workspace --all-targets -- -D warnings =="
 cargo clippy --workspace --all-targets -- -D warnings
 
 echo "== cargo fmt --check =="
 cargo fmt --check
+
+echo "== pipeline bench smoke (tiny, V6_THREADS=2) =="
+rm -f BENCH_pipeline.json
+V6HL_SCALE=tiny V6_THREADS=2 cargo run --release -q -p v6bench --bin pipeline
+test -s BENCH_pipeline.json
+grep -q '"digest"' BENCH_pipeline.json
+grep -q '"total_threadsn_ms"' BENCH_pipeline.json
 
 echo "CI OK"

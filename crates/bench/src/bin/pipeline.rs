@@ -1,0 +1,108 @@
+//! Parallel-pipeline bench: threads=1 vs threads=N wall clock per stage.
+//!
+//! Runs the full experiment twice — sequentially and with `V6_THREADS`
+//! workers (default 4) — asserts the artifact digests are identical and
+//! that the pre-sized corpus buffer never reallocated, then writes the
+//! per-stage timing comparison to `BENCH_pipeline.json`.
+//!
+//! Env knobs: `V6HL_SCALE`, `V6HL_SEED` (the usual), `V6_THREADS` (the
+//! parallel run's worker count).
+
+use v6bench::{config_for, seed_from_env, PipelineBench, Scale, StageRecord};
+use v6hitlist::Experiment;
+
+fn main() {
+    let scale = Scale::from_env();
+    let seed = seed_from_env();
+    let threads = std::env::var("V6_THREADS")
+        .ok()
+        .and_then(|s| s.parse::<usize>().ok())
+        .filter(|&n| n >= 2)
+        .unwrap_or(4);
+
+    eprintln!(
+        "[pipeline] scale={} seed={seed}: sequential run …",
+        scale.name()
+    );
+    let t0 = std::time::Instant::now();
+    let seq = Experiment::run_with_threads(config_for(scale, seed), 1);
+    let seq_total = t0.elapsed();
+    eprintln!(
+        "[pipeline] sequential: {:.2}s; parallel run ({threads} threads) …",
+        seq_total.as_secs_f64()
+    );
+    let t0 = std::time::Instant::now();
+    let par = Experiment::run_with_threads(config_for(scale, seed), threads);
+    let par_total = t0.elapsed();
+
+    // The determinism contract, enforced end-to-end.
+    let digest = seq.artifact_digest();
+    assert_eq!(
+        digest,
+        par.artifact_digest(),
+        "artifacts diverged between 1 and {threads} threads"
+    );
+    // Satellite check: collection pre-sizing held, no reallocation.
+    for (label, e) in [("seq", &seq), ("par", &par)] {
+        assert!(
+            e.corpus.len() as u64 <= e.corpus.expected_queries,
+            "{label}: query-volume estimate too low"
+        );
+        assert_eq!(
+            e.corpus.observations.capacity(),
+            e.corpus.initial_capacity,
+            "{label}: corpus buffer reallocated"
+        );
+    }
+
+    let stages: Vec<StageRecord> = seq
+        .timings
+        .iter()
+        .map(|s| StageRecord {
+            name: s.name.to_string(),
+            threads1_ms: s.wall.as_secs_f64() * 1e3,
+            threadsn_ms: par
+                .timings
+                .iter()
+                .find(|p| p.name == s.name)
+                .map(|p| p.wall.as_secs_f64() * 1e3)
+                .unwrap_or(f64::NAN),
+        })
+        .collect();
+    let bench = PipelineBench {
+        scale: scale.name().to_string(),
+        seed,
+        threads,
+        digest: format!("{digest:016x}"),
+        total_threads1_ms: seq_total.as_secs_f64() * 1e3,
+        total_threadsn_ms: par_total.as_secs_f64() * 1e3,
+        speedup: seq_total.as_secs_f64() / par_total.as_secs_f64().max(1e-9),
+        stages,
+        corpus_observations: seq.corpus.len() as u64,
+        corpus_preallocated: true,
+    };
+
+    let json = serde_json::to_string_pretty(&bench).expect("serialize bench");
+    std::fs::write("BENCH_pipeline.json", &json).expect("write BENCH_pipeline.json");
+    // Round-trip what we just wrote: the file must be well-formed.
+    let back: PipelineBench =
+        serde_json::from_str(&std::fs::read_to_string("BENCH_pipeline.json").expect("read back"))
+            .expect("BENCH_pipeline.json is not valid JSON");
+    assert_eq!(back, bench, "BENCH_pipeline.json round-trip mismatch");
+
+    println!(
+        "pipeline bench: digest {:016x} identical at 1 and {threads} threads",
+        digest
+    );
+    println!(
+        "  total: {:.0} ms (1 thread) vs {:.0} ms ({threads} threads), speedup {:.2}x",
+        bench.total_threads1_ms, bench.total_threadsn_ms, bench.speedup
+    );
+    for s in &bench.stages {
+        println!(
+            "  {:>14}: {:>8.1} ms -> {:>8.1} ms",
+            s.name, s.threads1_ms, s.threadsn_ms
+        );
+    }
+    println!("wrote BENCH_pipeline.json");
+}

@@ -18,9 +18,48 @@
 
 pub mod experiments;
 
+use serde::{Deserialize, Serialize};
 use v6hitlist::{Experiment, ExperimentConfig};
 use v6netsim::WorldConfig;
 use v6scan::{CaidaCampaignConfig, HitlistCampaignConfig};
+
+/// One pipeline stage's wall time at both thread counts, as recorded in
+/// `BENCH_pipeline.json`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StageRecord {
+    /// Stage name ("world", "corpus", "hitlist", …).
+    pub name: String,
+    /// Wall milliseconds with 1 thread.
+    pub threads1_ms: f64,
+    /// Wall milliseconds with N threads.
+    pub threadsn_ms: f64,
+}
+
+/// The machine-readable output of the `pipeline` bench binary.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PipelineBench {
+    /// Scale the bench ran at.
+    pub scale: String,
+    /// Master seed.
+    pub seed: u64,
+    /// The parallel run's thread count.
+    pub threads: usize,
+    /// `Experiment::artifact_digest` as hex — identical for both runs by
+    /// construction (the bench asserts it before writing this file).
+    pub digest: String,
+    /// End-to-end wall milliseconds with 1 thread.
+    pub total_threads1_ms: f64,
+    /// End-to-end wall milliseconds with N threads.
+    pub total_threadsn_ms: f64,
+    /// `total_threads1_ms / total_threadsn_ms`.
+    pub speedup: f64,
+    /// Per-stage breakdown.
+    pub stages: Vec<StageRecord>,
+    /// Raw NTP observations collected.
+    pub corpus_observations: u64,
+    /// True iff the pre-sized corpus buffer never reallocated.
+    pub corpus_preallocated: bool,
+}
 
 /// The scale selected through `V6HL_SCALE`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]

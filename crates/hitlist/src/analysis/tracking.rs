@@ -20,7 +20,7 @@ use crate::cdf::Cdf;
 use crate::collect::ntp_passive::NtpCorpus;
 
 /// §5.1 headline numbers.
-#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct Eui64Stats {
     /// Unique addresses in the corpus.
     pub corpus_addresses: u64,

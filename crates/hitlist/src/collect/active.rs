@@ -2,8 +2,8 @@
 
 use v6netsim::World;
 use v6scan::{
-    run_caida_campaign, run_hitlist_campaign, CaidaCampaignConfig, CampaignResult,
-    HitlistCampaignConfig,
+    run_caida_campaign_with_threads, run_hitlist_campaign_with_threads, CaidaCampaignConfig,
+    CampaignResult, HitlistCampaignConfig,
 };
 
 use crate::dataset::{Dataset, Observation};
@@ -29,14 +29,34 @@ fn to_dataset(name: &str, campaign: &CampaignResult) -> Dataset {
 
 /// Runs the IPv6-Hitlist-style campaign and wraps it as a dataset.
 pub fn collect_hitlist(world: &World, vp_id: u16, cfg: &HitlistCampaignConfig) -> ActiveDataset {
-    let campaign = run_hitlist_campaign(world, vp_id, cfg);
+    collect_hitlist_with_threads(world, vp_id, cfg, v6par::threads())
+}
+
+/// [`collect_hitlist`] at an explicit thread count.
+pub fn collect_hitlist_with_threads(
+    world: &World,
+    vp_id: u16,
+    cfg: &HitlistCampaignConfig,
+    threads: usize,
+) -> ActiveDataset {
+    let campaign = run_hitlist_campaign_with_threads(world, vp_id, cfg, threads);
     let dataset = to_dataset("IPv6 Hitlist", &campaign);
     ActiveDataset { campaign, dataset }
 }
 
 /// Runs the CAIDA routed-/48 campaign and wraps it as a dataset.
 pub fn collect_caida(world: &World, vp_id: u16, cfg: &CaidaCampaignConfig) -> ActiveDataset {
-    let campaign = run_caida_campaign(world, vp_id, cfg);
+    collect_caida_with_threads(world, vp_id, cfg, v6par::threads())
+}
+
+/// [`collect_caida`] at an explicit thread count.
+pub fn collect_caida_with_threads(
+    world: &World,
+    vp_id: u16,
+    cfg: &CaidaCampaignConfig,
+    threads: usize,
+) -> ActiveDataset {
+    let campaign = run_caida_campaign_with_threads(world, vp_id, cfg, threads);
     let dataset = to_dataset("CAIDA Routed /48", &campaign);
     ActiveDataset { campaign, dataset }
 }

@@ -11,6 +11,20 @@ use v6ntp::{NtpClient, NtpPool, NtpTimestamp, Stratum2Server};
 
 use crate::dataset::{Dataset, Observation};
 
+/// One shard's worth of collection: the observations of a contiguous
+/// day-slice, plus the bookkeeping needed to merge shards back into the
+/// exact sequential order.
+struct CollectShard {
+    observations: Vec<NtpObservation>,
+    /// Run-length encoding of `observations` by device: each device that
+    /// produced events in this slice appears once, in device-index
+    /// order, with its contiguous observation count.
+    runs: Vec<(u32, u32)>,
+    served_per_vp: Vec<u64>,
+    protocol_failures: u64,
+    initial_capacity: usize,
+}
+
 /// One compact corpus observation (24 bytes; corpora run to millions).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct NtpObservation {
@@ -48,6 +62,12 @@ pub struct NtpCorpus {
     pub start: SimTime,
     /// Collection window length.
     pub window: SimDuration,
+    /// The query-volume estimate the observation buffer was pre-sized to
+    /// (see [`v6netsim::expected_query_volume`]).
+    pub expected_queries: u64,
+    /// `observations.capacity()` right after pre-sizing; equal to the
+    /// final capacity iff collection never reallocated.
+    pub initial_capacity: usize,
 }
 
 impl NtpCorpus {
@@ -56,54 +76,93 @@ impl NtpCorpus {
     /// Every query runs the full wire path (encode → geo-DNS select →
     /// server decode/log → response → client validate).
     pub fn collect(world: &World, start: SimTime, window: SimDuration) -> Self {
+        Self::collect_with_threads(world, start, window, v6par::threads())
+    }
+
+    /// [`NtpCorpus::collect`] sharded by time-slice across `threads`
+    /// workers.
+    ///
+    /// The day range is cut into contiguous slices; each slice runs the
+    /// full wire path against its own [`Stratum2Server`] replicas
+    /// (responses depend only on the request, so replicas serve
+    /// identically), and shards merge back in device-major order via
+    /// per-device run-lengths. `observations` is bit-identical to the
+    /// sequential collection at any thread count.
+    pub fn collect_with_threads(
+        world: &World,
+        start: SimTime,
+        window: SimDuration,
+        threads: usize,
+    ) -> Self {
+        let (start_day, end_day) = v6netsim::day_range(start, window);
+        let days = (end_day - start_day) as usize;
+        let expected = v6netsim::expected_query_volume(world, start, window);
         let pool = NtpPool::new(
             world.vantage_points.clone(),
             v6netsim::CountryRegistry::builtin(),
         );
-        let mut servers: Vec<Stratum2Server> = world
-            .vantage_points
-            .iter()
-            .map(|vp| Stratum2Server::new(vp.clone()))
-            .collect();
-        let mut observations = Vec::new();
-        let mut protocol_failures = 0u64;
 
-        for ev in NtpEventStream::new(world, start, window) {
-            let Some(vp) = pool.select(ev.country, ev.device.0 as u64, ev.t) else {
-                continue;
+        if threads <= 1 || days < 2 {
+            let shard = collect_days(world, &pool, start_day, end_day, expected as usize);
+            return NtpCorpus {
+                observations: shard.observations,
+                served_per_vp: shard.served_per_vp,
+                protocol_failures: shard.protocol_failures,
+                start,
+                window,
+                expected_queries: expected,
+                initial_capacity: shard.initial_capacity,
             };
-            let server = &mut servers[vp.id as usize];
-            let t1 = NtpTimestamp::from_sim(ev.t, 0);
-            let (client, request) = NtpClient::start(t1);
-            match server.handle(&request, ev.src, ev.t) {
-                Ok(response) => {
-                    let t4 = NtpTimestamp::from_sim(ev.t, 120_000_000);
-                    if client.finish(&response, t4).is_err() {
-                        protocol_failures += 1;
-                    }
-                }
-                Err(_) => {
-                    protocol_failures += 1;
-                    continue;
-                }
-            }
-            observations.push(NtpObservation {
-                addr: u128::from(ev.src),
-                t: ev.t.as_secs() as u32,
-                as_index: ev.as_index,
-                server: vp.id,
-            });
         }
 
-        // The servers' own logs must agree with what we recorded.
-        let served_per_vp: Vec<u64> = servers.iter().map(|s| s.served()).collect();
+        let slices = v6par::split_ranges(days, (threads * 4).min(days));
+        let shards = v6par::par_map(threads, &slices, |_, r| {
+            collect_days(
+                world,
+                &pool,
+                start_day + r.start as u64,
+                start_day + r.end as u64,
+                expected as usize / slices.len() + 64,
+            )
+        });
+
+        // Order-preserving merge: the sequential stream is device-major
+        // (all of device 0's days, then device 1's, …), so walk devices
+        // in index order, appending each shard's run for that device in
+        // shard (time-slice) order.
+        let total: usize = shards.iter().map(|s| s.observations.len()).sum();
+        let mut observations: Vec<NtpObservation> =
+            Vec::with_capacity((expected as usize).max(total));
+        let initial_capacity = observations.capacity();
+        let mut cursors = vec![(0usize, 0usize); shards.len()]; // (run, obs) per shard
+        for dev in 0..world.devices.len() as u32 {
+            for (si, shard) in shards.iter().enumerate() {
+                let (run, obs) = &mut cursors[si];
+                if *run < shard.runs.len() && shard.runs[*run].0 == dev {
+                    let n = shard.runs[*run].1 as usize;
+                    observations.extend_from_slice(&shard.observations[*obs..*obs + n]);
+                    *obs += n;
+                    *run += 1;
+                }
+            }
+        }
+        debug_assert_eq!(observations.len(), total, "merge lost observations");
+
+        let mut served_per_vp = vec![0u64; world.vantage_points.len()];
+        for shard in &shards {
+            for (vp, &n) in shard.served_per_vp.iter().enumerate() {
+                served_per_vp[vp] += n;
+            }
+        }
         debug_assert_eq!(served_per_vp.iter().sum::<u64>(), observations.len() as u64);
         NtpCorpus {
             observations,
             served_per_vp,
-            protocol_failures,
+            protocol_failures: shards.iter().map(|s| s.protocol_failures).sum(),
             start,
             window,
+            expected_queries: expected,
+            initial_capacity,
         }
     }
 
@@ -112,11 +171,27 @@ impl NtpCorpus {
         Self::collect(world, SimTime::START, v6netsim::time::STUDY_DURATION)
     }
 
+    /// [`NtpCorpus::collect_study`] at an explicit thread count.
+    pub fn collect_study_with_threads(world: &World, threads: usize) -> Self {
+        Self::collect_with_threads(
+            world,
+            SimTime::START,
+            v6netsim::time::STUDY_DURATION,
+            threads,
+        )
+    }
+
     /// The corpus as a [`Dataset`] named "NTP Pool".
     pub fn dataset(&self) -> Dataset {
-        Dataset::from_observations(
+        self.dataset_with_threads(v6par::threads())
+    }
+
+    /// [`NtpCorpus::dataset`] at an explicit thread count.
+    pub fn dataset_with_threads(&self, threads: usize) -> Dataset {
+        Dataset::from_observations_with_threads(
             "NTP Pool",
             self.observations.iter().map(|o| o.to_observation()),
+            threads,
         )
     }
 
@@ -134,6 +209,61 @@ impl NtpCorpus {
     /// analyses that model MaxMind error use `v6geo::GeoDb` instead).
     pub fn country_of(&self, world: &World, obs: &NtpObservation) -> Country {
         world.ases[obs.as_index as usize].info.country
+    }
+}
+
+/// The sequential collection kernel over day indices `[d0, d1)`.
+fn collect_days(world: &World, pool: &NtpPool, d0: u64, d1: u64, capacity: usize) -> CollectShard {
+    let mut servers: Vec<Stratum2Server> = world
+        .vantage_points
+        .iter()
+        .map(|vp| Stratum2Server::new(vp.clone()))
+        .collect();
+    let mut observations: Vec<NtpObservation> = Vec::with_capacity(capacity);
+    let initial_capacity = observations.capacity();
+    let mut runs: Vec<(u32, u32)> = Vec::new();
+    let mut protocol_failures = 0u64;
+
+    for ev in NtpEventStream::days(world, d0, d1) {
+        let Some(vp) = pool.select(ev.country, ev.device.0 as u64, ev.t) else {
+            continue;
+        };
+        let server = &mut servers[vp.id as usize];
+        let t1 = NtpTimestamp::from_sim(ev.t, 0);
+        let (client, request) = NtpClient::start(t1);
+        match server.handle(&request, ev.src, ev.t) {
+            Ok(response) => {
+                let t4 = NtpTimestamp::from_sim(ev.t, 120_000_000);
+                if client.finish(&response, t4).is_err() {
+                    protocol_failures += 1;
+                }
+            }
+            Err(_) => {
+                protocol_failures += 1;
+                continue;
+            }
+        }
+        match runs.last_mut() {
+            Some(run) if run.0 == ev.device.0 => run.1 += 1,
+            _ => runs.push((ev.device.0, 1)),
+        }
+        observations.push(NtpObservation {
+            addr: u128::from(ev.src),
+            t: ev.t.as_secs() as u32,
+            as_index: ev.as_index,
+            server: vp.id,
+        });
+    }
+
+    // The servers' own logs must agree with what we recorded.
+    let served_per_vp: Vec<u64> = servers.iter().map(|s| s.served()).collect();
+    debug_assert_eq!(served_per_vp.iter().sum::<u64>(), observations.len() as u64);
+    CollectShard {
+        observations,
+        runs,
+        served_per_vp,
+        protocol_failures,
+        initial_capacity,
     }
 }
 
@@ -201,5 +331,37 @@ mod tests {
         let a = NtpCorpus::collect(&w, SimTime::START, SimDuration::days(2));
         let b = NtpCorpus::collect(&w, SimTime::START, SimDuration::days(2));
         assert_eq!(a.observations, b.observations);
+    }
+
+    #[test]
+    fn sharded_collection_matches_sequential() {
+        let w = world();
+        let seq = NtpCorpus::collect_with_threads(&w, SimTime::START, SimDuration::days(9), 1);
+        assert!(!seq.is_empty());
+        for threads in [2, 3, 8] {
+            let par =
+                NtpCorpus::collect_with_threads(&w, SimTime::START, SimDuration::days(9), threads);
+            assert_eq!(seq.observations, par.observations, "threads={threads}");
+            assert_eq!(seq.served_per_vp, par.served_per_vp, "threads={threads}");
+            assert_eq!(
+                seq.protocol_failures, par.protocol_failures,
+                "threads={threads}"
+            );
+        }
+    }
+
+    #[test]
+    fn collection_never_reallocates() {
+        let w = world();
+        for threads in [1, 4] {
+            let c =
+                NtpCorpus::collect_with_threads(&w, SimTime::START, SimDuration::days(9), threads);
+            assert!(c.len() as u64 <= c.expected_queries, "estimate too low");
+            assert_eq!(
+                c.observations.capacity(),
+                c.initial_capacity,
+                "collection reallocated (threads={threads})"
+            );
+        }
     }
 }

@@ -78,11 +78,29 @@ impl Dataset {
     where
         I: IntoIterator<Item = Observation>,
     {
+        Self::from_observations_with_threads(name, obs, 1)
+    }
+
+    /// [`Dataset::from_observations`] with the dedup/sort pass sharded
+    /// across `threads` workers (chunked sorts + k-way merge).
+    ///
+    /// Sorting `(addr, t)` integer pairs has no distinguishable
+    /// duplicates, so the parallel merge sort and `sort_unstable`
+    /// produce the same sequence — records are bit-identical at any
+    /// thread count.
+    pub fn from_observations_with_threads<I>(
+        name: impl Into<String>,
+        obs: I,
+        threads: usize,
+    ) -> Self
+    where
+        I: IntoIterator<Item = Observation>,
+    {
         let mut raw: Vec<(u128, u64)> = obs
             .into_iter()
             .map(|o| (u128::from(o.addr), o.t.as_secs()))
             .collect();
-        raw.sort_unstable();
+        v6par::par_sort_unstable(threads, &mut raw);
         let observations = raw.len() as u64;
         let mut records: Vec<AddrRecord> = Vec::new();
         for (bits, t) in raw {

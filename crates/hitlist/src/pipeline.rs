@@ -10,6 +10,7 @@ use serde::{Deserialize, Serialize};
 
 use v6geo::WardriveDb;
 use v6netsim::{SimTime, World, WorldConfig};
+use v6par::StageTiming;
 use v6scan::{AliasList, CaidaCampaignConfig, HitlistCampaignConfig};
 
 use crate::analysis::backscan::{
@@ -18,7 +19,9 @@ use crate::analysis::backscan::{
 use crate::analysis::geoloc::{geolocate, GeolocConfig, GeolocationReport};
 use crate::analysis::patterns::Ipv4Acceptance;
 use crate::analysis::tracking::{analyze as analyze_tracking, TrackingAnalysis};
-use crate::collect::active::{collect_caida, collect_hitlist, ActiveDataset};
+use crate::collect::active::{
+    collect_caida_with_threads, collect_hitlist_with_threads, ActiveDataset,
+};
 use crate::collect::ntp_passive::NtpCorpus;
 use crate::dataset::Dataset;
 
@@ -30,10 +33,8 @@ pub struct ExperimentConfig {
     /// Master seed.
     pub seed: u64,
     /// Hitlist-campaign knobs.
-    #[serde(skip)]
     pub hitlist: HitlistCampaignConfig,
     /// CAIDA-campaign knobs.
-    #[serde(skip)]
     pub caida: CaidaCampaignConfig,
     /// Backscan knobs.
     pub backscan: BackscanConfig,
@@ -128,52 +129,113 @@ pub struct Experiment {
     pub geolocation: GeolocationReport,
     /// The wardriving DB the attack used.
     pub wardrive: WardriveDb,
+    /// Per-stage wall-clock times of this run ("world" first, then the
+    /// DAG stages in insertion order).
+    pub timings: Vec<StageTiming>,
 }
 
 impl Experiment {
-    /// Runs the entire study.
+    /// Runs the entire study at the ambient thread count
+    /// ([`v6par::threads`], i.e. `V6_THREADS` or the machine's
+    /// parallelism).
     pub fn run(config: ExperimentConfig) -> Experiment {
+        Self::run_with_threads(config, v6par::threads())
+    }
+
+    /// Runs the entire study with up to `threads` workers.
+    ///
+    /// The stages form an explicit dependency DAG (executed by
+    /// [`v6par::Dag`]) instead of straight-line code:
+    ///
+    /// ```text
+    /// corpus ──► ntp ─────────┐
+    ///    │                    ▼
+    ///    └─► tracking    alias_findings ◄── backscan
+    ///            │            ▲
+    ///            ▼            │
+    ///       geolocation    hitlist        caida
+    ///            ▲
+    ///        wardrive
+    /// ```
+    ///
+    /// Independent stages run concurrently and the hot stages shard
+    /// internally; every artifact is bit-identical at any thread count.
+    pub fn run_with_threads(config: ExperimentConfig, threads: usize) -> Experiment {
+        let started = std::time::Instant::now();
         let world = World::build(config.world.clone(), config.seed);
+        let world_wall = started.elapsed();
+
+        let cfg = &config;
+        let w = &world;
+        let mut dag = v6par::Dag::new();
 
         // Passive collection over the study window.
-        let corpus = NtpCorpus::collect_study(&world);
-        let ntp = corpus.dataset();
+        dag.add("corpus", &[], move |_| {
+            NtpCorpus::collect_study_with_threads(w, threads)
+        });
+        dag.add("ntp", &["corpus"], move |o| {
+            o.get::<NtpCorpus>("corpus").dataset_with_threads(threads)
+        });
 
-        // Active baselines.
-        let hitlist = collect_hitlist(&world, 0, &config.hitlist);
-        let caida = collect_caida(&world, 1, &config.caida);
+        // Active baselines, concurrent with collection.
+        dag.add("hitlist", &[], move |_| {
+            collect_hitlist_with_threads(w, 0, &cfg.hitlist, threads)
+        });
+        dag.add("caida", &[], move |_| {
+            collect_caida_with_threads(w, 1, &cfg.caida, threads)
+        });
 
-        // Backscan + alias cross-reference.
-        let backscan_result = backscan(&world, &config.backscan);
-        let hl_aliases = AliasList::from_prefixes(hitlist.campaign.aliased.iter().copied());
-        let findings = alias_findings(
-            &world,
-            &backscan_result,
-            &hl_aliases,
-            &ntp.addr_set(),
-            &hitlist.dataset.addr_set(),
+        // Analyses, each released as soon as its inputs exist.
+        dag.add("backscan", &[], move |_| backscan(w, &cfg.backscan));
+        dag.add("wardrive", &[], move |_| WardriveDb::collect(w));
+        dag.add(
+            "alias_findings",
+            &["backscan", "hitlist", "ntp"],
+            move |o| {
+                let hitlist = o.get::<ActiveDataset>("hitlist");
+                let hl_aliases = AliasList::from_prefixes(hitlist.campaign.aliased.iter().copied());
+                alias_findings(
+                    w,
+                    o.get::<BackscanResult>("backscan"),
+                    &hl_aliases,
+                    &o.get::<Dataset>("ntp").addr_set(),
+                    &hitlist.dataset.addr_set(),
+                )
+            },
         );
+        dag.add("tracking", &["corpus"], move |o| {
+            analyze_tracking(w, o.get::<NtpCorpus>("corpus"), cfg.transition_threshold)
+        });
+        dag.add("geolocation", &["tracking", "wardrive"], move |o| {
+            let leaked: Vec<v6addr::Mac> = o
+                .get::<TrackingAnalysis>("tracking")
+                .tracks
+                .iter()
+                .map(|t| t.mac)
+                .collect();
+            geolocate(&leaked, o.get::<WardriveDb>("wardrive"), &cfg.geoloc)
+        });
 
-        // Tracking.
-        let tracking = analyze_tracking(&world, &corpus, config.transition_threshold);
-
-        // Geolocation attack on all leaked MACs.
-        let wardrive = WardriveDb::collect(&world);
-        let leaked: Vec<v6addr::Mac> = tracking.tracks.iter().map(|t| t.mac).collect();
-        let geolocation = geolocate(&leaked, &wardrive, &config.geoloc);
+        let mut out = dag.run(threads);
+        let mut timings = vec![StageTiming {
+            name: "world",
+            wall: world_wall,
+        }];
+        timings.extend(out.timings.iter().copied());
 
         Experiment {
+            corpus: out.take("corpus"),
+            ntp: out.take("ntp"),
+            hitlist: out.take("hitlist"),
+            caida: out.take("caida"),
+            backscan: out.take("backscan"),
+            alias_findings: out.take("alias_findings"),
+            tracking: out.take("tracking"),
+            geolocation: out.take("geolocation"),
+            wardrive: out.take("wardrive"),
             config,
             world,
-            corpus,
-            ntp,
-            hitlist,
-            caida,
-            backscan: backscan_result,
-            alias_findings: findings,
-            tracking,
-            geolocation,
-            wardrive,
+            timings,
         }
     }
 
@@ -183,6 +245,129 @@ impl Experiment {
         let from = SimTime(day * 86_400);
         let to = SimTime((day + 1) * 86_400);
         self.ntp.slice(format!("NTP Pool (day {day})"), from, to)
+    }
+
+    /// An order-sensitive FNV-1a digest over every major artifact of the
+    /// run: corpus observations, dataset records, campaign discoveries
+    /// and alias lists, backscan counts, tracking tracks and geolocation
+    /// output.
+    ///
+    /// Two runs of the same config produce the same digest **at any
+    /// thread count** — this is the determinism contract the parallel
+    /// pipeline is held to (see `tests/parallel_equivalence.rs` and the
+    /// `pipeline` bench).
+    pub fn artifact_digest(&self) -> u64 {
+        let mut d = Fnv::new();
+        for o in &self.corpus.observations {
+            d.u128(o.addr);
+            d.u64(o.t as u64);
+            d.u64(o.as_index as u64);
+            d.u64(o.server as u64);
+        }
+        for &n in &self.corpus.served_per_vp {
+            d.u64(n);
+        }
+        d.u64(self.corpus.protocol_failures);
+        for ds in [&self.ntp, &self.hitlist.dataset, &self.caida.dataset] {
+            d.u64(ds.observation_count());
+            for r in ds.records() {
+                d.u128(u128::from(r.addr));
+                d.u64(r.first.as_secs());
+                d.u64(r.last.as_secs());
+                d.u64(r.count);
+            }
+        }
+        for c in [&self.hitlist.campaign, &self.caida.campaign] {
+            d.u64(c.probes_sent);
+            for disc in &c.discoveries {
+                d.u128(u128::from(disc.addr));
+                d.u64(disc.t.as_secs());
+            }
+            for p in &c.aliased {
+                d.u128(p.bits());
+                d.u64(p.len() as u64);
+            }
+            for &n in &c.weekly_new {
+                d.u64(n);
+            }
+        }
+        let b = &self.backscan;
+        for n in [
+            b.clients_probed,
+            b.clients_responsive,
+            b.random_probed,
+            b.random_responsive,
+        ] {
+            d.u64(n);
+        }
+        for p in &b.aliased_64s {
+            d.u128(p.bits());
+        }
+        let f = &self.alias_findings;
+        for n in [
+            f.known_to_hitlist,
+            f.new_aliased,
+            f.ntp_clients_in_aliased,
+            f.client_ases,
+            f.hitlist_clients_in_aliased,
+        ] {
+            d.u64(n);
+        }
+        let t = &self.tracking;
+        d.u64(t.stats.corpus_addresses);
+        d.u64(t.stats.eui64_addresses);
+        d.u64(t.stats.unique_macs);
+        d.u64(t.multi_prefix_macs);
+        for track in &t.tracks {
+            d.u64(track.mac.as_u64());
+            d.u64(track.first);
+            d.u64(track.last);
+            d.u64(track.transitions);
+            for &p in &track.prefixes64 {
+                d.u128(p);
+            }
+        }
+        let g = &self.geolocation;
+        d.u64(g.input_macs);
+        for o in &g.offsets {
+            d.u64(u64::from_be_bytes([
+                0, 0, 0, 0, 0, o.oui.0[0], o.oui.0[1], o.oui.0[2],
+            ]));
+            d.u64(o.offset as u64);
+            d.u64(o.votes);
+            d.u64(o.pairs);
+        }
+        for m in &g.geolocated {
+            d.u64(m.mac.as_u64());
+            d.u64(m.bssid.as_u64());
+            d.u64(m.location.lat.to_bits());
+            d.u64(m.location.lon.to_bits());
+        }
+        d.finish()
+    }
+}
+
+/// Minimal FNV-1a accumulator for [`Experiment::artifact_digest`].
+struct Fnv(u64);
+
+impl Fnv {
+    fn new() -> Self {
+        Fnv(0xcbf2_9ce4_8422_2325)
+    }
+
+    fn u64(&mut self, v: u64) {
+        for byte in v.to_be_bytes() {
+            self.0 = (self.0 ^ byte as u64).wrapping_mul(0x100_0000_01b3);
+        }
+    }
+
+    fn u128(&mut self, v: u128) {
+        self.u64((v >> 64) as u64);
+        self.u64(v as u64);
+    }
+
+    fn finish(&self) -> u64 {
+        self.0
     }
 }
 
@@ -203,5 +388,27 @@ mod tests {
         // The one-day slice is a strict subset.
         let day = e.one_day_slice(100);
         assert!(day.len() < e.ntp.len());
+        // Every stage reported a wall time ("world" + 9 DAG stages).
+        assert_eq!(e.timings.len(), 10);
+        assert_eq!(e.timings[0].name, "world");
+        assert!(e.timings.iter().any(|t| t.name == "corpus"));
+        assert!(e.timings.iter().any(|t| t.name == "geolocation"));
+    }
+
+    #[test]
+    fn config_round_trips_through_serde() {
+        // Regression: `hitlist`/`caida` used to be #[serde(skip)], so a
+        // saved config silently lost its campaign knobs on reload.
+        let mut cfg = ExperimentConfig::tiny(7);
+        cfg.hitlist.weeks = 23;
+        cfg.hitlist.low_iid_per_as = 17;
+        cfg.caida.stride = 99;
+        let json = serde_json::to_string(&cfg).unwrap();
+        let back: ExperimentConfig = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.hitlist, cfg.hitlist);
+        assert_eq!(back.caida, cfg.caida);
+        assert_eq!(back.seed, cfg.seed);
+        // And the reloaded config serializes identically.
+        assert_eq!(serde_json::to_string(&back).unwrap(), json);
     }
 }

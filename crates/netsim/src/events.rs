@@ -48,8 +48,19 @@ pub struct NtpEventStream<'w> {
 impl<'w> NtpEventStream<'w> {
     /// Events in `[start, start + window)`.
     pub fn new(world: &'w World, start: SimTime, window: SimDuration) -> Self {
-        let start_day = start.day();
-        let end_day = (start + window).day().max(start_day);
+        let (start_day, end_day) = day_range(start, window);
+        Self::days(world, start_day, end_day)
+    }
+
+    /// Events for the day indices `[start_day, end_day)`.
+    ///
+    /// Because every draw is keyed by `(world seed, device, day)`, a
+    /// stream over `[a, c)` yields, per device, exactly the events of a
+    /// stream over `[a, b)` followed by those of `[b, c)` — which is
+    /// what lets collection shard the window by time-slice and merge
+    /// shards back bit-identically.
+    pub fn days(world: &'w World, start_day: u64, end_day: u64) -> Self {
+        let end_day = end_day.max(start_day);
         NtpEventStream {
             world,
             start_day,
@@ -95,6 +106,37 @@ impl<'w> NtpEventStream<'w> {
         self.pending.sort_by_key(|e| e.t);
         self.pending.reverse(); // pop() from the back yields ascending
     }
+}
+
+/// The day-index range `[start_day, end_day)` a `(start, window)` pair
+/// covers — the same rounding [`NtpEventStream::new`] applies.
+pub fn day_range(start: SimTime, window: SimDuration) -> (u64, u64) {
+    let start_day = start.day();
+    let end_day = (start + window).day().max(start_day);
+    (start_day, end_day)
+}
+
+/// Upper estimate of how many events [`NtpEventStream::new`] will yield
+/// for `(start, window)`.
+///
+/// Sums each pool device's expected queries (`contact_day_prob` × mean
+/// queries per active day × days), then adds headroom for Poisson
+/// fluctuation. Skipped events (dark ASes, unroutable contacts) only
+/// pull the true count *below* the expectation, so pre-sizing a
+/// collection buffer to this estimate avoids reallocation in practice.
+pub fn expected_query_volume(world: &World, start: SimTime, window: SimDuration) -> u64 {
+    let (start_day, end_day) = day_range(start, window);
+    let days = (end_day - start_day) as f64;
+    let expected: f64 = world
+        .devices
+        .iter()
+        .filter(|d| d.uses_pool)
+        .map(|d| d.activity.contact_day_prob * d.activity.mean_queries_per_active_day.max(1.0))
+        .sum::<f64>()
+        * days;
+    // ~8% relative headroom plus a floor absorbs Poisson variance even
+    // on small worlds / short windows.
+    (expected * 1.08) as u64 + 1_024
 }
 
 impl Iterator for NtpEventStream<'_> {
@@ -235,6 +277,42 @@ mod tests {
             privacy_multi as f64 / privacy_total as f64 > 0.5,
             "{privacy_multi}/{privacy_total}"
         );
+    }
+
+    #[test]
+    fn day_slices_cover_the_window_per_device() {
+        // Per device, [0, 14) must equal [0, 5) ++ [5, 14).
+        use std::collections::HashMap;
+        let w = world();
+        let whole: Vec<NtpEvent> = NtpEventStream::days(&w, 0, 14).collect();
+        let mut sliced: HashMap<DeviceId, Vec<NtpEvent>> = HashMap::new();
+        for (a, b) in [(0, 5), (5, 14)] {
+            for e in NtpEventStream::days(&w, a, b) {
+                sliced.entry(e.device).or_default().push(e);
+            }
+        }
+        let mut whole_by_dev: HashMap<DeviceId, Vec<NtpEvent>> = HashMap::new();
+        for e in whole {
+            whole_by_dev.entry(e.device).or_default().push(e);
+        }
+        assert!(!whole_by_dev.is_empty());
+        assert_eq!(whole_by_dev, sliced);
+    }
+
+    #[test]
+    fn expected_volume_upper_bounds_actual() {
+        let w = world();
+        for days in [3u64, 30] {
+            let window = SimDuration::days(days);
+            let actual = NtpEventStream::new(&w, SimTime::START, window).count() as u64;
+            let expected = expected_query_volume(&w, SimTime::START, window);
+            assert!(
+                expected >= actual,
+                "estimate {expected} below actual {actual} for {days} days"
+            );
+            // And not absurdly loose (within ~2x + floor).
+            assert!(expected <= actual * 2 + 2_048, "{expected} vs {actual}");
+        }
     }
 
     #[test]

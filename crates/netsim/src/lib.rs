@@ -44,7 +44,7 @@ pub mod world;
 pub use asn::{AliasFront, AsCatalog, AsInfo, AsKind, Asn};
 pub use config::WorldConfig;
 pub use device::{DeviceId, DeviceKind, Os};
-pub use events::{NtpEvent, NtpEventStream};
+pub use events::{day_range, expected_query_volume, NtpEvent, NtpEventStream};
 pub use geo_model::{Country, CountryRegistry};
 pub use permute::IndexPermutation;
 pub use resolve::{AttachKind, ProbeKind, ProbeOutcome, Resolution, ServerRole};

@@ -1,0 +1,369 @@
+//! An explicit stage dependency DAG executed by a worker pool.
+//!
+//! The experiment pipeline used to be straight-line code: collect, then
+//! campaign, then campaign, then four analyses — even though most
+//! stages only depend on one or two others. [`Dag`] makes the
+//! dependency structure explicit: each stage is a named task plus the
+//! names of the stages it consumes; [`Dag::run`] executes stages as
+//! soon as their inputs exist, with up to `threads` stages in flight.
+//!
+//! Determinism: the DAG only controls *when* a stage runs, never what
+//! it computes — every task is a pure function of its named inputs, so
+//! scheduling order cannot leak into the artifacts. Per-stage wall
+//! times are recorded for the bench harness.
+
+use std::any::Any;
+use std::collections::HashMap;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Mutex, OnceLock};
+use std::time::{Duration, Instant};
+
+use crossbeam::channel;
+
+type BoxedOutput = Box<dyn Any + Send + Sync>;
+type TaskFn<'env> = Box<dyn FnOnce(&TaskOutputs) -> BoxedOutput + Send + 'env>;
+
+/// Wall-clock time one stage took.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StageTiming {
+    /// The stage name.
+    pub name: &'static str,
+    /// Its wall-clock duration.
+    pub wall: Duration,
+}
+
+struct Node<'env> {
+    name: &'static str,
+    deps: Vec<usize>,
+    task: TaskFn<'env>,
+}
+
+/// Completed stage outputs, indexed by stage name.
+///
+/// Tasks receive `&TaskOutputs` and read their dependencies with
+/// [`TaskOutputs::get`]; the scheduler guarantees a dependency's slot
+/// is filled before any dependent starts.
+pub struct TaskOutputs {
+    names: HashMap<&'static str, usize>,
+    slots: Vec<OnceLock<BoxedOutput>>,
+}
+
+impl TaskOutputs {
+    /// A completed dependency's output.
+    ///
+    /// Panics on an unknown name, a stage that has not completed (only
+    /// possible if it was not declared as a dependency), or a type
+    /// mismatch — all three are wiring bugs, not runtime conditions.
+    pub fn get<T: Any>(&self, name: &str) -> &T {
+        let &i = self
+            .names
+            .get(name)
+            .unwrap_or_else(|| panic!("unknown stage `{name}`"));
+        self.slots[i]
+            .get()
+            .unwrap_or_else(|| panic!("stage `{name}` has not completed; declare it as a dep"))
+            .downcast_ref::<T>()
+            .unwrap_or_else(|| {
+                panic!(
+                    "stage `{name}` output is not a {}",
+                    std::any::type_name::<T>()
+                )
+            })
+    }
+}
+
+/// The stage outputs and timings of a completed [`Dag::run`].
+pub struct DagOutputs {
+    outputs: TaskOutputs,
+    /// Per-stage wall-clock durations, in stage insertion order.
+    pub timings: Vec<StageTiming>,
+}
+
+impl DagOutputs {
+    /// Takes ownership of one stage's output.
+    ///
+    /// Panics on an unknown name, a double-take, or a type mismatch.
+    pub fn take<T: Any>(&mut self, name: &str) -> T {
+        let &i = self
+            .outputs
+            .names
+            .get(name)
+            .unwrap_or_else(|| panic!("unknown stage `{name}`"));
+        let boxed = self.outputs.slots[i]
+            .take()
+            .unwrap_or_else(|| panic!("stage `{name}` output already taken (or never ran)"));
+        match boxed.downcast::<T>() {
+            Ok(v) => *v,
+            Err(_) => panic!(
+                "stage `{name}` output is not a {}",
+                std::any::type_name::<T>()
+            ),
+        }
+    }
+}
+
+/// A named-stage dependency graph under construction.
+pub struct Dag<'env> {
+    nodes: Vec<Node<'env>>,
+    index: HashMap<&'static str, usize>,
+}
+
+impl<'env> Dag<'env> {
+    /// An empty DAG.
+    pub fn new() -> Self {
+        Dag {
+            nodes: Vec::new(),
+            index: HashMap::new(),
+        }
+    }
+
+    /// Number of stages added so far.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True when no stages have been added.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Adds a stage. `deps` must name stages added earlier (which also
+    /// rules out cycles by construction).
+    ///
+    /// Panics on a duplicate name or an unknown dependency.
+    pub fn add<T, F>(&mut self, name: &'static str, deps: &[&str], task: F)
+    where
+        T: Any + Send + Sync,
+        F: FnOnce(&TaskOutputs) -> T + Send + 'env,
+    {
+        assert!(
+            !self.index.contains_key(name),
+            "duplicate stage name `{name}`"
+        );
+        let deps: Vec<usize> = deps
+            .iter()
+            .map(|d| {
+                *self
+                    .index
+                    .get(d)
+                    .unwrap_or_else(|| panic!("stage `{name}` depends on unknown stage `{d}`"))
+            })
+            .collect();
+        self.index.insert(name, self.nodes.len());
+        self.nodes.push(Node {
+            name,
+            deps,
+            task: Box::new(move |outputs| Box::new(task(outputs))),
+        });
+    }
+
+    /// Executes every stage with up to `threads` in flight and returns
+    /// the outputs plus per-stage timings.
+    ///
+    /// A panicking stage is re-raised here after the pool drains, so a
+    /// failure inside one stage never deadlocks the others.
+    pub fn run(self, threads: usize) -> DagOutputs {
+        const DONE: usize = usize::MAX;
+        let n = self.nodes.len();
+        let outputs = TaskOutputs {
+            names: self.index,
+            slots: (0..n).map(|_| OnceLock::new()).collect(),
+        };
+        let mut names = Vec::with_capacity(n);
+        let mut dependents: Vec<Vec<usize>> = vec![Vec::new(); n];
+        let mut tasks: Vec<Mutex<Option<TaskFn<'env>>>> = Vec::with_capacity(n);
+        let indegree: Vec<AtomicUsize> = self
+            .nodes
+            .iter()
+            .map(|node| AtomicUsize::new(node.deps.len()))
+            .collect();
+        for (i, node) in self.nodes.into_iter().enumerate() {
+            names.push(node.name);
+            for &d in &node.deps {
+                dependents[d].push(i);
+            }
+            tasks.push(Mutex::new(Some(node.task)));
+        }
+
+        let workers = threads.max(1).min(n.max(1));
+        let (ready_tx, ready_rx) = channel::unbounded::<usize>();
+        for (i, deg) in indegree.iter().enumerate() {
+            if deg.load(Ordering::Relaxed) == 0 {
+                ready_tx.send(i).expect("receiver alive");
+            }
+        }
+        let remaining = AtomicUsize::new(n);
+        let timings: Mutex<Vec<(usize, Duration)>> = Mutex::new(Vec::with_capacity(n));
+        let panicked: Mutex<Option<Box<dyn Any + Send>>> = Mutex::new(None);
+
+        let run_worker = || {
+            while let Ok(i) = ready_rx.recv() {
+                if i == DONE {
+                    break;
+                }
+                let task = tasks[i]
+                    .lock()
+                    .expect("task slot poisoned")
+                    .take()
+                    .expect("stage scheduled twice");
+                let started = Instant::now();
+                match catch_unwind(AssertUnwindSafe(|| task(&outputs))) {
+                    Ok(output) => {
+                        let elapsed = started.elapsed();
+                        outputs.slots[i]
+                            .set(output)
+                            .unwrap_or_else(|_| panic!("stage output set twice"));
+                        timings
+                            .lock()
+                            .expect("timing log poisoned")
+                            .push((i, elapsed));
+                        for &dep in &dependents[i] {
+                            if indegree[dep].fetch_sub(1, Ordering::AcqRel) == 1 {
+                                ready_tx.send(dep).expect("receiver alive");
+                            }
+                        }
+                        if remaining.fetch_sub(1, Ordering::AcqRel) == 1 {
+                            for _ in 0..workers {
+                                ready_tx.send(DONE).expect("receiver alive");
+                            }
+                        }
+                    }
+                    Err(payload) => {
+                        // Record the panic and unblock every worker; the
+                        // caller re-raises after the pool drains.
+                        panicked
+                            .lock()
+                            .expect("panic slot poisoned")
+                            .get_or_insert(payload);
+                        for _ in 0..workers {
+                            ready_tx.send(DONE).expect("receiver alive");
+                        }
+                        break;
+                    }
+                }
+            }
+        };
+
+        if workers <= 1 {
+            run_worker();
+        } else {
+            std::thread::scope(|s| {
+                for _ in 0..workers {
+                    s.spawn(run_worker);
+                }
+            });
+        }
+
+        if let Some(payload) = panicked.into_inner().expect("panic slot poisoned") {
+            resume_unwind(payload);
+        }
+        assert_eq!(
+            remaining.load(Ordering::Relaxed),
+            0,
+            "DAG did not complete (cycle or lost stage?)"
+        );
+        let mut raw = timings.into_inner().expect("timing log poisoned");
+        raw.sort_by_key(|&(i, _)| i);
+        DagOutputs {
+            outputs,
+            timings: raw
+                .into_iter()
+                .map(|(i, wall)| StageTiming {
+                    name: names[i],
+                    wall,
+                })
+                .collect(),
+        }
+    }
+}
+
+impl Default for Dag<'_> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn diamond<'a>(trace: &'a Mutex<Vec<&'static str>>) -> Dag<'a> {
+        let mut dag = Dag::new();
+        dag.add("a", &[], move |_| {
+            trace.lock().unwrap().push("a");
+            2u64
+        });
+        dag.add("b", &["a"], move |o| {
+            trace.lock().unwrap().push("b");
+            o.get::<u64>("a") * 10
+        });
+        dag.add("c", &["a"], move |o| {
+            trace.lock().unwrap().push("c");
+            o.get::<u64>("a") + 1
+        });
+        dag.add("d", &["b", "c"], move |o| {
+            trace.lock().unwrap().push("d");
+            o.get::<u64>("b") + o.get::<u64>("c")
+        });
+        dag
+    }
+
+    #[test]
+    fn diamond_runs_in_dependency_order() {
+        for threads in [1, 2, 8] {
+            let trace = Mutex::new(Vec::new());
+            let mut out = diamond(&trace).run(threads);
+            assert_eq!(out.take::<u64>("d"), 23);
+            let order = trace.into_inner().unwrap();
+            assert_eq!(order.len(), 4);
+            assert_eq!(order[0], "a");
+            assert_eq!(order[3], "d");
+            assert_eq!(out.timings.len(), 4);
+            assert_eq!(out.timings[0].name, "a");
+        }
+    }
+
+    #[test]
+    fn heterogeneous_outputs() {
+        let mut dag = Dag::new();
+        dag.add("nums", &[], |_| vec![1u32, 2, 3]);
+        dag.add("label", &["nums"], |o| {
+            format!("{} nums", o.get::<Vec<u32>>("nums").len())
+        });
+        let mut out = dag.run(4);
+        assert_eq!(out.take::<String>("label"), "3 nums");
+        assert_eq!(out.take::<Vec<u32>>("nums"), vec![1, 2, 3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown stage")]
+    fn unknown_dep_panics_at_add() {
+        let mut dag = Dag::new();
+        dag.add("x", &["missing"], |_| 0u8);
+    }
+
+    #[test]
+    fn stage_panic_propagates_without_deadlock() {
+        for threads in [1, 4] {
+            let result = std::panic::catch_unwind(|| {
+                let mut dag = Dag::new();
+                dag.add("ok", &[], |_| 1u8);
+                dag.add("boom", &[], |_| -> u8 { panic!("stage exploded") });
+                dag.add("after", &["ok"], |o| *o.get::<u8>("ok"));
+                dag.run(threads)
+            });
+            assert!(result.is_err(), "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn borrows_environment() {
+        let data = vec![5u64, 6, 7];
+        let mut dag = Dag::new();
+        dag.add("sum", &[], |_| data.iter().sum::<u64>());
+        let mut out = dag.run(2);
+        assert_eq!(out.take::<u64>("sum"), 18);
+        drop(data);
+    }
+}

@@ -1,0 +1,76 @@
+//! # v6par — deterministic data parallelism for the hitlist pipeline
+//!
+//! The paper's substrate is embarrassingly parallel — 27 independent
+//! vantage points, per-/48 probing, per-device EUI-64 analysis — but
+//! parallel code that changes its answer with the worker count is
+//! useless for a reproduction. Everything here therefore honors one
+//! contract: **the result is a pure function of the input, bit-identical
+//! at any thread count** (including 1).
+//!
+//! Building blocks:
+//!
+//! * [`threads`] — the worker count, overridable with `V6_THREADS`.
+//! * [`scope`] — scoped spawning (re-exported [`std::thread::scope`]).
+//! * [`par_map`] — order-preserving parallel map with chunk-level work
+//!   stealing: idle workers steal the next unclaimed chunk.
+//! * [`par_chunks_fold`] — fold disjoint chunks in parallel, returning
+//!   the per-chunk accumulators in chunk order for an exact caller-side
+//!   merge.
+//! * [`par_merge_sorted`] / [`merge_sorted_pair`] — stable k-way merge
+//!   of sorted runs (earlier runs win ties), parallelized as a merge
+//!   tree.
+//! * [`par_sort_unstable`] — chunked sort + stable merge; equals a
+//!   global `sort_unstable` for any input whose equal elements are
+//!   indistinguishable.
+//! * [`Dag`] — an explicit stage dependency graph executed by a worker
+//!   pool; independent stages run concurrently, results are retrieved
+//!   by name.
+//!
+//! Determinism comes from construction, not from luck: `par_map` writes
+//! result chunks into their input positions, folds merge in chunk
+//! order, and the merge tree resolves ties by run index. Scheduling
+//! order may vary run to run; observable output never does.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod dag;
+mod pool;
+
+pub use dag::{Dag, DagOutputs, StageTiming, TaskOutputs};
+pub use pool::{
+    merge_sorted_pair, par_chunks_fold, par_map, par_merge_sorted, par_sort_unstable, split_ranges,
+};
+
+/// Scoped thread spawning — re-exported [`std::thread::scope`], so
+/// callers that need bespoke fan-out depend only on `v6par`.
+pub use std::thread::scope;
+
+/// The worker count the pipeline should use.
+///
+/// `V6_THREADS` overrides (clamped to ≥ 1); otherwise the machine's
+/// available parallelism. Every parallel entry point takes an explicit
+/// thread count, so this is only the *default* plumbed in at the top of
+/// the pipeline — tests pin counts explicitly and never race on the
+/// environment.
+pub fn threads() -> usize {
+    match std::env::var("V6_THREADS") {
+        Ok(v) => v.trim().parse::<usize>().ok().filter(|&n| n >= 1),
+        Err(_) => None,
+    }
+    .unwrap_or_else(|| {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn threads_is_positive() {
+        assert!(threads() >= 1);
+    }
+}

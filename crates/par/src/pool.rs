@@ -1,0 +1,289 @@
+//! The work-stealing primitives.
+//!
+//! The pool is created per call inside [`std::thread::scope`]: workers
+//! share an atomic chunk cursor, and an idle worker "steals" the next
+//! unclaimed chunk with one `fetch_add`. That keeps the load balanced
+//! under skewed chunk costs (the whole point of stealing) without any
+//! per-worker deques — and, because every chunk knows its output
+//! position, without any effect on the result order.
+
+use std::ops::Range;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Splits `0..len` into `parts` near-equal contiguous ranges (the first
+/// `len % parts` ranges get one extra element). Empty ranges are never
+/// produced; fewer than `parts` ranges come back when `len < parts`.
+pub fn split_ranges(len: usize, parts: usize) -> Vec<Range<usize>> {
+    let parts = parts.max(1).min(len.max(1));
+    if len == 0 {
+        return Vec::new();
+    }
+    let base = len / parts;
+    let extra = len % parts;
+    let mut out = Vec::with_capacity(parts);
+    let mut lo = 0;
+    for i in 0..parts {
+        let size = base + usize::from(i < extra);
+        out.push(lo..lo + size);
+        lo += size;
+    }
+    out
+}
+
+/// Order-preserving parallel map: `out[i] == f(i, &items[i])` for every
+/// `i`, regardless of `threads`.
+///
+/// Items are grouped into chunks; `threads` scoped workers steal chunks
+/// off a shared cursor until none remain. With `threads <= 1` (or a
+/// single item) this degenerates to a plain sequential map with no
+/// thread machinery at all.
+pub fn par_map<T, R, F>(threads: usize, items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    let n = items.len();
+    let workers = threads.max(1).min(n.max(1));
+    if workers <= 1 || n <= 1 {
+        return items.iter().enumerate().map(|(i, x)| f(i, x)).collect();
+    }
+    // ~4 chunks per worker: coarse enough to amortize the cursor, fine
+    // enough that stealing rebalances skewed chunk costs.
+    let chunks = split_ranges(n, workers * 4);
+    let cursor = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<Vec<R>>>> = chunks.iter().map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|s| {
+        for _ in 0..workers {
+            s.spawn(|| loop {
+                let c = cursor.fetch_add(1, Ordering::Relaxed);
+                let Some(range) = chunks.get(c) else { break };
+                let out: Vec<R> = range.clone().map(|i| f(i, &items[i])).collect();
+                *slots[c].lock().expect("worker poisoned a result slot") = Some(out);
+            });
+        }
+    });
+    let mut out = Vec::with_capacity(n);
+    for slot in slots {
+        out.extend(
+            slot.into_inner()
+                .expect("worker poisoned a result slot")
+                .expect("every chunk was claimed exactly once"),
+        );
+    }
+    out
+}
+
+/// Folds `chunks` disjoint contiguous chunks of `items` in parallel and
+/// returns the per-chunk accumulators **in chunk order**.
+///
+/// The caller owns the cross-chunk merge; as long as that merge is
+/// exact (integer sums, ordered concatenation, stable run merges), the
+/// combined result is independent of both `threads` and `chunks`.
+pub fn par_chunks_fold<T, A, I, F>(
+    threads: usize,
+    items: &[T],
+    chunks: usize,
+    init: I,
+    fold: F,
+) -> Vec<A>
+where
+    T: Sync,
+    A: Send,
+    I: Fn() -> A + Sync,
+    F: Fn(A, usize, &T) -> A + Sync,
+{
+    let ranges = split_ranges(items.len(), chunks);
+    par_map(threads, &ranges, |_, range| {
+        range.clone().fold(init(), |acc, i| fold(acc, i, &items[i]))
+    })
+}
+
+/// Stable two-way merge of sorted runs: on ties, `a`'s element comes
+/// first.
+pub fn merge_sorted_pair<T: Ord + Clone>(a: &[T], b: &[T]) -> Vec<T> {
+    let mut out = Vec::with_capacity(a.len() + b.len());
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() && j < b.len() {
+        if b[j] < a[i] {
+            out.push(b[j].clone());
+            j += 1;
+        } else {
+            out.push(a[i].clone());
+            i += 1;
+        }
+    }
+    out.extend_from_slice(&a[i..]);
+    out.extend_from_slice(&b[j..]);
+    out
+}
+
+/// Stable k-way merge of sorted runs, parallelized as a merge tree.
+///
+/// Rounds merge runs pairwise — `(0,1), (2,3), …` with any odd run
+/// passing through — so ties always resolve in favor of the
+/// earlier-indexed run, exactly as a sequential stable merge of the
+/// concatenated runs would. Equal multisets of runs therefore merge to
+/// identical vectors at any thread count.
+pub fn par_merge_sorted<T>(threads: usize, mut runs: Vec<Vec<T>>) -> Vec<T>
+where
+    T: Ord + Clone + Send + Sync,
+{
+    runs.retain(|r| !r.is_empty());
+    if runs.is_empty() {
+        return Vec::new();
+    }
+    while runs.len() > 1 {
+        let leftover = if runs.len() % 2 == 1 {
+            runs.pop()
+        } else {
+            None
+        };
+        let pairs: Vec<usize> = (0..runs.len() / 2).collect();
+        let mut merged = par_map(threads, &pairs, |_, &k| {
+            merge_sorted_pair(&runs[2 * k], &runs[2 * k + 1])
+        });
+        if let Some(l) = leftover {
+            merged.push(l);
+        }
+        runs = merged;
+    }
+    runs.pop().expect("at least one non-empty run remains")
+}
+
+/// Sorts `data` via chunked parallel sorts plus a stable merge tree.
+///
+/// For element types whose equal values are indistinguishable (plain
+/// `Ord` data like integers and tuples of integers — everything the
+/// pipeline sorts), the result is byte-identical to
+/// `data.sort_unstable()` at any thread count.
+pub fn par_sort_unstable<T>(threads: usize, data: &mut Vec<T>)
+where
+    T: Ord + Clone + Send + Sync,
+{
+    // Below this, the merge-tree copies cost more than they save.
+    const MIN_PARALLEL_LEN: usize = 16 * 1024;
+    if threads <= 1 || data.len() < MIN_PARALLEL_LEN {
+        data.sort_unstable();
+        return;
+    }
+    let n = data.len();
+    let mut chunks: Vec<Vec<T>> = Vec::with_capacity(threads);
+    for range in split_ranges(n, threads) {
+        chunks.push(data[range].to_vec());
+    }
+    data.clear();
+    std::thread::scope(|s| {
+        for chunk in chunks.iter_mut() {
+            s.spawn(move || chunk.sort_unstable());
+        }
+    });
+    *data = par_merge_sorted(threads, chunks);
+    debug_assert_eq!(data.len(), n);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn split_ranges_covers_exactly() {
+        for len in [0usize, 1, 2, 7, 100, 101] {
+            for parts in [1usize, 2, 3, 8, 200] {
+                let ranges = split_ranges(len, parts);
+                let total: usize = ranges.iter().map(|r| r.len()).sum();
+                assert_eq!(total, len, "len={len} parts={parts}");
+                let mut next = 0;
+                for r in &ranges {
+                    assert_eq!(r.start, next);
+                    assert!(!r.is_empty());
+                    next = r.end;
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn par_map_matches_sequential_at_any_thread_count() {
+        let items: Vec<u64> = (0..999).collect();
+        let expect: Vec<u64> = items.iter().map(|x| x * 3 + 1).collect();
+        for threads in [1, 2, 3, 8, 64] {
+            let got = par_map(threads, &items, |i, x| {
+                assert_eq!(items[i], *x);
+                x * 3 + 1
+            });
+            assert_eq!(got, expect, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn par_map_handles_empty_and_unbalanced_work() {
+        assert!(par_map(4, &[] as &[u8], |_, x| *x).is_empty());
+        // Skewed cost: later items much more expensive; stealing must
+        // still return them in order.
+        let items: Vec<usize> = (0..64).collect();
+        let got = par_map(8, &items, |_, &x| {
+            let mut acc = 0u64;
+            for k in 0..(x as u64 * 1000) {
+                acc = acc.wrapping_add(k);
+            }
+            (x, acc)
+        });
+        for (i, (x, _)) in got.iter().enumerate() {
+            assert_eq!(i, *x);
+        }
+    }
+
+    #[test]
+    fn par_chunks_fold_sums_exactly() {
+        let items: Vec<u64> = (0..10_001).collect();
+        let expect: u64 = items.iter().sum();
+        for (threads, chunks) in [(1, 1), (2, 5), (8, 3), (4, 100)] {
+            let parts = par_chunks_fold(threads, &items, chunks, || 0u64, |acc, _, x| acc + x);
+            assert_eq!(parts.iter().sum::<u64>(), expect);
+            assert_eq!(parts.len(), chunks.min(items.len()));
+        }
+    }
+
+    #[test]
+    fn merge_pair_is_stable() {
+        let a = [(1, 'a'), (3, 'a')];
+        let b = [(1, 'b'), (2, 'b')];
+        // Only the first element participates in Ord for this check.
+        let merged = merge_sorted_pair(
+            &a.iter().map(|x| x.0).collect::<Vec<_>>(),
+            &b.iter().map(|x| x.0).collect::<Vec<_>>(),
+        );
+        assert_eq!(merged, vec![1, 1, 2, 3]);
+    }
+
+    #[test]
+    fn par_merge_equals_global_sort() {
+        let runs: Vec<Vec<u32>> = vec![vec![1, 5, 9], vec![], vec![2, 2, 2], vec![0, 10], vec![3]];
+        let mut expect: Vec<u32> = runs.iter().flatten().copied().collect();
+        expect.sort_unstable();
+        for threads in [1, 2, 8] {
+            assert_eq!(par_merge_sorted(threads, runs.clone()), expect);
+        }
+    }
+
+    #[test]
+    fn par_sort_matches_sequential() {
+        let mut data: Vec<(u128, u64)> = (0..40_000u64)
+            .map(|i| {
+                let h = i.wrapping_mul(0x9e37_79b9_7f4a_7c15).rotate_left(17);
+                ((h as u128) << 3 | (i % 5) as u128, h ^ i)
+            })
+            .collect();
+        let mut expect = data.clone();
+        expect.sort_unstable();
+        for threads in [1, 2, 3, 8] {
+            let mut got = data.clone();
+            par_sort_unstable(threads, &mut got);
+            assert_eq!(got, expect, "threads={threads}");
+        }
+        par_sort_unstable(4, &mut data);
+        assert_eq!(data, expect);
+    }
+}

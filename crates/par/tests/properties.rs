@@ -1,0 +1,88 @@
+//! Property tests for the determinism contract: every v6par primitive
+//! must produce the same bytes as its sequential counterpart at any
+//! thread count.
+
+use proptest::prelude::*;
+use v6par::{merge_sorted_pair, par_chunks_fold, par_map, par_merge_sorted, par_sort_unstable};
+
+fn pseudo_items(seed: u64, len: usize) -> Vec<u64> {
+    (0..len as u64)
+        .map(|i| {
+            (seed ^ i)
+                .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+                .rotate_left(13)
+        })
+        .collect()
+}
+
+proptest! {
+    /// par_map equals the sequential map, element for element.
+    #[test]
+    fn par_map_equals_map(seed in any::<u64>(), len in 0usize..600, threads in 1usize..9) {
+        let items = pseudo_items(seed, len);
+        let expect: Vec<u64> = items.iter().map(|x| x.wrapping_mul(3)).collect();
+        let got = par_map(threads, &items, |_, x| x.wrapping_mul(3));
+        prop_assert_eq!(got, expect);
+    }
+
+    /// Per-chunk folds merge to the exact sequential fold.
+    #[test]
+    fn chunk_folds_merge_exactly(seed in any::<u64>(), len in 0usize..600,
+                                 threads in 1usize..9, chunks in 1usize..17) {
+        let items = pseudo_items(seed, len);
+        let expect: u64 = items.iter().fold(0u64, |a, x| a.wrapping_add(*x));
+        let parts = par_chunks_fold(threads, &items, chunks, || 0u64,
+                                    |a, _, x| a.wrapping_add(*x));
+        let got = parts.iter().fold(0u64, |a, x| a.wrapping_add(*x));
+        prop_assert_eq!(got, expect);
+    }
+
+    /// Merging sorted runs equals sorting the concatenation.
+    #[test]
+    fn merge_equals_sort(seed in any::<u64>(), sizes in proptest::collection::vec(0usize..80, 0..6),
+                         threads in 1usize..9) {
+        let runs: Vec<Vec<u64>> = sizes
+            .iter()
+            .enumerate()
+            .map(|(k, &n)| {
+                let mut run = pseudo_items(seed ^ k as u64, n);
+                // Coarse values force ties across runs.
+                for v in run.iter_mut() { *v %= 17; }
+                run.sort_unstable();
+                run
+            })
+            .collect();
+        let mut expect: Vec<u64> = runs.iter().flatten().copied().collect();
+        expect.sort_unstable();
+        prop_assert_eq!(par_merge_sorted(threads, runs), expect);
+    }
+
+    /// Pairwise merge is stable and ordered.
+    #[test]
+    fn pair_merge_sorted_output(seed in any::<u64>(), na in 0usize..60, nb in 0usize..60) {
+        let mut a = pseudo_items(seed, na);
+        let mut b = pseudo_items(seed.wrapping_add(1), nb);
+        for v in a.iter_mut() { *v %= 11; }
+        for v in b.iter_mut() { *v %= 11; }
+        a.sort_unstable();
+        b.sort_unstable();
+        let merged = merge_sorted_pair(&a, &b);
+        prop_assert_eq!(merged.len(), na + nb);
+        for w in merged.windows(2) {
+            prop_assert!(w[0] <= w[1]);
+        }
+    }
+
+    /// Parallel sort equals sequential sort (duplicates included).
+    #[test]
+    fn par_sort_equals_sort(seed in any::<u64>(), len in 0usize..400, threads in 1usize..9) {
+        let mut data: Vec<(u64, u64)> = pseudo_items(seed, len)
+            .into_iter()
+            .map(|v| (v % 23, v))
+            .collect();
+        let mut expect = data.clone();
+        expect.sort_unstable();
+        par_sort_unstable(threads, &mut data);
+        prop_assert_eq!(data, expect);
+    }
+}

@@ -66,6 +66,25 @@ impl AliasDetector {
             .copied()
             .collect()
     }
+
+    /// [`AliasDetector::sweep`] with per-candidate detection sharded
+    /// across `threads` workers. Detection of each candidate is a pure
+    /// function of `(detector, prefix, t)`, and the result preserves
+    /// candidate order, so the output is bit-identical to [`AliasDetector::sweep`].
+    pub fn sweep_with_threads<P: Prober + Sync>(
+        &self,
+        prober: &P,
+        candidates: &[Prefix],
+        t: SimTime,
+        threads: usize,
+    ) -> Vec<Prefix> {
+        let verdicts = v6par::par_map(threads, candidates, |_, p| self.detect(prober, p, t));
+        candidates
+            .iter()
+            .zip(verdicts)
+            .filter_map(|(p, aliased)| aliased.then_some(*p))
+            .collect()
+    }
 }
 
 /// A published alias list, used to filter scan targets and results.

@@ -15,14 +15,16 @@
 use std::collections::BTreeSet;
 use std::net::Ipv6Addr;
 
+use serde::{Deserialize, Serialize};
+
 use v6addr::Prefix;
 use v6netsim::{ProbeKind, SimDuration, SimTime, World};
 
 use crate::alias::{AliasDetector, AliasList};
 use crate::prober::WorldProber;
 use crate::target_gen::{caida_routed48_targets, low_iid_targets, PatternTga};
-use crate::yarrp::{trace, YarrpConfig};
-use crate::zmap6::{scan, Zmap6Config};
+use crate::yarrp::{trace_with_threads, YarrpConfig};
+use crate::zmap6::{scan_with_threads, Zmap6Config};
 
 /// One timestamped discovery by an active campaign.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -61,7 +63,7 @@ impl CampaignResult {
 }
 
 /// Hitlist campaign configuration.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct HitlistCampaignConfig {
     /// Number of weekly cycles (the paper compares Feb–Aug ≈ 28 weeks).
     pub weeks: u32,
@@ -93,6 +95,24 @@ pub fn run_hitlist_campaign(
     vp_id: u16,
     cfg: &HitlistCampaignConfig,
 ) -> CampaignResult {
+    run_hitlist_campaign_with_threads(world, vp_id, cfg, v6par::threads())
+}
+
+/// [`run_hitlist_campaign`] with the per-/48 probing, traceroutes and
+/// alias sweeps sharded across `threads` workers.
+///
+/// Weeks stay sequential (each week's targets depend on the previous
+/// week's discoveries), but everything inside a week that is
+/// embarrassingly parallel — low-IID target generation per routed
+/// prefix, the ZMap6 passes, the Yarrp pass, and alias detection — runs
+/// sharded with order-preserving merges. Output is bit-identical to the
+/// sequential campaign at any thread count.
+pub fn run_hitlist_campaign_with_threads(
+    world: &World,
+    vp_id: u16,
+    cfg: &HitlistCampaignConfig,
+    threads: usize,
+) -> CampaignResult {
     let prober = WorldProber::new(world, vp_id);
     let mut result = CampaignResult::default();
     let mut known: BTreeSet<u128> = BTreeSet::new();
@@ -112,16 +132,24 @@ pub fn run_hitlist_campaign(
         // Low-IID probing across routed space: spread this week's budget
         // over each AS's /48s, hash-scattering the probed window so both
         // infrastructure and customer halves get coverage over time.
-        for (p, _) in &routed {
+        // Each routed prefix's window is independent, so the per-/48
+        // expansion fans out across workers; concatenating per-prefix
+        // target lists in prefix order reproduces the sequential order.
+        let per_prefix = v6par::par_map(threads, &routed, |_, (p, _)| {
             let n48 = p.subprefix_count(48).min(1 << 16);
+            let mut out = Vec::with_capacity(cfg.low_iid_per_as as usize * 2);
             for k in 0..cfg.low_iid_per_as {
                 let idx = v6netsim::rng::hash64(
                     cfg.seed ^ (week as u64) << 32,
                     &(p.bits() as u64 ^ k).to_be_bytes(),
                 ) % n48;
                 let p48 = p.subprefix(48, idx);
-                targets.extend(low_iid_targets(&p48, 2));
+                out.extend(low_iid_targets(&p48, 2));
             }
+            out
+        });
+        for mut chunk in per_prefix {
+            targets.append(&mut chunk);
         }
         // TGA expansion trained on everything known so far.
         let mut tga = PatternTga::new();
@@ -153,7 +181,7 @@ pub fn run_hitlist_campaign(
                 start: t0 + SimDuration::hours(i as u64),
                 probe,
             };
-            let zr = scan(&prober, &targets, &zcfg);
+            let zr = scan_with_threads(&prober, &targets, &zcfg, threads);
             result.probes_sent += zr.stats.sent;
             responsive.extend(zr.responsive);
         }
@@ -179,7 +207,7 @@ pub fn run_hitlist_campaign(
             start: t0 + SimDuration::hours(12),
             ..Default::default()
         };
-        let yr = trace(&prober, &yarrp_targets, &ycfg);
+        let yr = trace_with_threads(&prober, &yarrp_targets, &ycfg, threads);
         result.probes_sent += yr.sent;
 
         // Alias detection on /48s with implausibly broad responsiveness.
@@ -192,10 +220,14 @@ pub fn run_hitlist_campaign(
             .map(|&b| Prefix::from_bits(b, 48))
             .filter(|p| !alias_list.covers_prefix(p))
             .collect();
-        for p in detector.sweep(&prober, &candidates, t0 + SimDuration::DAY) {
-            // Generalize upward (the Hitlist publishes the broadest fully
-            // aliased prefix): keep halving the prefix length while the
-            // parent still detects as aliased.
+        let detected =
+            detector.sweep_with_threads(&prober, &candidates, t0 + SimDuration::DAY, threads);
+        // Generalize upward (the Hitlist publishes the broadest fully
+        // aliased prefix): keep halving the prefix length while the
+        // parent still detects as aliased. Each detected prefix broadens
+        // independently; inserting in sweep order keeps the alias list
+        // identical to the sequential pass.
+        let broadened = v6par::par_map(threads, &detected, |_, &p| {
             let mut broadest = p;
             for len in [44u8, 40, 36, 33] {
                 if len >= broadest.len() {
@@ -208,7 +240,10 @@ pub fn run_hitlist_campaign(
                     break;
                 }
             }
-            alias_list.insert(broadest);
+            broadest
+        });
+        for p in broadened {
+            alias_list.insert(p);
         }
 
         // Publish this week's responsive set, alias-filtered.
@@ -238,7 +273,7 @@ pub fn run_hitlist_campaign(
 }
 
 /// CAIDA campaign configuration.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct CaidaCampaignConfig {
     /// Probe every `stride`-th /48 (1 = full methodology).
     pub stride: u64,
@@ -263,6 +298,17 @@ impl Default for CaidaCampaignConfig {
 
 /// Runs the CAIDA routed-/48 Yarrp campaign from vantage point `vp_id`.
 pub fn run_caida_campaign(world: &World, vp_id: u16, cfg: &CaidaCampaignConfig) -> CampaignResult {
+    run_caida_campaign_with_threads(world, vp_id, cfg, v6par::threads())
+}
+
+/// [`run_caida_campaign`] with the per-/48 traceroutes sharded across
+/// `threads` workers. Bit-identical to the sequential campaign.
+pub fn run_caida_campaign_with_threads(
+    world: &World,
+    vp_id: u16,
+    cfg: &CaidaCampaignConfig,
+    threads: usize,
+) -> CampaignResult {
     let prober = WorldProber::new(world, vp_id);
     let routed = world.routed_prefixes();
     let targets = caida_routed48_targets(&routed, cfg.stride);
@@ -276,7 +322,7 @@ pub fn run_caida_campaign(world: &World, vp_id: u16, cfg: &CaidaCampaignConfig) 
         rate_pps: rate,
         start: cfg.start,
     };
-    let yr = trace(&prober, &targets, &ycfg);
+    let yr = trace_with_threads(&prober, &targets, &ycfg, threads);
     let mut result = CampaignResult {
         probes_sent: yr.sent,
         ..Default::default()

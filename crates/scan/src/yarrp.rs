@@ -123,6 +123,56 @@ fn parse_payload(seed: u64, target: Ipv6Addr, mut quoted: &[u8]) -> Option<u8> {
 
 /// Runs a randomized traceroute campaign over `targets`.
 pub fn trace<P: Prober>(prober: &P, targets: &[Ipv6Addr], cfg: &YarrpConfig) -> YarrpResult {
+    let domain = trace_domain(targets, cfg);
+    trace_indices(prober, targets, cfg, 0..domain)
+}
+
+/// Runs the traceroute campaign sharded across `threads` workers.
+///
+/// The permuted `(target, TTL)` probe-index domain is split into
+/// contiguous shards and shard results are concatenated in shard order,
+/// so hops, reached targets and counters are bit-identical to [`trace`]
+/// at any thread count.
+pub fn trace_with_threads<P: Prober + Sync>(
+    prober: &P,
+    targets: &[Ipv6Addr],
+    cfg: &YarrpConfig,
+    threads: usize,
+) -> YarrpResult {
+    const MIN_PARALLEL_PROBES: u64 = 2_048;
+    let domain = trace_domain(targets, cfg);
+    if threads <= 1 || domain < MIN_PARALLEL_PROBES {
+        return trace(prober, targets, cfg);
+    }
+    let ranges = v6par::split_ranges(domain as usize, threads * 4);
+    let shards = v6par::par_map(threads, &ranges, |_, range| {
+        trace_indices(prober, targets, cfg, range.start as u64..range.end as u64)
+    });
+    let mut result = YarrpResult::default();
+    for shard in shards {
+        result.hops.extend(shard.hops);
+        result.reached.extend(shard.reached);
+        result.sent += shard.sent;
+        result.discarded += shard.discarded;
+    }
+    result
+}
+
+/// Number of `(target, TTL)` probes the campaign will send.
+fn trace_domain(targets: &[Ipv6Addr], cfg: &YarrpConfig) -> u64 {
+    if targets.is_empty() || cfg.ttl_max < cfg.ttl_min {
+        return 0;
+    }
+    targets.len() as u64 * (cfg.ttl_max - cfg.ttl_min + 1) as u64
+}
+
+/// The sequential kernel: probes the permuted indices in `range`.
+fn trace_indices<P: Prober>(
+    prober: &P,
+    targets: &[Ipv6Addr],
+    cfg: &YarrpConfig,
+    range: std::ops::Range<u64>,
+) -> YarrpResult {
     let mut result = YarrpResult::default();
     if targets.is_empty() || cfg.ttl_max < cfg.ttl_min {
         return result;
@@ -132,7 +182,7 @@ pub fn trace<P: Prober>(prober: &P, targets: &[Ipv6Addr], cfg: &YarrpConfig) -> 
     let perm = IndexPermutation::new(domain, cfg.seed);
     let src = prober.source();
 
-    for i in 0..domain {
+    for i in range {
         let j = perm.apply(i);
         let target = targets[(j / ttl_span) as usize];
         let ttl = cfg.ttl_min + (j % ttl_span) as u8;

@@ -92,13 +92,56 @@ fn validation(seed: u64, dst: Ipv6Addr) -> (u16, u16) {
 /// re-encoded, decoded, checksum-verified and validation-checked — the
 /// full stateless receive path.
 pub fn scan<P: Prober>(prober: &P, targets: &[Ipv6Addr], cfg: &Zmap6Config) -> ScanResult {
+    scan_indices(prober, targets, cfg, 0..targets.len() as u64)
+}
+
+/// Scans `targets` sharded across `threads` workers.
+///
+/// The probe-order index range is split into contiguous shards, each
+/// shard runs the full sequential receive path, and shard results are
+/// concatenated in shard order — so the responsive list, probe times
+/// and statistics are bit-identical to [`scan`] at any thread count.
+pub fn scan_with_threads<P: Prober + Sync>(
+    prober: &P,
+    targets: &[Ipv6Addr],
+    cfg: &Zmap6Config,
+    threads: usize,
+) -> ScanResult {
+    // Below this the scope/merge overhead outweighs the probing work.
+    const MIN_PARALLEL_TARGETS: usize = 2_048;
+    if threads <= 1 || targets.len() < MIN_PARALLEL_TARGETS {
+        return scan(prober, targets, cfg);
+    }
+    let ranges = v6par::split_ranges(targets.len(), threads * 4);
+    let shards = v6par::par_map(threads, &ranges, |_, range| {
+        scan_indices(prober, targets, cfg, range.start as u64..range.end as u64)
+    });
+    let mut result = ScanResult::default();
+    for shard in shards {
+        result.responsive.extend(shard.responsive);
+        result.stats.sent += shard.stats.sent;
+        result.stats.replies += shard.stats.replies;
+        result.stats.validated += shard.stats.validated;
+        result.stats.failed_validation += shard.stats.failed_validation;
+        result.stats.other_responses += shard.stats.other_responses;
+    }
+    result
+}
+
+/// The sequential kernel: probes the permuted indices in `range`.
+fn scan_indices<P: Prober>(
+    prober: &P,
+    targets: &[Ipv6Addr],
+    cfg: &Zmap6Config,
+    range: std::ops::Range<u64>,
+) -> ScanResult {
     let mut result = ScanResult::default();
     if targets.is_empty() {
         return result;
     }
     let perm = IndexPermutation::new(targets.len() as u64, cfg.seed);
     let src = prober.source();
-    for i in 0..targets.len() as u64 {
+    for i in range {
         let dst = targets[perm.apply(i) as usize];
         let t = cfg.start + SimDuration(i / cfg.rate_pps.max(1));
         let (ident, seq) = validation(cfg.seed, dst);

@@ -12,6 +12,9 @@
 //!   detection, target generation, campaign baselines.
 //! * [`geo`] (`v6geo`) — MaxMind-like and wardriving-like geolocation
 //!   substrates.
+//! * [`par`] (`v6par`) — the work-stealing scoped thread pool and stage
+//!   DAG behind the parallel pipeline; deterministic by construction
+//!   (bit-identical artifacts at any thread count, `V6_THREADS` knob).
 //! * [`hitlist`] (`v6hitlist`) — the paper's contribution: passive NTP
 //!   corpus collection, dataset comparison, entropy/lifetime/pattern
 //!   analyses, backscanning, EUI-64 tracking, the geolocation attack,
@@ -39,5 +42,6 @@ pub use v6geo as geo;
 pub use v6hitlist as hitlist;
 pub use v6netsim as netsim;
 pub use v6ntp as ntp;
+pub use v6par as par;
 pub use v6scan as scan;
 pub use v6serve as serve;
