@@ -18,6 +18,17 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "== cargo fmt --check =="
 cargo fmt --check
 
+echo "== chaos suite: transient fault plans reproduce the fault-free digest =="
+for seed in 7 19 1041; do
+  V6HL_SCALE=tiny V6_CHAOS_MODE=transient V6_CHAOS_SEED="$seed" V6_THREADS=4 \
+    cargo run --release -q -p v6bench --bin chaos
+done
+
+echo "== chaos suite: permanent-fault loss report matches the golden file =="
+V6HL_SCALE=tiny V6_CHAOS_MODE=permanent V6_CHAOS_SEED=11 V6_THREADS=4 \
+  cargo run --release -q -p v6bench --bin chaos 2>/dev/null | grep '^LOST ' \
+  | diff -u tests/golden/chaos_loss_seed11.txt -
+
 echo "== pipeline bench smoke (tiny, V6_THREADS=2) =="
 rm -f BENCH_pipeline.json
 V6HL_SCALE=tiny V6_THREADS=2 cargo run --release -q -p v6bench --bin pipeline

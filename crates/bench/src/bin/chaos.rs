@@ -1,0 +1,92 @@
+//! Chaos harness: the fault-injection invariants, runnable from CI.
+//!
+//! Two modes, selected by `V6_CHAOS_MODE`:
+//!
+//! * `transient` (default) — runs the pipeline fault-free, then under a
+//!   transient-only fault plan at 1 and `V6_THREADS` workers, and
+//!   asserts all three artifact digests are byte-identical. Prints one
+//!   `CHAOS_OK …` line on success.
+//! * `permanent` — runs the pipeline under a plan with permanent
+//!   faults at 1 and `V6_THREADS` workers, asserts the loss reports
+//!   agree, and prints the report (`LOST <unit> (<reason>)` lines) to
+//!   stdout so CI can diff it against a golden file.
+//!
+//! Env knobs: `V6HL_SCALE`, `V6HL_SEED` (the usual), `V6_THREADS`,
+//! `V6_CHAOS_SEED` (fault-plan seed; defaults 7 transient / 11
+//! permanent), `V6_CHAOS_MODE`.
+
+use v6bench::{config_for, seed_from_env, Scale};
+use v6chaos::{FaultPlan, FaultSpec};
+use v6hitlist::Experiment;
+
+fn main() {
+    let scale = Scale::from_env();
+    let seed = seed_from_env();
+    let threads = std::env::var("V6_THREADS")
+        .ok()
+        .and_then(|s| s.parse::<usize>().ok())
+        .filter(|&n| n >= 2)
+        .unwrap_or(4);
+    let mode = std::env::var("V6_CHAOS_MODE").unwrap_or_else(|_| "transient".into());
+
+    match mode.as_str() {
+        "transient" => {
+            // The same rates the chaos equivalence tests pin down; the
+            // seed (and with it the whole fault schedule) comes from
+            // V6_CHAOS_SEED.
+            let plan = FaultPlan::from_env(7, FaultSpec::transient(0.35));
+            eprintln!(
+                "[chaos] scale={} seed={seed} chaos_seed={}: fault-free baseline …",
+                scale.name(),
+                plan.seed()
+            );
+            let digest =
+                Experiment::run_with_threads(config_for(scale, seed), threads).artifact_digest();
+            for t in [1usize, threads] {
+                eprintln!("[chaos] transient run at {t} thread(s) …");
+                let run = Experiment::run_chaos(config_for(scale, seed), t, &plan);
+                assert!(
+                    run.converged(),
+                    "transient-only plan lost work at {t} threads:\n{}",
+                    run.loss
+                );
+                assert_eq!(
+                    run.digest(),
+                    Some(digest),
+                    "transient chaos diverged from the fault-free digest at {t} threads"
+                );
+            }
+            println!(
+                "CHAOS_OK mode=transient chaos_seed={} threads=1,{threads} digest={digest:016x}",
+                plan.seed()
+            );
+        }
+        "permanent" => {
+            let plan = FaultPlan::from_env(11, FaultSpec::with_permanent(0.25, 0.5));
+            eprintln!(
+                "[chaos] scale={} seed={seed} chaos_seed={}: permanent-fault runs …",
+                scale.name(),
+                plan.seed()
+            );
+            let r1 = Experiment::run_chaos(config_for(scale, seed), 1, &plan);
+            let rn = Experiment::run_chaos(config_for(scale, seed), threads, &plan);
+            assert_eq!(r1.loss, rn.loss, "loss report depends on the thread count");
+            assert!(
+                !r1.loss.is_empty(),
+                "chaos_seed={} injects no permanent faults; pick another seed",
+                plan.seed()
+            );
+            // The report to stdout, nothing else: CI diffs this block
+            // against the golden loss file for the pinned seed.
+            print!("{}", r1.loss);
+            eprintln!(
+                "[chaos] {} unit(s) lost, identically at 1 and {threads} threads",
+                r1.loss.len()
+            );
+        }
+        other => {
+            eprintln!("[chaos] unknown V6_CHAOS_MODE {other:?} (use transient|permanent)");
+            std::process::exit(2);
+        }
+    }
+}

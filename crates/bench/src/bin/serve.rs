@@ -67,7 +67,9 @@ fn main() {
     // Ingest the initial weeks through the concurrent pipeline.
     let store = Arc::new(HitlistStore::new(&service.name, shards));
     let ingest = Ingestor::default().spawn(store.clone());
-    ingest.submit(PublicationUpdate::Service(initial));
+    ingest
+        .submit(PublicationUpdate::Service(initial))
+        .expect("ingest pipeline alive");
     let stats = ingest.finish();
     eprintln!(
         "[serve] ingested {} updates / {} unique addresses across {} epochs ({} dups coalesced)",

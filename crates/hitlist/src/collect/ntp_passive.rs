@@ -6,6 +6,7 @@
 //! source address, and answers. What the study keeps is exactly what the
 //! paper kept: `(time, source address)` per query, per server.
 
+use v6chaos::{Chaos, Fault};
 use v6netsim::{Country, NtpEventStream, SimDuration, SimTime, World};
 use v6ntp::{NtpClient, NtpPool, NtpTimestamp, Stratum2Server};
 
@@ -68,6 +69,10 @@ pub struct NtpCorpus {
     /// `observations.capacity()` right after pre-sizing; equal to the
     /// final capacity iff collection never reallocated.
     pub initial_capacity: usize,
+    /// Days (study-day indices) whose collection failed permanently
+    /// under fault injection and were skipped after backfill. Always
+    /// empty for the fault-free collectors; sorted ascending.
+    pub lost_days: Vec<u64>,
 }
 
 impl NtpCorpus {
@@ -112,6 +117,7 @@ impl NtpCorpus {
                 window,
                 expected_queries: expected,
                 initial_capacity: shard.initial_capacity,
+                lost_days: Vec::new(),
             };
         }
 
@@ -163,7 +169,113 @@ impl NtpCorpus {
             window,
             expected_queries: expected,
             initial_capacity,
+            lost_days: Vec::new(),
         }
+    }
+
+    /// The chaos site name one collection day maps to.
+    pub fn day_site(day: u64) -> String {
+        format!("collect.day.{day}")
+    }
+
+    /// [`NtpCorpus::collect_with_threads`] under fault injection, with
+    /// skip-and-backfill recovery.
+    ///
+    /// The window is cut into one slice per study day and each day
+    /// consults its `collect.day.<d>` site before collecting. Pass 1
+    /// attempts every day once, in parallel; days whose attempt 0 faults
+    /// are *skipped* and retried sequentially in a backfill pass, up to
+    /// [`Chaos::retry_budget`] extra attempts each. Days that still fail
+    /// (permanent scripts) end up in [`NtpCorpus::lost_days`] and
+    /// contribute no observations.
+    ///
+    /// When every injected fault is transient the result is
+    /// bit-identical to the fault-free collection — faults decide only
+    /// *whether* a day's collection runs, never what it observes.
+    pub fn collect_with_faults(
+        world: &World,
+        start: SimTime,
+        window: SimDuration,
+        threads: usize,
+        chaos: &dyn Chaos,
+    ) -> Self {
+        let (start_day, end_day) = v6netsim::day_range(start, window);
+        let days: Vec<u64> = (start_day..end_day).collect();
+        let expected = v6netsim::expected_query_volume(world, start, window);
+        let per_day = expected as usize / days.len().max(1) + 64;
+        let pool = NtpPool::new(
+            world.vantage_points.clone(),
+            v6netsim::CountryRegistry::builtin(),
+        );
+
+        // Pass 1: one parallel attempt per day; faulted days stay None.
+        let mut shards: Vec<Option<CollectShard>> =
+            v6par::par_map(threads.max(1), &days, |_, &day| {
+                collect_day_faulted(world, &pool, day, per_day, chaos, 0)
+            });
+
+        // Backfill: retry the skipped days until they clear or the
+        // retry budget is exhausted.
+        let mut lost_days = Vec::new();
+        for (i, &day) in days.iter().enumerate() {
+            let mut attempt = 1u32;
+            while shards[i].is_none() && attempt <= chaos.retry_budget() {
+                shards[i] = collect_day_faulted(world, &pool, day, per_day, chaos, attempt);
+                attempt += 1;
+            }
+            if shards[i].is_none() {
+                lost_days.push(day);
+            }
+        }
+
+        // Device-major merge of the surviving days (identical to the
+        // fault-free merge; lost days simply contribute no runs).
+        let collected: Vec<&CollectShard> = shards.iter().flatten().collect();
+        let total: usize = collected.iter().map(|s| s.observations.len()).sum();
+        let mut observations: Vec<NtpObservation> =
+            Vec::with_capacity((expected as usize).max(total));
+        let initial_capacity = observations.capacity();
+        let mut cursors = vec![(0usize, 0usize); collected.len()];
+        for dev in 0..world.devices.len() as u32 {
+            for (si, shard) in collected.iter().enumerate() {
+                let (run, obs) = &mut cursors[si];
+                if *run < shard.runs.len() && shard.runs[*run].0 == dev {
+                    let n = shard.runs[*run].1 as usize;
+                    observations.extend_from_slice(&shard.observations[*obs..*obs + n]);
+                    *obs += n;
+                    *run += 1;
+                }
+            }
+        }
+        debug_assert_eq!(observations.len(), total, "merge lost observations");
+
+        let mut served_per_vp = vec![0u64; world.vantage_points.len()];
+        for shard in &collected {
+            for (vp, &n) in shard.served_per_vp.iter().enumerate() {
+                served_per_vp[vp] += n;
+            }
+        }
+        NtpCorpus {
+            observations,
+            served_per_vp,
+            protocol_failures: collected.iter().map(|s| s.protocol_failures).sum(),
+            start,
+            window,
+            expected_queries: expected,
+            initial_capacity,
+            lost_days,
+        }
+    }
+
+    /// [`NtpCorpus::collect_study`] under fault injection.
+    pub fn collect_study_chaos(world: &World, threads: usize, chaos: &dyn Chaos) -> Self {
+        Self::collect_with_faults(
+            world,
+            SimTime::START,
+            v6netsim::time::STUDY_DURATION,
+            threads,
+            chaos,
+        )
     }
 
     /// Collects over the paper's full study window.
@@ -267,9 +379,32 @@ fn collect_days(world: &World, pool: &NtpPool, d0: u64, d1: u64, capacity: usize
     }
 }
 
+/// One fault-aware collection attempt of a single day.
+///
+/// Consults the day's `collect.day.<d>` site: a failure decision skips
+/// the day (returns `None`, letting the backfill pass retry it), a stall
+/// sleeps first, and a clean decision runs the normal kernel. The fault
+/// never alters what a successful collection observes.
+fn collect_day_faulted(
+    world: &World,
+    pool: &NtpPool,
+    day: u64,
+    capacity: usize,
+    chaos: &dyn Chaos,
+    attempt: u32,
+) -> Option<CollectShard> {
+    match chaos.decide(&NtpCorpus::day_site(day), attempt) {
+        Fault::Error | Fault::Panic => return None,
+        Fault::Stall(d) => std::thread::sleep(d),
+        Fault::None => {}
+    }
+    Some(collect_days(world, pool, day, day + 1, capacity))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use v6chaos::{NoChaos, ScriptedChaos, SiteScript};
     use v6netsim::WorldConfig;
 
     fn world() -> World {
@@ -347,6 +482,52 @@ mod tests {
                 seq.protocol_failures, par.protocol_failures,
                 "threads={threads}"
             );
+        }
+    }
+
+    #[test]
+    fn transient_faulted_collection_matches_fault_free() {
+        let w = world();
+        let window = SimDuration::days(6);
+        let baseline = NtpCorpus::collect_with_threads(&w, SimTime::START, window, 1);
+        let chaos = ScriptedChaos::new()
+            .with(NtpCorpus::day_site(1), SiteScript::transient(2))
+            .with(NtpCorpus::day_site(3), SiteScript::transient_panic(1))
+            .with(
+                NtpCorpus::day_site(4),
+                SiteScript::ok().with_stall(std::time::Duration::from_millis(1)),
+            );
+        for threads in [1, 4] {
+            let c = NtpCorpus::collect_with_faults(&w, SimTime::START, window, threads, &chaos);
+            assert!(c.lost_days.is_empty(), "threads={threads}");
+            assert_eq!(baseline.observations, c.observations, "threads={threads}");
+            assert_eq!(baseline.served_per_vp, c.served_per_vp, "threads={threads}");
+        }
+        // NoChaos through the fault path is also bit-identical.
+        let c = NtpCorpus::collect_with_faults(&w, SimTime::START, window, 4, &NoChaos);
+        assert_eq!(baseline.observations, c.observations);
+    }
+
+    #[test]
+    fn permanent_fault_loses_exactly_that_day() {
+        let w = world();
+        let window = SimDuration::days(5);
+        let baseline = NtpCorpus::collect_with_threads(&w, SimTime::START, window, 1);
+        let chaos = ScriptedChaos::new()
+            .with(NtpCorpus::day_site(2), SiteScript::permanent())
+            .with(NtpCorpus::day_site(0), SiteScript::transient(1));
+        for threads in [1, 4] {
+            let c = NtpCorpus::collect_with_faults(&w, SimTime::START, window, threads, &chaos);
+            assert_eq!(c.lost_days, vec![2], "threads={threads}");
+            // Day 2's observations are gone, every other day's survive.
+            assert!(c.observations.iter().all(|o| o.t / 86_400 != 2));
+            let kept = baseline
+                .observations
+                .iter()
+                .filter(|o| o.t / 86_400 != 2)
+                .copied()
+                .collect::<Vec<_>>();
+            assert_eq!(kept, c.observations, "threads={threads}");
         }
     }
 

@@ -31,7 +31,7 @@ pub mod service;
 pub use cdf::Cdf;
 pub use collect::ntp_passive::NtpCorpus;
 pub use dataset::{AddrRecord, Dataset, Observation};
-pub use pipeline::{Experiment, ExperimentConfig};
+pub use pipeline::{ChaosRun, Experiment, ExperimentConfig};
 pub use release::Release48;
 pub use report::ExperimentRecord;
 pub use service::HitlistService;

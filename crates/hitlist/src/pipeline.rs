@@ -8,9 +8,10 @@
 
 use serde::{Deserialize, Serialize};
 
+use v6chaos::{Chaos, DagInjector, LossReport};
 use v6geo::WardriveDb;
 use v6netsim::{SimTime, World, WorldConfig};
-use v6par::StageTiming;
+use v6par::{StageFailure, StageTiming};
 use v6scan::{AliasList, CaidaCampaignConfig, HitlistCampaignConfig};
 
 use crate::analysis::backscan::{
@@ -165,58 +166,7 @@ impl Experiment {
         let world = World::build(config.world.clone(), config.seed);
         let world_wall = started.elapsed();
 
-        let cfg = &config;
-        let w = &world;
-        let mut dag = v6par::Dag::new();
-
-        // Passive collection over the study window.
-        dag.add("corpus", &[], move |_| {
-            NtpCorpus::collect_study_with_threads(w, threads)
-        });
-        dag.add("ntp", &["corpus"], move |o| {
-            o.get::<NtpCorpus>("corpus").dataset_with_threads(threads)
-        });
-
-        // Active baselines, concurrent with collection.
-        dag.add("hitlist", &[], move |_| {
-            collect_hitlist_with_threads(w, 0, &cfg.hitlist, threads)
-        });
-        dag.add("caida", &[], move |_| {
-            collect_caida_with_threads(w, 1, &cfg.caida, threads)
-        });
-
-        // Analyses, each released as soon as its inputs exist.
-        dag.add("backscan", &[], move |_| backscan(w, &cfg.backscan));
-        dag.add("wardrive", &[], move |_| WardriveDb::collect(w));
-        dag.add(
-            "alias_findings",
-            &["backscan", "hitlist", "ntp"],
-            move |o| {
-                let hitlist = o.get::<ActiveDataset>("hitlist");
-                let hl_aliases = AliasList::from_prefixes(hitlist.campaign.aliased.iter().copied());
-                alias_findings(
-                    w,
-                    o.get::<BackscanResult>("backscan"),
-                    &hl_aliases,
-                    &o.get::<Dataset>("ntp").addr_set(),
-                    &hitlist.dataset.addr_set(),
-                )
-            },
-        );
-        dag.add("tracking", &["corpus"], move |o| {
-            analyze_tracking(w, o.get::<NtpCorpus>("corpus"), cfg.transition_threshold)
-        });
-        dag.add("geolocation", &["tracking", "wardrive"], move |o| {
-            let leaked: Vec<v6addr::Mac> = o
-                .get::<TrackingAnalysis>("tracking")
-                .tracks
-                .iter()
-                .map(|t| t.mac)
-                .collect();
-            geolocate(&leaked, o.get::<WardriveDb>("wardrive"), &cfg.geoloc)
-        });
-
-        let mut out = dag.run(threads);
+        let mut out = stage_dag(&config, &world, threads, None).run(threads);
         let mut timings = vec![StageTiming {
             name: "world",
             wall: world_wall,
@@ -239,6 +189,93 @@ impl Experiment {
         }
     }
 
+    /// Runs the study under fault injection (the tentpole entry point of
+    /// the chaos suite).
+    ///
+    /// Every DAG stage attempt consults its `dag.stage.<name>` chaos
+    /// site through a [`DagInjector`], with a retry policy sized to the
+    /// plan's [`Chaos::retry_budget`]; the passive-collection stage runs
+    /// [`NtpCorpus::collect_study_chaos`], so per-day `collect.day.<d>`
+    /// faults are skipped and backfilled inside the stage.
+    ///
+    /// The contract (pinned by `tests/parallel_equivalence.rs`):
+    ///
+    /// * all faults transient ⇒ [`ChaosRun::experiment`] is `Some`, the
+    ///   loss report is empty, and [`ChaosRun::digest`] equals the
+    ///   fault-free [`Experiment::artifact_digest`] at any thread count;
+    /// * any permanent fault ⇒ the loss report names exactly the lost
+    ///   stages (plus their cascaded dependents) and lost collection
+    ///   days — never a silently truncated artifact.
+    pub fn run_chaos(config: ExperimentConfig, threads: usize, chaos: &dyn Chaos) -> ChaosRun {
+        let started = std::time::Instant::now();
+        let world = World::build(config.world.clone(), config.seed);
+        let world_wall = started.elapsed();
+
+        let policy = v6par::RetryPolicy::retries(chaos.retry_budget());
+        let injector = DagInjector::new(chaos);
+        let mut run =
+            stage_dag(&config, &world, threads, Some(chaos)).run_with(threads, &policy, &injector);
+
+        let mut timings = vec![StageTiming {
+            name: "world",
+            wall: world_wall,
+        }];
+        timings.extend(run.outputs.timings.iter().copied());
+
+        let mut loss = LossReport::new();
+        for f in &run.failures {
+            let reason = if f.attempts == 0 {
+                f.reason.to_string()
+            } else {
+                format!("{} after {} attempt(s)", f.reason, f.attempts)
+            };
+            loss.record(DagInjector::stage_site(f.name), reason);
+        }
+
+        let experiment = if run.is_complete() {
+            let out = &mut run.outputs;
+            Some(Experiment {
+                corpus: out.take("corpus"),
+                ntp: out.take("ntp"),
+                hitlist: out.take("hitlist"),
+                caida: out.take("caida"),
+                backscan: out.take("backscan"),
+                alias_findings: out.take("alias_findings"),
+                tracking: out.take("tracking"),
+                geolocation: out.take("geolocation"),
+                wardrive: out.take("wardrive"),
+                config,
+                world,
+                timings: timings.clone(),
+            })
+        } else {
+            None
+        };
+
+        // Account the collection days the corpus stage had to drop —
+        // whether or not the rest of the pipeline completed.
+        let lost_days = match &experiment {
+            Some(e) => e.corpus.lost_days.clone(),
+            None => run
+                .outputs
+                .try_take::<NtpCorpus>("corpus")
+                .map(|c| c.lost_days)
+                .unwrap_or_default(),
+        };
+        for &d in &lost_days {
+            loss.record(
+                NtpCorpus::day_site(d),
+                "permanent collection fault; day skipped after backfill",
+            );
+        }
+
+        ChaosRun {
+            experiment,
+            loss,
+            failures: run.failures,
+            timings,
+        }
+    }
     /// The single-day slice of the corpus used by Figures 4b and 5
     /// (the paper picked 1 July 2022 ≈ study day 157).
     pub fn one_day_slice(&self, day: u64) -> Dataset {
@@ -347,6 +384,103 @@ impl Experiment {
     }
 }
 
+/// Builds the nine-stage study DAG over `w`. With `chaos` set, the
+/// corpus stage collects under per-day fault injection; every other
+/// stage body is identical — stage-level faults are injected by the DAG
+/// runner itself, so they never change what a successful stage computes.
+fn stage_dag<'e>(
+    cfg: &'e ExperimentConfig,
+    w: &'e World,
+    threads: usize,
+    chaos: Option<&'e dyn Chaos>,
+) -> v6par::Dag<'e> {
+    let mut dag = v6par::Dag::new();
+
+    // Passive collection over the study window.
+    dag.add("corpus", &[], move |_| match chaos {
+        Some(c) => NtpCorpus::collect_study_chaos(w, threads, c),
+        None => NtpCorpus::collect_study_with_threads(w, threads),
+    });
+    dag.add("ntp", &["corpus"], move |o| {
+        o.get::<NtpCorpus>("corpus").dataset_with_threads(threads)
+    });
+
+    // Active baselines, concurrent with collection.
+    dag.add("hitlist", &[], move |_| {
+        collect_hitlist_with_threads(w, 0, &cfg.hitlist, threads)
+    });
+    dag.add("caida", &[], move |_| {
+        collect_caida_with_threads(w, 1, &cfg.caida, threads)
+    });
+
+    // Analyses, each released as soon as its inputs exist.
+    dag.add("backscan", &[], move |_| backscan(w, &cfg.backscan));
+    dag.add("wardrive", &[], move |_| WardriveDb::collect(w));
+    dag.add(
+        "alias_findings",
+        &["backscan", "hitlist", "ntp"],
+        move |o| {
+            let hitlist = o.get::<ActiveDataset>("hitlist");
+            let hl_aliases = AliasList::from_prefixes(hitlist.campaign.aliased.iter().copied());
+            alias_findings(
+                w,
+                o.get::<BackscanResult>("backscan"),
+                &hl_aliases,
+                &o.get::<Dataset>("ntp").addr_set(),
+                &hitlist.dataset.addr_set(),
+            )
+        },
+    );
+    dag.add("tracking", &["corpus"], move |o| {
+        analyze_tracking(w, o.get::<NtpCorpus>("corpus"), cfg.transition_threshold)
+    });
+    dag.add("geolocation", &["tracking", "wardrive"], move |o| {
+        let leaked: Vec<v6addr::Mac> = o
+            .get::<TrackingAnalysis>("tracking")
+            .tracks
+            .iter()
+            .map(|t| t.mac)
+            .collect();
+        geolocate(&leaked, o.get::<WardriveDb>("wardrive"), &cfg.geoloc)
+    });
+    dag
+}
+
+/// The outcome of one fault-injected study run
+/// ([`Experiment::run_chaos`]).
+pub struct ChaosRun {
+    /// The full experiment — `Some` iff every DAG stage completed
+    /// (possibly after retries). Present even when collection days were
+    /// permanently lost; check [`ChaosRun::loss`] before trusting the
+    /// artifacts.
+    pub experiment: Option<Experiment>,
+    /// Exactly which units of work were permanently lost: failed DAG
+    /// stages (and their cascaded dependents) as `dag.stage.<name>`,
+    /// dropped collection days as `collect.day.<d>`. Empty is the
+    /// convergence certificate of a transient-only run.
+    pub loss: LossReport,
+    /// Per-stage failures as the DAG runner reported them, in stage
+    /// insertion order.
+    pub failures: Vec<StageFailure>,
+    /// Wall-clock timings of the successful stages ("world" first).
+    pub timings: Vec<StageTiming>,
+}
+
+impl ChaosRun {
+    /// True when the run converged to complete, trustworthy artifacts:
+    /// every stage completed and nothing was lost. Guaranteed whenever
+    /// every injected fault was transient.
+    pub fn converged(&self) -> bool {
+        self.experiment.is_some() && self.loss.is_empty()
+    }
+
+    /// The artifact digest, when the pipeline completed. Equal to the
+    /// fault-free digest iff the run [`converged`](ChaosRun::converged).
+    pub fn digest(&self) -> Option<u64> {
+        self.experiment.as_ref().map(Experiment::artifact_digest)
+    }
+}
+
 /// Minimal FNV-1a accumulator for [`Experiment::artifact_digest`].
 struct Fnv(u64);
 
@@ -393,6 +527,42 @@ mod tests {
         assert_eq!(e.timings[0].name, "world");
         assert!(e.timings.iter().any(|t| t.name == "corpus"));
         assert!(e.timings.iter().any(|t| t.name == "geolocation"));
+    }
+
+    #[test]
+    fn permanent_stage_fault_cascades_and_is_accounted() {
+        use v6chaos::{ScriptedChaos, SiteScript};
+        // Kill the corpus stage permanently: the injected failure
+        // replaces the task body, so the expensive collection never
+        // runs, and ntp / tracking / alias_findings / geolocation all
+        // cascade without running.
+        let chaos = ScriptedChaos::new()
+            .with("dag.stage.corpus", SiteScript::permanent())
+            .with("dag.stage.backscan", SiteScript::transient(1));
+        let run = Experiment::run_chaos(ExperimentConfig::tiny(2024), 4, &chaos);
+        assert!(run.experiment.is_none());
+        assert!(!run.converged());
+        assert_eq!(run.digest(), None);
+        assert_eq!(
+            run.loss.unit_names(),
+            vec![
+                "dag.stage.alias_findings",
+                "dag.stage.corpus",
+                "dag.stage.geolocation",
+                "dag.stage.ntp",
+                "dag.stage.tracking",
+            ]
+        );
+        // The cascaded stages never executed an attempt.
+        for f in &run.failures {
+            if f.name != "corpus" {
+                assert_eq!(f.attempts, 0, "stage {} ran", f.name);
+            }
+        }
+        // The transient backscan fault cleared: backscan is not lost and
+        // its wall time was recorded.
+        assert!(run.timings.iter().any(|t| t.name == "backscan"));
+        assert!(run.timings.iter().any(|t| t.name == "caida"));
     }
 
     #[test]

@@ -6,6 +6,7 @@
 //! change wall-clock time, never a byte of output.
 
 use proptest::prelude::*;
+use v6chaos::{Chaos, FaultPlan, FaultSpec};
 use v6hitlist::{Dataset, Experiment, ExperimentConfig, NtpCorpus, Observation};
 use v6netsim::{SimDuration, SimTime, World, WorldConfig};
 
@@ -65,6 +66,110 @@ fn corpus_collection_threadcount_invariant() {
             assert_eq!(seq.served_per_vp, par.served_per_vp);
             assert_eq!(seq.protocol_failures, par.protocol_failures);
         }
+    }
+}
+
+/// The study DAG's stages with their dependencies, in insertion order —
+/// the model the loss-report tests check the real pipeline against.
+const STAGES: [(&str, &[&str]); 9] = [
+    ("corpus", &[]),
+    ("ntp", &["corpus"]),
+    ("hitlist", &[]),
+    ("caida", &[]),
+    ("backscan", &[]),
+    ("wardrive", &[]),
+    ("alias_findings", &["backscan", "hitlist", "ntp"]),
+    ("tracking", &["corpus"]),
+    ("geolocation", &["tracking", "wardrive"]),
+];
+
+/// Every site the chaos pipeline consults: the stage sites plus one
+/// `collect.day.<d>` site per study day.
+fn pipeline_sites() -> Vec<String> {
+    let (d0, d1) = v6netsim::day_range(SimTime::START, v6netsim::time::STUDY_DURATION);
+    STAGES
+        .iter()
+        .map(|(s, _)| format!("dag.stage.{s}"))
+        .chain((d0..d1).map(NtpCorpus::day_site))
+        .collect()
+}
+
+/// What the plan must lose: permanent stage sites closed over the
+/// dependency graph, plus (when the corpus stage itself survives) every
+/// permanently failing collection day.
+fn expected_loss(plan: &dyn Chaos) -> Vec<String> {
+    let mut lost_stages: Vec<&str> = Vec::new();
+    for (name, deps) in STAGES {
+        if plan.is_permanent(&format!("dag.stage.{name}"))
+            || deps.iter().any(|d| lost_stages.contains(d))
+        {
+            lost_stages.push(name);
+        }
+    }
+    let mut units: Vec<String> = lost_stages
+        .iter()
+        .map(|s| format!("dag.stage.{s}"))
+        .collect();
+    if !lost_stages.contains(&"corpus") {
+        let (d0, d1) = v6netsim::day_range(SimTime::START, v6netsim::time::STUDY_DURATION);
+        units.extend(
+            (d0..d1)
+                .filter(|&d| plan.is_permanent(&NtpCorpus::day_site(d)))
+                .map(NtpCorpus::day_site),
+        );
+    }
+    units.sort();
+    units
+}
+
+#[test]
+fn chaos_transient_runs_reproduce_the_fault_free_digest() {
+    let digest = Experiment::run_with_threads(ExperimentConfig::tiny(4242), 2).artifact_digest();
+    let plan = FaultPlan::new(7, FaultSpec::transient(0.35));
+    // Non-vacuity: the plan actually faults sites this pipeline visits.
+    let faulted = pipeline_sites().iter().filter(|s| plan.fails(s, 0)).count();
+    assert!(faulted > 0, "seed 7 injects nothing; the test is vacuous");
+    for threads in [1usize, 4] {
+        let run = Experiment::run_chaos(ExperimentConfig::tiny(4242), threads, &plan);
+        assert!(run.converged(), "threads={threads} lost:\n{}", run.loss);
+        assert!(run.failures.is_empty());
+        assert_eq!(
+            run.digest(),
+            Some(digest),
+            "transient chaos diverged from the fault-free digest (threads={threads})"
+        );
+    }
+}
+
+#[test]
+fn chaos_permanent_losses_match_the_plan_at_any_thread_count() {
+    let plan = FaultPlan::new(11, FaultSpec::with_permanent(0.25, 0.5));
+    let expected = expected_loss(&plan);
+    assert!(
+        !expected.is_empty(),
+        "seed 11 injects no permanent faults; the test is vacuous"
+    );
+    let r1 = Experiment::run_chaos(ExperimentConfig::tiny(4242), 1, &plan);
+    let r4 = Experiment::run_chaos(ExperimentConfig::tiny(4242), 4, &plan);
+    assert!(!r1.converged());
+    assert_eq!(r1.loss, r4.loss, "loss report depends on thread count");
+    assert_eq!(
+        r1.loss.unit_names(),
+        expected.iter().map(String::as_str).collect::<Vec<_>>(),
+        "loss report disagrees with the injected plan"
+    );
+    // Never a silently truncated artifact: either the pipeline completed
+    // (and the loss report flags any dropped days), or there is no
+    // experiment to mistake for a full one.
+    if let Some(e) = &r1.experiment {
+        for d in &e.corpus.lost_days {
+            assert!(r1.loss.contains(&NtpCorpus::day_site(*d)));
+        }
+    } else {
+        assert!(r1
+            .failures
+            .iter()
+            .any(|f| r1.loss.contains(&format!("dag.stage.{}", f.name))));
     }
 }
 

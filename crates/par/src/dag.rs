@@ -7,6 +7,15 @@
 //! names of the stages it consumes; [`Dag::run`] executes stages as
 //! soon as their inputs exist, with up to `threads` stages in flight.
 //!
+//! Failure handling lives in [`Dag::run_with`]: each stage gets a
+//! [`RetryPolicy`] (capped exponential backoff between attempts, an
+//! optional per-stage deadline) and a [`FaultInjector`] consulted once
+//! per attempt, so chaos tests can script transient errors, panics, and
+//! stalls deterministically. A stage that exhausts its attempts is
+//! *reported* — as a [`StageFailure`] in the returned [`DagRun`] — and
+//! its dependents are failed with `DependencyFailed` without running,
+//! never silently skipped and never deadlocking the pool.
+//!
 //! Determinism: the DAG only controls *when* a stage runs, never what
 //! it computes — every task is a pure function of its named inputs, so
 //! scheduling order cannot leak into the artifacts. Per-stage wall
@@ -14,15 +23,15 @@
 
 use std::any::Any;
 use std::collections::HashMap;
-use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Mutex, OnceLock};
 use std::time::{Duration, Instant};
 
 use crossbeam::channel;
 
 type BoxedOutput = Box<dyn Any + Send + Sync>;
-type TaskFn<'env> = Box<dyn FnOnce(&TaskOutputs) -> BoxedOutput + Send + 'env>;
+type TaskFn<'env> = Box<dyn FnMut(&TaskOutputs) -> BoxedOutput + Send + 'env>;
 
 /// Wall-clock time one stage took.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -33,10 +42,136 @@ pub struct StageTiming {
     pub wall: Duration,
 }
 
-struct Node<'env> {
-    name: &'static str,
-    deps: Vec<usize>,
-    task: TaskFn<'env>,
+/// A fault the injector asks one stage attempt to exhibit.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum InjectedFault {
+    /// Run the attempt normally.
+    None,
+    /// Sleep this long, then run the attempt normally.
+    Stall(Duration),
+    /// Fail the attempt with this error, without running the task.
+    Error(String),
+    /// Fail the attempt as if the task panicked with this message,
+    /// without running the task.
+    Panic(String),
+}
+
+/// A deterministic source of per-attempt stage faults.
+///
+/// [`Dag::run_with`] consults the injector exactly once per `(stage,
+/// attempt)` pair before running the task; injected `Error`/`Panic`
+/// faults replace the task body for that attempt, so on a transient
+/// script the body still executes exactly once (on the first clean
+/// attempt).
+pub trait FaultInjector: Sync {
+    /// The fault for this `(stage, attempt)` pair.
+    fn decide(&self, stage: &str, attempt: u32) -> InjectedFault;
+}
+
+/// The production injector: never injects anything.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoFaults;
+
+impl FaultInjector for NoFaults {
+    fn decide(&self, _stage: &str, _attempt: u32) -> InjectedFault {
+        InjectedFault::None
+    }
+}
+
+/// Per-stage retry behavior: attempt cap, capped exponential backoff
+/// between attempts, and an optional wall-clock deadline per stage.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Retries after the first attempt (so a stage runs at most
+    /// `max_retries + 1` times).
+    pub max_retries: u32,
+    /// Backoff before the first retry; doubles per subsequent retry.
+    pub backoff_base: Duration,
+    /// Upper bound on any single backoff sleep.
+    pub backoff_cap: Duration,
+    /// Wall-clock budget for one stage across all of its attempts.
+    pub stage_deadline: Option<Duration>,
+}
+
+impl RetryPolicy {
+    /// No retries, no backoff, no deadline — the [`Dag::run`] default.
+    pub fn none() -> Self {
+        RetryPolicy {
+            max_retries: 0,
+            backoff_base: Duration::ZERO,
+            backoff_cap: Duration::ZERO,
+            stage_deadline: None,
+        }
+    }
+
+    /// `n` retries with a small capped exponential backoff (1 ms base,
+    /// 16 ms cap) and no deadline.
+    pub fn retries(n: u32) -> Self {
+        RetryPolicy {
+            max_retries: n,
+            backoff_base: Duration::from_millis(1),
+            backoff_cap: Duration::from_millis(16),
+            stage_deadline: None,
+        }
+    }
+
+    /// The same policy with a per-stage wall-clock deadline.
+    pub fn with_deadline(mut self, deadline: Duration) -> Self {
+        self.stage_deadline = Some(deadline);
+        self
+    }
+
+    /// The backoff sleep after failed attempt `attempt` (0-based):
+    /// `min(backoff_base * 2^attempt, backoff_cap)`.
+    pub fn backoff(&self, attempt: u32) -> Duration {
+        let factor = 1u32 << attempt.min(20);
+        self.backoff_base
+            .saturating_mul(factor)
+            .min(self.backoff_cap)
+    }
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        Self::none()
+    }
+}
+
+/// Why a stage ended up failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FailReason {
+    /// The last attempt failed with an (injected) error.
+    Error(String),
+    /// The last attempt panicked, with this payload message.
+    Panicked(String),
+    /// The stage's wall-clock deadline expired before an attempt
+    /// succeeded.
+    DeadlineExceeded,
+    /// A dependency failed, so this stage never ran.
+    DependencyFailed(&'static str),
+}
+
+impl std::fmt::Display for FailReason {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FailReason::Error(msg) => write!(f, "{msg}"),
+            FailReason::Panicked(msg) => write!(f, "panicked: {msg}"),
+            FailReason::DeadlineExceeded => write!(f, "stage deadline exceeded"),
+            FailReason::DependencyFailed(dep) => write!(f, "dependency `{dep}` failed"),
+        }
+    }
+}
+
+/// One stage that did not complete: its name, how many attempts it
+/// made, and the last failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StageFailure {
+    /// The failed stage.
+    pub name: &'static str,
+    /// Attempts actually executed (0 when a dependency failed first).
+    pub attempts: u32,
+    /// The final failure.
+    pub reason: FailReason,
 }
 
 /// Completed stage outputs, indexed by stage name.
@@ -76,7 +211,8 @@ impl TaskOutputs {
 /// The stage outputs and timings of a completed [`Dag::run`].
 pub struct DagOutputs {
     outputs: TaskOutputs,
-    /// Per-stage wall-clock durations, in stage insertion order.
+    /// Per-stage wall-clock durations for the stages that *succeeded*,
+    /// in stage insertion order.
     pub timings: Vec<StageTiming>,
 }
 
@@ -85,22 +221,56 @@ impl DagOutputs {
     ///
     /// Panics on an unknown name, a double-take, or a type mismatch.
     pub fn take<T: Any>(&mut self, name: &str) -> T {
+        match self.try_take::<T>(name) {
+            Some(v) => v,
+            None => panic!("stage `{name}` output already taken (or never ran)"),
+        }
+    }
+
+    /// Takes ownership of one stage's output, or `None` when the stage
+    /// failed (or its output was already taken).
+    ///
+    /// Panics on an unknown name or a type mismatch — those are wiring
+    /// bugs, unlike a failed stage, which is a runtime condition chaos
+    /// runs must handle.
+    pub fn try_take<T: Any>(&mut self, name: &str) -> Option<T> {
         let &i = self
             .outputs
             .names
             .get(name)
             .unwrap_or_else(|| panic!("unknown stage `{name}`"));
-        let boxed = self.outputs.slots[i]
-            .take()
-            .unwrap_or_else(|| panic!("stage `{name}` output already taken (or never ran)"));
+        let boxed = self.outputs.slots[i].take()?;
         match boxed.downcast::<T>() {
-            Ok(v) => *v,
+            Ok(v) => Some(*v),
             Err(_) => panic!(
                 "stage `{name}` output is not a {}",
                 std::any::type_name::<T>()
             ),
         }
     }
+}
+
+/// The result of a fault-tolerant [`Dag::run_with`]: outputs of the
+/// stages that succeeded plus a precise account of those that did not.
+pub struct DagRun {
+    /// Outputs and timings of the successful stages.
+    pub outputs: DagOutputs,
+    /// Every stage that failed, in stage insertion order. Empty means
+    /// the run converged — the outputs are complete.
+    pub failures: Vec<StageFailure>,
+}
+
+impl DagRun {
+    /// True when every stage succeeded.
+    pub fn is_complete(&self) -> bool {
+        self.failures.is_empty()
+    }
+}
+
+struct Node<'env> {
+    name: &'static str,
+    deps: Vec<usize>,
+    task: TaskFn<'env>,
 }
 
 /// A named-stage dependency graph under construction.
@@ -131,11 +301,15 @@ impl<'env> Dag<'env> {
     /// Adds a stage. `deps` must name stages added earlier (which also
     /// rules out cycles by construction).
     ///
+    /// The task may be retried (hence `FnMut`), but within one run it is
+    /// invoked again only after a previous invocation failed — a
+    /// successful body runs exactly once.
+    ///
     /// Panics on a duplicate name or an unknown dependency.
-    pub fn add<T, F>(&mut self, name: &'static str, deps: &[&str], task: F)
+    pub fn add<T, F>(&mut self, name: &'static str, deps: &[&str], mut task: F)
     where
         T: Any + Send + Sync,
-        F: FnOnce(&TaskOutputs) -> T + Send + 'env,
+        F: FnMut(&TaskOutputs) -> T + Send + 'env,
     {
         assert!(
             !self.index.contains_key(name),
@@ -161,9 +335,39 @@ impl<'env> Dag<'env> {
     /// Executes every stage with up to `threads` in flight and returns
     /// the outputs plus per-stage timings.
     ///
-    /// A panicking stage is re-raised here after the pool drains, so a
+    /// No retries, no injection: any stage failure (i.e. a panic inside
+    /// a task) is re-raised here as a panic after the pool drains, so a
     /// failure inside one stage never deadlocks the others.
     pub fn run(self, threads: usize) -> DagOutputs {
+        let run = self.run_with(threads, &RetryPolicy::none(), &NoFaults);
+        if let Some(f) = run.failures.first() {
+            panic!(
+                "stage `{}` failed after {} attempt(s): {}",
+                f.name, f.attempts, f.reason
+            );
+        }
+        run.outputs
+    }
+
+    /// Executes every stage under `policy`, consulting `injector` once
+    /// per attempt, and returns both the surviving outputs and the
+    /// failures.
+    ///
+    /// Guarantees, at any thread count:
+    ///
+    /// * every stage either succeeds exactly once or appears in
+    ///   [`DagRun::failures`] — never both, never neither;
+    /// * a stage whose dependency failed is reported
+    ///   [`FailReason::DependencyFailed`] without its task ever running;
+    /// * a stage makes at most `policy.max_retries + 1` attempts, with
+    ///   [`RetryPolicy::backoff`] sleeps between them;
+    /// * the pool always drains — failures never deadlock waiters.
+    pub fn run_with(
+        self,
+        threads: usize,
+        policy: &RetryPolicy,
+        injector: &dyn FaultInjector,
+    ) -> DagRun {
         const DONE: usize = usize::MAX;
         let n = self.nodes.len();
         let outputs = TaskOutputs {
@@ -171,6 +375,7 @@ impl<'env> Dag<'env> {
             slots: (0..n).map(|_| OnceLock::new()).collect(),
         };
         let mut names = Vec::with_capacity(n);
+        let mut deps: Vec<Vec<usize>> = Vec::with_capacity(n);
         let mut dependents: Vec<Vec<usize>> = vec![Vec::new(); n];
         let mut tasks: Vec<Mutex<Option<TaskFn<'env>>>> = Vec::with_capacity(n);
         let indegree: Vec<AtomicUsize> = self
@@ -178,11 +383,13 @@ impl<'env> Dag<'env> {
             .iter()
             .map(|node| AtomicUsize::new(node.deps.len()))
             .collect();
+        let failed: Vec<AtomicBool> = (0..n).map(|_| AtomicBool::new(false)).collect();
         for (i, node) in self.nodes.into_iter().enumerate() {
             names.push(node.name);
             for &d in &node.deps {
                 dependents[d].push(i);
             }
+            deps.push(node.deps);
             tasks.push(Mutex::new(Some(node.task)));
         }
 
@@ -195,22 +402,91 @@ impl<'env> Dag<'env> {
         }
         let remaining = AtomicUsize::new(n);
         let timings: Mutex<Vec<(usize, Duration)>> = Mutex::new(Vec::with_capacity(n));
-        let panicked: Mutex<Option<Box<dyn Any + Send>>> = Mutex::new(None);
+        let failures: Mutex<Vec<(usize, StageFailure)>> = Mutex::new(Vec::new());
 
         let run_worker = || {
             while let Ok(i) = ready_rx.recv() {
                 if i == DONE {
                     break;
                 }
-                let task = tasks[i]
+                // A stage is claimed by exactly one worker; completion
+                // (success or failure) must cascade exactly once.
+                let complete = |i: usize| {
+                    for &dep in &dependents[i] {
+                        if indegree[dep].fetch_sub(1, Ordering::AcqRel) == 1 {
+                            ready_tx.send(dep).expect("receiver alive");
+                        }
+                    }
+                    if remaining.fetch_sub(1, Ordering::AcqRel) == 1 {
+                        for _ in 0..workers {
+                            ready_tx.send(DONE).expect("receiver alive");
+                        }
+                    }
+                };
+
+                if let Some(&d) = deps[i].iter().find(|&&d| failed[d].load(Ordering::Acquire)) {
+                    failed[i].store(true, Ordering::Release);
+                    failures.lock().expect("failure log poisoned").push((
+                        i,
+                        StageFailure {
+                            name: names[i],
+                            attempts: 0,
+                            reason: FailReason::DependencyFailed(names[d]),
+                        },
+                    ));
+                    complete(i);
+                    continue;
+                }
+
+                let mut task = tasks[i]
                     .lock()
                     .expect("task slot poisoned")
                     .take()
                     .expect("stage scheduled twice");
-                let started = Instant::now();
-                match catch_unwind(AssertUnwindSafe(|| task(&outputs))) {
-                    Ok(output) => {
-                        let elapsed = started.elapsed();
+                let stage_start = Instant::now();
+                let mut attempt: u32 = 0;
+                let outcome: Result<(BoxedOutput, Duration), FailReason> = loop {
+                    let over_deadline =
+                        |since: Instant| policy.stage_deadline.is_some_and(|d| since.elapsed() > d);
+                    if over_deadline(stage_start) {
+                        break Err(FailReason::DeadlineExceeded);
+                    }
+                    let injected = match injector.decide(names[i], attempt) {
+                        InjectedFault::None => None,
+                        InjectedFault::Stall(d) => {
+                            std::thread::sleep(d);
+                            if over_deadline(stage_start) {
+                                break Err(FailReason::DeadlineExceeded);
+                            }
+                            None
+                        }
+                        InjectedFault::Error(msg) => Some(FailReason::Error(msg)),
+                        InjectedFault::Panic(msg) => Some(FailReason::Panicked(msg)),
+                    };
+                    let result = match injected {
+                        Some(reason) => Err(reason),
+                        None => {
+                            let started = Instant::now();
+                            match catch_unwind(AssertUnwindSafe(|| task(&outputs))) {
+                                Ok(out) => Ok((out, started.elapsed())),
+                                Err(payload) => Err(FailReason::Panicked(panic_message(&payload))),
+                            }
+                        }
+                    };
+                    match result {
+                        Ok(done) => break Ok(done),
+                        Err(reason) => {
+                            if attempt >= policy.max_retries {
+                                break Err(reason);
+                            }
+                            std::thread::sleep(policy.backoff(attempt));
+                            attempt += 1;
+                        }
+                    }
+                };
+
+                match outcome {
+                    Ok((output, elapsed)) => {
                         outputs.slots[i]
                             .set(output)
                             .unwrap_or_else(|_| panic!("stage output set twice"));
@@ -218,30 +494,20 @@ impl<'env> Dag<'env> {
                             .lock()
                             .expect("timing log poisoned")
                             .push((i, elapsed));
-                        for &dep in &dependents[i] {
-                            if indegree[dep].fetch_sub(1, Ordering::AcqRel) == 1 {
-                                ready_tx.send(dep).expect("receiver alive");
-                            }
-                        }
-                        if remaining.fetch_sub(1, Ordering::AcqRel) == 1 {
-                            for _ in 0..workers {
-                                ready_tx.send(DONE).expect("receiver alive");
-                            }
-                        }
                     }
-                    Err(payload) => {
-                        // Record the panic and unblock every worker; the
-                        // caller re-raises after the pool drains.
-                        panicked
-                            .lock()
-                            .expect("panic slot poisoned")
-                            .get_or_insert(payload);
-                        for _ in 0..workers {
-                            ready_tx.send(DONE).expect("receiver alive");
-                        }
-                        break;
+                    Err(reason) => {
+                        failed[i].store(true, Ordering::Release);
+                        failures.lock().expect("failure log poisoned").push((
+                            i,
+                            StageFailure {
+                                name: names[i],
+                                attempts: attempt + 1,
+                                reason,
+                            },
+                        ));
                     }
                 }
+                complete(i);
             }
         };
 
@@ -255,9 +521,6 @@ impl<'env> Dag<'env> {
             });
         }
 
-        if let Some(payload) = panicked.into_inner().expect("panic slot poisoned") {
-            resume_unwind(payload);
-        }
         assert_eq!(
             remaining.load(Ordering::Relaxed),
             0,
@@ -265,16 +528,31 @@ impl<'env> Dag<'env> {
         );
         let mut raw = timings.into_inner().expect("timing log poisoned");
         raw.sort_by_key(|&(i, _)| i);
-        DagOutputs {
-            outputs,
-            timings: raw
-                .into_iter()
-                .map(|(i, wall)| StageTiming {
-                    name: names[i],
-                    wall,
-                })
-                .collect(),
+        let mut fails = failures.into_inner().expect("failure log poisoned");
+        fails.sort_by_key(|&(i, _)| i);
+        DagRun {
+            outputs: DagOutputs {
+                outputs,
+                timings: raw
+                    .into_iter()
+                    .map(|(i, wall)| StageTiming {
+                        name: names[i],
+                        wall,
+                    })
+                    .collect(),
+            },
+            failures: fails.into_iter().map(|(_, f)| f).collect(),
         }
+    }
+}
+
+fn panic_message(payload: &(dyn Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "opaque panic payload".to_string()
     }
 }
 
@@ -365,5 +643,129 @@ mod tests {
         let mut out = dag.run(2);
         assert_eq!(out.take::<u64>("sum"), 18);
         drop(data);
+    }
+
+    /// Injector that fails a fixed set of stages for their first
+    /// `fail_n` attempts.
+    struct FlakyStages {
+        stages: Vec<&'static str>,
+        fail_n: u32,
+        panic: bool,
+    }
+
+    impl FaultInjector for FlakyStages {
+        fn decide(&self, stage: &str, attempt: u32) -> InjectedFault {
+            if self.stages.contains(&stage) && attempt < self.fail_n {
+                if self.panic {
+                    InjectedFault::Panic(format!("injected panic at attempt {attempt}"))
+                } else {
+                    InjectedFault::Error(format!("injected error at attempt {attempt}"))
+                }
+            } else {
+                InjectedFault::None
+            }
+        }
+    }
+
+    #[test]
+    fn transient_injected_faults_converge_with_retries() {
+        for threads in [1, 4] {
+            let trace = Mutex::new(Vec::new());
+            let injector = FlakyStages {
+                stages: vec!["b", "d"],
+                fail_n: 2,
+                panic: false,
+            };
+            let mut run = diamond(&trace).run_with(threads, &RetryPolicy::retries(2), &injector);
+            assert!(run.is_complete(), "threads={threads}: {:?}", run.failures);
+            assert_eq!(run.outputs.take::<u64>("d"), 23);
+            // Injected failures replace the body: each stage body ran
+            // exactly once despite the retries.
+            assert_eq!(trace.into_inner().unwrap().len(), 4);
+        }
+    }
+
+    #[test]
+    fn permanent_fault_fails_stage_and_dependents_without_running_them() {
+        for threads in [1, 4] {
+            let trace = Mutex::new(Vec::new());
+            let injector = FlakyStages {
+                stages: vec!["b"],
+                fail_n: u32::MAX,
+                panic: true,
+            };
+            let mut run = diamond(&trace).run_with(threads, &RetryPolicy::retries(3), &injector);
+            let failed: Vec<&str> = run.failures.iter().map(|f| f.name).collect();
+            assert_eq!(failed, vec!["b", "d"], "threads={threads}");
+            assert_eq!(run.failures[0].attempts, 4);
+            assert!(matches!(run.failures[0].reason, FailReason::Panicked(_)));
+            assert_eq!(run.failures[1].attempts, 0);
+            assert_eq!(
+                run.failures[1].reason,
+                FailReason::DependencyFailed("b"),
+                "threads={threads}"
+            );
+            // a and c still succeeded; b and d never ran their bodies.
+            assert_eq!(run.outputs.try_take::<u64>("c"), Some(3));
+            assert_eq!(run.outputs.try_take::<u64>("b"), None);
+            assert_eq!(run.outputs.try_take::<u64>("d"), None);
+            let order = trace.into_inner().unwrap();
+            assert!(!order.contains(&"b") && !order.contains(&"d"));
+            assert_eq!(run.outputs.timings.len(), 2);
+        }
+    }
+
+    #[test]
+    fn real_panics_are_retried_under_policy() {
+        let attempts = AtomicUsize::new(0);
+        let mut dag = Dag::new();
+        dag.add("flaky", &[], |_| {
+            if attempts.fetch_add(1, Ordering::Relaxed) < 2 {
+                panic!("not yet");
+            }
+            7u32
+        });
+        let mut run = dag.run_with(1, &RetryPolicy::retries(2), &NoFaults);
+        assert!(run.is_complete());
+        assert_eq!(run.outputs.take::<u32>("flaky"), 7);
+        assert_eq!(attempts.load(Ordering::Relaxed), 3);
+    }
+
+    #[test]
+    fn stall_past_deadline_fails_the_stage() {
+        struct Staller;
+        impl FaultInjector for Staller {
+            fn decide(&self, stage: &str, _attempt: u32) -> InjectedFault {
+                if stage == "slow" {
+                    InjectedFault::Stall(Duration::from_millis(20))
+                } else {
+                    InjectedFault::None
+                }
+            }
+        }
+        let mut dag = Dag::new();
+        dag.add("slow", &[], |_| 1u8);
+        dag.add("fast", &[], |_| 2u8);
+        let policy = RetryPolicy::retries(1).with_deadline(Duration::from_millis(5));
+        let mut run = dag.run_with(2, &policy, &Staller);
+        assert_eq!(run.failures.len(), 1);
+        assert_eq!(run.failures[0].name, "slow");
+        assert_eq!(run.failures[0].reason, FailReason::DeadlineExceeded);
+        assert_eq!(run.outputs.take::<u8>("fast"), 2);
+    }
+
+    #[test]
+    fn backoff_is_capped_exponential() {
+        let p = RetryPolicy {
+            max_retries: 10,
+            backoff_base: Duration::from_millis(2),
+            backoff_cap: Duration::from_millis(9),
+            stage_deadline: None,
+        };
+        assert_eq!(p.backoff(0), Duration::from_millis(2));
+        assert_eq!(p.backoff(1), Duration::from_millis(4));
+        assert_eq!(p.backoff(2), Duration::from_millis(8));
+        assert_eq!(p.backoff(3), Duration::from_millis(9));
+        assert_eq!(p.backoff(63), Duration::from_millis(9));
     }
 }

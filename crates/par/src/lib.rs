@@ -24,7 +24,9 @@
 //!   indistinguishable.
 //! * [`Dag`] — an explicit stage dependency graph executed by a worker
 //!   pool; independent stages run concurrently, results are retrieved
-//!   by name.
+//!   by name. [`Dag::run_with`] adds per-stage retry with capped
+//!   exponential backoff, deadlines, and pluggable fault injection
+//!   ([`FaultInjector`]) for deterministic chaos testing.
 //!
 //! Determinism comes from construction, not from luck: `par_map` writes
 //! result chunks into their input positions, folds merge in chunk
@@ -37,7 +39,10 @@
 pub mod dag;
 mod pool;
 
-pub use dag::{Dag, DagOutputs, StageTiming, TaskOutputs};
+pub use dag::{
+    Dag, DagOutputs, DagRun, FailReason, FaultInjector, InjectedFault, NoFaults, RetryPolicy,
+    StageFailure, StageTiming, TaskOutputs,
+};
 pub use pool::{
     merge_sorted_pair, par_chunks_fold, par_map, par_merge_sorted, par_sort_unstable, split_ranges,
 };

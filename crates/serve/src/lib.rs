@@ -27,9 +27,11 @@ pub mod query;
 pub mod snapshot;
 pub mod store;
 
-pub use ingest::{IngestHandle, IngestStats, Ingestor, PublicationUpdate};
+pub use ingest::{
+    IngestError, IngestHandle, IngestReport, IngestStats, Ingestor, PublicationUpdate,
+};
 pub use loadgen::{LoadReport, LoadSpec, QueryMix};
 pub use metrics::{MetricsReport, ServeMetrics};
 pub use query::{BatchAnswer, LookupAnswer, QueryEngine};
-pub use snapshot::{Shard, Snapshot, SnapshotBuilder};
+pub use snapshot::{ServeStatus, Shard, Snapshot, SnapshotBuilder};
 pub use store::{HitlistStore, PublishError, PublishReceipt};

@@ -16,6 +16,7 @@ pub struct ServeMetrics {
     batches: AtomicU64,
     batch_addresses: AtomicU64,
     publishes: AtomicU64,
+    degraded_publishes: AtomicU64,
     ingested_addresses: AtomicU64,
 }
 
@@ -36,6 +37,8 @@ pub struct MetricsReport {
     pub batch_addresses: u64,
     /// Snapshot epochs published.
     pub publishes: u64,
+    /// Epochs published in degraded (quarantined-shard) state.
+    pub degraded_publishes: u64,
     /// Raw addresses accepted by ingestion (before dedup).
     pub ingested_addresses: u64,
 }
@@ -52,7 +55,7 @@ impl std::fmt::Display for MetricsReport {
         write!(
             f,
             "queries={} (membership={} lookups={} density={} diffs={} batches={}/{} addrs) \
-             publishes={} ingested={}",
+             publishes={} (degraded={}) ingested={}",
             self.queries_total(),
             self.membership,
             self.lookups,
@@ -61,6 +64,7 @@ impl std::fmt::Display for MetricsReport {
             self.batches,
             self.batch_addresses,
             self.publishes,
+            self.degraded_publishes,
             self.ingested_addresses,
         )
     }
@@ -96,6 +100,10 @@ impl ServeMetrics {
         Self::bump(&self.publishes, 1);
     }
 
+    pub(crate) fn record_degraded_publish(&self) {
+        Self::bump(&self.degraded_publishes, 1);
+    }
+
     pub(crate) fn record_ingested(&self, addresses: u64) {
         Self::bump(&self.ingested_addresses, addresses);
     }
@@ -110,6 +118,11 @@ impl ServeMetrics {
         self.publishes.load(Ordering::Relaxed)
     }
 
+    /// Degraded epochs published so far.
+    pub fn degraded_publishes(&self) -> u64 {
+        self.degraded_publishes.load(Ordering::Relaxed)
+    }
+
     /// A consistent-enough copy of all counters.
     pub fn report(&self) -> MetricsReport {
         MetricsReport {
@@ -120,6 +133,7 @@ impl ServeMetrics {
             batches: self.batches.load(Ordering::Relaxed),
             batch_addresses: self.batch_addresses.load(Ordering::Relaxed),
             publishes: self.publishes.load(Ordering::Relaxed),
+            degraded_publishes: self.degraded_publishes.load(Ordering::Relaxed),
             ingested_addresses: self.ingested_addresses.load(Ordering::Relaxed),
         }
     }

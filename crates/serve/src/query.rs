@@ -11,7 +11,7 @@ use std::sync::Arc;
 
 use v6addr::Prefix;
 
-use crate::snapshot::Snapshot;
+use crate::snapshot::{ServeStatus, Snapshot};
 use crate::store::HitlistStore;
 
 /// The full answer for a single address.
@@ -25,6 +25,9 @@ pub struct LookupAnswer {
     pub alias: Option<Prefix>,
     /// Epoch of the snapshot that answered.
     pub epoch: u64,
+    /// True when the address's shard is quarantined in this epoch: the
+    /// answer reflects the last good merge, not the latest updates.
+    pub degraded: bool,
 }
 
 /// The answer for a batched lookup, resolved against one epoch.
@@ -32,6 +35,8 @@ pub struct LookupAnswer {
 pub struct BatchAnswer {
     /// Epoch of the snapshot that answered every address in the batch.
     pub epoch: u64,
+    /// Health of the answering epoch (`Degraded` lists stale shards).
+    pub status: ServeStatus,
     /// Per-address answers, in input order.
     pub answers: Vec<LookupAnswer>,
     /// How many were present.
@@ -52,6 +57,7 @@ fn lookup_in(snap: &Snapshot, addr: Ipv6Addr) -> LookupAnswer {
         first_week: snap.first_week(addr),
         alias: snap.longest_alias(addr),
         epoch: snap.epoch(),
+        degraded: snap.shard_missing(addr),
     }
 }
 
@@ -64,6 +70,11 @@ impl QueryEngine {
     /// The underlying store.
     pub fn store(&self) -> &Arc<HitlistStore> {
         &self.store
+    }
+
+    /// Health of the current epoch (`Degraded` lists quarantined shards).
+    pub fn status(&self) -> ServeStatus {
+        self.store.snapshot().status()
     }
 
     /// Exact membership.
@@ -115,6 +126,7 @@ impl QueryEngine {
             .collect();
         BatchAnswer {
             epoch: snap.epoch(),
+            status: snap.status(),
             answers,
             present,
             aliased,

@@ -96,6 +96,20 @@ impl Shard {
     }
 }
 
+/// Health of a published epoch, as surfaced to readers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ServeStatus {
+    /// Every shard reflects all ingested updates.
+    Ok,
+    /// Some shards are quarantined: their content is the last good
+    /// merge, not the latest updates. Readers still get answers — they
+    /// are just possibly stale for addresses in these shards.
+    Degraded {
+        /// Shard indices whose latest updates are held in quarantine.
+        missing_shards: Vec<u32>,
+    },
+}
+
 /// An immutable view of one publication epoch.
 #[derive(Debug, Clone)]
 pub struct Snapshot {
@@ -106,6 +120,8 @@ pub struct Snapshot {
     pub(crate) shards: Vec<Shard>,
     pub(crate) total: u64,
     pub(crate) checksum: u64,
+    /// Sorted indices of shards serving stale (pre-quarantine) content.
+    pub(crate) missing_shards: Vec<u32>,
 }
 
 /// Order-independent content checksum over `(bits, week)` pairs.
@@ -135,6 +151,7 @@ impl Snapshot {
             shards: vec![Shard::default(); shard_count],
             total: 0,
             checksum: 0,
+            missing_shards: Vec::new(),
         }
     }
 
@@ -209,6 +226,43 @@ impl Snapshot {
     /// True when no addresses are published.
     pub fn is_empty(&self) -> bool {
         self.total == 0
+    }
+
+    /// The order-independent content checksum over `(bits, week)` pairs.
+    ///
+    /// Two snapshots with the same addresses and first-seen weeks have
+    /// the same checksum regardless of how they were assembled — the
+    /// equality the chaos suite uses to prove quarantine recovery
+    /// restored the full content.
+    pub fn content_checksum(&self) -> u64 {
+        self.checksum
+    }
+
+    /// This epoch's health: `Ok`, or `Degraded` listing stale shards.
+    pub fn status(&self) -> ServeStatus {
+        if self.missing_shards.is_empty() {
+            ServeStatus::Ok
+        } else {
+            ServeStatus::Degraded {
+                missing_shards: self.missing_shards.clone(),
+            }
+        }
+    }
+
+    /// True when any shard is serving stale (quarantined) content.
+    pub fn is_degraded(&self) -> bool {
+        !self.missing_shards.is_empty()
+    }
+
+    /// Sorted indices of shards serving stale content.
+    pub fn missing_shards(&self) -> &[u32] {
+        &self.missing_shards
+    }
+
+    /// True when `addr` falls in a shard serving stale content.
+    pub fn shard_missing(&self, addr: Ipv6Addr) -> bool {
+        let i = shard48(u128::from(addr), self.shard_bits) as u32;
+        self.missing_shards.binary_search(&i).is_ok()
     }
 
     /// The shards, in index order.
@@ -293,6 +347,14 @@ impl Snapshot {
     /// never exposed a torn view.
     pub fn verify_integrity(&self) -> bool {
         if self.shards.len() != 1usize << self.shard_bits {
+            return false;
+        }
+        if self.missing_shards.windows(2).any(|w| w[0] >= w[1])
+            || self
+                .missing_shards
+                .iter()
+                .any(|&i| i as usize >= self.shards.len())
+        {
             return false;
         }
         let mut checksum = 0u64;

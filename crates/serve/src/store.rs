@@ -117,6 +117,7 @@ impl HitlistStore {
         let epoch = self.next_epoch.fetch_add(1, Ordering::Relaxed);
         snapshot.epoch = epoch;
         let addresses = snapshot.len();
+        let degraded = snapshot.is_degraded();
         let arc = Arc::new(snapshot);
 
         let t1 = Instant::now();
@@ -128,6 +129,9 @@ impl HitlistStore {
         }
         let swap = t1.elapsed();
         self.metrics.record_publish();
+        if degraded {
+            self.metrics.record_degraded_publish();
+        }
         Ok(PublishReceipt {
             epoch,
             addresses,

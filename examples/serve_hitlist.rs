@@ -39,7 +39,9 @@ fn main() {
     //    snapshots; each update becomes a new epoch.
     let store = Arc::new(HitlistStore::new(&service.name, 8));
     let ingest = Ingestor::default().spawn(store.clone());
-    ingest.submit(PublicationUpdate::Service(service.clone()));
+    ingest
+        .submit(PublicationUpdate::Service(service.clone()))
+        .expect("ingest pipeline alive");
     let stats = ingest.finish();
     println!(
         "ingested: {} unique addresses ({} duplicates coalesced), epoch {}",

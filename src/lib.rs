@@ -22,6 +22,9 @@
 //! * [`serve`] (`v6serve`) — the serving half of a hitlist service:
 //!   sharded immutable snapshots, epoch-swapped publication, concurrent
 //!   ingestion, a typed query API, and a deterministic load harness.
+//! * [`chaos`] (`v6chaos`) — seeded deterministic fault injection for
+//!   the pipeline and the serving path, plus the loss-report accounting
+//!   the chaos test suite pins (`V6_CHAOS_SEED` knob).
 //!
 //! Quick start:
 //!
@@ -38,6 +41,7 @@
 #![forbid(unsafe_code)]
 
 pub use v6addr as addr;
+pub use v6chaos as chaos;
 pub use v6geo as geo;
 pub use v6hitlist as hitlist;
 pub use v6netsim as netsim;

@@ -58,6 +58,15 @@ pub mod channel {
         Disconnected,
     }
 
+    /// Error returned by [`Sender::try_send`], giving the message back.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum TrySendError<T> {
+        /// The channel is at capacity (receivers still connected).
+        Full(T),
+        /// All receivers are gone.
+        Disconnected(T),
+    }
+
     /// The sending half of a channel.
     pub struct Sender<T> {
         inner: Arc<Inner<T>>,
@@ -111,6 +120,25 @@ pub mod channel {
                         st = self.inner.not_full.wait(st).unwrap();
                     }
                     _ => break,
+                }
+            }
+            st.queue.push_back(msg);
+            drop(st);
+            self.inner.not_empty.notify_one();
+            Ok(())
+        }
+
+        /// Sends without blocking: fails with `Full` at capacity and
+        /// `Disconnected` when all receivers are gone, returning the
+        /// message either way.
+        pub fn try_send(&self, msg: T) -> Result<(), TrySendError<T>> {
+            let mut st = self.inner.state.lock().unwrap();
+            if st.receivers == 0 {
+                return Err(TrySendError::Disconnected(msg));
+            }
+            if let Some(cap) = self.inner.capacity {
+                if st.queue.len() >= cap {
+                    return Err(TrySendError::Full(msg));
                 }
             }
             st.queue.push_back(msg);
@@ -269,5 +297,16 @@ mod tests {
         let (tx, rx) = channel::bounded::<u8>(1);
         drop(rx);
         assert!(tx.send(1).is_err());
+    }
+
+    #[test]
+    fn try_send_reports_full_and_disconnected() {
+        let (tx, rx) = channel::bounded::<u8>(1);
+        assert_eq!(tx.try_send(1), Ok(()));
+        assert_eq!(tx.try_send(2), Err(channel::TrySendError::Full(2)));
+        assert_eq!(rx.recv(), Ok(1));
+        assert_eq!(tx.try_send(3), Ok(()));
+        drop(rx);
+        assert_eq!(tx.try_send(4), Err(channel::TrySendError::Disconnected(4)));
     }
 }
