@@ -18,6 +18,9 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "== cargo fmt --check =="
 cargo fmt --check
 
+echo "== cargo doc --no-deps (rustdoc warnings are errors) =="
+RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace -q
+
 echo "== chaos suite: transient fault plans reproduce the fault-free digest =="
 for seed in 7 19 1041; do
   V6HL_SCALE=tiny V6_CHAOS_MODE=transient V6_CHAOS_SEED="$seed" V6_THREADS=4 \
@@ -35,5 +38,10 @@ V6HL_SCALE=tiny V6_THREADS=2 cargo run --release -q -p v6bench --bin pipeline
 test -s BENCH_pipeline.json
 grep -q '"digest"' BENCH_pipeline.json
 grep -q '"total_threadsn_ms"' BENCH_pipeline.json
+grep -q '"metrics"' BENCH_pipeline.json
+
+echo "== observability smoke (trace tree + metrics exposition) =="
+V6HL_SCALE=tiny V6_THREADS=2 V6_TRACE=1 \
+  cargo run --release -q -p v6bench --bin obs
 
 echo "CI OK"

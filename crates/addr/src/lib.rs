@@ -17,9 +17,9 @@
 //!   database (synthetic; seeded with the paper's Table 2 vendors).
 //! * [`ipv4_embed`] — detection of IPv4 addresses embedded in IIDs.
 //! * [`pattern`] — the seven address classes of the paper's Figure 5.
-//! * [`AddrSet`](set::AddrSet) — a compact sorted set of addresses with the
+//! * [`AddrSet`] — a compact sorted set of addresses with the
 //!   set algebra (intersection counts, /48 aggregation) Table 1 needs.
-//! * [`PrefixMap`](trie::PrefixMap) — a binary radix trie for
+//! * [`PrefixMap`] — a binary radix trie for
 //!   longest-prefix-match lookups (AS origin, alias lists, geo DBs).
 //!
 //! The crate is `std`-only, has no I/O, and every operation is deterministic.

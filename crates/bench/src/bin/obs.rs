@@ -1,0 +1,61 @@
+//! Observability demo: runs a tiny experiment with tracing forced on and
+//! prints the span tree plus the process-global metrics exposition.
+//!
+//! This is the smoke test for the `v6obs` layer end-to-end: spans open
+//! across the DAG stages and collection kernels, merge across worker
+//! threads into one tree, and the registry accumulates the data-derived
+//! counters. Exits non-zero (assert) if either side comes back empty.
+//!
+//! Env knobs: `V6HL_SCALE` (default `tiny` here, unlike the other
+//! bench binaries), `V6HL_SEED`, `V6_THREADS` (default 2), `V6_TRACE`
+//! (forced on regardless).
+
+use v6bench::{config_for, seed_from_env, Scale};
+use v6hitlist::Experiment;
+
+fn main() {
+    // Tracing on no matter what the environment says: this binary exists
+    // to show the trace tree.
+    v6obs::set_enabled(true);
+
+    let scale = match std::env::var("V6HL_SCALE").as_deref() {
+        Ok("default") => Scale::Default,
+        Ok("paper") => Scale::Paper,
+        _ => Scale::Tiny,
+    };
+    let seed = seed_from_env();
+    let threads = std::env::var("V6_THREADS")
+        .ok()
+        .and_then(|s| s.parse::<usize>().ok())
+        .filter(|&n| n >= 1)
+        .unwrap_or(2);
+
+    eprintln!(
+        "[obs] running experiment (scale={}, seed={seed}, threads={threads}) with tracing on …",
+        scale.name()
+    );
+    let e = Experiment::run_with_threads(config_for(scale, seed), threads);
+    eprintln!(
+        "[obs] done: {} NTP observations, {} unique addresses",
+        e.corpus.len(),
+        e.ntp.len()
+    );
+
+    let trace = v6obs::take_report();
+    assert!(!trace.is_empty(), "tracing was on but no spans recorded");
+    println!("== trace tree (merged across {threads} threads) ==");
+    print!("{}", trace.render());
+
+    let text = v6obs::render_text();
+    assert!(
+        text.contains("collect.observations"),
+        "global registry missing collect.* counters:\n{text}"
+    );
+    println!("== metrics exposition ==");
+    print!("{text}");
+    println!(
+        "OK: {} roots in the trace, {} exposition lines",
+        trace.roots.len(),
+        text.lines().count()
+    );
+}

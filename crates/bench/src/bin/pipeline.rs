@@ -8,8 +8,34 @@
 //! Env knobs: `V6HL_SCALE`, `V6HL_SEED` (the usual), `V6_THREADS` (the
 //! parallel run's worker count).
 
-use v6bench::{config_for, seed_from_env, PipelineBench, Scale, StageRecord};
+use v6bench::{config_for, seed_from_env, MetricsDump, PipelineBench, Scale, StageRecord};
 use v6hitlist::Experiment;
+
+/// Data-derived counter prefixes that must advance identically in the
+/// sequential and parallel run (the observability determinism contract).
+const INVARIANT_PREFIXES: &[&str] = &["collect.", "scan.", "chaos."];
+
+fn invariant_counters(snap: &v6obs::MetricsSnapshot) -> Vec<(String, u64)> {
+    snap.counters
+        .iter()
+        .filter(|(name, _)| INVARIANT_PREFIXES.iter().any(|p| name.starts_with(p)))
+        .cloned()
+        .collect()
+}
+
+fn deltas(later: &[(String, u64)], earlier: &[(String, u64)]) -> Vec<(String, u64)> {
+    later
+        .iter()
+        .map(|(name, v)| {
+            let before = earlier
+                .iter()
+                .find(|(n, _)| n == name)
+                .map(|&(_, v)| v)
+                .unwrap_or(0);
+            (name.clone(), v - before)
+        })
+        .collect()
+}
 
 fn main() {
     let scale = Scale::from_env();
@@ -24,6 +50,7 @@ fn main() {
         "[pipeline] scale={} seed={seed}: sequential run …",
         scale.name()
     );
+    let before_seq = invariant_counters(&v6obs::global().snapshot());
     let t0 = std::time::Instant::now();
     let seq = Experiment::run_with_threads(config_for(scale, seed), 1);
     let seq_total = t0.elapsed();
@@ -31,9 +58,21 @@ fn main() {
         "[pipeline] sequential: {:.2}s; parallel run ({threads} threads) …",
         seq_total.as_secs_f64()
     );
+    let before_par = invariant_counters(&v6obs::global().snapshot());
     let t0 = std::time::Instant::now();
     let par = Experiment::run_with_threads(config_for(scale, seed), threads);
     let par_total = t0.elapsed();
+    let after_par = invariant_counters(&v6obs::global().snapshot());
+
+    // Data-derived metrics must be thread-count invariant: the parallel
+    // run must advance every collect./scan./chaos. counter by exactly the
+    // same amount as the sequential run did.
+    let seq_deltas = deltas(&before_par, &before_seq);
+    let par_deltas = deltas(&after_par, &before_par);
+    assert_eq!(
+        seq_deltas, par_deltas,
+        "data-derived counters diverged between 1 and {threads} threads"
+    );
 
     // The determinism contract, enforced end-to-end.
     let digest = seq.artifact_digest();
@@ -80,6 +119,7 @@ fn main() {
         stages,
         corpus_observations: seq.corpus.len() as u64,
         corpus_preallocated: true,
+        metrics: MetricsDump::from_global(),
     };
 
     let json = serde_json::to_string_pretty(&bench).expect("serialize bench");
@@ -104,5 +144,9 @@ fn main() {
             s.name, s.threads1_ms, s.threadsn_ms
         );
     }
+    println!(
+        "  metrics: {} counters invariant across thread counts (registry embedded)",
+        seq_deltas.len()
+    );
     println!("wrote BENCH_pipeline.json");
 }

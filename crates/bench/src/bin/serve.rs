@@ -15,6 +15,7 @@
 use std::sync::Arc;
 use std::time::Duration;
 
+use v6bench::{MetricsDump, ServeBench};
 use v6hitlist::collect::active::collect_hitlist;
 use v6hitlist::HitlistService;
 use v6netsim::{World, WorldConfig};
@@ -158,6 +159,30 @@ fn main() {
     let final_snap = store.snapshot();
     assert!(final_snap.verify_integrity(), "final snapshot corrupted");
     assert_eq!(final_snap.epoch(), receipt.epoch);
+
+    // Machine-readable artifact: run parameters + the store's registry
+    // (query counters and latency histograms).
+    let bench = ServeBench {
+        seed,
+        queries,
+        threads,
+        shards,
+        metrics: MetricsDump::from_snapshot(&store.metrics().registry().snapshot()),
+    };
+    assert!(
+        bench
+            .metrics
+            .counter("serve.query.batch_addresses")
+            .is_some(),
+        "store registry missing serve.query.* counters"
+    );
+    let json = serde_json::to_string_pretty(&bench).expect("serialize serve bench");
+    std::fs::write("BENCH_serve.json", &json).expect("write BENCH_serve.json");
+    let back: ServeBench =
+        serde_json::from_str(&std::fs::read_to_string("BENCH_serve.json").expect("read back"))
+            .expect("BENCH_serve.json is not valid JSON");
+    assert_eq!(back, bench, "BENCH_serve.json round-trip mismatch");
+    println!("wrote BENCH_serve.json");
     println!(
         "OK: publish overlapped the run ({} ops on epoch {}), swap {:?}, reads stayed consistent",
         report.queries_after_publish, report.last_epoch, receipt.swap

@@ -23,6 +23,109 @@ use v6hitlist::{Experiment, ExperimentConfig};
 use v6netsim::WorldConfig;
 use v6scan::{CaidaCampaignConfig, HitlistCampaignConfig};
 
+/// One counter from a metrics dump.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CounterEntry {
+    /// Metric name (e.g. `collect.observations`).
+    pub name: String,
+    /// Final counter value.
+    pub value: u64,
+}
+
+/// One gauge from a metrics dump.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GaugeEntry {
+    /// Metric name (e.g. `par.dag.ready_peak`).
+    pub name: String,
+    /// Final gauge value.
+    pub value: i64,
+}
+
+/// One latency histogram's summary from a metrics dump.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HistogramEntry {
+    /// Metric name (e.g. `par.dag.stage_latency`).
+    pub name: String,
+    /// Samples recorded.
+    pub count: u64,
+    /// Sum of all samples, nanoseconds.
+    pub sum_ns: u64,
+    /// Largest sample, nanoseconds.
+    pub max_ns: u64,
+    /// Median (bucket upper bound), nanoseconds.
+    pub p50_ns: u64,
+    /// 90th percentile (bucket upper bound), nanoseconds.
+    pub p90_ns: u64,
+    /// 99th percentile (bucket upper bound), nanoseconds.
+    pub p99_ns: u64,
+}
+
+/// A serializable [`v6obs::MetricsSnapshot`], embedded in the
+/// `BENCH_*.json` artifacts.
+///
+/// The vendored `serde_json` has no dynamic `Value` type, so the
+/// snapshot is mirrored into these typed entries instead. Counter values
+/// are data-derived and reproducible; histogram fields are timings.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+pub struct MetricsDump {
+    /// All counters, sorted by name.
+    pub counters: Vec<CounterEntry>,
+    /// All gauges, sorted by name.
+    pub gauges: Vec<GaugeEntry>,
+    /// All histogram summaries, sorted by name.
+    pub histograms: Vec<HistogramEntry>,
+}
+
+impl MetricsDump {
+    /// Mirrors a registry snapshot into the serializable form.
+    pub fn from_snapshot(snap: &v6obs::MetricsSnapshot) -> MetricsDump {
+        MetricsDump {
+            counters: snap
+                .counters
+                .iter()
+                .map(|(name, value)| CounterEntry {
+                    name: name.clone(),
+                    value: *value,
+                })
+                .collect(),
+            gauges: snap
+                .gauges
+                .iter()
+                .map(|(name, value)| GaugeEntry {
+                    name: name.clone(),
+                    value: *value,
+                })
+                .collect(),
+            histograms: snap
+                .histograms
+                .iter()
+                .map(|(name, h)| HistogramEntry {
+                    name: name.clone(),
+                    count: h.count,
+                    sum_ns: h.sum_ns,
+                    max_ns: h.max_ns,
+                    p50_ns: h.p50_ns,
+                    p90_ns: h.p90_ns,
+                    p99_ns: h.p99_ns,
+                })
+                .collect(),
+        }
+    }
+
+    /// The process-global registry's current state.
+    pub fn from_global() -> MetricsDump {
+        MetricsDump::from_snapshot(&v6obs::global().snapshot())
+    }
+
+    /// The value of a counter, if present.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters
+            .iter()
+            .find(|c| c.name == name)
+            .map(|c| c.value)
+    }
+}
+
 /// One pipeline stage's wall time at both thread counts, as recorded in
 /// `BENCH_pipeline.json`.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -59,6 +162,26 @@ pub struct PipelineBench {
     pub corpus_observations: u64,
     /// True iff the pre-sized corpus buffer never reallocated.
     pub corpus_preallocated: bool,
+    /// Process-global registry state after both runs (counters cover the
+    /// sequential *and* parallel run combined).
+    pub metrics: MetricsDump,
+}
+
+/// The machine-readable output of the `serve` bench binary: run
+/// parameters plus the store's registry state (counters and latency
+/// histograms) after the load run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ServeBench {
+    /// Master seed.
+    pub seed: u64,
+    /// Queries replayed.
+    pub queries: u64,
+    /// Client threads.
+    pub threads: usize,
+    /// Store shard count.
+    pub shards: usize,
+    /// The store's private registry after the run.
+    pub metrics: MetricsDump,
 }
 
 /// The scale selected through `V6HL_SCALE`.

@@ -37,9 +37,26 @@
 #![warn(missing_docs)]
 
 use std::collections::HashMap;
+use std::sync::OnceLock;
 use std::time::Duration;
 
 use v6netsim::rng::{hash64, Rng};
+
+/// Cached `chaos.decisions.*` counters in the global `v6obs` registry.
+struct DecisionMetrics {
+    errors: v6obs::Counter,
+    panics: v6obs::Counter,
+    stalls: v6obs::Counter,
+}
+
+fn decision_metrics() -> &'static DecisionMetrics {
+    static METRICS: OnceLock<DecisionMetrics> = OnceLock::new();
+    METRICS.get_or_init(|| DecisionMetrics {
+        errors: v6obs::counter("chaos.decisions.errors"),
+        panics: v6obs::counter("chaos.decisions.panics"),
+        stalls: v6obs::counter("chaos.decisions.stalls"),
+    })
+}
 
 /// Domain separator so chaos draws never collide with simulator draws
 /// made from the same numeric seed.
@@ -176,8 +193,21 @@ pub trait Chaos: Send + Sync {
     fn script(&self, site: &str) -> SiteScript;
 
     /// The decision for one `(site, attempt)` pair.
+    ///
+    /// Every non-`None` decision increments a `chaos.decisions.*`
+    /// counter in the global `v6obs` registry. Because decisions are a
+    /// pure function of `(site, attempt)` and consumers consult each
+    /// pair exactly once, these counts are thread-count invariant and a
+    /// chaos run's [`LossReport`] can be reconciled against them.
     fn decide(&self, site: &str, attempt: u32) -> Fault {
-        self.script(site).decide(attempt)
+        let fault = self.script(site).decide(attempt);
+        match fault {
+            Fault::None => {}
+            Fault::Stall(_) => decision_metrics().stalls.inc(),
+            Fault::Error => decision_metrics().errors.inc(),
+            Fault::Panic => decision_metrics().panics.inc(),
+        }
+        fault
     }
 
     /// True when this `(site, attempt)` pair fails.

@@ -1,7 +1,7 @@
 //! Prefix-rotation period inference from EUI-64 tracks.
 //!
 //! An extension in the spirit of Rye, Beverly & claffy's *Follow the
-//! Scent* [64], which the paper builds on: because an EUI-64 IID is a
+//! Scent* \[64\], which the paper builds on: because an EUI-64 IID is a
 //! stable device identifier, the time between a device's /64 changes
 //! reveals its ISP's **prefix-rotation policy** — a provider-level
 //! privacy property inferred entirely from passive data. The simulator

@@ -4,7 +4,7 @@
 //! The paper's motivation (§1): TGAs "must be trained on *some* hitlist
 //! and are biased to the types of addresses contained in their training
 //! data". This module measures that bias directly, in the spirit of
-//! Steger et al.'s *Target Acquired?* [68]: train the same pattern-mining
+//! Steger et al.'s *Target Acquired?* \[68\]: train the same pattern-mining
 //! TGA on different corpora, emit equal candidate budgets, probe them
 //! against the same world, and compare hit rates.
 //!

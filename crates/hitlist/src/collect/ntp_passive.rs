@@ -12,6 +12,40 @@ use v6ntp::{NtpClient, NtpPool, NtpTimestamp, Stratum2Server};
 
 use crate::dataset::{Dataset, Observation};
 
+/// Cached `collect.*` handles in the global `v6obs` registry.
+///
+/// The counters are data-derived (what was collected, not how it was
+/// scheduled) and thread-count invariant; the shard-latency histogram is
+/// a timing observation whose sample *count* also varies with the slice
+/// split, so only the counters participate in the invariance contract.
+struct CollectMetrics {
+    observations: v6obs::Counter,
+    protocol_failures: v6obs::Counter,
+    days: v6obs::Counter,
+    lost_days: v6obs::Counter,
+    shard_latency: v6obs::Histogram,
+}
+
+fn collect_metrics() -> &'static CollectMetrics {
+    static METRICS: std::sync::OnceLock<CollectMetrics> = std::sync::OnceLock::new();
+    METRICS.get_or_init(|| CollectMetrics {
+        observations: v6obs::counter("collect.observations"),
+        protocol_failures: v6obs::counter("collect.protocol_failures"),
+        days: v6obs::counter("collect.days"),
+        lost_days: v6obs::counter("collect.lost_days"),
+        shard_latency: v6obs::histogram("collect.shard_latency"),
+    })
+}
+
+/// Record one finished corpus into the `collect.*` counters.
+fn record_corpus(corpus: &NtpCorpus, days_total: u64) {
+    let m = collect_metrics();
+    m.observations.add(corpus.observations.len() as u64);
+    m.protocol_failures.add(corpus.protocol_failures);
+    m.days.add(days_total - corpus.lost_days.len() as u64);
+    m.lost_days.add(corpus.lost_days.len() as u64);
+}
+
 /// One shard's worth of collection: the observations of a contiguous
 /// day-slice, plus the bookkeeping needed to merge shards back into the
 /// exact sequential order.
@@ -109,7 +143,7 @@ impl NtpCorpus {
 
         if threads <= 1 || days < 2 {
             let shard = collect_days(world, &pool, start_day, end_day, expected as usize);
-            return NtpCorpus {
+            let corpus = NtpCorpus {
                 observations: shard.observations,
                 served_per_vp: shard.served_per_vp,
                 protocol_failures: shard.protocol_failures,
@@ -119,6 +153,8 @@ impl NtpCorpus {
                 initial_capacity: shard.initial_capacity,
                 lost_days: Vec::new(),
             };
+            record_corpus(&corpus, days as u64);
+            return corpus;
         }
 
         let slices = v6par::split_ranges(days, (threads * 4).min(days));
@@ -161,7 +197,7 @@ impl NtpCorpus {
             }
         }
         debug_assert_eq!(served_per_vp.iter().sum::<u64>(), observations.len() as u64);
-        NtpCorpus {
+        let corpus = NtpCorpus {
             observations,
             served_per_vp,
             protocol_failures: shards.iter().map(|s| s.protocol_failures).sum(),
@@ -170,7 +206,9 @@ impl NtpCorpus {
             expected_queries: expected,
             initial_capacity,
             lost_days: Vec::new(),
-        }
+        };
+        record_corpus(&corpus, days as u64);
+        corpus
     }
 
     /// The chaos site name one collection day maps to.
@@ -255,7 +293,7 @@ impl NtpCorpus {
                 served_per_vp[vp] += n;
             }
         }
-        NtpCorpus {
+        let corpus = NtpCorpus {
             observations,
             served_per_vp,
             protocol_failures: collected.iter().map(|s| s.protocol_failures).sum(),
@@ -264,7 +302,9 @@ impl NtpCorpus {
             expected_queries: expected,
             initial_capacity,
             lost_days,
-        }
+        };
+        record_corpus(&corpus, days.len() as u64);
+        corpus
     }
 
     /// [`NtpCorpus::collect_study`] under fault injection.
@@ -326,6 +366,8 @@ impl NtpCorpus {
 
 /// The sequential collection kernel over day indices `[d0, d1)`.
 fn collect_days(world: &World, pool: &NtpPool, d0: u64, d1: u64, capacity: usize) -> CollectShard {
+    let _span = v6obs::span("collect.days");
+    let shard_start = std::time::Instant::now();
     let mut servers: Vec<Stratum2Server> = world
         .vantage_points
         .iter()
@@ -370,6 +412,9 @@ fn collect_days(world: &World, pool: &NtpPool, d0: u64, d1: u64, capacity: usize
     // The servers' own logs must agree with what we recorded.
     let served_per_vp: Vec<u64> = servers.iter().map(|s| s.served()).collect();
     debug_assert_eq!(served_per_vp.iter().sum::<u64>(), observations.len() as u64);
+    collect_metrics()
+        .shard_latency
+        .record_duration(shard_start.elapsed());
     CollectShard {
         observations,
         runs,

@@ -163,7 +163,10 @@ impl Experiment {
     /// internally; every artifact is bit-identical at any thread count.
     pub fn run_with_threads(config: ExperimentConfig, threads: usize) -> Experiment {
         let started = std::time::Instant::now();
-        let world = World::build(config.world.clone(), config.seed);
+        let world = {
+            let _span = v6obs::span("world");
+            World::build(config.world.clone(), config.seed)
+        };
         let world_wall = started.elapsed();
 
         let mut out = stage_dag(&config, &world, threads, None).run(threads);
@@ -208,7 +211,10 @@ impl Experiment {
     ///   days — never a silently truncated artifact.
     pub fn run_chaos(config: ExperimentConfig, threads: usize, chaos: &dyn Chaos) -> ChaosRun {
         let started = std::time::Instant::now();
-        let world = World::build(config.world.clone(), config.seed);
+        let world = {
+            let _span = v6obs::span("world");
+            World::build(config.world.clone(), config.seed)
+        };
         let world_wall = started.elapsed();
 
         let policy = v6par::RetryPolicy::retries(chaos.retry_budget());
@@ -268,6 +274,11 @@ impl Experiment {
                 "permanent collection fault; day skipped after backfill",
             );
         }
+
+        // Definitive loss accounting for this run: `chaos.lost_units` is
+        // bumped exactly once per lost unit, here (not inside LossReport,
+        // whose merge/rebuild paths would double-count).
+        v6obs::counter("chaos.lost_units").add(loss.len() as u64);
 
         ChaosRun {
             experiment,

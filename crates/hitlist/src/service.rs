@@ -1,9 +1,9 @@
 //! A hitlist *service*: weekly publications of responsive addresses and
 //! alias lists.
 //!
-//! The IPv6 Hitlist project "continue[s] to publish a weekly hitlist of
+//! The IPv6 Hitlist project "continue\[s\] to publish a weekly hitlist of
 //! responsive addresses and known aliased and non-aliased networks"
-//! (§2.2 [1]); the paper consumes those snapshots for its comparisons
+//! (§2.2 \[1\]); the paper consumes those snapshots for its comparisons
 //! (e.g. the 1 July 2022 release in §4.3). This module turns a campaign's
 //! discoveries into the same artifact: per-week snapshots with a
 //! registered alias list and machine-readable export — including the

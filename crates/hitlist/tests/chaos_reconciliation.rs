@@ -1,0 +1,39 @@
+//! Chaos-vs-metrics reconciliation: after a chaos run, the global
+//! `chaos.lost_units` counter advanced by exactly the number of units
+//! the run's [`v6chaos::LossReport`] names, and the `chaos.decisions.*`
+//! counters prove faults were actually injected (non-vacuity).
+//!
+//! This file must stay a single-test binary: the registry is global to
+//! the process, so a sibling `#[test]` running concurrently would
+//! perturb the deltas.
+
+use v6chaos::{FaultPlan, FaultSpec};
+use v6hitlist::{Experiment, ExperimentConfig};
+
+fn counter(name: &str) -> u64 {
+    v6obs::global().snapshot().counter(name).unwrap_or(0)
+}
+
+#[test]
+fn lost_units_counter_reconciles_with_the_loss_report() {
+    let plan = FaultPlan::new(11, FaultSpec::with_permanent(0.25, 0.5));
+    let lost_before = counter("chaos.lost_units");
+    let decisions_before = counter("chaos.decisions.errors");
+
+    let run = Experiment::run_chaos(ExperimentConfig::tiny(4242), 4, &plan);
+
+    assert!(
+        !run.loss.is_empty(),
+        "seed 11 lost nothing; the reconciliation is vacuous"
+    );
+    assert!(
+        counter("chaos.decisions.errors") > decisions_before,
+        "no injected errors were counted despite a faulting plan"
+    );
+    assert_eq!(
+        counter("chaos.lost_units") - lost_before,
+        run.loss.len() as u64,
+        "chaos.lost_units does not reconcile with the loss report:\n{}",
+        run.loss
+    );
+}

@@ -1,0 +1,69 @@
+//! The observability determinism contract: data-derived counters in the
+//! process-global registry (`collect.*`, `scan.*`, `chaos.*`) advance by
+//! exactly the same amounts regardless of thread count. Scheduling
+//! metrics (`par.pool.*`, `par.dag.ready_peak`) and latency histograms
+//! are explicitly excluded — they describe the execution, not the data.
+//!
+//! This file must stay a single-test binary: the registry is global to
+//! the process, so a sibling `#[test]` running concurrently would
+//! perturb the deltas.
+
+use v6hitlist::{Experiment, ExperimentConfig};
+use v6obs::MetricsSnapshot;
+
+const INVARIANT_PREFIXES: &[&str] = &["collect.", "scan.", "chaos."];
+
+fn invariant_counters(snap: &MetricsSnapshot) -> Vec<(String, u64)> {
+    snap.counters
+        .iter()
+        .filter(|(name, _)| INVARIANT_PREFIXES.iter().any(|p| name.starts_with(p)))
+        .cloned()
+        .collect()
+}
+
+fn deltas(later: &[(String, u64)], earlier: &[(String, u64)]) -> Vec<(String, u64)> {
+    later
+        .iter()
+        .map(|(name, v)| {
+            let before = earlier
+                .iter()
+                .find(|(n, _)| n == name)
+                .map(|&(_, v)| v)
+                .unwrap_or(0);
+            (name.clone(), v - before)
+        })
+        .collect()
+}
+
+#[test]
+fn data_derived_counters_are_thread_count_invariant() {
+    let before_seq = invariant_counters(&v6obs::global().snapshot());
+    Experiment::run_with_threads(ExperimentConfig::tiny(4242), 1);
+    let before_par = invariant_counters(&v6obs::global().snapshot());
+    Experiment::run_with_threads(ExperimentConfig::tiny(4242), 4);
+    let after_par = invariant_counters(&v6obs::global().snapshot());
+
+    let seq = deltas(&before_par, &before_seq);
+    let par = deltas(&after_par, &before_par);
+
+    // Non-vacuity: the run actually drove the instrumented paths.
+    let total: u64 = seq.iter().map(|&(_, v)| v).sum();
+    assert!(
+        total > 0,
+        "no data-derived counters advanced; nothing tested"
+    );
+    assert!(
+        seq.iter()
+            .any(|(n, v)| n == "collect.observations" && *v > 0),
+        "collect.observations did not advance"
+    );
+    assert!(
+        seq.iter().any(|(n, v)| n == "scan.zmap6.probes" && *v > 0),
+        "scan.zmap6.probes did not advance"
+    );
+
+    assert_eq!(
+        seq, par,
+        "data-derived counters diverged between 1 and 4 threads"
+    );
+}

@@ -1,0 +1,40 @@
+//! Golden test: `render_text` exposition is byte-stable — sorted by name,
+//! histograms expanded to fixed `_count/_max_ns/_p50_ns/_p90_ns/_p99_ns/_sum_ns`
+//! lines — so its output can be diffed across runs and machines.
+
+use v6obs::Registry;
+
+const GOLDEN: &str = include_str!("golden/render_text.txt");
+
+#[test]
+fn render_text_matches_golden() {
+    let r = Registry::new();
+    // Register deliberately out of lexicographic order: the exposition
+    // must sort, not echo insertion order.
+    r.gauge("serve.queue.depth_peak").set(12);
+    r.counter("scan.zmap6.probes").add(4096);
+    r.counter("collect.observations").add(1024);
+    let h = r.histogram("serve.ingest.batch_latency");
+    for ns in [300_000u64, 500_000, 700_000] {
+        h.record(ns);
+    }
+    r.counter("scan.alias.detected").add(7);
+    r.counter("collect.days").add(36);
+
+    assert_eq!(r.render_text(), GOLDEN);
+}
+
+#[test]
+fn render_json_is_deterministic() {
+    let build = || {
+        let r = Registry::new();
+        r.counter("b").add(2);
+        r.counter("a").add(1);
+        r.histogram("lat").record(900);
+        r.render_json()
+    };
+    let j = build();
+    assert_eq!(j, build());
+    assert!(j.contains("\"a\":1"));
+    assert!(j.contains("\"lat\":{\"count\":1"));
+}

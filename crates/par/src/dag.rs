@@ -30,6 +30,38 @@ use std::time::{Duration, Instant};
 
 use crossbeam::channel;
 
+/// Cached handles into the global metrics registry for the DAG runner.
+///
+/// Stage/retry/injection counts are a pure function of the DAG and the
+/// injector script, so they are thread-count-invariant; `ready_peak` and
+/// the latency histogram are scheduling/timing observations and are not.
+struct DagMetrics {
+    stages_completed: v6obs::Counter,
+    stage_failures: v6obs::Counter,
+    dependency_failures: v6obs::Counter,
+    retries: v6obs::Counter,
+    injected_errors: v6obs::Counter,
+    injected_panics: v6obs::Counter,
+    injected_stalls: v6obs::Counter,
+    ready_peak: v6obs::Gauge,
+    stage_latency: v6obs::Histogram,
+}
+
+fn dag_metrics() -> &'static DagMetrics {
+    static METRICS: OnceLock<DagMetrics> = OnceLock::new();
+    METRICS.get_or_init(|| DagMetrics {
+        stages_completed: v6obs::counter("par.dag.stages_completed"),
+        stage_failures: v6obs::counter("par.dag.stage_failures"),
+        dependency_failures: v6obs::counter("par.dag.dependency_failures"),
+        retries: v6obs::counter("par.dag.retries"),
+        injected_errors: v6obs::counter("par.dag.injected.errors"),
+        injected_panics: v6obs::counter("par.dag.injected.panics"),
+        injected_stalls: v6obs::counter("par.dag.injected.stalls"),
+        ready_peak: v6obs::gauge("par.dag.ready_peak"),
+        stage_latency: v6obs::histogram("par.dag.stage_latency"),
+    })
+}
+
 type BoxedOutput = Box<dyn Any + Send + Sync>;
 type TaskFn<'env> = Box<dyn FnMut(&TaskOutputs) -> BoxedOutput + Send + 'env>;
 
@@ -404,11 +436,15 @@ impl<'env> Dag<'env> {
         let timings: Mutex<Vec<(usize, Duration)>> = Mutex::new(Vec::with_capacity(n));
         let failures: Mutex<Vec<(usize, StageFailure)>> = Mutex::new(Vec::new());
 
+        let metrics = dag_metrics();
         let run_worker = || {
             while let Ok(i) = ready_rx.recv() {
                 if i == DONE {
                     break;
                 }
+                // Stages still ready behind the one just claimed: a
+                // high-water mark of scheduler backlog (not data-derived).
+                metrics.ready_peak.set_max(ready_rx.len() as i64);
                 // A stage is claimed by exactly one worker; completion
                 // (success or failure) must cascade exactly once.
                 let complete = |i: usize| {
@@ -426,6 +462,7 @@ impl<'env> Dag<'env> {
 
                 if let Some(&d) = deps[i].iter().find(|&&d| failed[d].load(Ordering::Acquire)) {
                     failed[i].store(true, Ordering::Release);
+                    metrics.dependency_failures.inc();
                     failures.lock().expect("failure log poisoned").push((
                         i,
                         StageFailure {
@@ -454,18 +491,26 @@ impl<'env> Dag<'env> {
                     let injected = match injector.decide(names[i], attempt) {
                         InjectedFault::None => None,
                         InjectedFault::Stall(d) => {
+                            metrics.injected_stalls.inc();
                             std::thread::sleep(d);
                             if over_deadline(stage_start) {
                                 break Err(FailReason::DeadlineExceeded);
                             }
                             None
                         }
-                        InjectedFault::Error(msg) => Some(FailReason::Error(msg)),
-                        InjectedFault::Panic(msg) => Some(FailReason::Panicked(msg)),
+                        InjectedFault::Error(msg) => {
+                            metrics.injected_errors.inc();
+                            Some(FailReason::Error(msg))
+                        }
+                        InjectedFault::Panic(msg) => {
+                            metrics.injected_panics.inc();
+                            Some(FailReason::Panicked(msg))
+                        }
                     };
                     let result = match injected {
                         Some(reason) => Err(reason),
                         None => {
+                            let _span = v6obs::span(names[i]);
                             let started = Instant::now();
                             match catch_unwind(AssertUnwindSafe(|| task(&outputs))) {
                                 Ok(out) => Ok((out, started.elapsed())),
@@ -479,6 +524,7 @@ impl<'env> Dag<'env> {
                             if attempt >= policy.max_retries {
                                 break Err(reason);
                             }
+                            metrics.retries.inc();
                             std::thread::sleep(policy.backoff(attempt));
                             attempt += 1;
                         }
@@ -487,6 +533,8 @@ impl<'env> Dag<'env> {
 
                 match outcome {
                     Ok((output, elapsed)) => {
+                        metrics.stages_completed.inc();
+                        metrics.stage_latency.record_duration(elapsed);
                         outputs.slots[i]
                             .set(output)
                             .unwrap_or_else(|_| panic!("stage output set twice"));
@@ -496,6 +544,7 @@ impl<'env> Dag<'env> {
                             .push((i, elapsed));
                     }
                     Err(reason) => {
+                        metrics.stage_failures.inc();
                         failed[i].store(true, Ordering::Release);
                         failures.lock().expect("failure log poisoned").push((
                             i,

@@ -32,9 +32,18 @@
 //! result chunks into their input positions, folds merge in chunk
 //! order, and the merge tree resolves ties by run index. Scheduling
 //! order may vary run to run; observable output never does.
+//!
+//! Observability: the DAG runner and the pool record into the global
+//! `v6obs` registry — `par.dag.*` (stage completions/failures/retries,
+//! injected-fault counts, stage latency, ready-queue peak) and
+//! `par.pool.*` (par_map calls, chunk counts, steals, chunk latency).
+//! With `V6_TRACE=1` each stage body runs inside a `v6obs` span named
+//! after the stage. `par.pool.*` values and all timing metrics describe
+//! scheduling, not data, and are exempt from the thread-count-invariance
+//! contract above.
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod dag;
 mod pool;

@@ -9,7 +9,30 @@
 
 use std::ops::Range;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Mutex, OnceLock};
+
+/// Cached handles into the global metrics registry for the pool.
+///
+/// All `par.pool.*` metrics describe *scheduling* — how work was split
+/// and stolen — which depends on the worker count and OS timing. They
+/// are explicitly excluded from the thread-count-invariance contract
+/// (the sequential fast path records nothing at all).
+struct PoolMetrics {
+    maps: v6obs::Counter,
+    chunks: v6obs::Counter,
+    steals: v6obs::Counter,
+    chunk_latency: v6obs::Histogram,
+}
+
+fn pool_metrics() -> &'static PoolMetrics {
+    static METRICS: OnceLock<PoolMetrics> = OnceLock::new();
+    METRICS.get_or_init(|| PoolMetrics {
+        maps: v6obs::counter("par.pool.maps"),
+        chunks: v6obs::counter("par.pool.chunks"),
+        steals: v6obs::counter("par.pool.steals"),
+        chunk_latency: v6obs::histogram("par.pool.chunk_latency"),
+    })
+}
 
 /// Splits `0..len` into `parts` near-equal contiguous ranges (the first
 /// `len % parts` ranges get one extra element). Empty ranges are never
@@ -52,15 +75,30 @@ where
     // ~4 chunks per worker: coarse enough to amortize the cursor, fine
     // enough that stealing rebalances skewed chunk costs.
     let chunks = split_ranges(n, workers * 4);
+    let metrics = pool_metrics();
+    metrics.maps.inc();
+    metrics.chunks.add(chunks.len() as u64);
     let cursor = AtomicUsize::new(0);
     let slots: Vec<Mutex<Option<Vec<R>>>> = chunks.iter().map(|_| Mutex::new(None)).collect();
     std::thread::scope(|s| {
         for _ in 0..workers {
-            s.spawn(|| loop {
-                let c = cursor.fetch_add(1, Ordering::Relaxed);
-                let Some(range) = chunks.get(c) else { break };
-                let out: Vec<R> = range.clone().map(|i| f(i, &items[i])).collect();
-                *slots[c].lock().expect("worker poisoned a result slot") = Some(out);
+            s.spawn(|| {
+                let mut claimed = 0u64;
+                loop {
+                    let c = cursor.fetch_add(1, Ordering::Relaxed);
+                    let Some(range) = chunks.get(c) else {
+                        // Every claim past a worker's first is a "steal":
+                        // work another worker could have owned under a
+                        // static 1-chunk-per-worker split.
+                        metrics.steals.add(claimed.saturating_sub(1));
+                        break;
+                    };
+                    claimed += 1;
+                    let out: Vec<R> = metrics
+                        .chunk_latency
+                        .time(|| range.clone().map(|i| f(i, &items[i])).collect());
+                    *slots[c].lock().expect("worker poisoned a result slot") = Some(out);
+                }
             });
         }
     });

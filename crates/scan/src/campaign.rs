@@ -26,6 +26,51 @@ use crate::target_gen::{caida_routed48_targets, low_iid_targets, PatternTga};
 use crate::yarrp::{trace_with_threads, YarrpConfig};
 use crate::zmap6::{scan_with_threads, Zmap6Config};
 
+/// Cached `scan.*` handles in the global `v6obs` registry.
+///
+/// All counters are recorded at the orchestration level, from totals the
+/// campaign already computed with order-preserving merges — so every one
+/// of them is thread-count invariant. The sweep-latency histograms are
+/// timing observations and are not.
+struct ScanMetrics {
+    zmap6_targets: v6obs::Counter,
+    zmap6_probes: v6obs::Counter,
+    zmap6_responsive: v6obs::Counter,
+    yarrp_targets: v6obs::Counter,
+    yarrp_probes: v6obs::Counter,
+    yarrp_hops: v6obs::Counter,
+    yarrp_reached: v6obs::Counter,
+    alias_candidates: v6obs::Counter,
+    alias_detected: v6obs::Counter,
+    campaign_weeks: v6obs::Counter,
+    campaign_discoveries: v6obs::Counter,
+    campaign_published_new: v6obs::Counter,
+    zmap6_sweep_latency: v6obs::Histogram,
+    yarrp_sweep_latency: v6obs::Histogram,
+    alias_sweep_latency: v6obs::Histogram,
+}
+
+fn scan_metrics() -> &'static ScanMetrics {
+    static METRICS: std::sync::OnceLock<ScanMetrics> = std::sync::OnceLock::new();
+    METRICS.get_or_init(|| ScanMetrics {
+        zmap6_targets: v6obs::counter("scan.zmap6.targets"),
+        zmap6_probes: v6obs::counter("scan.zmap6.probes"),
+        zmap6_responsive: v6obs::counter("scan.zmap6.responsive"),
+        yarrp_targets: v6obs::counter("scan.yarrp.targets"),
+        yarrp_probes: v6obs::counter("scan.yarrp.probes"),
+        yarrp_hops: v6obs::counter("scan.yarrp.hops"),
+        yarrp_reached: v6obs::counter("scan.yarrp.reached"),
+        alias_candidates: v6obs::counter("scan.alias.candidates"),
+        alias_detected: v6obs::counter("scan.alias.detected"),
+        campaign_weeks: v6obs::counter("scan.campaign.weeks"),
+        campaign_discoveries: v6obs::counter("scan.campaign.discoveries"),
+        campaign_published_new: v6obs::counter("scan.campaign.published_new"),
+        zmap6_sweep_latency: v6obs::histogram("scan.zmap6.sweep_latency"),
+        yarrp_sweep_latency: v6obs::histogram("scan.yarrp.sweep_latency"),
+        alias_sweep_latency: v6obs::histogram("scan.alias.sweep_latency"),
+    })
+}
+
 /// One timestamped discovery by an active campaign.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Discovery {
@@ -122,8 +167,11 @@ pub fn run_hitlist_campaign_with_threads(
 
     // Seeds: addresses public in DNS/CT — the Hitlist's bootstrap corpus.
     let seeds: Vec<Ipv6Addr> = world.public_servers();
+    let metrics = scan_metrics();
 
     for week in 0..cfg.weeks {
+        let _week_span = v6obs::span("campaign.week");
+        metrics.campaign_weeks.inc();
         let t0 = SimTime::START + SimDuration(SimDuration::WEEK.as_secs() * week as u64);
         let mut targets: Vec<Ipv6Addr> = Vec::new();
         targets.extend(&seeds);
@@ -181,7 +229,12 @@ pub fn run_hitlist_campaign_with_threads(
                 start: t0 + SimDuration::hours(i as u64),
                 probe,
             };
-            let zr = scan_with_threads(&prober, &targets, &zcfg, threads);
+            let zr = metrics
+                .zmap6_sweep_latency
+                .time(|| scan_with_threads(&prober, &targets, &zcfg, threads));
+            metrics.zmap6_targets.add(targets.len() as u64);
+            metrics.zmap6_probes.add(zr.stats.sent);
+            metrics.zmap6_responsive.add(zr.responsive.len() as u64);
             result.probes_sent += zr.stats.sent;
             responsive.extend(zr.responsive);
         }
@@ -207,7 +260,13 @@ pub fn run_hitlist_campaign_with_threads(
             start: t0 + SimDuration::hours(12),
             ..Default::default()
         };
-        let yr = trace_with_threads(&prober, &yarrp_targets, &ycfg, threads);
+        let yr = metrics
+            .yarrp_sweep_latency
+            .time(|| trace_with_threads(&prober, &yarrp_targets, &ycfg, threads));
+        metrics.yarrp_targets.add(yarrp_targets.len() as u64);
+        metrics.yarrp_probes.add(yr.sent);
+        metrics.yarrp_hops.add(yr.hops.len() as u64);
+        metrics.yarrp_reached.add(yr.reached.len() as u64);
         result.probes_sent += yr.sent;
 
         // Alias detection on /48s with implausibly broad responsiveness.
@@ -220,8 +279,11 @@ pub fn run_hitlist_campaign_with_threads(
             .map(|&b| Prefix::from_bits(b, 48))
             .filter(|p| !alias_list.covers_prefix(p))
             .collect();
-        let detected =
-            detector.sweep_with_threads(&prober, &candidates, t0 + SimDuration::DAY, threads);
+        let detected = metrics.alias_sweep_latency.time(|| {
+            detector.sweep_with_threads(&prober, &candidates, t0 + SimDuration::DAY, threads)
+        });
+        metrics.alias_candidates.add(candidates.len() as u64);
+        metrics.alias_detected.add(detected.len() as u64);
         // Generalize upward (the Hitlist publishes the broadest fully
         // aliased prefix): keep halving the prefix length while the
         // parent still detects as aliased. Each detected prefix broadens
@@ -266,8 +328,12 @@ pub fn run_hitlist_campaign_with_threads(
         for &(a, _, t) in &yr.reached {
             publish(a, t);
         }
+        metrics.campaign_published_new.add(new_this_week);
         result.weekly_new.push(new_this_week);
     }
+    metrics
+        .campaign_discoveries
+        .add(result.discoveries.len() as u64);
     result.aliased = alias_list.prefixes();
     result
 }
@@ -322,7 +388,14 @@ pub fn run_caida_campaign_with_threads(
         rate_pps: rate,
         start: cfg.start,
     };
-    let yr = trace_with_threads(&prober, &targets, &ycfg, threads);
+    let metrics = scan_metrics();
+    let yr = metrics
+        .yarrp_sweep_latency
+        .time(|| trace_with_threads(&prober, &targets, &ycfg, threads));
+    metrics.yarrp_targets.add(targets.len() as u64);
+    metrics.yarrp_probes.add(yr.sent);
+    metrics.yarrp_hops.add(yr.hops.len() as u64);
+    metrics.yarrp_reached.add(yr.reached.len() as u64);
     let mut result = CampaignResult {
         probes_sent: yr.sent,
         ..Default::default()
@@ -336,6 +409,9 @@ pub fn run_caida_campaign_with_threads(
     for &(a, _, t) in &yr.reached {
         result.discoveries.push(Discovery { addr: a, t });
     }
+    metrics
+        .campaign_discoveries
+        .add(result.discoveries.len() as u64);
     result
 }
 

@@ -41,7 +41,7 @@ use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use crossbeam::channel::{bounded, Receiver, Sender, TrySendError};
 
@@ -336,8 +336,9 @@ impl Ingestor {
                 let tx = batch_tx.clone();
                 let chaos = Arc::clone(&chaos);
                 let health = Arc::clone(&health);
+                let store = Arc::clone(&store);
                 std::thread::spawn(move || {
-                    worker_loop(rx, tx, shard_bits, chaos.as_ref(), &health);
+                    worker_loop(rx, tx, shard_bits, chaos.as_ref(), &health, &store);
                     health.live_workers.fetch_sub(1, Ordering::AcqRel);
                 })
             })
@@ -371,13 +372,15 @@ fn worker_loop(
     shard_bits: u32,
     chaos: &dyn Chaos,
     health: &Health,
+    store: &HitlistStore,
 ) {
     for (seq, update) in rx.iter() {
         let site = format!("serve.worker.update.{seq}");
-        let script = chaos.script(&site);
         let mut attempt = 0u32;
+        // Consult through `Chaos::decide` (not the raw script) so every
+        // injected fault shows up in the `chaos.decisions.*` counters.
         let survived = loop {
-            match script.decide(attempt) {
+            match chaos.decide(&site, attempt) {
                 Fault::None => break true,
                 Fault::Stall(d) => {
                     std::thread::sleep(d);
@@ -404,7 +407,11 @@ fn worker_loop(
         if !survived {
             continue;
         }
-        if tx.send((seq, normalize(update, shard_bits))).is_err() {
+        let _span = v6obs::span("serve.normalize");
+        let started = Instant::now();
+        let batch = normalize(update, shard_bits);
+        store.metrics().record_normalize_latency(started.elapsed());
+        if tx.send((seq, batch)).is_err() {
             return; // merger gone; nothing to do but exit
         }
     }
@@ -457,6 +464,8 @@ fn merge_loop(
     };
 
     for (seq, batch) in batches.iter() {
+        let _span = v6obs::span("serve.merge");
+        let batch_started = Instant::now();
         stats.updates += 1;
         stats.raw_addresses += batch.raw_addresses;
         store.metrics().record_ingested(batch.raw_addresses);
@@ -495,6 +504,9 @@ fn merge_loop(
             stats.epochs_published += 1;
             stats.degraded_epochs += u64::from(degraded);
         }
+        store
+            .metrics()
+            .record_ingest_batch_latency(batch_started.elapsed());
     }
 
     // Final flush: retry each quarantined shard until its transient
@@ -595,11 +607,16 @@ impl IngestHandle {
             .expect("merger thread panicked");
         let mut lost = self.health.lost.lock().expect("loss log poisoned").clone();
         lost.sort_by_key(|&(seq, _)| seq);
-        IngestReport {
+        let report = IngestReport {
             stats: outcome.stats,
             lost_updates: lost,
             quarantined_shards: outcome.quarantined,
-        }
+        };
+        // Definitive loss accounting for this run: `chaos.lost_units` is
+        // bumped exactly once per lost unit, here (not per retry, so the
+        // counter reconciles against `report.loss().len()`).
+        v6obs::counter("chaos.lost_units").add(report.loss().len() as u64);
+        report
     }
 }
 

@@ -16,9 +16,22 @@
 //! - [`ingest`] — bounded-channel worker pipeline turning campaign and
 //!   passive-corpus publications into snapshots off the serving threads.
 //! - [`query`] — the typed query API served from any snapshot.
-//! - [`metrics`] — cheap atomic counters for served queries and epochs.
+//! - [`metrics`] — a per-store [`v6obs::Registry`] facade: `serve.*`
+//!   counters plus per-query-type and ingest latency histograms.
 //! - [`loadgen`] — deterministic load harness replaying seeded query
 //!   mixes across client threads, with latency percentiles.
+//!
+//! # Observability
+//!
+//! Each [`store::HitlistStore`] owns a private metrics registry
+//! (`store.metrics().registry()`); `render_text()` gives the
+//! deterministic exposition. Ingestion additionally opens `V6_TRACE`
+//! spans (`serve.normalize`, `serve.merge`) and reconciles injected
+//! chaos losses into the process-global `chaos.lost_units` counter when
+//! [`ingest::IngestHandle::finish_report`] runs.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
 
 pub mod ingest;
 pub mod loadgen;

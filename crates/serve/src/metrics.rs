@@ -1,26 +1,91 @@
-//! Cheap atomic counters for the serving path.
+//! Registry-backed metrics for the serving path.
 //!
-//! Counters are relaxed atomics: they are diagnostics, not synchronization
-//! — the snapshot `Arc` swap in [`crate::store`] is what orders reads
-//! against publications.
+//! [`ServeMetrics`] used to be a bag of bespoke relaxed atomics; it is
+//! now a thin facade over a per-store [`v6obs::Registry`] — counters for
+//! every query/publish/ingest event plus latency histograms per query
+//! type and for ingestion batches. Each store owns its own registry (not
+//! the process-global one) so independent stores in one process never
+//! share counters; fetch it with [`ServeMetrics::registry`] for the
+//! deterministic text exposition or a JSON snapshot.
+//!
+//! Recording is still relaxed-atomic cheap: handles are resolved once at
+//! construction, and the registry mutex is only taken for exposition.
+//! Counter values are data-derived and thread-count invariant; the
+//! latency histograms are timing observations and are not.
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
 
-/// Counters shared by a store, its query engines, and its ingestors.
-#[derive(Debug, Default)]
-pub struct ServeMetrics {
-    membership: AtomicU64,
-    lookups: AtomicU64,
-    density: AtomicU64,
-    diffs: AtomicU64,
-    batches: AtomicU64,
-    batch_addresses: AtomicU64,
-    publishes: AtomicU64,
-    degraded_publishes: AtomicU64,
-    ingested_addresses: AtomicU64,
+use v6obs::{Counter, Histogram, Registry};
+
+/// Which query-latency histogram a call records into.
+#[derive(Debug, Clone, Copy)]
+pub(crate) enum QueryKind {
+    /// `contains` / `contains_unaliased`.
+    Membership,
+    /// Full single-address lookups.
+    Lookup,
+    /// Density / count-within queries.
+    Density,
+    /// Weekly-diff queries.
+    Diff,
+    /// Batched lookups (one sample per batch).
+    Batch,
 }
 
-/// A point-in-time copy of [`ServeMetrics`].
+/// Metrics shared by a store, its query engines, and its ingestors,
+/// recorded into a store-private [`Registry`].
+#[derive(Debug)]
+pub struct ServeMetrics {
+    registry: Arc<Registry>,
+    membership: Counter,
+    lookups: Counter,
+    density: Counter,
+    diffs: Counter,
+    batches: Counter,
+    batch_addresses: Counter,
+    publishes: Counter,
+    degraded_publishes: Counter,
+    ingested_addresses: Counter,
+    query_latency: [Histogram; 5],
+    ingest_batch_latency: Histogram,
+    ingest_normalize_latency: Histogram,
+}
+
+impl Default for ServeMetrics {
+    fn default() -> Self {
+        let registry = Arc::new(Registry::new());
+        ServeMetrics {
+            membership: registry.counter("serve.query.membership"),
+            lookups: registry.counter("serve.query.lookups"),
+            density: registry.counter("serve.query.density"),
+            diffs: registry.counter("serve.query.diffs"),
+            batches: registry.counter("serve.query.batches"),
+            batch_addresses: registry.counter("serve.query.batch_addresses"),
+            publishes: registry.counter("serve.publish.epochs"),
+            degraded_publishes: registry.counter("serve.publish.degraded"),
+            ingested_addresses: registry.counter("serve.ingest.addresses"),
+            query_latency: [
+                registry.histogram("serve.query.latency.membership"),
+                registry.histogram("serve.query.latency.lookup"),
+                registry.histogram("serve.query.latency.density"),
+                registry.histogram("serve.query.latency.diff"),
+                registry.histogram("serve.query.latency.batch"),
+            ],
+            ingest_batch_latency: registry.histogram("serve.ingest.batch_latency"),
+            ingest_normalize_latency: registry.histogram("serve.ingest.normalize_latency"),
+            registry,
+        }
+    }
+}
+
+/// A point-in-time copy of the serve counters.
+///
+/// **Deprecated in favor of [`ServeMetrics::registry`]** — the registry's
+/// snapshot/`render_text` exposition is the superset (it includes the
+/// latency histograms) and is the format the benches emit. `MetricsReport`
+/// remains as a compatibility shim for existing callers and keeps its
+/// exact field set and `Display` format; no new fields will be added.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct MetricsReport {
     /// Exact/alias-filtered membership queries served.
@@ -71,41 +136,62 @@ impl std::fmt::Display for MetricsReport {
 }
 
 impl ServeMetrics {
-    fn bump(counter: &AtomicU64, by: u64) {
-        counter.fetch_add(by, Ordering::Relaxed);
-    }
-
     pub(crate) fn record_membership(&self) {
-        Self::bump(&self.membership, 1);
+        self.membership.inc();
     }
 
     pub(crate) fn record_lookup(&self) {
-        Self::bump(&self.lookups, 1);
+        self.lookups.inc();
     }
 
     pub(crate) fn record_density(&self) {
-        Self::bump(&self.density, 1);
+        self.density.inc();
     }
 
     pub(crate) fn record_diff(&self) {
-        Self::bump(&self.diffs, 1);
+        self.diffs.inc();
     }
 
     pub(crate) fn record_batch(&self, addresses: u64) {
-        Self::bump(&self.batches, 1);
-        Self::bump(&self.batch_addresses, addresses);
+        self.batches.inc();
+        self.batch_addresses.add(addresses);
     }
 
     pub(crate) fn record_publish(&self) {
-        Self::bump(&self.publishes, 1);
+        self.publishes.inc();
     }
 
     pub(crate) fn record_degraded_publish(&self) {
-        Self::bump(&self.degraded_publishes, 1);
+        self.degraded_publishes.inc();
     }
 
     pub(crate) fn record_ingested(&self, addresses: u64) {
-        Self::bump(&self.ingested_addresses, addresses);
+        self.ingested_addresses.add(addresses);
+    }
+
+    pub(crate) fn record_query_latency(&self, kind: QueryKind, elapsed: Duration) {
+        self.query_latency[kind as usize].record_duration(elapsed);
+    }
+
+    pub(crate) fn record_ingest_batch_latency(&self, elapsed: Duration) {
+        self.ingest_batch_latency.record_duration(elapsed);
+    }
+
+    pub(crate) fn record_normalize_latency(&self, elapsed: Duration) {
+        self.ingest_normalize_latency.record_duration(elapsed);
+    }
+
+    /// The store-private registry behind these metrics: counters named
+    /// `serve.query.*` / `serve.publish.*` / `serve.ingest.*` plus the
+    /// per-query-type and ingest latency histograms.
+    pub fn registry(&self) -> &Arc<Registry> {
+        &self.registry
+    }
+
+    /// Deterministic text exposition of the store's registry
+    /// ([`Registry::render_text`]).
+    pub fn render_text(&self) -> String {
+        self.registry.render_text()
     }
 
     /// Queries served so far (batched addresses counted individually).
@@ -115,26 +201,27 @@ impl ServeMetrics {
 
     /// Epochs published so far.
     pub fn publishes(&self) -> u64 {
-        self.publishes.load(Ordering::Relaxed)
+        self.publishes.get()
     }
 
     /// Degraded epochs published so far.
     pub fn degraded_publishes(&self) -> u64 {
-        self.degraded_publishes.load(Ordering::Relaxed)
+        self.degraded_publishes.get()
     }
 
-    /// A consistent-enough copy of all counters.
+    /// A consistent-enough copy of all counters (the [`MetricsReport`]
+    /// compatibility shim; prefer [`ServeMetrics::registry`]).
     pub fn report(&self) -> MetricsReport {
         MetricsReport {
-            membership: self.membership.load(Ordering::Relaxed),
-            lookups: self.lookups.load(Ordering::Relaxed),
-            density: self.density.load(Ordering::Relaxed),
-            diffs: self.diffs.load(Ordering::Relaxed),
-            batches: self.batches.load(Ordering::Relaxed),
-            batch_addresses: self.batch_addresses.load(Ordering::Relaxed),
-            publishes: self.publishes.load(Ordering::Relaxed),
-            degraded_publishes: self.degraded_publishes.load(Ordering::Relaxed),
-            ingested_addresses: self.ingested_addresses.load(Ordering::Relaxed),
+            membership: self.membership.get(),
+            lookups: self.lookups.get(),
+            density: self.density.get(),
+            diffs: self.diffs.get(),
+            batches: self.batches.get(),
+            batch_addresses: self.batch_addresses.get(),
+            publishes: self.publishes.get(),
+            degraded_publishes: self.degraded_publishes.get(),
+            ingested_addresses: self.ingested_addresses.get(),
         }
     }
 }
@@ -156,5 +243,22 @@ mod tests {
         assert_eq!(r.queries_total(), 18);
         assert_eq!(m.publishes(), 1);
         assert!(r.to_string().contains("publishes=1"));
+    }
+
+    #[test]
+    fn registry_exposition_matches_report() {
+        let m = ServeMetrics::default();
+        m.record_membership();
+        m.record_ingested(100);
+        m.record_query_latency(QueryKind::Membership, Duration::from_micros(3));
+        let snap = m.registry().snapshot();
+        assert_eq!(snap.counter("serve.query.membership"), Some(1));
+        assert_eq!(snap.counter("serve.ingest.addresses"), Some(100));
+        let text = m.render_text();
+        assert!(text.contains("serve.query.membership 1\n"));
+        assert!(text.contains("serve.query.latency.membership_count 1\n"));
+        // Two stores never share a registry.
+        let other = ServeMetrics::default();
+        assert_eq!(other.report().membership, 0);
     }
 }

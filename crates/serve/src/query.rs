@@ -8,9 +8,11 @@
 
 use std::net::Ipv6Addr;
 use std::sync::Arc;
+use std::time::Instant;
 
 use v6addr::Prefix;
 
+use crate::metrics::QueryKind;
 use crate::snapshot::{ServeStatus, Snapshot};
 use crate::store::HitlistStore;
 
@@ -72,6 +74,17 @@ impl QueryEngine {
         &self.store
     }
 
+    /// Runs `f`, recording its wall time into the per-query-type latency
+    /// histogram (`serve.query.latency.*`).
+    fn timed<T>(&self, kind: QueryKind, f: impl FnOnce() -> T) -> T {
+        let started = Instant::now();
+        let out = f();
+        self.store
+            .metrics()
+            .record_query_latency(kind, started.elapsed());
+        out
+    }
+
     /// Health of the current epoch (`Degraded` lists quarantined shards).
     pub fn status(&self) -> ServeStatus {
         self.store.snapshot().status()
@@ -80,57 +93,68 @@ impl QueryEngine {
     /// Exact membership.
     pub fn contains(&self, addr: Ipv6Addr) -> bool {
         self.store.metrics().record_membership();
-        self.store.snapshot().contains(addr)
+        self.timed(QueryKind::Membership, || {
+            self.store.snapshot().contains(addr)
+        })
     }
 
     /// Alias-filtered membership: present *and* not under an aliased
     /// prefix — the set scanners should actually target (§2.2).
     pub fn contains_unaliased(&self, addr: Ipv6Addr) -> bool {
         self.store.metrics().record_membership();
-        let snap = self.store.snapshot();
-        snap.contains(addr) && !snap.is_aliased(addr)
+        self.timed(QueryKind::Membership, || {
+            let snap = self.store.snapshot();
+            snap.contains(addr) && !snap.is_aliased(addr)
+        })
     }
 
     /// Full lookup: membership, first-published week, and alias cover.
     pub fn lookup(&self, addr: Ipv6Addr) -> LookupAnswer {
         self.store.metrics().record_lookup();
-        lookup_in(&self.store.snapshot(), addr)
+        self.timed(QueryKind::Lookup, || {
+            lookup_in(&self.store.snapshot(), addr)
+        })
     }
 
     /// Published addresses inside `prefix` (per-/48 density and coarser).
     pub fn count_within(&self, prefix: &Prefix) -> u64 {
         self.store.metrics().record_density();
-        self.store.snapshot().count_within(prefix)
+        self.timed(QueryKind::Density, || {
+            self.store.snapshot().count_within(prefix)
+        })
     }
 
     /// Addresses first published after study week `week`.
     pub fn new_since(&self, week: u64) -> u64 {
         self.store.metrics().record_diff();
-        self.store.snapshot().new_since(week)
+        self.timed(QueryKind::Diff, || self.store.snapshot().new_since(week))
     }
 
-    /// Resolves a whole batch against a single epoch.
+    /// Resolves a whole batch against a single epoch. Latency is sampled
+    /// once per batch, not per address.
     pub fn batch_lookup(&self, addrs: &[Ipv6Addr]) -> BatchAnswer {
         self.store.metrics().record_batch(addrs.len() as u64);
-        let snap = self.store.snapshot();
-        let mut present = 0u64;
-        let mut aliased = 0u64;
-        let answers: Vec<LookupAnswer> = addrs
-            .iter()
-            .map(|&a| {
-                let ans = lookup_in(&snap, a);
-                present += u64::from(ans.present);
-                aliased += u64::from(ans.alias.is_some());
-                ans
-            })
-            .collect();
-        BatchAnswer {
-            epoch: snap.epoch(),
-            status: snap.status(),
-            answers,
-            present,
-            aliased,
-        }
+        self.timed(QueryKind::Batch, || {
+            let snap = self.store.snapshot();
+            let mut present = 0u64;
+            let mut aliased = 0u64;
+            let answers: Vec<LookupAnswer> = addrs
+                .iter()
+                .map(|&a| {
+                    let ans = lookup_in(&snap, a);
+                    present += u64::from(ans.present);
+                    aliased += u64::from(ans.alias.is_some());
+                    ans
+                })
+                .collect();
+            BatchAnswer {
+                epoch: snap.epoch(),
+                status: snap.status(),
+                answers,
+                present,
+                aliased,
+            }
+        })
     }
 }
 

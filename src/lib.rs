@@ -25,6 +25,10 @@
 //! * [`chaos`] (`v6chaos`) — seeded deterministic fault injection for
 //!   the pipeline and the serving path, plus the loss-report accounting
 //!   the chaos test suite pins (`V6_CHAOS_SEED` knob).
+//! * [`obs`] (`v6obs`) — the observability layer: a metrics registry
+//!   (counters, gauges, latency histograms, deterministic exposition)
+//!   and hierarchical span tracing (`V6_TRACE` knob); data-derived
+//!   counters are thread-count invariant like every other artifact.
 //!
 //! Quick start:
 //!
@@ -39,6 +43,7 @@
 //! harness that regenerates every table and figure of the paper.
 
 #![forbid(unsafe_code)]
+#![warn(missing_docs)]
 
 pub use v6addr as addr;
 pub use v6chaos as chaos;
@@ -46,6 +51,7 @@ pub use v6geo as geo;
 pub use v6hitlist as hitlist;
 pub use v6netsim as netsim;
 pub use v6ntp as ntp;
+pub use v6obs as obs;
 pub use v6par as par;
 pub use v6scan as scan;
 pub use v6serve as serve;
