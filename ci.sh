@@ -32,13 +32,36 @@ V6HL_SCALE=tiny V6_CHAOS_MODE=permanent V6_CHAOS_SEED=11 V6_THREADS=4 \
   cargo run --release -q -p v6bench --bin chaos 2>/dev/null | grep '^LOST ' \
   | diff -u tests/golden/chaos_loss_seed11.txt -
 
+echo "== digest equivalence at V6_THREADS={1,4} =="
+for t in 1 4; do
+  V6_THREADS="$t" cargo test -q -p v6hitlist --test parallel_equivalence
+  V6_THREADS="$t" cargo test -q -p v6hitlist --test metrics_invariance
+done
+
 echo "== pipeline bench smoke (tiny, V6_THREADS=2) =="
 rm -f BENCH_pipeline.json
 V6HL_SCALE=tiny V6_THREADS=2 cargo run --release -q -p v6bench --bin pipeline
 test -s BENCH_pipeline.json
 grep -q '"digest"' BENCH_pipeline.json
 grep -q '"total_threadsn_ms"' BENCH_pipeline.json
+grep -q '"cutoffs"' BENCH_pipeline.json
 grep -q '"metrics"' BENCH_pipeline.json
+
+echo "== perf smoke: parallel run must not regress the pipeline =="
+# The persistent pool's overhead budget: parallel wall time may be at
+# most ~11% worse than sequential even on a single-core runner (where
+# no speedup is possible). The threshold is deliberately generous to
+# keep the gate deadline-proof against noisy CI boxes.
+speedup=$(grep -o '"speedup": [0-9.]*' BENCH_pipeline.json | head -1 | tr -dc '0-9.')
+echo "pipeline speedup: ${speedup}x"
+awk -v s="$speedup" 'BEGIN { exit !(s >= 0.9) }' \
+  || { echo "FAIL: pipeline speedup ${speedup} < 0.9 (parallel overhead regression)"; exit 1; }
+
+echo "== kernels bench emits BENCH_kernels.json =="
+rm -f BENCH_kernels.json
+cargo bench -q -p v6bench --bench kernels >/dev/null
+test -s BENCH_kernels.json
+grep -q '"kway_merge"' BENCH_kernels.json
 
 echo "== observability smoke (trace tree + metrics exposition) =="
 V6HL_SCALE=tiny V6_THREADS=2 V6_TRACE=1 \

@@ -4,11 +4,22 @@
 //! times: IID entropy, EUI-64 extraction, address-set algebra, trie
 //! lookups, permutation iteration, and the protocol codecs. Includes the
 //! DESIGN.md ablation of sorted-vec sets vs hash sets.
+//!
+//! Besides the printed criterion timings, the run emits
+//! `BENCH_kernels.json` at the repo root: the `v6par` kernels (par_map,
+//! par_sort, k-way merge) measured sequentially and in parallel at
+//! three input sizes, so kernel-level regressions are visible
+//! separately from pipeline-level ones. For the merge kernel the
+//! "sequential" column is the pairwise clone-and-merge tree the
+//! tournament merge replaced.
 
 use std::collections::HashSet;
 use std::net::Ipv6Addr;
+use std::time::Instant;
 
-use criterion::{black_box, criterion_group, criterion_main, BatchSize, Criterion};
+use criterion::{black_box, criterion_group, BatchSize, Criterion};
+
+use v6bench::{KernelRecord, KernelsBench};
 
 use v6addr::{iid_entropy, AddrSet, Iid, Prefix, PrefixMap};
 use v6netsim::rng::Rng;
@@ -153,6 +164,128 @@ fn bench_icmp_codec(c: &mut Criterion) {
     });
 }
 
+/// Best-of-`rounds` wall milliseconds of `f`.
+fn best_ms<O>(rounds: usize, mut f: impl FnMut() -> O) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..rounds {
+        let t0 = Instant::now();
+        black_box(f());
+        best = best.min(t0.elapsed().as_secs_f64() * 1e3);
+    }
+    best
+}
+
+/// The input sizes each `v6par` kernel is measured at.
+const PAR_SIZES: [usize; 3] = [20_000, 100_000, 500_000];
+
+fn sort_input(size: usize, seed: u64) -> Vec<(u128, u64)> {
+    let mut rng = Rng::new(seed);
+    (0..size)
+        .map(|_| (rng.next_u128(), rng.next_u64()))
+        .collect()
+}
+
+/// Measures par_map / par_sort / k-way merge sequentially vs. in
+/// parallel and writes `BENCH_kernels.json` at the workspace root.
+fn emit_par_kernels_json() {
+    let threads = v6par::threads().max(2);
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let mut kernels: Vec<KernelRecord> = Vec::new();
+    let record = |kernels: &mut Vec<KernelRecord>, kernel: &str, size, seq_ms: f64, par_ms: f64| {
+        kernels.push(KernelRecord {
+            kernel: kernel.to_string(),
+            size,
+            seq_ms,
+            par_ms,
+            speedup: seq_ms / par_ms.max(1e-9),
+        });
+    };
+
+    // par_map: a hash-mixing closure heavy enough (~100 ns/item) that
+    // the adaptive cutoff commits to the parallel path at every size.
+    for size in PAR_SIZES {
+        let items: Vec<u64> = (0..size as u64).collect();
+        let work = |_: usize, &x: &u64| {
+            let mut h = x;
+            for _ in 0..32 {
+                h = h.wrapping_mul(0x9e37_79b9_7f4a_7c15).rotate_left(29) ^ 0xabcd;
+            }
+            h
+        };
+        let cost = v6par::Cost::per_item_ns(100).labeled("bench.map");
+        let seq = best_ms(3, || v6par::par_map_cost(1, &items, cost, work));
+        let par = best_ms(3, || v6par::par_map_cost(threads, &items, cost, work));
+        record(&mut kernels, "par_map", size, seq, par);
+    }
+
+    // par_sort: random (u128, u64) pairs, the pipeline's dominant sort.
+    for size in PAR_SIZES {
+        let data = sort_input(size, 0xbe11);
+        let seq = best_ms(3, || {
+            let mut d = data.clone();
+            d.sort_unstable();
+            d
+        });
+        let par = best_ms(3, || {
+            let mut d = data.clone();
+            v6par::par_sort_unstable(threads, &mut d);
+            d
+        });
+        record(&mut kernels, "par_sort", size, seq, par);
+    }
+
+    // k-way merge: 8 sorted runs. Baseline is the pairwise
+    // clone-and-merge tree this PR replaced; the measured kernel is the
+    // single-output tournament move-merge.
+    for size in PAR_SIZES {
+        let mut runs: Vec<Vec<(u128, u64)>> = v6par::split_ranges(size, 8)
+            .into_iter()
+            .enumerate()
+            .map(|(i, r)| sort_input(r.len(), 0x5eed ^ i as u64))
+            .collect();
+        for run in &mut runs {
+            run.sort_unstable();
+        }
+        let seq = best_ms(3, || {
+            let mut rounds = runs.clone();
+            while rounds.len() > 1 {
+                let leftover = (rounds.len() % 2 == 1).then(|| rounds.pop().unwrap());
+                let mut merged: Vec<Vec<(u128, u64)>> = (0..rounds.len() / 2)
+                    .map(|k| v6par::merge_sorted_pair(&rounds[2 * k], &rounds[2 * k + 1]))
+                    .collect();
+                merged.extend(leftover);
+                rounds = merged;
+            }
+            rounds.pop().unwrap_or_default()
+        });
+        let par = best_ms(3, || v6par::par_merge_sorted(threads, runs.clone()));
+        record(&mut kernels, "kway_merge", size, seq, par);
+    }
+
+    let bench = KernelsBench {
+        threads,
+        cores,
+        kernels,
+    };
+    let json = serde_json::to_string_pretty(&bench).expect("serialize kernels bench");
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_kernels.json");
+    std::fs::write(&path, &json).expect("write BENCH_kernels.json");
+    let back: KernelsBench =
+        serde_json::from_str(&std::fs::read_to_string(&path).expect("read back"))
+            .expect("BENCH_kernels.json is not valid JSON");
+    assert_eq!(back, bench, "BENCH_kernels.json round-trip mismatch");
+    println!("v6par kernels ({threads} threads, {cores} cores):");
+    for k in &bench.kernels {
+        println!(
+            "  {:>10} n={:>7}: {:>8.2} ms seq -> {:>8.2} ms par ({:.2}x)",
+            k.kernel, k.size, k.seq_ms, k.par_ms, k.speedup
+        );
+    }
+    println!("wrote {}", path.display());
+}
+
 criterion_group!(
     benches,
     bench_entropy,
@@ -163,4 +296,8 @@ criterion_group!(
     bench_ntp_codec,
     bench_icmp_codec
 );
-criterion_main!(benches);
+
+fn main() {
+    benches();
+    emit_par_kernels_json();
+}

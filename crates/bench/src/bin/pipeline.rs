@@ -1,14 +1,18 @@
 //! Parallel-pipeline bench: threads=1 vs threads=N wall clock per stage.
 //!
 //! Runs the full experiment twice — sequentially and with `V6_THREADS`
-//! workers (default 4) — asserts the artifact digests are identical and
-//! that the pre-sized corpus buffer never reallocated, then writes the
-//! per-stage timing comparison to `BENCH_pipeline.json`.
+//! workers (default: every available core, minimum 2) — asserts the
+//! artifact digests are identical and that the pre-sized corpus buffer
+//! never reallocated, then writes the per-stage timing comparison,
+//! adaptive-cutoff decisions, and metrics registry to
+//! `BENCH_pipeline.json`.
 //!
 //! Env knobs: `V6HL_SCALE`, `V6HL_SEED` (the usual), `V6_THREADS` (the
 //! parallel run's worker count).
 
-use v6bench::{config_for, seed_from_env, MetricsDump, PipelineBench, Scale, StageRecord};
+use v6bench::{
+    config_for, seed_from_env, CutoffRecord, MetricsDump, PipelineBench, Scale, StageRecord,
+};
 use v6hitlist::Experiment;
 
 /// Data-derived counter prefixes that must advance identically in the
@@ -40,11 +44,17 @@ fn deltas(later: &[(String, u64)], earlier: &[(String, u64)]) -> Vec<(String, u6
 fn main() {
     let scale = Scale::from_env();
     let seed = seed_from_env();
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    // Default to every available core (the point is to measure real
+    // parallelism, not a fixed token count); at least 2 so the parallel
+    // run is always a parallel run.
     let threads = std::env::var("V6_THREADS")
         .ok()
         .and_then(|s| s.parse::<usize>().ok())
         .filter(|&n| n >= 2)
-        .unwrap_or(4);
+        .unwrap_or_else(|| cores.max(2));
 
     eprintln!(
         "[pipeline] scale={} seed={seed}: sequential run …",
@@ -108,18 +118,22 @@ fn main() {
                 .unwrap_or(f64::NAN),
         })
         .collect();
+    let metrics = MetricsDump::from_global();
+    let cutoffs = CutoffRecord::from_dump(&metrics);
     let bench = PipelineBench {
         scale: scale.name().to_string(),
         seed,
         threads,
+        cores,
         digest: format!("{digest:016x}"),
         total_threads1_ms: seq_total.as_secs_f64() * 1e3,
         total_threadsn_ms: par_total.as_secs_f64() * 1e3,
         speedup: seq_total.as_secs_f64() / par_total.as_secs_f64().max(1e-9),
         stages,
+        cutoffs,
         corpus_observations: seq.corpus.len() as u64,
         corpus_preallocated: true,
-        metrics: MetricsDump::from_global(),
+        metrics,
     };
 
     let json = serde_json::to_string_pretty(&bench).expect("serialize bench");
@@ -142,6 +156,12 @@ fn main() {
         println!(
             "  {:>14}: {:>8.1} ms -> {:>8.1} ms",
             s.name, s.threads1_ms, s.threadsn_ms
+        );
+    }
+    for c in &bench.cutoffs {
+        println!(
+            "  cutoff {:>14}: {} inline, {} parallel",
+            c.site, c.inline, c.parallel
         );
     }
     println!(

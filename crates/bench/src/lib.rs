@@ -138,6 +138,51 @@ pub struct StageRecord {
     pub threadsn_ms: f64,
 }
 
+/// One labeled call site's adaptive-cutoff decisions, mirrored from the
+/// `par.cutoff.<site>.{inline,parallel}` counters.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CutoffRecord {
+    /// The `Cost::labeled` site ("collect.shard", "scan.zmap6", "sort", …).
+    pub site: String,
+    /// Calls that stayed sequential-inline (work below the cutoff).
+    pub inline: u64,
+    /// Calls that committed to the parallel path.
+    pub parallel: u64,
+}
+
+impl CutoffRecord {
+    /// Extracts every cutoff site from a metrics dump, sorted by site.
+    pub fn from_dump(dump: &MetricsDump) -> Vec<CutoffRecord> {
+        let mut by_site: Vec<CutoffRecord> = Vec::new();
+        for entry in &dump.counters {
+            let Some(rest) = entry.name.strip_prefix("par.cutoff.") else {
+                continue;
+            };
+            let Some((site, decision)) = rest.rsplit_once('.') else {
+                continue;
+            };
+            let record = match by_site.iter_mut().find(|r| r.site == site) {
+                Some(r) => r,
+                None => {
+                    by_site.push(CutoffRecord {
+                        site: site.to_string(),
+                        inline: 0,
+                        parallel: 0,
+                    });
+                    by_site.last_mut().expect("just pushed")
+                }
+            };
+            match decision {
+                "inline" => record.inline = entry.value,
+                "parallel" => record.parallel = entry.value,
+                _ => {}
+            }
+        }
+        by_site.sort_by(|a, b| a.site.cmp(&b.site));
+        by_site
+    }
+}
+
 /// The machine-readable output of the `pipeline` bench binary.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct PipelineBench {
@@ -145,8 +190,12 @@ pub struct PipelineBench {
     pub scale: String,
     /// Master seed.
     pub seed: u64,
-    /// The parallel run's thread count.
+    /// The parallel run's thread count (defaults to every available
+    /// core; `V6_THREADS` overrides).
     pub threads: usize,
+    /// Hardware threads available to the process when the bench ran —
+    /// the context for reading `speedup` (a 1-core box can't exceed ~1).
+    pub cores: usize,
     /// `Experiment::artifact_digest` as hex — identical for both runs by
     /// construction (the bench asserts it before writing this file).
     pub digest: String,
@@ -158,6 +207,9 @@ pub struct PipelineBench {
     pub speedup: f64,
     /// Per-stage breakdown.
     pub stages: Vec<StageRecord>,
+    /// Adaptive-cutoff decisions per labeled call site, over both runs
+    /// (the sequential run records none — it never consults the cutoff).
+    pub cutoffs: Vec<CutoffRecord>,
     /// Raw NTP observations collected.
     pub corpus_observations: u64,
     /// True iff the pre-sized corpus buffer never reallocated.
@@ -182,6 +234,36 @@ pub struct ServeBench {
     pub shards: usize,
     /// The store's private registry after the run.
     pub metrics: MetricsDump,
+}
+
+/// One kernel measured sequentially and in parallel at one input size,
+/// as recorded in `BENCH_kernels.json`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct KernelRecord {
+    /// Kernel name ("par_map", "par_sort", "kway_merge").
+    pub kernel: String,
+    /// Input size (items for maps, elements for sorts/merges).
+    pub size: usize,
+    /// Best-of-N wall milliseconds with 1 thread.
+    pub seq_ms: f64,
+    /// Best-of-N wall milliseconds with `threads` workers.
+    pub par_ms: f64,
+    /// `seq_ms / par_ms`.
+    pub speedup: f64,
+}
+
+/// The machine-readable output of the `kernels` bench: sequential vs.
+/// parallel timings for the `v6par` kernels at several input sizes, so
+/// kernel-level regressions are visible separately from pipeline-level
+/// ones.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct KernelsBench {
+    /// Worker count used for the parallel timings.
+    pub threads: usize,
+    /// Hardware threads available when the bench ran.
+    pub cores: usize,
+    /// Per-kernel, per-size comparisons.
+    pub kernels: Vec<KernelRecord>,
 }
 
 /// The scale selected through `V6HL_SCALE`.

@@ -158,7 +158,12 @@ impl NtpCorpus {
         }
 
         let slices = v6par::split_ranges(days, (threads * 4).min(days));
-        let shards = v6par::par_map(threads, &slices, |_, r| {
+        // Cost hint: one study day of simulated queries is ~1 ms, far
+        // above the cutoff — sharded collection always parallelizes
+        // once `threads > 1`, sized by days-per-slice.
+        let slice_cost = v6par::Cost::per_item_ns(1_000_000 * (days / slices.len()).max(1) as u64)
+            .labeled("collect.shard");
+        let shards = v6par::par_map_cost(threads, &slices, slice_cost, |_, r| {
             collect_days(
                 world,
                 &pool,
@@ -247,8 +252,10 @@ impl NtpCorpus {
         );
 
         // Pass 1: one parallel attempt per day; faulted days stay None.
+        // Same ~1 ms/day hint as the fault-free path.
+        let day_cost = v6par::Cost::per_item_ns(1_000_000).labeled("collect.day");
         let mut shards: Vec<Option<CollectShard>> =
-            v6par::par_map(threads.max(1), &days, |_, &day| {
+            v6par::par_map_cost(threads.max(1), &days, day_cost, |_, &day| {
                 collect_day_faulted(world, &pool, day, per_day, chaos, 0)
             });
 

@@ -82,7 +82,9 @@ impl Dataset {
     }
 
     /// [`Dataset::from_observations`] with the dedup/sort pass sharded
-    /// across `threads` workers (chunked sorts + k-way merge).
+    /// across `threads` workers (in-place chunk sorts + one tournament
+    /// move-merge; nothing is cloned, and small inputs sort inline via
+    /// the adaptive cutoff).
     ///
     /// Sorting `(addr, t)` integer pairs has no distinguishable
     /// duplicates, so the parallel merge sort and `sort_unstable`

@@ -425,7 +425,15 @@ impl<'env> Dag<'env> {
             tasks.push(Mutex::new(Some(node.task)));
         }
 
-        let workers = threads.max(1).min(n.max(1));
+        // Never run more DAG workers than hardware threads: stage bodies
+        // already fan out through the data-parallel pool, so extra stage
+        // workers would only timeshare the cores and inflate every
+        // stage's wall clock. (Stage *outputs* are unaffected — the DAG
+        // is deterministic at any worker count.)
+        let cores = std::thread::available_parallelism()
+            .map(|c| c.get())
+            .unwrap_or(1);
+        let workers = threads.max(1).min(n.max(1)).min(cores.max(1));
         let (ready_tx, ready_rx) = channel::unbounded::<usize>();
         for (i, deg) in indegree.iter().enumerate() {
             if deg.load(Ordering::Relaxed) == 0 {

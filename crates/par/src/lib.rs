@@ -11,38 +11,57 @@
 //!
 //! * [`threads`] — the worker count, overridable with `V6_THREADS`.
 //! * [`scope`] — scoped spawning (re-exported [`std::thread::scope`]).
-//! * [`par_map`] — order-preserving parallel map with chunk-level work
-//!   stealing: idle workers steal the next unclaimed chunk.
-//! * [`par_chunks_fold`] — fold disjoint chunks in parallel, returning
-//!   the per-chunk accumulators in chunk order for an exact caller-side
-//!   merge.
+//! * [`par_map`] / [`par_map_cost`] — order-preserving parallel map:
+//!   participants claim fixed-cost morsels off a shared cursor and
+//!   write each result straight into its final output slot.
+//! * [`par_for_each_mut`] — in-place parallel mutation under the same
+//!   morsel scheduler, for callers that own their buffers.
+//! * [`par_chunks_fold`] / [`par_chunks_fold_cost`] — fold disjoint
+//!   chunks in parallel, returning the per-chunk accumulators in chunk
+//!   order for an exact caller-side merge.
 //! * [`par_merge_sorted`] / [`merge_sorted_pair`] — stable k-way merge
-//!   of sorted runs (earlier runs win ties), parallelized as a merge
-//!   tree.
-//! * [`par_sort_unstable`] — chunked sort + stable merge; equals a
-//!   global `sort_unstable` for any input whose equal elements are
-//!   indistinguishable.
+//!   of sorted runs (earlier runs win ties) via a single-output
+//!   tournament move-merge; no `Clone` required.
+//! * [`par_sort_unstable`] — in-place parallel chunk sorts plus one
+//!   tournament move-merge; equals a global `sort_unstable` for any
+//!   input whose equal elements are indistinguishable. No `Clone`.
+//! * [`Cost`] — per-item work hints driving the adaptive
+//!   sequential-vs-parallel cutoff ([`SEQ_CUTOFF_NANOS`]) and morsel
+//!   sizing ([`MORSEL_TARGET_NANOS`]).
 //! * [`Dag`] — an explicit stage dependency graph executed by a worker
 //!   pool; independent stages run concurrently, results are retrieved
 //!   by name. [`Dag::run_with`] adds per-stage retry with capped
 //!   exponential backoff, deadlines, and pluggable fault injection
 //!   ([`FaultInjector`]) for deterministic chaos testing.
 //!
+//! The data-parallel kernels all execute on one **persistent,
+//! lazily-spawned worker pool** (see [`pool_threads_spawned`]): OS
+//! threads are created once per process and park between jobs, so the
+//! spawn/join cost that used to be paid per call is paid once.
+//! `V6_THREADS=1` (or any call below its work cutoff) never touches the
+//! pool at all.
+//!
 //! Determinism comes from construction, not from luck: `par_map` writes
-//! result chunks into their input positions, folds merge in chunk
-//! order, and the merge tree resolves ties by run index. Scheduling
-//! order may vary run to run; observable output never does.
+//! results into their input positions, folds merge in chunk order, and
+//! the tournament merge resolves ties by run index. Scheduling order
+//! may vary run to run; observable output never does.
 //!
 //! Observability: the DAG runner and the pool record into the global
 //! `v6obs` registry — `par.dag.*` (stage completions/failures/retries,
-//! injected-fault counts, stage latency, ready-queue peak) and
-//! `par.pool.*` (par_map calls, chunk counts, steals, chunk latency).
-//! With `V6_TRACE=1` each stage body runs inside a `v6obs` span named
-//! after the stage. `par.pool.*` values and all timing metrics describe
-//! scheduling, not data, and are exempt from the thread-count-invariance
-//! contract above.
+//! injected-fault counts, stage latency, ready-queue peak),
+//! `par.pool.*` (parallel calls, morsel counts, steals, pool threads,
+//! morsel latency), and `par.cutoff.<site>.{inline,parallel}` (adaptive
+//! cutoff decisions per labeled call site). With `V6_TRACE=1` each
+//! stage body runs inside a `v6obs` span named after the stage. All
+//! `par.*` values describe scheduling, not data, and are exempt from
+//! the thread-count-invariance contract above.
+//!
+//! Safety: this crate contains the workspace's only `unsafe` — the
+//! zero-copy output writes, in-place chunk views, and move-merges in
+//! `pool.rs`, each behind a safe API with its disjointness argument
+//! documented at the site. Everything else is `#![deny(unsafe_code)]`.
 
-#![forbid(unsafe_code)]
+#![deny(unsafe_code)]
 #![deny(missing_docs)]
 
 pub mod dag;
@@ -53,7 +72,9 @@ pub use dag::{
     StageFailure, StageTiming, TaskOutputs,
 };
 pub use pool::{
-    merge_sorted_pair, par_chunks_fold, par_map, par_merge_sorted, par_sort_unstable, split_ranges,
+    merge_sorted_pair, par_chunks_fold, par_chunks_fold_cost, par_for_each_mut, par_map,
+    par_map_cost, par_merge_sorted, par_sort_unstable, pool_threads_spawned, split_ranges, Cost,
+    MORSEL_TARGET_NANOS, SEQ_CUTOFF_NANOS,
 };
 
 /// Scoped thread spawning — re-exported [`std::thread::scope`], so

@@ -1,26 +1,52 @@
-//! The work-stealing primitives.
+//! Morsel-driven parallel kernels on a persistent worker pool.
 //!
-//! The pool is created per call inside [`std::thread::scope`]: workers
-//! share an atomic chunk cursor, and an idle worker "steals" the next
-//! unclaimed chunk with one `fetch_add`. That keeps the load balanced
-//! under skewed chunk costs (the whole point of stealing) without any
-//! per-worker deques — and, because every chunk knows its output
-//! position, without any effect on the result order.
+//! Three ideas keep parallel from ever costing more than sequential:
+//!
+//! 1. **Persistent pool** — worker threads are spawned once per process
+//!    (lazily, on the first job that wants them) and park on a condvar
+//!    between jobs. A job is injected by pushing lightweight references
+//!    onto a shared run queue; the submitting thread always participates
+//!    in its own job, so progress never depends on a free worker.
+//! 2. **Morsel scheduling** — each call estimates its total work from a
+//!    caller-supplied [`Cost`] hint, runs inline when the estimate is
+//!    below [`SEQ_CUTOFF_NANOS`], and otherwise splits the input into
+//!    fixed-cost morsels (~[`MORSEL_TARGET_NANOS`] each) claimed off an
+//!    atomic cursor. Tiny inputs pay zero scheduling tax; skewed inputs
+//!    rebalance by stealing.
+//! 3. **Zero-copy results** — [`par_map`] writes each result directly
+//!    into its final slot in the preallocated output's spare capacity
+//!    (disjoint indices, one writer per slot), and [`par_sort_unstable`]
+//!    sorts chunk views in place and merges runs with a single-output
+//!    tournament (loser-tree) k-way move-merge. Nothing is cloned and
+//!    nothing is copied twice.
+//!
+//! Determinism is structural: every morsel knows its output range, the
+//! merge resolves ties by run index, and the work estimate depends only
+//! on the input — so results are byte-identical at any thread count.
 
+use std::collections::VecDeque;
 use std::ops::Range;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Mutex, OnceLock};
+use std::sync::{Condvar, Mutex, OnceLock};
+use std::time::{Duration, Instant};
+
+// ---------------------------------------------------------------------------
+// Metrics
+// ---------------------------------------------------------------------------
 
 /// Cached handles into the global metrics registry for the pool.
 ///
 /// All `par.pool.*` metrics describe *scheduling* — how work was split
 /// and stolen — which depends on the worker count and OS timing. They
 /// are explicitly excluded from the thread-count-invariance contract
-/// (the sequential fast path records nothing at all).
+/// (the sequential fast path records nothing at all). Workers
+/// accumulate locally and flush once per job, never per item.
 struct PoolMetrics {
     maps: v6obs::Counter,
     chunks: v6obs::Counter,
     steals: v6obs::Counter,
+    threads: v6obs::Gauge,
     chunk_latency: v6obs::Histogram,
 }
 
@@ -30,9 +56,95 @@ fn pool_metrics() -> &'static PoolMetrics {
         maps: v6obs::counter("par.pool.maps"),
         chunks: v6obs::counter("par.pool.chunks"),
         steals: v6obs::counter("par.pool.steals"),
+        threads: v6obs::gauge("par.pool.threads"),
         chunk_latency: v6obs::histogram("par.pool.chunk_latency"),
     })
 }
+
+/// Records a cutoff decision under `par.cutoff.<label>.{inline,parallel}`.
+///
+/// Only recorded when a real choice existed (`threads > 1`); the
+/// zero-machinery single-thread path touches no metrics at all. Once
+/// per call, off the hot path.
+fn record_cutoff(label: Option<&'static str>, parallel: bool) {
+    let which = if parallel { "parallel" } else { "inline" };
+    let site = label.unwrap_or("unlabeled");
+    v6obs::counter(&format!("par.cutoff.{site}.{which}")).inc();
+}
+
+// ---------------------------------------------------------------------------
+// Cost model
+// ---------------------------------------------------------------------------
+
+/// Work below this estimate runs inline on the caller: dispatching even
+/// one helper costs a queue push plus an unpark, which only pays for
+/// itself above roughly this much work.
+pub const SEQ_CUTOFF_NANOS: u64 = 100_000;
+
+/// Target work per morsel. Small enough that stealing rebalances skew,
+/// large enough that the claim `fetch_add` and two clock reads are
+/// noise (< 0.5% at 50µs).
+pub const MORSEL_TARGET_NANOS: u64 = 50_000;
+
+/// A caller-supplied estimate of per-item work, used by the adaptive
+/// sequential/parallel cutoff and to size morsels.
+///
+/// The hint only steers *scheduling* — a wrong hint can cost speed,
+/// never correctness, and the chosen schedule is a pure function of the
+/// input so results stay thread-count invariant either way.
+#[derive(Debug, Clone, Copy)]
+pub struct Cost {
+    per_item_ns: u64,
+    label: Option<&'static str>,
+}
+
+impl Cost {
+    /// Default per-item estimate when the caller gives no hint:
+    /// a light closure over a small item (hash + a few branches).
+    pub const DEFAULT_PER_ITEM_NS: u64 = 200;
+
+    /// A cost hint of `ns` nanoseconds per item (clamped to ≥ 1).
+    pub fn per_item_ns(ns: u64) -> Cost {
+        Cost {
+            per_item_ns: ns.max(1),
+            label: None,
+        }
+    }
+
+    /// Tags the call site so its cutoff decisions show up as
+    /// `par.cutoff.<label>.{inline,parallel}` counters.
+    pub fn labeled(mut self, label: &'static str) -> Cost {
+        self.label = Some(label);
+        self
+    }
+}
+
+impl Default for Cost {
+    fn default() -> Cost {
+        Cost::per_item_ns(Cost::DEFAULT_PER_ITEM_NS)
+    }
+}
+
+/// The morsel/participant plan for one parallel call: `None` means run
+/// inline (and carries whether a cutoff decision should be recorded).
+fn plan(threads: usize, n: usize, cost: Cost) -> Option<(usize, usize)> {
+    let threads = threads.max(1);
+    if threads == 1 || n < 2 {
+        return None; // zero-machinery path: not even a metrics touch
+    }
+    let estimate = (n as u64).saturating_mul(cost.per_item_ns);
+    let morsels = ((estimate / MORSEL_TARGET_NANOS) as usize).clamp(1, n);
+    if estimate < SEQ_CUTOFF_NANOS || morsels < 2 {
+        record_cutoff(cost.label, false);
+        return None;
+    }
+    record_cutoff(cost.label, true);
+    Some((morsels, threads.min(morsels)))
+}
+
+// ---------------------------------------------------------------------------
+// Range splitting
+// ---------------------------------------------------------------------------
 
 /// Splits `0..len` into `parts` near-equal contiguous ranges (the first
 /// `len % parts` ranges get one extra element). Empty ranges are never
@@ -54,71 +166,375 @@ pub fn split_ranges(len: usize, parts: usize) -> Vec<Range<usize>> {
     out
 }
 
-/// Order-preserving parallel map: `out[i] == f(i, &items[i])` for every
-/// `i`, regardless of `threads`.
+// ---------------------------------------------------------------------------
+// The persistent pool
+// ---------------------------------------------------------------------------
+
+/// Hard ceiling on pool threads, far above any sane `V6_THREADS`.
+const MAX_POOL_THREADS: usize = 256;
+
+/// One job, living on the submitting caller's stack for the duration of
+/// [`Pool::run_job`]. Workers reach it through a raw pointer; validity
+/// is guaranteed because the caller does not return until `queued` and
+/// `active` are both zero.
+struct JobCore {
+    /// Type-erased `&F` where `F: Fn() + Sync`.
+    data: *const (),
+    /// Monomorphized trampoline that calls the closure behind `data`.
+    call: unsafe fn(*const ()),
+    /// Queue entries for this job not yet picked up by a worker.
+    queued: AtomicUsize,
+    /// Workers currently executing the job body.
+    active: AtomicUsize,
+    /// The submitting thread, unparked when the job fully drains.
+    waiter: std::thread::Thread,
+    /// First panic payload captured from a worker, re-thrown by the caller.
+    panic: Mutex<Option<Box<dyn std::any::Any + Send + 'static>>>,
+}
+
+/// A queue entry pointing at a [`JobCore`] on some caller's stack.
+#[derive(Clone, Copy)]
+struct JobRef(*const JobCore);
+
+// SAFETY: a JobRef only crosses threads through the pool queue, and the
+// JobCore it points to is kept alive by the submitting caller until the
+// queued/active counts — which every queue pop participates in — reach
+// zero. The pointee is only used via &-references to Sync fields.
+#[allow(unsafe_code)]
+unsafe impl Send for JobRef {}
+
+struct Pool {
+    /// Jobs awaiting pickup. One entry per requested helper.
+    queue: Mutex<VecDeque<JobRef>>,
+    /// Wakes parked workers when entries are pushed.
+    work_cv: Condvar,
+    /// OS threads spawned so far; grows monotonically, never shrinks.
+    spawned: AtomicUsize,
+}
+
+fn pool() -> &'static Pool {
+    static POOL: OnceLock<Pool> = OnceLock::new();
+    POOL.get_or_init(|| Pool {
+        queue: Mutex::new(VecDeque::new()),
+        work_cv: Condvar::new(),
+        spawned: AtomicUsize::new(0),
+    })
+}
+
+/// OS worker threads the global pool has spawned so far in this process.
 ///
-/// Items are grouped into chunks; `threads` scoped workers steal chunks
-/// off a shared cursor until none remain. With `threads <= 1` (or a
-/// single item) this degenerates to a plain sequential map with no
-/// thread machinery at all.
+/// Zero until the first call that crosses the parallel cutoff — the
+/// single-thread path never touches the pool. The count only grows
+/// (workers park between jobs; they are never joined), and only up to
+/// the largest helper count any call has asked for, so steady-state
+/// reuse spawns nothing. Exposed for tests and diagnostics; mirrored as
+/// the `par.pool.threads` gauge.
+pub fn pool_threads_spawned() -> usize {
+    // `pool()` lazily constructs an empty Pool, which spawns nothing, so
+    // touching it here is observationally free.
+    pool().spawned.load(Ordering::Acquire)
+}
+
+#[allow(unsafe_code)]
+fn worker_loop(pool: &'static Pool) {
+    loop {
+        let job = {
+            let mut q = pool.queue.lock().unwrap_or_else(|e| e.into_inner());
+            loop {
+                if let Some(j) = q.pop_front() {
+                    break j;
+                }
+                q = pool.work_cv.wait(q).unwrap_or_else(|e| e.into_inner());
+            }
+        };
+        // SAFETY: the queue entry we just popped is counted in `queued`,
+        // so the submitting caller is still blocked in `run_job` and the
+        // JobCore (and the closure behind it) is alive. We bump `active`
+        // *before* releasing our `queued` hold so the caller can never
+        // observe the job as drained while we are touching it.
+        let core = unsafe { &*job.0 };
+        core.active.fetch_add(1, Ordering::AcqRel);
+        core.queued.fetch_sub(1, Ordering::AcqRel);
+        // SAFETY: `data`/`call` were erased from a live `&F` by `run_job`.
+        let result = catch_unwind(AssertUnwindSafe(|| unsafe { (core.call)(core.data) }));
+        if let Err(payload) = result {
+            let mut slot = core.panic.lock().unwrap_or_else(|e| e.into_inner());
+            if slot.is_none() {
+                *slot = Some(payload);
+            }
+        }
+        // Clone the waiter handle while `active` still pins the job: after
+        // the fetch_sub below the caller may free the JobCore at any time,
+        // so from there on we touch only our own clone.
+        let waiter = core.waiter.clone();
+        let queued = core.queued.load(Ordering::Acquire);
+        if core.active.fetch_sub(1, Ordering::AcqRel) == 1 && queued == 0 {
+            waiter.unpark();
+        }
+    }
+}
+
+impl Pool {
+    /// Runs `body` on the caller plus up to `helpers` pool workers, all
+    /// draining the same closure (jobs are self-scheduling: the body is
+    /// a claim-a-morsel loop, so running it on fewer threads — or even
+    /// twice on one — is harmless). Blocks until every participant is
+    /// done; propagates the first panic without poisoning the pool.
+    #[allow(unsafe_code)]
+    fn run_job<F: Fn() + Sync>(&'static self, helpers: usize, body: &F) {
+        let helpers = helpers.min(MAX_POOL_THREADS);
+        if helpers == 0 {
+            body();
+            return;
+        }
+        unsafe fn trampoline<F: Fn() + Sync>(data: *const ()) {
+            // SAFETY: `data` is the `&F` erased in `run_job` below, alive
+            // until run_job returns.
+            unsafe { (*(data as *const F))() }
+        }
+        let core = JobCore {
+            data: body as *const F as *const (),
+            call: trampoline::<F>,
+            queued: AtomicUsize::new(helpers),
+            active: AtomicUsize::new(0),
+            waiter: std::thread::current(),
+            panic: Mutex::new(None),
+        };
+        let core_ptr: *const JobCore = &core;
+        {
+            let mut q = self.queue.lock().unwrap_or_else(|e| e.into_inner());
+            // Deterministic growth: spawn exactly enough workers to cover
+            // the largest helper count ever requested, under the queue
+            // lock so the spawn counter is exact.
+            while self.spawned.load(Ordering::Acquire) < helpers {
+                std::thread::Builder::new()
+                    .name("v6par-worker".into())
+                    .spawn(move || worker_loop(pool()))
+                    .expect("spawn v6par pool worker");
+                let now = self.spawned.fetch_add(1, Ordering::AcqRel) + 1;
+                pool_metrics().threads.set(now as i64);
+            }
+            for _ in 0..helpers {
+                q.push_back(JobRef(core_ptr));
+            }
+        }
+        if helpers == 1 {
+            self.work_cv.notify_one();
+        } else {
+            self.work_cv.notify_all();
+        }
+
+        // The caller always participates: even with every worker busy on
+        // other jobs, the submitting thread drains its own morsels, so
+        // nested jobs and a saturated pool cannot deadlock.
+        let caller_result = catch_unwind(AssertUnwindSafe(body));
+
+        // Cancel entries no worker picked up — common when the caller
+        // finished the whole job alone — so stale JobRefs never outlive
+        // this frame.
+        {
+            let mut q = self.queue.lock().unwrap_or_else(|e| e.into_inner());
+            let before = q.len();
+            q.retain(|j| !std::ptr::eq(j.0, core_ptr));
+            let removed = before - q.len();
+            if removed > 0 {
+                core.queued.fetch_sub(removed, Ordering::AcqRel);
+            }
+        }
+        // Wait for in-flight workers. The Acquire loads pair with the
+        // workers' AcqRel count updates, which also publish every result
+        // the workers wrote through shared pointers. The timeout is a
+        // belt-and-braces guard against a lost unpark; the common path
+        // parks at most once.
+        while core.queued.load(Ordering::Acquire) != 0 || core.active.load(Ordering::Acquire) != 0 {
+            std::thread::park_timeout(Duration::from_millis(10));
+        }
+        if let Err(payload) = caller_result {
+            resume_unwind(payload);
+        }
+        let worker_panic = core.panic.lock().unwrap_or_else(|e| e.into_inner()).take();
+        if let Some(payload) = worker_panic {
+            resume_unwind(payload);
+        }
+    }
+}
+
+/// A raw base pointer that workers write through.
+///
+/// Safety rests with index distribution, not with this type: every
+/// index is claimed by exactly one participant (the atomic morsel
+/// cursor), so accesses through the pointer never alias.
+struct SendPtr<T>(*mut T);
+impl<T> SendPtr<T> {
+    /// The slot at `i`. Going through a method (rather than field
+    /// access) makes closures capture the whole `SendPtr` — keeping its
+    /// `Send`/`Sync` impls, not the raw pointer's lack of them.
+    fn at(&self, i: usize) -> *mut T {
+        // SAFETY note for callers: `wrapping_add` does no deref; the
+        // unsafe read/write happens at the use site.
+        self.0.wrapping_add(i)
+    }
+}
+impl<T> Clone for SendPtr<T> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+impl<T> Copy for SendPtr<T> {}
+// SAFETY: see the type-level comment — disjointness is enforced by the
+// single atomic cursor every participant claims indices from.
+#[allow(unsafe_code)]
+unsafe impl<T: Send> Send for SendPtr<T> {}
+#[allow(unsafe_code)]
+unsafe impl<T: Send> Sync for SendPtr<T> {}
+
+/// Per-participant scheduling tallies, accumulated in locals during the
+/// morsel loop and flushed to the registry once per job.
+struct MorselStats {
+    claimed: u64,
+    latencies_ns: Vec<u64>,
+}
+
+impl MorselStats {
+    fn new() -> MorselStats {
+        MorselStats {
+            claimed: 0,
+            latencies_ns: Vec::new(),
+        }
+    }
+
+    /// Flushes to `par.pool.*`. `share` is the participant's statically
+    /// owned morsel count — claims beyond it are steals (claims up to it
+    /// are not: a perfectly balanced run records zero steals).
+    fn flush(self, share: u64) {
+        if self.claimed == 0 {
+            return;
+        }
+        let metrics = pool_metrics();
+        metrics.steals.add(self.claimed.saturating_sub(share));
+        for ns in self.latencies_ns {
+            metrics.chunk_latency.record(ns);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// par_map / par_for_each_mut / par_chunks_fold
+// ---------------------------------------------------------------------------
+
+/// Order-preserving parallel map: `out[i] == f(i, &items[i])` for every
+/// `i`, regardless of `threads`. Uses the default [`Cost`] hint; see
+/// [`par_map_cost`] to pass a real one.
 pub fn par_map<T, R, F>(threads: usize, items: &[T], f: F) -> Vec<R>
 where
     T: Sync,
     R: Send,
     F: Fn(usize, &T) -> R + Sync,
 {
+    par_map_cost(threads, items, Cost::default(), f)
+}
+
+/// [`par_map`] with an explicit per-item [`Cost`] hint.
+///
+/// Below the work cutoff this is a plain sequential map with no thread
+/// machinery at all. Above it, participants claim fixed-cost morsels
+/// off a shared cursor and write each result straight into its final
+/// slot in the output's spare capacity — no per-chunk buffers, no
+/// result re-copy, no locks on the data path.
+///
+/// If `f` panics the panic propagates to the caller; results already
+/// written are leaked (not dropped), never double-dropped.
+#[allow(unsafe_code)]
+pub fn par_map_cost<T, R, F>(threads: usize, items: &[T], cost: Cost, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
     let n = items.len();
-    let workers = threads.max(1).min(n.max(1));
-    if workers <= 1 || n <= 1 {
+    let Some((morsels, participants)) = plan(threads, n, cost) else {
         return items.iter().enumerate().map(|(i, x)| f(i, x)).collect();
-    }
-    // ~4 chunks per worker: coarse enough to amortize the cursor, fine
-    // enough that stealing rebalances skewed chunk costs.
-    let chunks = split_ranges(n, workers * 4);
+    };
     let metrics = pool_metrics();
     metrics.maps.inc();
-    metrics.chunks.add(chunks.len() as u64);
+    metrics.chunks.add(morsels as u64);
+    let ranges = split_ranges(n, morsels);
+    let share = ranges.len().div_ceil(participants) as u64;
     let cursor = AtomicUsize::new(0);
-    let slots: Vec<Mutex<Option<Vec<R>>>> = chunks.iter().map(|_| Mutex::new(None)).collect();
-    std::thread::scope(|s| {
-        for _ in 0..workers {
-            s.spawn(|| {
-                let mut claimed = 0u64;
-                loop {
-                    let c = cursor.fetch_add(1, Ordering::Relaxed);
-                    let Some(range) = chunks.get(c) else {
-                        // Every claim past a worker's first is a "steal":
-                        // work another worker could have owned under a
-                        // static 1-chunk-per-worker split.
-                        metrics.steals.add(claimed.saturating_sub(1));
-                        break;
-                    };
-                    claimed += 1;
-                    let out: Vec<R> = metrics
-                        .chunk_latency
-                        .time(|| range.clone().map(|i| f(i, &items[i])).collect());
-                    *slots[c].lock().expect("worker poisoned a result slot") = Some(out);
-                }
-            });
+    let mut out: Vec<R> = Vec::with_capacity(n);
+    let out_base = SendPtr(out.as_mut_ptr());
+    let body = || {
+        let mut stats = MorselStats::new();
+        loop {
+            let c = cursor.fetch_add(1, Ordering::Relaxed);
+            let Some(range) = ranges.get(c) else { break };
+            stats.claimed += 1;
+            let t0 = Instant::now();
+            for i in range.clone() {
+                let value = f(i, &items[i]);
+                // SAFETY: `i` lies in a morsel this participant claimed
+                // exclusively and `out` has capacity `n`, so this writes
+                // a distinct, in-bounds, uninitialized slot.
+                unsafe { out_base.at(i).write(value) };
+            }
+            stats.latencies_ns.push(t0.elapsed().as_nanos() as u64);
         }
-    });
-    let mut out = Vec::with_capacity(n);
-    for slot in slots {
-        out.extend(
-            slot.into_inner()
-                .expect("worker poisoned a result slot")
-                .expect("every chunk was claimed exactly once"),
-        );
-    }
+        stats.flush(share);
+    };
+    pool().run_job(participants - 1, &body);
+    // SAFETY: run_job returned without unwinding, so every morsel ran to
+    // completion and all `n` slots are initialized. (On panic we never
+    // get here: `out` drops with len 0 and written results leak.)
+    unsafe { out.set_len(n) };
     out
 }
 
+/// In-place parallel mutation: `f(i, &mut items[i])` for every `i`,
+/// each item visited exactly once. The workhorse behind the in-place
+/// chunk sorts; exposed because callers with their own buffers (e.g.
+/// per-shard runs in `v6serve`) want the same no-copy treatment.
+#[allow(unsafe_code)]
+pub fn par_for_each_mut<T, F>(threads: usize, items: &mut [T], cost: Cost, f: F)
+where
+    T: Send,
+    F: Fn(usize, &mut T) + Sync,
+{
+    let n = items.len();
+    let Some((morsels, participants)) = plan(threads, n, cost) else {
+        for (i, x) in items.iter_mut().enumerate() {
+            f(i, x);
+        }
+        return;
+    };
+    let metrics = pool_metrics();
+    metrics.maps.inc();
+    metrics.chunks.add(morsels as u64);
+    let ranges = split_ranges(n, morsels);
+    let share = ranges.len().div_ceil(participants) as u64;
+    let cursor = AtomicUsize::new(0);
+    let base = SendPtr(items.as_mut_ptr());
+    let body = || {
+        let mut stats = MorselStats::new();
+        loop {
+            let c = cursor.fetch_add(1, Ordering::Relaxed);
+            let Some(range) = ranges.get(c) else { break };
+            stats.claimed += 1;
+            let t0 = Instant::now();
+            for i in range.clone() {
+                // SAFETY: `i` lies in a morsel this participant claimed
+                // exclusively, so no other reference to `items[i]` exists.
+                f(i, unsafe { &mut *base.at(i) });
+            }
+            stats.latencies_ns.push(t0.elapsed().as_nanos() as u64);
+        }
+        stats.flush(share);
+    };
+    pool().run_job(participants - 1, &body);
+}
+
 /// Folds `chunks` disjoint contiguous chunks of `items` in parallel and
-/// returns the per-chunk accumulators **in chunk order**.
-///
-/// The caller owns the cross-chunk merge; as long as that merge is
-/// exact (integer sums, ordered concatenation, stable run merges), the
-/// combined result is independent of both `threads` and `chunks`.
+/// returns the per-chunk accumulators **in chunk order**. Default
+/// [`Cost`] hint; see [`par_chunks_fold_cost`].
 pub fn par_chunks_fold<T, A, I, F>(
     threads: usize,
     items: &[T],
@@ -132,11 +548,44 @@ where
     I: Fn() -> A + Sync,
     F: Fn(A, usize, &T) -> A + Sync,
 {
+    par_chunks_fold_cost(threads, items, chunks, Cost::default(), init, fold)
+}
+
+/// [`par_chunks_fold`] with an explicit per-item [`Cost`] hint.
+///
+/// The caller owns the cross-chunk merge; as long as that merge is
+/// exact (integer sums, ordered concatenation, stable run merges), the
+/// combined result is independent of both `threads` and `chunks`.
+pub fn par_chunks_fold_cost<T, A, I, F>(
+    threads: usize,
+    items: &[T],
+    chunks: usize,
+    cost: Cost,
+    init: I,
+    fold: F,
+) -> Vec<A>
+where
+    T: Sync,
+    A: Send,
+    I: Fn() -> A + Sync,
+    F: Fn(A, usize, &T) -> A + Sync,
+{
     let ranges = split_ranges(items.len(), chunks);
-    par_map(threads, &ranges, |_, range| {
+    let per_range = cost
+        .per_item_ns
+        .saturating_mul((items.len() / ranges.len().max(1)).max(1) as u64);
+    let range_cost = Cost {
+        per_item_ns: per_range,
+        label: cost.label,
+    };
+    par_map_cost(threads, &ranges, range_cost, |_, range| {
         range.clone().fold(init(), |acc, i| fold(acc, i, &items[i]))
     })
 }
+
+// ---------------------------------------------------------------------------
+// Sorting and merging
+// ---------------------------------------------------------------------------
 
 /// Stable two-way merge of sorted runs: on ties, `a`'s element comes
 /// first.
@@ -157,68 +606,225 @@ pub fn merge_sorted_pair<T: Ord + Clone>(a: &[T], b: &[T]) -> Vec<T> {
     out
 }
 
-/// Stable k-way merge of sorted runs, parallelized as a merge tree.
-///
-/// Rounds merge runs pairwise — `(0,1), (2,3), …` with any odd run
-/// passing through — so ties always resolve in favor of the
-/// earlier-indexed run, exactly as a sequential stable merge of the
-/// concatenated runs would. Equal multisets of runs therefore merge to
-/// identical vectors at any thread count.
-pub fn par_merge_sorted<T>(threads: usize, mut runs: Vec<Vec<T>>) -> Vec<T>
-where
-    T: Ord + Clone + Send + Sync,
-{
-    runs.retain(|r| !r.is_empty());
-    if runs.is_empty() {
-        return Vec::new();
-    }
-    while runs.len() > 1 {
-        let leftover = if runs.len() % 2 == 1 {
-            runs.pop()
-        } else {
-            None
-        };
-        let pairs: Vec<usize> = (0..runs.len() / 2).collect();
-        let mut merged = par_map(threads, &pairs, |_, &k| {
-            merge_sorted_pair(&runs[2 * k], &runs[2 * k + 1])
-        });
-        if let Some(l) = leftover {
-            merged.push(l);
-        }
-        runs = merged;
-    }
-    runs.pop().expect("at least one non-empty run remains")
+/// Sentinel for an exhausted run in the tournament tree.
+const EXHAUSTED: usize = usize::MAX;
+
+/// A winner (loser-tree style) tournament over `k` runs: the root holds
+/// the run with the smallest current head, ties won by the lower run
+/// index (lower indices sit in left subtrees, and `play` keeps the left
+/// winner on ties). Replacing one head re-plays only its leaf-to-root
+/// path: `O(log k)` comparisons per merged element.
+struct Tournament {
+    leaves: usize,
+    tree: Vec<usize>,
 }
 
-/// Sorts `data` via chunked parallel sorts plus a stable merge tree.
+impl Tournament {
+    /// Builds the tree. `alive(j)` says whether run `j` has a head;
+    /// `less(a, b)` compares the heads of two alive runs.
+    fn new(
+        k: usize,
+        alive: impl Fn(usize) -> bool,
+        less: impl Fn(usize, usize) -> bool,
+    ) -> Tournament {
+        let leaves = k.next_power_of_two().max(1);
+        let mut tree = vec![EXHAUSTED; 2 * leaves];
+        for (j, slot) in tree[leaves..leaves + k].iter_mut().enumerate() {
+            if alive(j) {
+                *slot = j;
+            }
+        }
+        let mut t = Tournament { leaves, tree };
+        for i in (1..leaves).rev() {
+            t.tree[i] = play(t.tree[2 * i], t.tree[2 * i + 1], &less);
+        }
+        t
+    }
+
+    /// The run holding the smallest head, or [`EXHAUSTED`].
+    fn winner(&self) -> usize {
+        self.tree[1]
+    }
+
+    /// Re-plays run `j`'s leaf-to-root path after its head changed.
+    fn refresh(&mut self, j: usize, alive: bool, less: impl Fn(usize, usize) -> bool) {
+        let mut i = self.leaves + j;
+        self.tree[i] = if alive { j } else { EXHAUSTED };
+        while i > 1 {
+            i /= 2;
+            self.tree[i] = play(self.tree[2 * i], self.tree[2 * i + 1], &less);
+        }
+    }
+}
+
+/// One tournament match; exhausted runs lose to everything, ties go to
+/// the left (lower-indexed) contender.
+fn play(a: usize, b: usize, less: &impl Fn(usize, usize) -> bool) -> usize {
+    if a == EXHAUSTED {
+        return b;
+    }
+    if b == EXHAUSTED {
+        return a;
+    }
+    if less(b, a) {
+        b
+    } else {
+        a
+    }
+}
+
+/// Stable k-way merge of sorted runs into one vector, without cloning:
+/// elements are *moved* out of the runs through a single-output-buffer
+/// tournament merge. Ties always resolve in favor of the
+/// earlier-indexed run, exactly as a sequential stable merge of the
+/// concatenated runs would, so equal multisets of runs merge to
+/// identical vectors.
+///
+/// The `threads` argument is accepted for call-site symmetry with the
+/// other kernels but unused: a single merge pass is memory-bound and
+/// `O(n log k)`, and measured slower when split into parallel
+/// sub-merges that re-touch every element.
+pub fn par_merge_sorted<T: Ord>(threads: usize, runs: Vec<Vec<T>>) -> Vec<T> {
+    let _ = threads;
+    let total = runs.iter().map(Vec::len).sum();
+    let mut out: Vec<T> = Vec::with_capacity(total);
+    let mut iters: Vec<std::vec::IntoIter<T>> = runs.into_iter().map(Vec::into_iter).collect();
+    let mut heads: Vec<Option<T>> = iters.iter_mut().map(Iterator::next).collect();
+    let k = heads.len();
+    let mut t = Tournament::new(k, |j| heads[j].is_some(), |a, b| heads[a] < heads[b]);
+    loop {
+        let w = t.winner();
+        if w == EXHAUSTED {
+            break;
+        }
+        let value = heads[w].take().expect("winning run has a head");
+        heads[w] = iters[w].next();
+        let alive = heads[w].is_some();
+        out.push(value);
+        t.refresh(w, alive, |a, b| heads[a] < heads[b]);
+    }
+    debug_assert_eq!(out.len(), total);
+    out
+}
+
+/// Extra bar for parallel sorting over [`SEQ_CUTOFF_NANOS`]: the k-way
+/// merge re-moves every element once, so chunked sorting must save more
+/// than a full extra pass before it pays.
+const SORT_SEQ_CUTOFF_NANOS: u64 = 8 * SEQ_CUTOFF_NANOS;
+
+/// Calibrated per-element sort cost (comparison-heavy, cache-missing)
+/// used by [`par_sort_unstable`]'s cutoff.
+const SORT_ITEM_NS: u64 = 60;
+
+/// Sorts `data` via in-place parallel chunk sorts plus one tournament
+/// move-merge into a single fresh buffer. No `Clone`: elements are
+/// sorted where they lie and moved exactly once.
 ///
 /// For element types whose equal values are indistinguishable (plain
 /// `Ord` data like integers and tuples of integers — everything the
 /// pipeline sorts), the result is byte-identical to
 /// `data.sort_unstable()` at any thread count.
+///
+/// If a comparison panics mid-merge, the elements in flight are leaked
+/// (never double-dropped) and `data` is left empty.
 pub fn par_sort_unstable<T>(threads: usize, data: &mut Vec<T>)
 where
-    T: Ord + Clone + Send + Sync,
+    T: Ord + Send,
 {
-    // Below this, the merge-tree copies cost more than they save.
-    const MIN_PARALLEL_LEN: usize = 16 * 1024;
-    if threads <= 1 || data.len() < MIN_PARALLEL_LEN {
+    let n = data.len();
+    let threads = threads.max(1);
+    if threads == 1 || n < 2 {
         data.sort_unstable();
         return;
     }
-    let n = data.len();
-    let mut chunks: Vec<Vec<T>> = Vec::with_capacity(threads);
-    for range in split_ranges(n, threads) {
-        chunks.push(data[range].to_vec());
+    let estimate = (n as u64).saturating_mul(SORT_ITEM_NS);
+    if estimate < SORT_SEQ_CUTOFF_NANOS {
+        record_cutoff(Some("sort"), false);
+        data.sort_unstable();
+        return;
     }
-    data.clear();
-    std::thread::scope(|s| {
-        for chunk in chunks.iter_mut() {
-            s.spawn(move || chunk.sort_unstable());
+    record_cutoff(Some("sort"), true);
+    let parts = threads
+        .min(((estimate / SORT_SEQ_CUTOFF_NANOS) as usize).max(2))
+        .min(n);
+    let ranges = split_ranges(n, parts);
+    // Disjoint in-place chunk views via repeated split_at_mut — safe
+    // code; the parallel distribution happens one level down.
+    let mut views: Vec<&mut [T]> = Vec::with_capacity(ranges.len());
+    let mut rest: &mut [T] = data.as_mut_slice();
+    for r in &ranges[..ranges.len() - 1] {
+        let (head, tail) = rest.split_at_mut(r.len());
+        views.push(head);
+        rest = tail;
+    }
+    views.push(rest);
+    let per_view = estimate / ranges.len() as u64;
+    par_for_each_mut(
+        threads,
+        &mut views,
+        Cost::per_item_ns(per_view).labeled("sort.chunk"),
+        |_, view| view.sort_unstable(),
+    );
+    merge_runs_in_place(data, &ranges);
+}
+
+/// Move-merges `ranges.len()` sorted contiguous runs of `data` into a
+/// fresh buffer with one tournament pass, then replaces `data` with it.
+#[allow(unsafe_code)]
+fn merge_runs_in_place<T: Ord>(data: &mut Vec<T>, ranges: &[Range<usize>]) {
+    struct RunCursor {
+        next: usize,
+        end: usize,
+    }
+    let n = data.len();
+    let base = data.as_mut_ptr();
+    let mut out: Vec<T> = Vec::with_capacity(n);
+    let out_base = out.as_mut_ptr();
+    // Logically move every element out of `data` now: from here on the
+    // old buffer is uninitialized storage whose slots are each read
+    // exactly once. A panicking comparison leaks, never double-drops.
+    // SAFETY: shrinking the length only forgets elements.
+    unsafe { data.set_len(0) };
+    let mut runs: Vec<RunCursor> = ranges
+        .iter()
+        .map(|r| RunCursor {
+            next: r.start,
+            end: r.end,
+        })
+        .collect();
+    let k = runs.len();
+    // SAFETY (both closures below): only called for alive runs, whose
+    // `next` is in-bounds and not yet moved out.
+    let mut t = Tournament::new(
+        k,
+        |j| runs[j].next < runs[j].end,
+        |a, b| unsafe { *base.add(runs[a].next) < *base.add(runs[b].next) },
+    );
+    let mut written = 0usize;
+    loop {
+        let w = t.winner();
+        if w == EXHAUSTED {
+            break;
         }
-    });
-    *data = par_merge_sorted(threads, chunks);
-    debug_assert_eq!(data.len(), n);
+        // SAFETY: slot `runs[w].next` is alive (tournament invariant) and
+        // read exactly once; slot `written` of `out` is in-capacity and
+        // unwritten. Both are plain moves.
+        unsafe {
+            let value = std::ptr::read(base.add(runs[w].next));
+            std::ptr::write(out_base.add(written), value);
+        }
+        runs[w].next += 1;
+        written += 1;
+        let alive = runs[w].next < runs[w].end;
+        t.refresh(w, alive, |a, b| unsafe {
+            *base.add(runs[a].next) < *base.add(runs[b].next)
+        });
+    }
+    debug_assert_eq!(written, n);
+    // SAFETY: the tournament drained all k runs, so exactly `n` moved
+    // elements now sit in `out`'s first `n` slots.
+    unsafe { out.set_len(written) };
+    *data = out;
 }
 
 #[cfg(test)]
@@ -259,9 +865,10 @@ mod tests {
     fn par_map_handles_empty_and_unbalanced_work() {
         assert!(par_map(4, &[] as &[u8], |_, x| *x).is_empty());
         // Skewed cost: later items much more expensive; stealing must
-        // still return them in order.
+        // still return them in order. The large hint forces the
+        // parallel path despite the small item count.
         let items: Vec<usize> = (0..64).collect();
-        let got = par_map(8, &items, |_, &x| {
+        let got = par_map_cost(8, &items, Cost::per_item_ns(60_000), |_, &x| {
             let mut acc = 0u64;
             for k in 0..(x as u64 * 1000) {
                 acc = acc.wrapping_add(k);
@@ -270,6 +877,30 @@ mod tests {
         });
         for (i, (x, _)) in got.iter().enumerate() {
             assert_eq!(i, *x);
+        }
+    }
+
+    #[test]
+    fn par_map_cost_cutoff_stays_inline_but_exact() {
+        // Cheap hint: must take the inline path (observable only through
+        // the result being exact; the scheduling metrics are process
+        // global and not assertable here).
+        let items: Vec<u32> = (0..10_000).collect();
+        let got = par_map_cost(8, &items, Cost::per_item_ns(1), |_, &x| x ^ 0xabcd);
+        let expect: Vec<u32> = items.iter().map(|&x| x ^ 0xabcd).collect();
+        assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn par_for_each_mut_visits_every_item_once() {
+        for (threads, per_item) in [(1usize, 1u64), (4, 1), (4, 80_000), (64, 80_000)] {
+            let mut items: Vec<u64> = (0..257).collect();
+            par_for_each_mut(threads, &mut items, Cost::per_item_ns(per_item), |i, x| {
+                assert_eq!(i as u64, *x);
+                *x = x.wrapping_mul(7) + 1;
+            });
+            let expect: Vec<u64> = (0..257u64).map(|x| x.wrapping_mul(7) + 1).collect();
+            assert_eq!(items, expect, "threads={threads} per_item={per_item}");
         }
     }
 
@@ -304,6 +935,33 @@ mod tests {
         for threads in [1, 2, 8] {
             assert_eq!(par_merge_sorted(threads, runs.clone()), expect);
         }
+        assert!(par_merge_sorted(4, Vec::<Vec<u32>>::new()).is_empty());
+    }
+
+    #[test]
+    fn par_merge_is_stable_across_runs_without_clone() {
+        // Keys collide across runs; payloads don't participate in Ord.
+        // Earlier runs must win ties — and the element type is not Clone.
+        #[derive(Debug, PartialEq, Eq)]
+        struct NoClone(u32, &'static str);
+        impl PartialOrd for NoClone {
+            fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+                Some(self.cmp(other))
+            }
+        }
+        impl Ord for NoClone {
+            fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+                self.0.cmp(&other.0)
+            }
+        }
+        let runs = vec![
+            vec![NoClone(1, "a"), NoClone(4, "a")],
+            vec![NoClone(1, "b"), NoClone(2, "b")],
+            vec![NoClone(1, "c")],
+        ];
+        let merged = par_merge_sorted(3, runs);
+        let tags: Vec<&str> = merged.iter().map(|x| x.1).collect();
+        assert_eq!(tags, vec!["a", "b", "c", "b", "a"]);
     }
 
     #[test]
@@ -323,5 +981,19 @@ mod tests {
         }
         par_sort_unstable(4, &mut data);
         assert_eq!(data, expect);
+    }
+
+    #[test]
+    fn par_sort_handles_non_clone_elements() {
+        #[derive(Debug, PartialEq, Eq, PartialOrd, Ord)]
+        struct Key(u64);
+        let mut data: Vec<Key> = (0..50_000u64)
+            .map(|i| Key(i.wrapping_mul(0x2545_f491_4f6c_dd1d)))
+            .collect();
+        let mut expect: Vec<u64> = data.iter().map(|k| k.0).collect();
+        expect.sort_unstable();
+        par_sort_unstable(4, &mut data);
+        let got: Vec<u64> = data.iter().map(|k| k.0).collect();
+        assert_eq!(got, expect);
     }
 }

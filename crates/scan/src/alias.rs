@@ -78,7 +78,11 @@ impl AliasDetector {
         t: SimTime,
         threads: usize,
     ) -> Vec<Prefix> {
-        let verdicts = v6par::par_map(threads, candidates, |_, p| self.detect(prober, p, t));
+        // Cost hint: one detection probes 16 pseudo-random addresses in
+        // the candidate prefix (~1 µs each with encode/decode).
+        let cost = v6par::Cost::per_item_ns(16_000).labeled("scan.alias");
+        let verdicts =
+            v6par::par_map_cost(threads, candidates, cost, |_, p| self.detect(prober, p, t));
         candidates
             .iter()
             .zip(verdicts)

@@ -183,7 +183,11 @@ pub fn run_hitlist_campaign_with_threads(
         // Each routed prefix's window is independent, so the per-/48
         // expansion fans out across workers; concatenating per-prefix
         // target lists in prefix order reproduces the sequential order.
-        let per_prefix = v6par::par_map(threads, &routed, |_, (p, _)| {
+        // Cost hint: `low_iid_per_as` hashed /48 picks plus two target
+        // expansions each, ~300 ns per pick.
+        let prefix_cost =
+            v6par::Cost::per_item_ns(cfg.low_iid_per_as.max(1) * 300).labeled("scan.lowiid");
+        let per_prefix = v6par::par_map_cost(threads, &routed, prefix_cost, |_, (p, _)| {
             let n48 = p.subprefix_count(48).min(1 << 16);
             let mut out = Vec::with_capacity(cfg.low_iid_per_as as usize * 2);
             for k in 0..cfg.low_iid_per_as {
@@ -289,7 +293,10 @@ pub fn run_hitlist_campaign_with_threads(
         // parent still detects as aliased. Each detected prefix broadens
         // independently; inserting in sweep order keeps the alias list
         // identical to the sequential pass.
-        let broadened = v6par::par_map(threads, &detected, |_, &p| {
+        // Cost hint: up to four parent-detection attempts per prefix,
+        // each a 16-probe sweep.
+        let broaden_cost = v6par::Cost::per_item_ns(64_000).labeled("scan.broaden");
+        let broadened = v6par::par_map_cost(threads, &detected, broaden_cost, |_, &p| {
             let mut broadest = p;
             for len in [44u8, 40, 36, 33] {
                 if len >= broadest.len() {

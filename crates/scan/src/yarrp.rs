@@ -139,13 +139,19 @@ pub fn trace_with_threads<P: Prober + Sync>(
     cfg: &YarrpConfig,
     threads: usize,
 ) -> YarrpResult {
-    const MIN_PARALLEL_PROBES: u64 = 2_048;
     let domain = trace_domain(targets, cfg);
-    if threads <= 1 || domain < MIN_PARALLEL_PROBES {
+    if threads <= 1 || domain < 2 {
         return trace(prober, targets, cfg);
     }
-    let ranges = v6par::split_ranges(domain as usize, threads * 4);
-    let shards = v6par::par_map(threads, &ranges, |_, range| {
+    // Calibrated per-(target, TTL) probe cost; the adaptive cutoff in
+    // v6par keeps small campaigns inline, replacing the old hand-rolled
+    // minimum-probe threshold.
+    const PROBE_NS: u64 = 800;
+    let ranges = v6par::split_ranges(domain as usize, (threads * 4).min(domain as usize));
+    let range_cost =
+        v6par::Cost::per_item_ns(PROBE_NS * (domain / ranges.len().max(1) as u64).max(1))
+            .labeled("scan.yarrp");
+    let shards = v6par::par_map_cost(threads, &ranges, range_cost, |_, range| {
         trace_indices(prober, targets, cfg, range.start as u64..range.end as u64)
     });
     let mut result = YarrpResult::default();

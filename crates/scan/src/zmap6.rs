@@ -107,13 +107,18 @@ pub fn scan_with_threads<P: Prober + Sync>(
     cfg: &Zmap6Config,
     threads: usize,
 ) -> ScanResult {
-    // Below this the scope/merge overhead outweighs the probing work.
-    const MIN_PARALLEL_TARGETS: usize = 2_048;
-    if threads <= 1 || targets.len() < MIN_PARALLEL_TARGETS {
+    if threads <= 1 || targets.len() < 2 {
         return scan(prober, targets, cfg);
     }
-    let ranges = v6par::split_ranges(targets.len(), threads * 4);
-    let shards = v6par::par_map(threads, &ranges, |_, range| {
+    // Calibrated probe cost (encode + permute + validate + decode); the
+    // adaptive cutoff in v6par keeps small sweeps inline, replacing the
+    // old hand-rolled minimum-target threshold.
+    const PROBE_NS: u64 = 1_500;
+    let ranges = v6par::split_ranges(targets.len(), (threads * 4).min(targets.len()));
+    let range_cost =
+        v6par::Cost::per_item_ns(PROBE_NS * (targets.len() / ranges.len().max(1)).max(1) as u64)
+            .labeled("scan.zmap6");
+    let shards = v6par::par_map_cost(threads, &ranges, range_cost, |_, range| {
         scan_indices(prober, targets, cfg, range.start as u64..range.end as u64)
     });
     let mut result = ScanResult::default();

@@ -152,12 +152,18 @@ fn normalize(update: PublicationUpdate, shard_bits: u32) -> ShardBatch {
             aliases.extend(prefixes.iter().map(|&p| (p, week as u32)));
         }
     }
-    for run in &mut per_shard {
-        // Sort by (bits, week) then dedup keeping the first entry of each
-        // equal-bits run — i.e. the earliest week within this update.
+    // Sort each run by (bits, week) then dedup keeping the first entry
+    // of each equal-bits run — i.e. the earliest week within this
+    // update. Runs are independent, so big updates fan the per-shard
+    // sorts out across the v6par pool; the adaptive cutoff keeps the
+    // typical small update inline on this worker thread.
+    let total: usize = per_shard.iter().map(Vec::len).sum();
+    let run_cost = v6par::Cost::per_item_ns(100 * (total / per_shard.len().max(1)).max(1) as u64)
+        .labeled("serve.normalize");
+    v6par::par_for_each_mut(v6par::threads(), &mut per_shard, run_cost, |_, run| {
         run.sort_unstable();
         run.dedup_by_key(|&mut (b, _)| b);
-    }
+    });
     ShardBatch {
         per_shard,
         aliases,
