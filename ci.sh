@@ -32,6 +32,13 @@ V6HL_SCALE=tiny V6_CHAOS_MODE=permanent V6_CHAOS_SEED=11 V6_THREADS=4 \
   cargo run --release -q -p v6bench --bin chaos 2>/dev/null | grep '^LOST ' \
   | diff -u tests/golden/chaos_loss_seed11.txt -
 
+echo "== crash-recovery matrix: kill-and-recover matches the golden reports =="
+for seed in 5 23; do
+  V6_CHAOS_MODE=recovery V6_CHAOS_SEED="$seed" \
+    cargo run --release -q -p v6bench --bin chaos 2>/dev/null | grep '^RECOVER' \
+    | diff -u "tests/golden/store_recovery_seed${seed}.txt" -
+done
+
 echo "== digest equivalence at V6_THREADS={1,4} =="
 for t in 1 4; do
   V6_THREADS="$t" cargo test -q -p v6hitlist --test parallel_equivalence
@@ -56,6 +63,16 @@ speedup=$(grep -o '"speedup": [0-9.]*' BENCH_pipeline.json | head -1 | tr -dc '0
 echo "pipeline speedup: ${speedup}x"
 awk -v s="$speedup" 'BEGIN { exit !(s >= 0.9) }' \
   || { echo "FAIL: pipeline speedup ${speedup} < 0.9 (parallel overhead regression)"; exit 1; }
+
+echo "== serve bench smoke (load run + persistence on/off + cold recovery) =="
+rm -f BENCH_serve.json
+V6SERVE_QUERIES=200000 cargo run --release -q -p v6bench --bin serve >/dev/null
+test -s BENCH_serve.json
+grep -q '"cores"' BENCH_serve.json
+grep -q '"durable_publish_ms"' BENCH_serve.json
+grep -q '"cold_recovery_ms"' BENCH_serve.json
+grep -q 'store.log.appends' BENCH_serve.json
+grep -q 'store.recover.replayed' BENCH_serve.json
 
 echo "== kernels bench emits BENCH_kernels.json =="
 rm -f BENCH_kernels.json

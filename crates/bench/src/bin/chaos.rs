@@ -1,6 +1,6 @@
 //! Chaos harness: the fault-injection invariants, runnable from CI.
 //!
-//! Two modes, selected by `V6_CHAOS_MODE`:
+//! Three modes, selected by `V6_CHAOS_MODE`:
 //!
 //! * `transient` (default) — runs the pipeline fault-free, then under a
 //!   transient-only fault plan at 1 and `V6_THREADS` workers, and
@@ -10,14 +10,27 @@
 //!   faults at 1 and `V6_THREADS` workers, asserts the loss reports
 //!   agree, and prints the report (`LOST <unit> (<reason>)` lines) to
 //!   stdout so CI can diff it against a golden file.
+//! * `recovery` — drives a persistent [`v6serve::HitlistStore`]
+//!   through a scripted publication run with write-path faults (torn
+//!   writes, partial flushes, bit rot, torn checkpoints) injected from
+//!   the seeded plan, kill-and-recovers after every failed publish and
+//!   at fixed intervals (to surface silent bit rot), and asserts every
+//!   recovery lands on a previously published content checksum. Prints
+//!   one deterministic `RECOVER …` line per recovery and a final
+//!   `RECOVERY_OK …` summary to stdout so CI can diff the block
+//!   against a golden file.
 //!
 //! Env knobs: `V6HL_SCALE`, `V6HL_SEED` (the usual), `V6_THREADS`,
 //! `V6_CHAOS_SEED` (fault-plan seed; defaults 7 transient / 11
-//! permanent), `V6_CHAOS_MODE`.
+//! permanent / 5 recovery), `V6_CHAOS_MODE`.
+
+use std::collections::HashSet;
+use std::sync::Arc;
 
 use v6bench::{config_for, seed_from_env, Scale};
 use v6chaos::{FaultPlan, FaultSpec};
 use v6hitlist::Experiment;
+use v6serve::{HitlistStore, PublishError, SnapshotBuilder, StoreConfig};
 
 fn main() {
     let scale = Scale::from_env();
@@ -84,9 +97,154 @@ fn main() {
                 r1.loss.len()
             );
         }
+        "recovery" => {
+            // Write-path faults only, no stalls: the run must be fast
+            // and its stdout byte-deterministic for the golden diff.
+            let plan = Arc::new(FaultPlan::from_env(
+                5,
+                FaultSpec {
+                    stall_rate: 0.0,
+                    stall_ms: 0,
+                    ..FaultSpec::with_permanent(0.45, 0.0)
+                },
+            ));
+            eprintln!(
+                "[chaos] seed={seed} chaos_seed={}: store kill-and-recover run …",
+                plan.seed()
+            );
+            run_recovery(seed, plan);
+        }
         other => {
-            eprintln!("[chaos] unknown V6_CHAOS_MODE {other:?} (use transient|permanent)");
+            eprintln!("[chaos] unknown V6_CHAOS_MODE {other:?} (use transient|permanent|recovery)");
             std::process::exit(2);
         }
     }
+}
+
+/// How many cumulative publication steps the recovery run drives.
+const RECOVERY_STEPS: u32 = 24;
+
+/// Shard count for the recovery-run store (power of two).
+const RECOVERY_SHARDS: usize = 4;
+
+/// Cumulative deterministic snapshot: three seeded addresses per week,
+/// weeks `0..=step`. Content depends only on `seed` and `step`, so the
+/// checksums in the `RECOVER` lines are reproducible.
+fn recovery_snapshot(seed: u64, step: u32) -> v6serve::Snapshot {
+    let mut b = SnapshotBuilder::new("chaos-recovery", RECOVERY_SHARDS);
+    for w in 0..=step {
+        for i in 0..3u64 {
+            let h = v6netsim::rng::hash64(seed ^ (u64::from(w) << 8 | i), b"chaos-recovery-addr");
+            b.add_bits((0x2001_0db8u128 << 96) | u128::from(h & 0xffff_ffff), w);
+        }
+    }
+    b.build()
+}
+
+/// Kills the store (the caller already dropped it with the injected
+/// damage still on disk), recovers, asserts the crash invariant —
+/// the recovered checksum equals some previously published epoch —
+/// and prints the deterministic `RECOVER` line.
+fn recover_store(
+    cfg: &StoreConfig,
+    plan: &Arc<FaultPlan>,
+    published: &HashSet<u64>,
+    step: u32,
+    cause: &str,
+) -> HitlistStore {
+    let (store, report) =
+        HitlistStore::recover_with(cfg.clone(), plan.clone()).expect("recovery must never fail");
+    let checksum = store.snapshot().content_checksum();
+    assert!(
+        published.contains(&checksum),
+        "step {step}: recovered checksum {checksum:#018x} was never published"
+    );
+    println!(
+        "RECOVER step={step} cause={cause} epoch={} checksum={checksum:016x} replayed={} \
+         truncated={} quarantined={} checkpoint={}",
+        report.recovered_epoch,
+        report.replayed,
+        report.truncated_bytes,
+        report.quarantined,
+        report
+            .checkpoint_epoch
+            .map_or("-".into(), |e| e.to_string()),
+    );
+    store
+}
+
+/// The kill-and-recover loop behind `V6_CHAOS_MODE=recovery`.
+fn run_recovery(seed: u64, plan: Arc<FaultPlan>) {
+    let dir = v6store::scratch_dir("chaos-recovery");
+    let cfg = StoreConfig::new(&dir).checkpoint_every(4).with_fsync(false);
+    let mut store =
+        HitlistStore::persistent_with("chaos-recovery", RECOVERY_SHARDS, cfg.clone(), plan.clone())
+            .expect("create durable store");
+
+    let mut published: HashSet<u64> = HashSet::new();
+    published.insert(store.snapshot().content_checksum()); // epoch 0: empty
+    let (mut publishes, mut failures, mut recoveries) = (0u64, 0u64, 0u64);
+
+    for step in 1..=RECOVERY_STEPS {
+        let snap = recovery_snapshot(seed, step);
+        let checksum = snap.content_checksum();
+        match store.publish(snap) {
+            Ok(_) => {
+                publishes += 1;
+                published.insert(checksum);
+            }
+            Err(PublishError::Persistence(err)) => {
+                failures += 1;
+                let cause = if err.contains("torn write") {
+                    "torn-write"
+                } else if err.contains("partial flush") {
+                    "partial-flush"
+                } else {
+                    "io"
+                };
+                // Crash with the damage on disk, then recover.
+                recoveries += 1;
+                drop(store);
+                store = recover_store(&cfg, &plan, &published, step, cause);
+                // Retry until this step's content lands. Every failed
+                // attempt burns an epoch (and self-heals its torn
+                // bytes), so the loop always terminates.
+                let mut attempts = 0u32;
+                loop {
+                    attempts += 1;
+                    assert!(attempts <= 64, "step {step}: 64 failed publish attempts");
+                    match store.publish(recovery_snapshot(seed, step)) {
+                        Ok(_) => {
+                            publishes += 1;
+                            published.insert(checksum);
+                            break;
+                        }
+                        Err(PublishError::Persistence(_)) => failures += 1,
+                        Err(other) => panic!("step {step}: unexpected publish error: {other}"),
+                    }
+                }
+            }
+            Err(other) => panic!("step {step}: unexpected publish error: {other}"),
+        }
+        // Periodic forced kill: silent bit rot never fails a publish,
+        // so only an unprompted crash-and-recover can surface it.
+        if step % 7 == 0 {
+            recoveries += 1;
+            drop(store);
+            store = recover_store(&cfg, &plan, &published, step, "kill");
+        }
+    }
+
+    let final_checksum = store.snapshot().content_checksum();
+    println!(
+        "RECOVERY_OK chaos_seed={} steps={RECOVERY_STEPS} publishes={publishes} \
+         failures={failures} recoveries={recoveries} epoch={} checksum={final_checksum:016x}",
+        plan.seed(),
+        store.epoch(),
+    );
+    eprintln!(
+        "[chaos] {recoveries} recoveries over {RECOVERY_STEPS} steps, \
+         {failures} injected publish failures, all landed on published epochs"
+    );
+    std::fs::remove_dir_all(&dir).ok();
 }

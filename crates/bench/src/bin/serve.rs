@@ -8,20 +8,27 @@
 //! publish overlapped the run, never blocked readers for long, and no
 //! known-present address was ever reported absent.
 //!
+//! After the load run the harness times durability: the same weekly
+//! sequence published to an in-memory store vs. a write-ahead-logged
+//! one, plus a cold [`v6serve::HitlistStore::recover`] after dropping
+//! the writer mid-flight. Both sets of numbers land in
+//! `BENCH_serve.json`.
+//!
 //! Env knobs: `V6HL_SEED` (default 2022), `V6SERVE_QUERIES` (default
 //! 1_000_000), `V6SERVE_THREADS` (default 4), `V6SERVE_SHARDS`
 //! (default 8).
 
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
-use v6bench::{MetricsDump, ServeBench};
+use v6bench::{MetricsDump, PersistenceBench, ServeBench};
 use v6hitlist::collect::active::collect_hitlist;
 use v6hitlist::HitlistService;
 use v6netsim::{World, WorldConfig};
 use v6scan::HitlistCampaignConfig;
 use v6serve::{
     loadgen, HitlistStore, Ingestor, LoadSpec, PublicationUpdate, QueryEngine, SnapshotBuilder,
+    StoreConfig,
 };
 
 fn env_u64(key: &str, default: u64) -> u64 {
@@ -31,8 +38,96 @@ fn env_u64(key: &str, default: u64) -> u64 {
         .unwrap_or(default)
 }
 
+/// Publishes the campaign's weekly sequence to an in-memory store and
+/// to a durable one (fsync on — that *is* the measured cost), then
+/// times a cold recovery of the durable store after a simulated crash.
+fn persistence_bench(service: &HitlistService, shards: usize) -> PersistenceBench {
+    let mut weeks: Vec<(u32, Vec<std::net::Ipv6Addr>)> = service
+        .snapshots
+        .iter()
+        .map(|w| (w.week as u32, w.new_responsive.clone()))
+        .collect();
+    // Tiny campaigns only yield a couple of weeks; pad with synthetic
+    // ones so the log and the cold recovery cover a real epoch chain.
+    let mut next_week = weeks.last().map_or(0, |(w, _)| w + 1);
+    while weeks.len() < 8 {
+        let addrs: Vec<std::net::Ipv6Addr> = (0..512u128)
+            .map(|i| {
+                std::net::Ipv6Addr::from(
+                    (0x2001_0db8u128 << 96) | (u128::from(next_week) << 40) | i,
+                )
+            })
+            .collect();
+        weeks.push((next_week, addrs));
+        next_week += 1;
+    }
+    let build_through = |upto: usize| {
+        let mut b = SnapshotBuilder::new("persist-bench", shards);
+        for (week, addrs) in &weeks[..=upto] {
+            b.add_week(*week, addrs);
+        }
+        b.build()
+    };
+    let epochs = weeks.len() as u64;
+
+    // Identical pre-built sequences, so the timed loops measure publish
+    // cost only, not snapshot construction.
+    let seq_mem: Vec<_> = (0..weeks.len()).map(build_through).collect();
+    let seq_dur: Vec<_> = (0..weeks.len()).map(build_through).collect();
+
+    let mem = HitlistStore::new("persist-bench", shards);
+    let t0 = Instant::now();
+    for snap in seq_mem {
+        mem.publish(snap).expect("in-memory publish");
+    }
+    let memory_publish_ms = t0.elapsed().as_secs_f64() * 1e3;
+
+    let dir = v6store::scratch_dir("bench-serve-persist");
+    let cfg = StoreConfig::new(&dir).checkpoint_every(0);
+    let store =
+        HitlistStore::persistent("persist-bench", shards, cfg.clone()).expect("durable store");
+    let t0 = Instant::now();
+    for snap in seq_dur {
+        store.publish(snap).expect("durable publish");
+    }
+    let durable_publish_ms = t0.elapsed().as_secs_f64() * 1e3;
+    let final_checksum = store.snapshot().content_checksum();
+    let writer_metrics = MetricsDump::from_snapshot(&store.metrics().registry().snapshot());
+    let log_bytes = std::fs::metadata(dir.join(v6store::LOG_FILE))
+        .map(|m| m.len())
+        .unwrap_or(0);
+    drop(store); // crash: no shutdown step, just the log on disk
+
+    let t0 = Instant::now();
+    let (recovered, report) = HitlistStore::recover(cfg).expect("cold recovery");
+    let cold_recovery_ms = t0.elapsed().as_secs_f64() * 1e3;
+    assert_eq!(
+        recovered.snapshot().content_checksum(),
+        final_checksum,
+        "cold recovery diverged from the last published state"
+    );
+    assert_eq!(report.truncated_bytes, 0, "clean log must not truncate");
+    let recovery_metrics = MetricsDump::from_snapshot(&recovered.metrics().registry().snapshot());
+    std::fs::remove_dir_all(&dir).ok();
+
+    PersistenceBench {
+        epochs,
+        memory_publish_ms,
+        durable_publish_ms,
+        log_bytes,
+        cold_recovery_ms,
+        recovered_epoch: report.recovered_epoch,
+        replayed: report.replayed,
+        writer_metrics,
+        recovery_metrics,
+    }
+}
+
 fn main() {
     let seed = v6bench::seed_from_env();
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
     // Floor keeps the mid-run-publish assertions meaningful: far fewer
     // queries and the publisher may land after the run already ended.
     let queries = env_u64("V6SERVE_QUERIES", 1_000_000).max(10_000);
@@ -131,7 +226,7 @@ fn main() {
         "publish: epoch {} ({} addresses), validate {:?}, swap {:?}",
         receipt.epoch, receipt.addresses, receipt.validate, receipt.swap
     );
-    println!("{}", store.metrics().report());
+    print!("{}", store.metrics().render_text());
 
     // The concurrency contract, enforced:
     assert!(
@@ -160,14 +255,31 @@ fn main() {
     assert!(final_snap.verify_integrity(), "final snapshot corrupted");
     assert_eq!(final_snap.epoch(), receipt.epoch);
 
+    // Durability cost: persistence-on vs. -off publish + cold recovery.
+    eprintln!("[serve] timing persistence-on/off publish + cold recovery …");
+    let persistence = persistence_bench(&service, shards);
+    println!(
+        "persistence: {} epochs, publish {:.2} ms in-memory vs {:.2} ms durable \
+         ({} log bytes), cold recovery {:.2} ms ({} replayed, epoch {})",
+        persistence.epochs,
+        persistence.memory_publish_ms,
+        persistence.durable_publish_ms,
+        persistence.log_bytes,
+        persistence.cold_recovery_ms,
+        persistence.replayed,
+        persistence.recovered_epoch,
+    );
+
     // Machine-readable artifact: run parameters + the store's registry
-    // (query counters and latency histograms).
+    // (query counters and latency histograms) + durability timings.
     let bench = ServeBench {
         seed,
         queries,
         threads,
         shards,
+        cores,
         metrics: MetricsDump::from_snapshot(&store.metrics().registry().snapshot()),
+        persistence,
     };
     assert!(
         bench

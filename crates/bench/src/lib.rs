@@ -219,9 +219,39 @@ pub struct PipelineBench {
     pub metrics: MetricsDump,
 }
 
+/// Durability timings from the `serve` bench: the same publication
+/// sequence driven against an in-memory store and a write-ahead-logged
+/// one, followed by a timed cold recovery of the durable store after a
+/// simulated crash (the writer is dropped with no shutdown step).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PersistenceBench {
+    /// Epochs published in each timed sequence.
+    pub epochs: u64,
+    /// Wall milliseconds publishing the sequence in-memory only.
+    pub memory_publish_ms: f64,
+    /// Wall milliseconds publishing the same sequence with the epoch
+    /// log enabled (frame append + fsync ahead of every swap).
+    pub durable_publish_ms: f64,
+    /// Bytes the epoch log held when the writer "crashed".
+    pub log_bytes: u64,
+    /// Wall milliseconds for the cold `HitlistStore::recover`.
+    pub cold_recovery_ms: f64,
+    /// Epoch the recovery landed on (the bench asserts it matches the
+    /// last published epoch and checksum).
+    pub recovered_epoch: u64,
+    /// Delta frames replayed from the log during recovery.
+    pub replayed: u64,
+    /// The writer store's registry after the durable sequence
+    /// (`store.log.*` counters plus the append-latency histogram).
+    pub writer_metrics: MetricsDump,
+    /// The recovered store's registry (`store.recover.*` counters plus
+    /// the recovery-latency histogram).
+    pub recovery_metrics: MetricsDump,
+}
+
 /// The machine-readable output of the `serve` bench binary: run
 /// parameters plus the store's registry state (counters and latency
-/// histograms) after the load run.
+/// histograms) after the load run, and the durability timings.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ServeBench {
     /// Master seed.
@@ -232,8 +262,14 @@ pub struct ServeBench {
     pub threads: usize,
     /// Store shard count.
     pub shards: usize,
+    /// Hardware threads available to the process when the bench ran —
+    /// the context for reading the throughput numbers, mirroring
+    /// `BENCH_pipeline.json`.
+    pub cores: usize,
     /// The store's private registry after the run.
     pub metrics: MetricsDump,
+    /// Persistence-on vs. -off publish cost and cold-recovery timing.
+    pub persistence: PersistenceBench,
 }
 
 /// One kernel measured sequentially and in parallel at one input size,

@@ -29,6 +29,15 @@
 //! | `serve.worker.update.<seq>`| shard-worker normalization of update   |
 //! | `serve.merger.update.<seq>`| the ingestion merger (stalls only)     |
 //! | `serve.shard.<i>`          | merging accumulated state of shard `i` |
+//! | `store.append.<epoch>`     | epoch-log append: `Error` tears the    |
+//! |                            | frame mid-write, `Panic` drops the     |
+//! |                            | tail page (partial flush); both fail   |
+//! |                            | the publish                            |
+//! | `store.bitrot.<epoch>`     | silent bit flip inside the appended    |
+//! |                            | frame — the append *succeeds*; only    |
+//! |                            | recovery detects and quarantines it    |
+//! | `store.checkpoint.<epoch>` | checkpoint compaction: the checkpoint  |
+//! |                            | file tears and the log is kept intact  |
 //!
 //! The seed comes from the caller or from the `V6_CHAOS_SEED`
 //! environment variable (see [`seed_from_env`]).

@@ -16,8 +16,13 @@
 //! - [`ingest`] — bounded-channel worker pipeline turning campaign and
 //!   passive-corpus publications into snapshots off the serving threads.
 //! - [`query`] — the typed query API served from any snapshot.
+//! - [`persist`] — durable publication through the [`v6store`]
+//!   write-ahead epoch log: `HitlistStore::persistent` fsyncs each
+//!   epoch before the swap and `HitlistStore::recover` rebuilds the
+//!   store from disk after a crash.
 //! - [`metrics`] — a per-store [`v6obs::Registry`] facade: `serve.*`
-//!   counters plus per-query-type and ingest latency histograms.
+//!   counters plus per-query-type and ingest latency histograms (and,
+//!   for persistent stores, the `store.*` log/recovery metrics).
 //! - [`loadgen`] — deterministic load harness replaying seeded query
 //!   mixes across client threads, with latency percentiles.
 //!
@@ -36,6 +41,7 @@
 pub mod ingest;
 pub mod loadgen;
 pub mod metrics;
+pub mod persist;
 pub mod query;
 pub mod snapshot;
 pub mod store;
@@ -44,7 +50,10 @@ pub use ingest::{
     IngestError, IngestHandle, IngestReport, IngestStats, Ingestor, PublicationUpdate,
 };
 pub use loadgen::{LoadReport, LoadSpec, QueryMix};
-pub use metrics::{MetricsReport, ServeMetrics};
+#[allow(deprecated)]
+pub use metrics::MetricsReport;
+pub use metrics::ServeMetrics;
 pub use query::{BatchAnswer, LookupAnswer, QueryEngine};
 pub use snapshot::{ServeStatus, Shard, Snapshot, SnapshotBuilder};
 pub use store::{HitlistStore, PublishError, PublishReceipt};
+pub use v6store::{RecoverError, RecoveryReport, StoreConfig};

@@ -86,6 +86,10 @@ impl Default for ServeMetrics {
 /// latency histograms) and is the format the benches emit. `MetricsReport`
 /// remains as a compatibility shim for existing callers and keeps its
 /// exact field set and `Display` format; no new fields will be added.
+#[deprecated(
+    since = "0.1.0",
+    note = "use ServeMetrics::registry() — snapshot() for values, render_text() for exposition"
+)]
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct MetricsReport {
     /// Exact/alias-filtered membership queries served.
@@ -108,6 +112,7 @@ pub struct MetricsReport {
     pub ingested_addresses: u64,
 }
 
+#[allow(deprecated)]
 impl MetricsReport {
     /// All query operations, counting each batched address once.
     pub fn queries_total(&self) -> u64 {
@@ -115,6 +120,7 @@ impl MetricsReport {
     }
 }
 
+#[allow(deprecated)]
 impl std::fmt::Display for MetricsReport {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
@@ -196,7 +202,11 @@ impl ServeMetrics {
 
     /// Queries served so far (batched addresses counted individually).
     pub fn queries_total(&self) -> u64 {
-        self.report().queries_total()
+        self.membership.get()
+            + self.lookups.get()
+            + self.density.get()
+            + self.diffs.get()
+            + self.batch_addresses.get()
     }
 
     /// Epochs published so far.
@@ -211,6 +221,11 @@ impl ServeMetrics {
 
     /// A consistent-enough copy of all counters (the [`MetricsReport`]
     /// compatibility shim; prefer [`ServeMetrics::registry`]).
+    #[deprecated(
+        since = "0.1.0",
+        note = "use ServeMetrics::registry() — snapshot() for values, render_text() for exposition"
+    )]
+    #[allow(deprecated)]
     pub fn report(&self) -> MetricsReport {
         MetricsReport {
             membership: self.membership.get(),
@@ -231,6 +246,7 @@ mod tests {
     use super::*;
 
     #[test]
+    #[allow(deprecated)] // exercises the MetricsReport compat shim
     fn counters_accumulate() {
         let m = ServeMetrics::default();
         m.record_membership();
@@ -259,6 +275,12 @@ mod tests {
         assert!(text.contains("serve.query.latency.membership_count 1\n"));
         // Two stores never share a registry.
         let other = ServeMetrics::default();
-        assert_eq!(other.report().membership, 0);
+        assert_eq!(
+            other
+                .registry()
+                .snapshot()
+                .counter("serve.query.membership"),
+            Some(0)
+        );
     }
 }

@@ -210,8 +210,8 @@ mod tests {
         assert_eq!(batch.aliased, 1);
         assert!(!batch.answers[2].present);
 
-        let m = q.store().metrics().report();
-        assert_eq!(m.batches, 1);
-        assert_eq!(m.batch_addresses, 3);
+        let snap = q.store().metrics().registry().snapshot();
+        assert_eq!(snap.counter("serve.query.batches"), Some(1));
+        assert_eq!(snap.counter("serve.query.batch_addresses"), Some(3));
     }
 }

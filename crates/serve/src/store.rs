@@ -10,14 +10,26 @@
 //! The alternative — a mutex around a mutable store — would stall every
 //! reader for the full duration of a weekly merge (millions of
 //! addresses); the ablation in DESIGN.md quantifies the difference.
+//!
+//! # Durability
+//!
+//! A store opened with [`HitlistStore::persistent`] additionally writes
+//! each epoch through a [`v6store::EpochLog`] *before* the pointer swap
+//! (write-ahead: durable-before-visible), and can be rebuilt from its
+//! directory with [`HitlistStore::recover`]. A store built with
+//! [`HitlistStore::new`] keeps the previous in-memory-only behavior.
 
+use std::io;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use parking_lot::RwLock;
+use parking_lot::{Mutex, RwLock};
+use v6chaos::{Chaos, NoChaos};
+use v6store::{EpochLog, EpochView, RecoverError, RecoveryReport, StoreConfig};
 
 use crate::metrics::ServeMetrics;
+use crate::persist::{flatten_snapshot, snapshot_from_state};
 use crate::snapshot::Snapshot;
 
 /// Why a publication was rejected.
@@ -32,6 +44,10 @@ pub enum PublishError {
         /// Shards the snapshot has.
         got: usize,
     },
+    /// The write-ahead log append failed: the epoch is *not* durable and
+    /// was not made visible to readers. The store stays on its previous
+    /// epoch and remains usable; the failed epoch number is burned.
+    Persistence(String),
 }
 
 impl std::fmt::Display for PublishError {
@@ -41,6 +57,7 @@ impl std::fmt::Display for PublishError {
             PublishError::ShardMismatch { expected, got } => {
                 write!(f, "snapshot has {got} shards, store serves {expected}")
             }
+            PublishError::Persistence(e) => write!(f, "write-ahead log append failed: {e}"),
         }
     }
 }
@@ -58,6 +75,8 @@ pub struct PublishReceipt {
     pub validate: Duration,
     /// Time the write lock was actually held (the pointer swap).
     pub swap: Duration,
+    /// Time spent making the epoch durable (zero for in-memory stores).
+    pub persist: Duration,
 }
 
 /// The concurrently readable hitlist store.
@@ -67,17 +86,114 @@ pub struct HitlistStore {
     next_epoch: AtomicU64,
     shard_count: usize,
     metrics: Arc<ServeMetrics>,
+    /// Write-ahead epoch log; `None` for in-memory stores. The mutex
+    /// covers epoch allocation + append so the on-disk epoch sequence
+    /// is strictly monotonic even with concurrent publishers.
+    log: Option<Mutex<EpochLog>>,
 }
 
 impl HitlistStore {
-    /// An empty store serving `shard_count` (power of two) shards.
+    /// An empty in-memory store serving `shard_count` (power of two)
+    /// shards. State does not survive a restart; see
+    /// [`HitlistStore::persistent`].
     pub fn new(name: impl Into<String>, shard_count: usize) -> Self {
         HitlistStore {
             current: RwLock::new(Arc::new(Snapshot::empty(name, shard_count))),
             next_epoch: AtomicU64::new(1),
             shard_count,
             metrics: Arc::new(ServeMetrics::default()),
+            log: None,
         }
+    }
+
+    /// An empty *durable* store: every published epoch is appended and
+    /// fsynced to the write-ahead log in `cfg.dir` before it becomes
+    /// visible, and [`HitlistStore::recover`] can rebuild the store
+    /// from that directory after a crash. Any previous store files in
+    /// the directory are wiped.
+    pub fn persistent(
+        name: impl Into<String>,
+        shard_count: usize,
+        cfg: StoreConfig,
+    ) -> io::Result<Self> {
+        Self::persistent_with(name, shard_count, cfg, Arc::new(NoChaos))
+    }
+
+    /// [`HitlistStore::persistent`] with fault injection on the write
+    /// path (`store.append.*`, `store.bitrot.*`, `store.checkpoint.*`).
+    pub fn persistent_with(
+        name: impl Into<String>,
+        shard_count: usize,
+        cfg: StoreConfig,
+        chaos: Arc<dyn Chaos>,
+    ) -> io::Result<Self> {
+        let name = name.into();
+        assert!(
+            shard_count.is_power_of_two(),
+            "shard count must be a power of two, got {shard_count}"
+        );
+        let metrics = Arc::new(ServeMetrics::default());
+        let log = EpochLog::create_with(
+            cfg,
+            &name,
+            shard_count.trailing_zeros(),
+            metrics.registry(),
+            chaos,
+        )?;
+        Ok(HitlistStore {
+            current: RwLock::new(Arc::new(Snapshot::empty(name, shard_count))),
+            next_epoch: AtomicU64::new(1),
+            shard_count,
+            metrics,
+            log: Some(Mutex::new(log)),
+        })
+    }
+
+    /// Rebuilds a durable store from its directory: loads the newest
+    /// parseable checkpoint, replays the log tail (truncating a torn
+    /// tail, quarantining bit-rotted frames), verifies the rebuilt
+    /// content checksum against the one recorded at publish time, and
+    /// reopens the log for further publication.
+    pub fn recover(cfg: StoreConfig) -> Result<(Self, RecoveryReport), RecoverError> {
+        Self::recover_with(cfg, Arc::new(NoChaos))
+    }
+
+    /// [`HitlistStore::recover`] with fault injection on the reopened
+    /// write path.
+    pub fn recover_with(
+        cfg: StoreConfig,
+        chaos: Arc<dyn Chaos>,
+    ) -> Result<(Self, RecoveryReport), RecoverError> {
+        let metrics = Arc::new(ServeMetrics::default());
+        let rec = v6store::recover_with(&cfg.dir, None, metrics.registry())?;
+        let snapshot = snapshot_from_state(&rec.state);
+        if snapshot.content_checksum() != rec.state.content_checksum {
+            return Err(RecoverError::Io(io::Error::other(format!(
+                "recovered epoch {} rebuilds to checksum {:#x}, log recorded {:#x}",
+                rec.state.epoch,
+                snapshot.content_checksum(),
+                rec.state.content_checksum
+            ))));
+        }
+        let shard_count = 1usize << rec.state.shard_bits;
+        let next = rec.state.epoch + 1;
+        let log = EpochLog::resume(cfg, rec.state, &rec.report, metrics.registry(), chaos)
+            .map_err(RecoverError::Io)?;
+        Ok((
+            HitlistStore {
+                current: RwLock::new(Arc::new(snapshot)),
+                next_epoch: AtomicU64::new(next),
+                shard_count,
+                metrics,
+                log: Some(Mutex::new(log)),
+            },
+            rec.report,
+        ))
+    }
+
+    /// True when this store writes epochs through a write-ahead log.
+    pub fn is_persistent(&self) -> bool {
+        self.log.is_some()
     }
 
     /// The shared metrics counters.
@@ -101,6 +217,12 @@ impl HitlistStore {
     /// is held only for an epoch comparison and an `Arc` swap. Concurrent
     /// publishers are safe: epochs are allocated atomically and a stale
     /// publisher can never roll back a newer epoch.
+    ///
+    /// On a persistent store the epoch is appended and fsynced to the
+    /// write-ahead log *before* the swap. A failed append returns
+    /// [`PublishError::Persistence`] and leaves the store serving its
+    /// previous epoch — readers can never observe an epoch that would
+    /// not survive a crash.
     pub fn publish(&self, mut snapshot: Snapshot) -> Result<PublishReceipt, PublishError> {
         if snapshot.shard_count() != self.shard_count {
             return Err(PublishError::ShardMismatch {
@@ -114,7 +236,29 @@ impl HitlistStore {
         }
         let validate = t0.elapsed();
 
-        let epoch = self.next_epoch.fetch_add(1, Ordering::Relaxed);
+        let mut persist = Duration::ZERO;
+        let epoch = match &self.log {
+            None => self.next_epoch.fetch_add(1, Ordering::Relaxed),
+            Some(log) => {
+                // Epoch allocation and append happen under the log mutex
+                // so the on-disk sequence is strictly monotonic.
+                let tp = Instant::now();
+                let mut log = log.lock();
+                let epoch = self.next_epoch.fetch_add(1, Ordering::Relaxed);
+                let (entries, aliases) = flatten_snapshot(&snapshot);
+                log.append(EpochView {
+                    epoch,
+                    week: snapshot.week(),
+                    content_checksum: snapshot.content_checksum(),
+                    missing_shards: snapshot.missing_shards(),
+                    entries: &entries,
+                    aliases: &aliases,
+                })
+                .map_err(|e| PublishError::Persistence(e.to_string()))?;
+                persist = tp.elapsed();
+                epoch
+            }
+        };
         snapshot.epoch = epoch;
         let addresses = snapshot.len();
         let degraded = snapshot.is_degraded();
@@ -137,6 +281,7 @@ impl HitlistStore {
             addresses,
             validate,
             swap,
+            persist,
         })
     }
 }

@@ -1,0 +1,134 @@
+//! Golden-file test pinning on-disk format v1 byte-for-byte.
+//!
+//! The fixture under `tests/golden/store_format_v1/` (repo root) is a
+//! complete store directory — a delta log plus a compacted checkpoint —
+//! produced by a fixed publication sequence. Any change to the header,
+//! frame layout, payload encoding, checksum, or compaction behavior
+//! shows up as a byte diff here and fails CI instead of silently
+//! orphaning previously written data.
+//!
+//! To regenerate after an *intentional* format-version bump:
+//!
+//! ```sh
+//! V6STORE_REGEN_GOLDEN=1 cargo test -p v6store --test golden_format
+//! ```
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use v6store::{recover, AliasEntry, EpochLog, EpochView, StoreConfig};
+
+/// The two files the fixture sequence must produce, exactly.
+const FIXTURE_FILES: [&str; 2] = ["epochs.v6log", "checkpoint-00000000000000000002.v6ck"];
+
+fn golden_dir() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("../../tests/golden/store_format_v1")
+}
+
+/// Replays the pinned publication sequence into `dir`: three epochs with
+/// adds, a week upgrade, a removal, an alias, a degraded shard — one of
+/// every delta feature — with a checkpoint compaction after epoch 2.
+fn build_fixture(dir: &Path) {
+    let base: u128 = 0x2001_0db8 << 96;
+    let cfg = StoreConfig::new(dir).checkpoint_every(2).with_fsync(false);
+    let mut log = EpochLog::create(cfg, "golden", 2).expect("create fixture store");
+    log.append(EpochView {
+        epoch: 1,
+        week: 0,
+        content_checksum: 0x1111_0001,
+        missing_shards: &[],
+        entries: &[(base | 1, 0), (base | 2, 0), (base | 0x30, 0)],
+        aliases: &[],
+    })
+    .expect("epoch 1");
+    // Epoch 2: one removal, one week upgrade, one add, one alias, one
+    // degraded shard — then the interval-2 checkpoint compacts the log.
+    log.append(EpochView {
+        epoch: 2,
+        week: 1,
+        content_checksum: 0x1111_0002,
+        missing_shards: &[3],
+        entries: &[(base | 1, 0), (base | 0x30, 1), (base | 0x41, 1)],
+        aliases: &[AliasEntry {
+            bits: base,
+            len: 48,
+            week: 1,
+        }],
+    })
+    .expect("epoch 2");
+    // Epoch 3 lands in the freshly reset log.
+    log.append(EpochView {
+        epoch: 3,
+        week: 2,
+        content_checksum: 0x1111_0003,
+        missing_shards: &[],
+        entries: &[
+            (base | 1, 0),
+            (base | 0x30, 1),
+            (base | 0x41, 1),
+            (base | 0x52, 2),
+        ],
+        aliases: &[AliasEntry {
+            bits: base,
+            len: 48,
+            week: 1,
+        }],
+    })
+    .expect("epoch 3");
+}
+
+#[test]
+fn on_disk_format_matches_golden_fixture() {
+    let scratch = v6store::scratch_dir("golden-format");
+    build_fixture(&scratch);
+
+    let mut produced: Vec<String> = fs::read_dir(&scratch)
+        .unwrap()
+        .map(|e| e.unwrap().file_name().to_string_lossy().into_owned())
+        .collect();
+    produced.sort();
+    let mut expected: Vec<String> = FIXTURE_FILES.iter().map(|s| s.to_string()).collect();
+    expected.sort();
+    assert_eq!(produced, expected, "fixture file set changed");
+
+    let golden = golden_dir();
+    if std::env::var("V6STORE_REGEN_GOLDEN").is_ok() {
+        fs::create_dir_all(&golden).unwrap();
+        for name in FIXTURE_FILES {
+            fs::copy(scratch.join(name), golden.join(name)).unwrap();
+        }
+        fs::remove_dir_all(&scratch).ok();
+        panic!("golden fixture regenerated under {golden:?}; rerun without V6STORE_REGEN_GOLDEN");
+    }
+
+    for name in FIXTURE_FILES {
+        let got = fs::read(scratch.join(name)).unwrap();
+        let want = fs::read(golden.join(name)).unwrap_or_else(|e| {
+            panic!("missing golden file {name} ({e}); regenerate with V6STORE_REGEN_GOLDEN=1")
+        });
+        assert_eq!(
+            got, want,
+            "{name} bytes diverged from format-v1 golden — if the format change is \
+             intentional, bump FORMAT_VERSION and regenerate"
+        );
+    }
+    fs::remove_dir_all(&scratch).ok();
+}
+
+#[test]
+fn golden_fixture_still_recovers() {
+    // Reading the *committed* fixture (not freshly written bytes) proves
+    // today's reader still understands yesterday's data.
+    let rec = recover(&golden_dir()).expect("golden fixture must recover");
+    assert_eq!(rec.state.epoch, 3);
+    assert_eq!(rec.state.week, 2);
+    assert_eq!(rec.state.content_checksum, 0x1111_0003);
+    assert_eq!(rec.state.name, "golden");
+    assert_eq!(rec.state.shard_bits, 2);
+    assert_eq!(rec.state.entries.len(), 4);
+    assert_eq!(rec.state.aliases.len(), 1);
+    assert_eq!(rec.report.checkpoint_epoch, Some(2));
+    assert_eq!(rec.report.replayed, 1);
+    assert_eq!(rec.report.truncated_bytes, 0);
+    assert_eq!(rec.report.quarantined, 0);
+}

@@ -89,5 +89,5 @@ fn main() {
         ans.epoch
     );
 
-    println!("{}", store.metrics().report());
+    print!("{}", store.metrics().render_text());
 }

@@ -22,6 +22,10 @@
 //! * [`serve`] (`v6serve`) — the serving half of a hitlist service:
 //!   sharded immutable snapshots, epoch-swapped publication, concurrent
 //!   ingestion, a typed query API, and a deterministic load harness.
+//! * [`store`] (`v6store`) — durable epoch persistence behind the
+//!   serving store: an append-only checksummed delta log with compacted
+//!   checkpoints, torn-tail/bit-rot classifying crash recovery, and
+//!   read-only time travel to any logged epoch (`V6_DATA_DIR` knob).
 //! * [`chaos`] (`v6chaos`) — seeded deterministic fault injection for
 //!   the pipeline and the serving path, plus the loss-report accounting
 //!   the chaos test suite pins (`V6_CHAOS_SEED` knob).
@@ -55,3 +59,4 @@ pub use v6obs as obs;
 pub use v6par as par;
 pub use v6scan as scan;
 pub use v6serve as serve;
+pub use v6store as store;

@@ -93,7 +93,11 @@ impl Criterion {
         } else {
             b.total.as_nanos() as f64 / b.iters as f64
         };
-        println!("{name:<50} {:>14} /iter ({} iters)", fmt_ns(mean_ns), b.iters);
+        println!(
+            "{name:<50} {:>14} /iter ({} iters)",
+            fmt_ns(mean_ns),
+            b.iters
+        );
         self
     }
 }

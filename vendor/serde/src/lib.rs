@@ -355,7 +355,9 @@ fn deserialize_pairs<K: Deserialize, V: Deserialize>(v: &Value) -> Result<Vec<(K
     entries
         .iter()
         .map(|e| {
-            let pair = e.as_seq().ok_or_else(|| Error::msg("expected [key, value]"))?;
+            let pair = e
+                .as_seq()
+                .ok_or_else(|| Error::msg("expected [key, value]"))?;
             if pair.len() != 2 {
                 return Err(Error::msg("expected [key, value]"));
             }
@@ -467,10 +469,7 @@ mod tests {
         let m: BTreeMap<u8, String> = [(1, "a".to_string()), (2, "b".to_string())].into();
         assert_eq!(BTreeMap::deserialize(&m.serialize()).unwrap(), m);
         let t = (1u8, -2i16, "x".to_string());
-        assert_eq!(
-            <(u8, i16, String)>::deserialize(&t.serialize()).unwrap(),
-            t
-        );
+        assert_eq!(<(u8, i16, String)>::deserialize(&t.serialize()).unwrap(), t);
     }
 
     #[test]

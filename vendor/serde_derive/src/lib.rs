@@ -220,10 +220,7 @@ fn deserialize_named_fields(fields: &[Field], map_var: &str, type_label: &str) -
     let mut out = String::from("{ ");
     for f in fields {
         if f.skip {
-            out.push_str(&format!(
-                "{}: ::std::default::Default::default(), ",
-                f.name
-            ));
+            out.push_str(&format!("{}: ::std::default::Default::default(), ", f.name));
         } else {
             out.push_str(&format!(
                 "{n}: ::serde::Deserialize::deserialize(::serde::map_get({map_var}, \"{n}\")\
@@ -279,8 +276,7 @@ fn generate_serialize(input: &Input) -> String {
                         ));
                     }
                     VariantKind::Named(fields) => {
-                        let binds: Vec<&str> =
-                            fields.iter().map(|f| f.name.as_str()).collect();
+                        let binds: Vec<&str> = fields.iter().map(|f| f.name.as_str()).collect();
                         let inner = serialize_named_fields(fields, "*");
                         arms.push_str(&format!(
                             "{name}::{vn} {{ {} }} => ::serde::Value::Map(vec![(\"{vn}\"\
@@ -312,9 +308,7 @@ fn generate_deserialize(input: &Input) -> String {
         Body::TupleStruct(skips) => {
             let live: Vec<usize> = (0..skips.len()).filter(|&i| !skips[i]).collect();
             if live.len() == 1 && skips.len() == 1 {
-                format!(
-                    "::std::result::Result::Ok({name}(::serde::Deserialize::deserialize(v)?))"
-                )
+                format!("::std::result::Result::Ok({name}(::serde::Deserialize::deserialize(v)?))")
             } else {
                 let mut items = Vec::new();
                 let mut next_seq = 0usize;
@@ -368,8 +362,7 @@ fn generate_deserialize(input: &Input) -> String {
                         "\"{vn}\" => {{ let m = __body.as_map().ok_or_else(|| \
                          ::serde::Error::msg(\"expected map for {name}::{vn}\"))?; \
                          ::std::result::Result::Ok({name}::{vn} {fields}) }} ",
-                        fields =
-                            deserialize_named_fields(fields, "m", &format!("{name}::{vn}"))
+                        fields = deserialize_named_fields(fields, "m", &format!("{name}::{vn}"))
                     )),
                 }
             }

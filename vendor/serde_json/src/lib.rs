@@ -81,19 +81,27 @@ fn render(v: &Value, indent: Option<usize>, depth: usize, out: &mut String) {
             }
         }
         Value::Str(s) => render_string(s, out),
-        Value::Seq(items) => render_delimited(items.iter(), indent, depth, out, '[', ']', |item, out| {
-            render(item, indent, depth + 1, out)
-        }),
-        Value::Map(entries) => {
-            render_delimited(entries.iter(), indent, depth, out, '{', '}', |(k, v), out| {
+        Value::Seq(items) => {
+            render_delimited(items.iter(), indent, depth, out, '[', ']', |item, out| {
+                render(item, indent, depth + 1, out)
+            })
+        }
+        Value::Map(entries) => render_delimited(
+            entries.iter(),
+            indent,
+            depth,
+            out,
+            '{',
+            '}',
+            |(k, v), out| {
                 render_string(k, out);
                 out.push(':');
                 if indent.is_some() {
                     out.push(' ');
                 }
                 render(v, indent, depth + 1, out);
-            })
-        }
+            },
+        ),
     }
 }
 
@@ -294,12 +302,7 @@ impl<'a> Parser<'a> {
                                     .ok_or_else(|| Error::msg("invalid \\u escape"))?,
                             );
                         }
-                        other => {
-                            return Err(Error::msg(format!(
-                                "bad escape \\{}",
-                                other as char
-                            )))
-                        }
+                        other => return Err(Error::msg(format!("bad escape \\{}", other as char))),
                     }
                 }
                 c if c < 0x80 => out.push(c as char),
@@ -393,7 +396,10 @@ mod tests {
     fn renders_compact_and_pretty() {
         let v = Value::Map(vec![
             ("a".to_string(), Value::UInt(1)),
-            ("b".to_string(), Value::Seq(vec![Value::Bool(true), Value::Null])),
+            (
+                "b".to_string(),
+                Value::Seq(vec![Value::Bool(true), Value::Null]),
+            ),
         ]);
         let compact = to_string(&v).unwrap();
         assert_eq!(compact, "{\"a\":1,\"b\":[true,null]}");
