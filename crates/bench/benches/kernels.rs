@@ -19,7 +19,8 @@ use std::time::Instant;
 
 use criterion::{black_box, criterion_group, BatchSize, Criterion};
 
-use v6bench::{KernelRecord, KernelsBench};
+use v6bench::{KernelRecord, KernelsBench, MembershipRecord};
+use v6serve::{BlockedBloom, CompressedRun};
 
 use v6addr::{iid_entropy, AddrSet, Iid, Prefix, PrefixMap};
 use v6netsim::rng::Rng;
@@ -185,6 +186,24 @@ fn sort_input(size: usize, seed: u64) -> Vec<(u128, u64)> {
         .collect()
 }
 
+/// Hitlist-shaped sort input: a few thousand /48s under one announced
+/// /32, structured subnets and IIDs — the clustering "Clusters in the
+/// Expanse" measured, and the shape that lets the adaptive radix sort
+/// skip most digit positions.
+fn clustered_input(size: usize, seed: u64) -> Vec<(u128, u64)> {
+    let mut rng = Rng::new(seed);
+    (0..size)
+        .map(|_| {
+            let h = rng.next_u64();
+            let net48 = u128::from((h >> 40) % 4096);
+            let subnet = u128::from((h >> 20) % 16);
+            let iid = u128::from(h % 262_144);
+            let bits = (0x2001_0db8u128 << 96) | (net48 << 80) | (subnet << 64) | iid;
+            (bits, h % 1_000_000)
+        })
+        .collect()
+}
+
 /// Measures par_map / par_sort / k-way merge sequentially vs. in
 /// parallel and writes `BENCH_kernels.json` at the workspace root.
 fn emit_par_kernels_json() {
@@ -264,10 +283,47 @@ fn emit_par_kernels_json() {
         record(&mut kernels, "kway_merge", size, seq, par);
     }
 
+    // Radix vs comparison sort on the same clustered hitlist-shaped
+    // input: "sort_comparison" rows time `sort_unstable` /
+    // `par_sort_unstable`, "sort_radix" rows time `radix_sort_u128` /
+    // `par_radix_sort`. Same input, same sizes — the seq_ms columns are
+    // directly comparable between the two kernels. The input copy is
+    // restored *outside* the timed section so the rows measure the
+    // sorts, not the allocator.
+    type SortFn<'a> = &'a mut dyn FnMut(&mut Vec<(u128, u64)>);
+    let sort_ms = |data: &[(u128, u64)], sort: SortFn| -> f64 {
+        let mut d = data.to_vec();
+        let mut best = f64::INFINITY;
+        for _ in 0..5 {
+            d.clear();
+            d.extend_from_slice(data);
+            let t0 = Instant::now();
+            sort(&mut d);
+            best = best.min(t0.elapsed().as_secs_f64() * 1e3);
+            black_box(&d);
+        }
+        best
+    };
+    for size in PAR_SIZES {
+        let data = clustered_input(size, 0x4ad1);
+        let seq = sort_ms(&data, &mut |d| d.sort_unstable());
+        let par = sort_ms(&data, &mut |d| v6par::par_sort_unstable(threads, d));
+        record(&mut kernels, "sort_comparison", size, seq, par);
+
+        let seq = sort_ms(&data, &mut v6par::radix_sort_u128);
+        let par = sort_ms(&data, &mut |d| {
+            v6par::par_radix_sort(threads, d, |&(hi, lo)| (hi, lo))
+        });
+        record(&mut kernels, "sort_radix", size, seq, par);
+    }
+
+    let membership = membership_records();
+
     let bench = KernelsBench {
         threads,
         cores,
         kernels,
+        membership,
     };
     let json = serde_json::to_string_pretty(&bench).expect("serialize kernels bench");
     let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_kernels.json");
@@ -279,11 +335,88 @@ fn emit_par_kernels_json() {
     println!("v6par kernels ({threads} threads, {cores} cores):");
     for k in &bench.kernels {
         println!(
-            "  {:>10} n={:>7}: {:>8.2} ms seq -> {:>8.2} ms par ({:.2}x)",
+            "  {:>15} n={:>7}: {:>8.2} ms seq -> {:>8.2} ms par ({:.2}x)",
             k.kernel, k.size, k.seq_ms, k.par_ms, k.speedup
         );
     }
+    for m in &bench.membership {
+        println!(
+            "  membership/{:<16} {:>7} addrs: {:>7.1} ns/probe, {:>9} bytes",
+            m.structure, m.addresses, m.ns_per_probe, m.bytes
+        );
+    }
     println!("wrote {}", path.display());
+}
+
+/// Membership-lookup comparison: the same clustered content held as a
+/// raw sorted vec, a compressed run, and a bloom-fronted compressed run,
+/// probed with a half-present/half-absent mix.
+fn membership_records() -> Vec<MembershipRecord> {
+    const ADDRESSES: usize = 200_000;
+    const PROBES: usize = 1 << 16;
+    let mut bits: Vec<u128> = clustered_input(ADDRESSES, 0x900d)
+        .into_iter()
+        .map(|(b, _)| b)
+        .collect();
+    bits.sort_unstable();
+    bits.dedup();
+
+    let mut rng = Rng::new(0x9406);
+    let probes: Vec<u128> = (0..PROBES)
+        .map(|i| {
+            if i % 2 == 0 {
+                bits[(rng.next_u64() % bits.len() as u64) as usize]
+            } else {
+                // Same /32, structured like the content, but absent with
+                // overwhelming probability (distinct IID plane).
+                (0x2001_0db8u128 << 96) | (u128::from(rng.next_u64()) << 20)
+            }
+        })
+        .collect();
+
+    let run = CompressedRun::from_sorted(bits.iter().copied());
+    let bloom = BlockedBloom::build(0x5eed, bits.iter().copied(), bits.len());
+    let probe_ns = |ms: f64| -> f64 { ms * 1e6 / PROBES as f64 };
+
+    let sorted_ms = best_ms(5, || {
+        probes
+            .iter()
+            .filter(|p| bits.binary_search(p).is_ok())
+            .count()
+    });
+    let run_ms = best_ms(5, || {
+        probes.iter().filter(|&&p| run.rank(p).is_some()).count()
+    });
+    let bloom_ms = best_ms(5, || {
+        probes
+            .iter()
+            .filter(|&&p| bloom.may_contain(p) && run.rank(p).is_some())
+            .count()
+    });
+
+    vec![
+        MembershipRecord {
+            structure: "sorted_vec".into(),
+            addresses: bits.len(),
+            probes: PROBES,
+            ns_per_probe: probe_ns(sorted_ms),
+            bytes: bits.len() * 16,
+        },
+        MembershipRecord {
+            structure: "compressed_run".into(),
+            addresses: bits.len(),
+            probes: PROBES,
+            ns_per_probe: probe_ns(run_ms),
+            bytes: run.heap_bytes(),
+        },
+        MembershipRecord {
+            structure: "bloom_fronted".into(),
+            addresses: bits.len(),
+            probes: PROBES,
+            ns_per_probe: probe_ns(bloom_ms),
+            bytes: run.heap_bytes() + bloom.heap_bytes(),
+        },
+    ]
 }
 
 criterion_group!(

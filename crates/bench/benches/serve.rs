@@ -45,10 +45,8 @@ fn probes(n: usize, engine: &QueryEngine) -> Vec<Ipv6Addr> {
     for i in 0..n {
         if i % 2 == 0 {
             let shard = &snap.shards()[i % snap.shard_count()];
-            if let Some(&bits) = shard
-                .addrs()
-                .get(rng.below(shard.len().max(1) as u64) as usize)
-            {
+            if !shard.is_empty() {
+                let bits = shard.get_bits(rng.below(shard.len() as u64) as usize);
                 out.push(Ipv6Addr::from(bits));
                 continue;
             }

@@ -160,6 +160,27 @@ fn main() {
         None
     };
 
+    // The tiny campaign publishes a few hundred addresses spread one
+    // per /64 — nothing like the paper's corpus, where server farms
+    // and EUI-64 planes pack many IIDs under few /64s (the shape the
+    // compressed tier exists for). Fold a clustered bulk week into the
+    // initial content so the store (and its `serve.store.bytes.*`
+    // gauges) is exercised at a realistic density: 4096 /64s under
+    // distinct /48s, 64 structured IIDs each.
+    if let Some(first) = initial.snapshots.first_mut() {
+        for net in 0..4096u128 {
+            for iid in 0..64u128 {
+                first.new_responsive.push(std::net::Ipv6Addr::from(
+                    (0x2001_0db8u128 << 96) | (net << 80) | ((net % 7) << 64) | (iid << 4) | 1,
+                ));
+            }
+        }
+        eprintln!(
+            "[serve] overlaid clustered bulk week: 4096 /64s x 64 IIDs ({} addresses total)",
+            first.new_responsive.len()
+        );
+    }
+
     // Ingest the initial weeks through the concurrent pipeline.
     let store = Arc::new(HitlistStore::new(&service.name, shards));
     let ingest = Ingestor::default().spawn(store.clone());
@@ -287,6 +308,27 @@ fn main() {
             .counter("serve.query.batch_addresses")
             .is_some(),
         "store registry missing serve.query.* counters"
+    );
+    // The compressed tier's footprint, as published by the store:
+    // raw = what Vec<u128>+Vec<u32> columns would cost, compressed =
+    // what the prefix-compressed runs actually hold.
+    let gauge = |name: &str| -> i64 {
+        bench
+            .metrics
+            .gauges
+            .iter()
+            .find(|g| g.name == name)
+            .unwrap_or_else(|| panic!("store registry missing {name} gauge"))
+            .value
+    };
+    let raw_bytes = gauge("serve.store.bytes.raw");
+    let compressed_bytes = gauge("serve.store.bytes.compressed");
+    assert!(raw_bytes > 0, "published store reports no raw bytes");
+    println!(
+        "store bytes: raw {} -> compressed {} (ratio {:.3})",
+        raw_bytes,
+        compressed_bytes,
+        compressed_bytes as f64 / raw_bytes as f64
     );
     let json = serde_json::to_string_pretty(&bench).expect("serialize serve bench");
     std::fs::write("BENCH_serve.json", &json).expect("write BENCH_serve.json");

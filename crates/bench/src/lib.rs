@@ -288,10 +288,27 @@ pub struct KernelRecord {
     pub speedup: f64,
 }
 
+/// One membership-lookup structure measured over a fixed probe mix, as
+/// recorded in `BENCH_kernels.json`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MembershipRecord {
+    /// Structure probed ("sorted_vec", "compressed_run", "bloom_compressed").
+    pub structure: String,
+    /// Addresses the structure holds.
+    pub addresses: usize,
+    /// Probes issued (half present, half absent).
+    pub probes: usize,
+    /// Mean nanoseconds per probe (best of N rounds).
+    pub ns_per_probe: f64,
+    /// Heap bytes the structure occupies.
+    pub bytes: usize,
+}
+
 /// The machine-readable output of the `kernels` bench: sequential vs.
-/// parallel timings for the `v6par` kernels at several input sizes, so
+/// parallel timings for the `v6par` kernels at several input sizes (so
 /// kernel-level regressions are visible separately from pipeline-level
-/// ones.
+/// ones), plus the membership-lookup comparison across the address-store
+/// representations.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct KernelsBench {
     /// Worker count used for the parallel timings.
@@ -300,6 +317,9 @@ pub struct KernelsBench {
     pub cores: usize,
     /// Per-kernel, per-size comparisons.
     pub kernels: Vec<KernelRecord>,
+    /// Membership-lookup comparison: sorted-vec vs compressed-run vs
+    /// bloom-fronted compressed-run over the same clustered content.
+    pub membership: Vec<MembershipRecord>,
 }
 
 /// The scale selected through `V6HL_SCALE`.

@@ -102,7 +102,7 @@ impl Dataset {
             .into_iter()
             .map(|o| (u128::from(o.addr), o.t.as_secs()))
             .collect();
-        v6par::par_sort_unstable(threads, &mut raw);
+        v6par::par_radix_sort(threads, &mut raw, |&(bits, t)| (bits, t));
         let observations = raw.len() as u64;
         let mut records: Vec<AddrRecord> = Vec::new();
         for (bits, t) in raw {

@@ -25,6 +25,12 @@
 //! * [`par_sort_unstable`] — in-place parallel chunk sorts plus one
 //!   tournament move-merge; equals a global `sort_unstable` for any
 //!   input whose equal elements are indistinguishable. No `Clone`.
+//! * [`radix_sort_u128`] / [`radix_sort_by_key`] / [`par_radix_sort`] —
+//!   adaptive LSD radix sort for 192-bit `(u128, u64)` keys: trivial
+//!   digit positions (shared address-prefix bytes) are detected in one
+//!   pass and skipped, and the parallel variant composes chunked radix
+//!   sorts with the same tournament move-merge. The ingestion paths'
+//!   replacement for comparison sorting of address keys.
 //! * [`Cost`] — per-item work hints driving the adaptive
 //!   sequential-vs-parallel cutoff ([`SEQ_CUTOFF_NANOS`]) and morsel
 //!   sizing ([`MORSEL_TARGET_NANOS`]).
@@ -66,6 +72,7 @@
 
 pub mod dag;
 mod pool;
+mod radix;
 
 pub use dag::{
     Dag, DagOutputs, DagRun, FailReason, FaultInjector, InjectedFault, NoFaults, RetryPolicy,
@@ -76,6 +83,7 @@ pub use pool::{
     par_map_cost, par_merge_sorted, par_sort_unstable, pool_threads_spawned, split_ranges, Cost,
     MORSEL_TARGET_NANOS, SEQ_CUTOFF_NANOS,
 };
+pub use radix::{par_radix_sort, radix_sort_by_key, radix_sort_u128};
 
 /// Scoped thread spawning — re-exported [`std::thread::scope`], so
 /// callers that need bespoke fan-out depend only on `v6par`.

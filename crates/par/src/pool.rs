@@ -770,8 +770,10 @@ where
 
 /// Move-merges `ranges.len()` sorted contiguous runs of `data` into a
 /// fresh buffer with one tournament pass, then replaces `data` with it.
+/// Shared with the radix kernel (`radix.rs`), which sorts the runs by
+/// other means but merges them identically.
 #[allow(unsafe_code)]
-fn merge_runs_in_place<T: Ord>(data: &mut Vec<T>, ranges: &[Range<usize>]) {
+pub(crate) fn merge_runs_in_place<T: Ord>(data: &mut Vec<T>, ranges: &[Range<usize>]) {
     struct RunCursor {
         next: usize,
         end: usize,

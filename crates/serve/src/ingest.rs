@@ -50,7 +50,7 @@ use v6chaos::{Chaos, Fault, LossReport, NoChaos};
 use v6hitlist::{HitlistService, NtpCorpus};
 use v6scan::CampaignResult;
 
-use crate::snapshot::Snapshot;
+use crate::snapshot::{bloom_default, Snapshot};
 use crate::store::HitlistStore;
 
 const WEEK_SECS: u64 = 7 * 86_400;
@@ -161,7 +161,7 @@ fn normalize(update: PublicationUpdate, shard_bits: u32) -> ShardBatch {
     let run_cost = v6par::Cost::per_item_ns(100 * (total / per_shard.len().max(1)).max(1) as u64)
         .labeled("serve.normalize");
     v6par::par_for_each_mut(v6par::threads(), &mut per_shard, run_cost, |_, run| {
-        run.sort_unstable();
+        v6par::radix_sort_by_key(run, |&(b, w)| (b, u64::from(w)));
         run.dedup_by_key(|&mut (b, _)| b);
     });
     ShardBatch {
@@ -502,7 +502,8 @@ fn merge_loop(
             .filter(|&i| !pending[i].is_empty())
             .map(|i| i as u32)
             .collect();
-        let mut snapshot = Snapshot::from_sorted_parts(name.clone(), shard_bits, &acc, &aliases);
+        let mut snapshot =
+            Snapshot::from_sorted_parts(name.clone(), shard_bits, &acc, &aliases, bloom_default());
         snapshot.missing_shards = missing;
         let degraded = snapshot.is_degraded();
         stats.unique_addresses = snapshot.len();
@@ -537,7 +538,8 @@ fn merge_loop(
         .map(|i| i as u32)
         .collect();
     if recovered {
-        let mut snapshot = Snapshot::from_sorted_parts(name.clone(), shard_bits, &acc, &aliases);
+        let mut snapshot =
+            Snapshot::from_sorted_parts(name.clone(), shard_bits, &acc, &aliases, bloom_default());
         snapshot.missing_shards = quarantined.clone();
         let degraded = snapshot.is_degraded();
         stats.unique_addresses = snapshot.len();

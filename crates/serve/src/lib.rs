@@ -8,8 +8,11 @@
 //! Architecture:
 //!
 //! - [`snapshot`] — immutable, sharded view of one publication epoch:
-//!   sorted `u128` address shards plus a per-shard radix trie of aliased
-//!   prefixes, partitioned by /48 so density aggregates stay shard-local.
+//!   prefix-compressed sorted address runs ([`snapshot::CompressedRun`])
+//!   plus a per-shard radix trie of aliased prefixes, partitioned by /48
+//!   so density aggregates stay shard-local.
+//! - [`bloom`] — the optional blocked bloom filter fronting membership
+//!   probes (the `V6_BLOOM` toggle); traffic lands in `serve.bloom.*`.
 //! - [`store`] — epoch-swapped publication: readers clone an `Arc` to the
 //!   current [`snapshot::Snapshot`]; publishing swaps the `Arc` under a
 //!   briefly held write lock, so reads never block on ingestion.
@@ -38,6 +41,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod bloom;
 pub mod ingest;
 pub mod loadgen;
 pub mod metrics;
@@ -46,14 +50,13 @@ pub mod query;
 pub mod snapshot;
 pub mod store;
 
+pub use bloom::BlockedBloom;
 pub use ingest::{
     IngestError, IngestHandle, IngestReport, IngestStats, Ingestor, PublicationUpdate,
 };
 pub use loadgen::{LoadReport, LoadSpec, QueryMix};
-#[allow(deprecated)]
-pub use metrics::MetricsReport;
 pub use metrics::ServeMetrics;
 pub use query::{BatchAnswer, LookupAnswer, QueryEngine};
-pub use snapshot::{ServeStatus, Shard, Snapshot, SnapshotBuilder};
+pub use snapshot::{CompressedRun, Membership, ServeStatus, Shard, Snapshot, SnapshotBuilder};
 pub use store::{HitlistStore, PublishError, PublishReceipt};
 pub use v6store::{RecoverError, RecoveryReport, StoreConfig};

@@ -224,7 +224,7 @@ fn sample_present(snap: &Snapshot, target: usize) -> Vec<u128> {
     let stride = (total / target).max(1);
     let mut out = Vec::with_capacity(total.min(target) + 1);
     for shard in snap.shards() {
-        out.extend(shard.addrs().iter().step_by(stride).copied());
+        out.extend(shard.iter_bits().step_by(stride));
     }
     out
 }

@@ -8,6 +8,15 @@
 //! share counters; fetch it with [`ServeMetrics::registry`] for the
 //! deterministic text exposition or a JSON snapshot.
 //!
+//! The approximate-membership front reports its traffic as
+//! `serve.bloom.{hit,miss,false_positive}`: a *hit* filtered an absent
+//! address without touching the exact tier, a *miss* passed a present
+//! address through, and a *false positive* passed an absent address
+//! through (the cost the filter's error rate buys). Store memory is
+//! exported as `serve.store.bytes.{raw,compressed}` gauges — what the
+//! published snapshot's address columns would cost raw versus what the
+//! compressed tier actually holds.
+//!
 //! Recording is still relaxed-atomic cheap: handles are resolved once at
 //! construction, and the registry mutex is only taken for exposition.
 //! Counter values are data-derived and thread-count invariant; the
@@ -16,7 +25,7 @@
 use std::sync::Arc;
 use std::time::Duration;
 
-use v6obs::{Counter, Histogram, Registry};
+use v6obs::{Counter, Gauge, Histogram, Registry};
 
 /// Which query-latency histogram a call records into.
 #[derive(Debug, Clone, Copy)]
@@ -47,6 +56,11 @@ pub struct ServeMetrics {
     publishes: Counter,
     degraded_publishes: Counter,
     ingested_addresses: Counter,
+    bloom_hit: Counter,
+    bloom_miss: Counter,
+    bloom_false_positive: Counter,
+    store_bytes_raw: Gauge,
+    store_bytes_compressed: Gauge,
     query_latency: [Histogram; 5],
     ingest_batch_latency: Histogram,
     ingest_normalize_latency: Histogram,
@@ -65,6 +79,11 @@ impl Default for ServeMetrics {
             publishes: registry.counter("serve.publish.epochs"),
             degraded_publishes: registry.counter("serve.publish.degraded"),
             ingested_addresses: registry.counter("serve.ingest.addresses"),
+            bloom_hit: registry.counter("serve.bloom.hit"),
+            bloom_miss: registry.counter("serve.bloom.miss"),
+            bloom_false_positive: registry.counter("serve.bloom.false_positive"),
+            store_bytes_raw: registry.gauge("serve.store.bytes.raw"),
+            store_bytes_compressed: registry.gauge("serve.store.bytes.compressed"),
             query_latency: [
                 registry.histogram("serve.query.latency.membership"),
                 registry.histogram("serve.query.latency.lookup"),
@@ -76,68 +95,6 @@ impl Default for ServeMetrics {
             ingest_normalize_latency: registry.histogram("serve.ingest.normalize_latency"),
             registry,
         }
-    }
-}
-
-/// A point-in-time copy of the serve counters.
-///
-/// **Deprecated in favor of [`ServeMetrics::registry`]** — the registry's
-/// snapshot/`render_text` exposition is the superset (it includes the
-/// latency histograms) and is the format the benches emit. `MetricsReport`
-/// remains as a compatibility shim for existing callers and keeps its
-/// exact field set and `Display` format; no new fields will be added.
-#[deprecated(
-    since = "0.1.0",
-    note = "use ServeMetrics::registry() — snapshot() for values, render_text() for exposition"
-)]
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
-pub struct MetricsReport {
-    /// Exact/alias-filtered membership queries served.
-    pub membership: u64,
-    /// Full lookups served.
-    pub lookups: u64,
-    /// Density/count queries served.
-    pub density: u64,
-    /// Weekly-diff queries served.
-    pub diffs: u64,
-    /// Batched lookup calls served.
-    pub batches: u64,
-    /// Addresses resolved inside batched calls.
-    pub batch_addresses: u64,
-    /// Snapshot epochs published.
-    pub publishes: u64,
-    /// Epochs published in degraded (quarantined-shard) state.
-    pub degraded_publishes: u64,
-    /// Raw addresses accepted by ingestion (before dedup).
-    pub ingested_addresses: u64,
-}
-
-#[allow(deprecated)]
-impl MetricsReport {
-    /// All query operations, counting each batched address once.
-    pub fn queries_total(&self) -> u64 {
-        self.membership + self.lookups + self.density + self.diffs + self.batch_addresses
-    }
-}
-
-#[allow(deprecated)]
-impl std::fmt::Display for MetricsReport {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(
-            f,
-            "queries={} (membership={} lookups={} density={} diffs={} batches={}/{} addrs) \
-             publishes={} (degraded={}) ingested={}",
-            self.queries_total(),
-            self.membership,
-            self.lookups,
-            self.density,
-            self.diffs,
-            self.batches,
-            self.batch_addresses,
-            self.publishes,
-            self.degraded_publishes,
-            self.ingested_addresses,
-        )
     }
 }
 
@@ -175,6 +132,32 @@ impl ServeMetrics {
         self.ingested_addresses.add(addresses);
     }
 
+    /// Accounts one bloom-fronted membership probe by what the front
+    /// observed (see [`crate::snapshot::Membership`]).
+    pub(crate) fn record_bloom(&self, outcome: crate::snapshot::Membership) {
+        use crate::snapshot::Membership;
+        match outcome {
+            Membership::BloomFiltered => self.bloom_hit.inc(),
+            Membership::Present {
+                bloom_checked: true,
+                ..
+            } => self.bloom_miss.inc(),
+            Membership::Absent {
+                bloom_checked: true,
+            } => self.bloom_false_positive.inc(),
+            // No bloom front consulted: nothing to account.
+            Membership::Present { .. } | Membership::Absent { .. } => {}
+        }
+    }
+
+    /// Publishes the current snapshot's memory footprint: what the raw
+    /// representation would cost vs what the compressed tier holds.
+    pub(crate) fn set_store_bytes(&self, raw: u64, compressed: u64) {
+        self.store_bytes_raw.set(raw.min(i64::MAX as u64) as i64);
+        self.store_bytes_compressed
+            .set(compressed.min(i64::MAX as u64) as i64);
+    }
+
     pub(crate) fn record_query_latency(&self, kind: QueryKind, elapsed: Duration) {
         self.query_latency[kind as usize].record_duration(elapsed);
     }
@@ -188,7 +171,8 @@ impl ServeMetrics {
     }
 
     /// The store-private registry behind these metrics: counters named
-    /// `serve.query.*` / `serve.publish.*` / `serve.ingest.*` plus the
+    /// `serve.query.*` / `serve.publish.*` / `serve.ingest.*` /
+    /// `serve.bloom.*`, the `serve.store.bytes.*` gauges, plus the
     /// per-query-type and ingest latency histograms.
     pub fn registry(&self) -> &Arc<Registry> {
         &self.registry
@@ -218,51 +202,64 @@ impl ServeMetrics {
     pub fn degraded_publishes(&self) -> u64 {
         self.degraded_publishes.get()
     }
-
-    /// A consistent-enough copy of all counters (the [`MetricsReport`]
-    /// compatibility shim; prefer [`ServeMetrics::registry`]).
-    #[deprecated(
-        since = "0.1.0",
-        note = "use ServeMetrics::registry() — snapshot() for values, render_text() for exposition"
-    )]
-    #[allow(deprecated)]
-    pub fn report(&self) -> MetricsReport {
-        MetricsReport {
-            membership: self.membership.get(),
-            lookups: self.lookups.get(),
-            density: self.density.get(),
-            diffs: self.diffs.get(),
-            batches: self.batches.get(),
-            batch_addresses: self.batch_addresses.get(),
-            publishes: self.publishes.get(),
-            degraded_publishes: self.degraded_publishes.get(),
-            ingested_addresses: self.ingested_addresses.get(),
-        }
-    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::snapshot::Membership;
 
     #[test]
-    #[allow(deprecated)] // exercises the MetricsReport compat shim
     fn counters_accumulate() {
         let m = ServeMetrics::default();
         m.record_membership();
         m.record_lookup();
         m.record_batch(16);
         m.record_publish();
-        let r = m.report();
-        assert_eq!(r.membership, 1);
-        assert_eq!(r.batch_addresses, 16);
-        assert_eq!(r.queries_total(), 18);
+        let snap = m.registry().snapshot();
+        assert_eq!(snap.counter("serve.query.membership"), Some(1));
+        assert_eq!(snap.counter("serve.query.batch_addresses"), Some(16));
+        assert_eq!(m.queries_total(), 18);
         assert_eq!(m.publishes(), 1);
-        assert!(r.to_string().contains("publishes=1"));
     }
 
     #[test]
-    fn registry_exposition_matches_report() {
+    fn bloom_outcomes_map_to_counters() {
+        let m = ServeMetrics::default();
+        m.record_bloom(Membership::BloomFiltered);
+        m.record_bloom(Membership::Present {
+            rank: 0,
+            bloom_checked: true,
+        });
+        m.record_bloom(Membership::Absent {
+            bloom_checked: true,
+        });
+        // Probes without a bloom front leave all three untouched.
+        m.record_bloom(Membership::Present {
+            rank: 1,
+            bloom_checked: false,
+        });
+        m.record_bloom(Membership::Absent {
+            bloom_checked: false,
+        });
+        let snap = m.registry().snapshot();
+        assert_eq!(snap.counter("serve.bloom.hit"), Some(1));
+        assert_eq!(snap.counter("serve.bloom.miss"), Some(1));
+        assert_eq!(snap.counter("serve.bloom.false_positive"), Some(1));
+    }
+
+    #[test]
+    fn store_bytes_gauges_track_latest_publish() {
+        let m = ServeMetrics::default();
+        m.set_store_bytes(2000, 1200);
+        m.set_store_bytes(4000, 2400);
+        let text = m.render_text();
+        assert!(text.contains("serve.store.bytes.raw 4000\n"));
+        assert!(text.contains("serve.store.bytes.compressed 2400\n"));
+    }
+
+    #[test]
+    fn registry_exposition_matches_counters() {
         let m = ServeMetrics::default();
         m.record_membership();
         m.record_ingested(100);

@@ -18,7 +18,7 @@
 use v6addr::{shard48, Prefix};
 use v6store::{AliasEntry, EpochState};
 
-use crate::snapshot::Snapshot;
+use crate::snapshot::{bloom_default, Snapshot};
 
 #[allow(unused_imports)] // doc links
 use crate::store::HitlistStore;
@@ -27,20 +27,17 @@ use crate::store::HitlistStore;
 /// an [`v6store::EpochView`] wants.
 ///
 /// Shards partition by the *low* bits of each /48, so per-shard order
-/// does not concatenate into global order — this re-sorts. Aliases
-/// shorter than /48 are replicated into every shard at build time and
-/// are deduplicated back to one registration here.
+/// does not concatenate into global order — this re-sorts (with the
+/// radix kernel: the entries are exactly its `(bits, week)` key shape).
+/// Entries stream straight out of each shard's compressed run — no raw
+/// per-shard `Vec<u128>` is ever materialized. Aliases shorter than /48
+/// are replicated into every shard at build time and are deduplicated
+/// back to one registration here.
 pub(crate) fn flatten_snapshot(snap: &Snapshot) -> (Vec<(u128, u32)>, Vec<AliasEntry>) {
     let mut entries = Vec::with_capacity(snap.len() as usize);
     let mut aliases = Vec::new();
     for shard in snap.shards() {
-        entries.extend(
-            shard
-                .addrs
-                .iter()
-                .copied()
-                .zip(shard.first_week.iter().copied()),
-        );
+        entries.extend(shard.iter_bits().zip(shard.first_week.iter().copied()));
         for (prefix, &week) in shard.aliases.iter() {
             aliases.push(AliasEntry {
                 bits: prefix.bits(),
@@ -49,7 +46,9 @@ pub(crate) fn flatten_snapshot(snap: &Snapshot) -> (Vec<(u128, u32)>, Vec<AliasE
             });
         }
     }
-    entries.sort_unstable_by_key(|&(bits, _)| bits);
+    // Addresses are globally unique, so keying by (bits, week) sorts by
+    // bits while staying exact-equivalent to the old comparison sort.
+    v6par::radix_sort_by_key(&mut entries, |&(bits, week)| (bits, u64::from(week)));
     aliases.sort_unstable_by_key(|a| (a.bits, a.len));
     aliases.dedup_by_key(|a| (a.bits, a.len));
     (entries, aliases)
@@ -72,8 +71,15 @@ pub(crate) fn snapshot_from_state(state: &EpochState) -> Snapshot {
         .iter()
         .map(|a| (Prefix::from_bits(a.bits, a.len), a.week))
         .collect();
-    let mut snap =
-        Snapshot::from_sorted_parts(&state.name, state.shard_bits, &shard_data, &aliases);
+    // Recovery rebuilds directly into the compressed tier; the bloom
+    // front follows the `V6_BLOOM` toggle like any fresh build.
+    let mut snap = Snapshot::from_sorted_parts(
+        &state.name,
+        state.shard_bits,
+        &shard_data,
+        &aliases,
+        bloom_default(),
+    );
     snap.epoch = state.epoch;
     snap.week = state.week;
     snap.missing_shards = state.missing_shards.clone();

@@ -12,8 +12,8 @@ use std::time::Instant;
 
 use v6addr::Prefix;
 
-use crate::metrics::QueryKind;
-use crate::snapshot::{ServeStatus, Snapshot};
+use crate::metrics::{QueryKind, ServeMetrics};
+use crate::snapshot::{Membership, ServeStatus, Snapshot};
 use crate::store::HitlistStore;
 
 /// The full answer for a single address.
@@ -53,11 +53,20 @@ pub struct QueryEngine {
     store: Arc<HitlistStore>,
 }
 
-fn lookup_in(snap: &Snapshot, addr: Ipv6Addr) -> LookupAnswer {
+fn lookup_in(snap: &Snapshot, addr: Ipv6Addr, metrics: &ServeMetrics) -> LookupAnswer {
+    let shard = snap.shard_for(addr);
+    // One bloom-fronted probe resolves membership *and* the first-week
+    // rank; the old path paid two independent binary searches.
+    let outcome = shard.membership_bits(u128::from(addr));
+    metrics.record_bloom(outcome);
+    let first_week = match outcome {
+        Membership::Present { rank, .. } => Some(shard.first_week_at(rank)),
+        _ => None,
+    };
     LookupAnswer {
-        present: snap.contains(addr),
-        first_week: snap.first_week(addr),
-        alias: snap.longest_alias(addr),
+        present: first_week.is_some(),
+        first_week,
+        alias: shard.longest_alias(addr),
         epoch: snap.epoch(),
         degraded: snap.shard_missing(addr),
     }
@@ -90,11 +99,16 @@ impl QueryEngine {
         self.store.snapshot().status()
     }
 
-    /// Exact membership.
+    /// Exact membership, served through the snapshot's approximate
+    /// front when one was built (`V6_BLOOM`): a bloom "definitely
+    /// absent" answers without touching the compressed tier, and every
+    /// probe's outcome lands in the `serve.bloom.*` counters.
     pub fn contains(&self, addr: Ipv6Addr) -> bool {
         self.store.metrics().record_membership();
         self.timed(QueryKind::Membership, || {
-            self.store.snapshot().contains(addr)
+            let outcome = self.store.snapshot().membership(addr);
+            self.store.metrics().record_bloom(outcome);
+            outcome.is_present()
         })
     }
 
@@ -104,7 +118,9 @@ impl QueryEngine {
         self.store.metrics().record_membership();
         self.timed(QueryKind::Membership, || {
             let snap = self.store.snapshot();
-            snap.contains(addr) && !snap.is_aliased(addr)
+            let outcome = snap.membership(addr);
+            self.store.metrics().record_bloom(outcome);
+            outcome.is_present() && !snap.is_aliased(addr)
         })
     }
 
@@ -112,7 +128,7 @@ impl QueryEngine {
     pub fn lookup(&self, addr: Ipv6Addr) -> LookupAnswer {
         self.store.metrics().record_lookup();
         self.timed(QueryKind::Lookup, || {
-            lookup_in(&self.store.snapshot(), addr)
+            lookup_in(&self.store.snapshot(), addr, self.store.metrics())
         })
     }
 
@@ -141,7 +157,7 @@ impl QueryEngine {
             let answers: Vec<LookupAnswer> = addrs
                 .iter()
                 .map(|&a| {
-                    let ans = lookup_in(&snap, a);
+                    let ans = lookup_in(&snap, a, self.store.metrics());
                     present += u64::from(ans.present);
                     aliased += u64::from(ans.alias.is_some());
                     ans
@@ -213,5 +229,46 @@ mod tests {
         let snap = q.store().metrics().registry().snapshot();
         assert_eq!(snap.counter("serve.query.batches"), Some(1));
         assert_eq!(snap.counter("serve.query.batch_addresses"), Some(3));
+    }
+
+    #[test]
+    fn bloom_front_accounts_membership_traffic() {
+        let store = HitlistStore::new("svc", 4);
+        let mut b = SnapshotBuilder::new("svc", 4).with_bloom(true);
+        for i in 0..300u32 {
+            b.add_address(addr(&format!("2001:db8:{:x}::{:x}", i % 5, i)), 0);
+        }
+        store.publish(b.build()).unwrap();
+        let q = QueryEngine::new(Arc::new(store));
+
+        // Present probes pass the bloom and hit the exact tier.
+        assert!(q.contains(addr("2001:db8:1::1")));
+        // Absent probes are either filtered (hit) or false positives;
+        // answers are never wrong either way.
+        for i in 0..200u32 {
+            assert!(!q.contains(addr(&format!("2001:db8:{:x}::beef:{:x}", i % 5, i))));
+        }
+        let snap = q.store().metrics().registry().snapshot();
+        let hit = snap.counter("serve.bloom.hit").unwrap();
+        let miss = snap.counter("serve.bloom.miss").unwrap();
+        let fp = snap.counter("serve.bloom.false_positive").unwrap();
+        assert_eq!(miss, 1, "the one present probe passes through");
+        assert_eq!(hit + fp, 200, "every absent probe is hit or false positive");
+        assert!(hit > fp, "the front should filter most absent probes");
+    }
+
+    #[test]
+    fn no_bloom_front_means_no_bloom_traffic() {
+        let store = HitlistStore::new("svc", 4);
+        let mut b = SnapshotBuilder::new("svc", 4).with_bloom(false);
+        b.add_week(0, &[addr("2001:db8:1::1")]);
+        store.publish(b.build()).unwrap();
+        let q = QueryEngine::new(Arc::new(store));
+        assert!(q.contains(addr("2001:db8:1::1")));
+        assert!(!q.contains(addr("2001:db8:2::1")));
+        let snap = q.store().metrics().registry().snapshot();
+        assert_eq!(snap.counter("serve.bloom.hit"), Some(0));
+        assert_eq!(snap.counter("serve.bloom.miss"), Some(0));
+        assert_eq!(snap.counter("serve.bloom.false_positive"), Some(0));
     }
 }

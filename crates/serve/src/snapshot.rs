@@ -8,22 +8,239 @@
 //! *low* bits of each address's /48 prefix ([`v6addr::shard48`]): the high
 //! bits would skew badly (announced space concentrates under `2000::/3`),
 //! and keeping whole /48s shard-local makes per-/48 density aggregates a
-//! single-shard operation. Each shard stores its addresses as one sorted
-//! `u128` vector (binary-search membership, cache-dense scans) with a
-//! parallel first-published-week vector, plus a radix trie of aliased
+//! single-shard operation.
+//!
+//! Each shard stores its addresses as a [`CompressedRun`] — a
+//! prefix-compressed sorted run that factors out the shared high-64 bits
+//! real hitlists cluster under ("Clusters in the Expanse", IMC 2018) —
+//! with a parallel first-published-week vector, an optional blocked
+//! bloom front ([`crate::bloom::BlockedBloom`], the `V6_BLOOM` toggle)
+//! for cheap "definitely absent" answers, plus a radix trie of aliased
 //! prefixes for longest-prefix alias answers.
 
 use std::net::Ipv6Addr;
 
 use v6addr::{shard48, Prefix, PrefixMap};
 
+use crate::bloom::BlockedBloom;
+
+/// A prefix-compressed sorted run of address bits.
+///
+/// The sorted `u128` addresses are factored into a sorted array of
+/// *distinct* high-64 `keys`, each pointing (via `offsets`) at a dense
+/// sorted block of low-64 `lows`. The address at global rank `i` is
+/// `(keys[k] as u128) << 64 | lows[i]` where `k` is the block containing
+/// `i`. Because hitlist addresses cluster under long shared /48–/64
+/// prefixes, many addresses share one key, cutting the 16 bytes/address
+/// of a raw `Vec<u128>` to 8 bytes plus an amortized per-key overhead.
+///
+/// Membership is a two-level binary search: first over `keys`, then
+/// inside one dense `lows` block — better cache locality than one wide
+/// search over 16-byte elements. Ranks returned by the search methods
+/// index the *global* run (and any parallel vector such as a shard's
+/// first-week column) exactly as indices into the old sorted vector did.
+#[derive(Debug, Clone)]
+pub struct CompressedRun {
+    /// Distinct high-64 address bits, strictly ascending.
+    keys: Vec<u64>,
+    /// `keys.len() + 1` block boundaries into `lows`; `offsets[k]..offsets[k+1]`
+    /// is key `k`'s block. `u32` caps one run at ~4.3B addresses, which the
+    /// sharding keeps comfortably out of reach even at paper scale.
+    offsets: Vec<u32>,
+    /// Low-64 address bits, strictly ascending within each block.
+    lows: Vec<u64>,
+}
+
+// Not derived: an empty run still needs the leading `0` offset sentinel
+// (`offsets.len() == keys.len() + 1` always holds).
+impl Default for CompressedRun {
+    fn default() -> Self {
+        CompressedRun {
+            keys: Vec::new(),
+            offsets: vec![0],
+            lows: Vec::new(),
+        }
+    }
+}
+
+impl CompressedRun {
+    /// Builds from strictly-ascending address bits.
+    pub fn from_sorted(bits: impl Iterator<Item = u128>) -> CompressedRun {
+        let mut run = CompressedRun::default();
+        for b in bits {
+            run.push(b);
+        }
+        run
+    }
+
+    /// Appends one address; must be strictly greater than the last.
+    pub(crate) fn push(&mut self, bits: u128) {
+        let hi = (bits >> 64) as u64;
+        let lo = bits as u64;
+        debug_assert!(
+            self.lows.is_empty() || self.get(self.lows.len() - 1) < bits,
+            "CompressedRun::push requires strictly ascending input"
+        );
+        if self.keys.last() != Some(&hi) {
+            self.keys.push(hi);
+            self.offsets.push(self.lows.len() as u32);
+        }
+        self.lows.push(lo);
+        assert!(
+            self.lows.len() <= u32::MAX as usize,
+            "CompressedRun exceeds u32 offset capacity"
+        );
+        *self.offsets.last_mut().expect("offsets never empty") = self.lows.len() as u32;
+    }
+
+    /// Number of addresses in the run.
+    pub fn len(&self) -> usize {
+        self.lows.len()
+    }
+
+    /// True when the run holds no addresses.
+    pub fn is_empty(&self) -> bool {
+        self.lows.is_empty()
+    }
+
+    /// Number of distinct high-64 keys (compression granularity).
+    pub fn key_count(&self) -> usize {
+        self.keys.len()
+    }
+
+    /// The address at global rank `i` (ascending order).
+    ///
+    /// # Panics
+    /// Panics when `i >= len()`.
+    pub fn get(&self, i: usize) -> u128 {
+        let lo = self.lows[i];
+        let k = self
+            .offsets
+            .partition_point(|&o| o as usize <= i)
+            .saturating_sub(1);
+        (u128::from(self.keys[k]) << 64) | u128::from(lo)
+    }
+
+    /// Iterates all addresses in ascending order.
+    pub fn iter(&self) -> impl Iterator<Item = u128> + '_ {
+        self.keys.iter().enumerate().flat_map(move |(k, &hi)| {
+            let block = &self.lows[self.offsets[k] as usize..self.offsets[k + 1] as usize];
+            block
+                .iter()
+                .map(move |&lo| (u128::from(hi) << 64) | u128::from(lo))
+        })
+    }
+
+    /// Global rank of `bits` when present: two-level binary search.
+    pub fn rank(&self, bits: u128) -> Option<usize> {
+        let hi = (bits >> 64) as u64;
+        let lo = bits as u64;
+        let k = self.keys.binary_search(&hi).ok()?;
+        let base = self.offsets[k] as usize;
+        let block = &self.lows[base..self.offsets[k + 1] as usize];
+        block.binary_search(&lo).ok().map(|i| base + i)
+    }
+
+    /// Number of addresses strictly below `bits` (global partition point).
+    pub fn rank_lower(&self, bits: u128) -> usize {
+        self.rank_bound(bits, false)
+    }
+
+    /// Number of addresses at or below `bits`.
+    pub fn rank_upper(&self, bits: u128) -> usize {
+        self.rank_bound(bits, true)
+    }
+
+    fn rank_bound(&self, bits: u128, inclusive: bool) -> usize {
+        let hi = (bits >> 64) as u64;
+        let lo = bits as u64;
+        match self.keys.binary_search(&hi) {
+            Ok(k) => {
+                let base = self.offsets[k] as usize;
+                let block = &self.lows[base..self.offsets[k + 1] as usize];
+                let within = if inclusive {
+                    block.partition_point(|&l| l <= lo)
+                } else {
+                    block.partition_point(|&l| l < lo)
+                };
+                base + within
+            }
+            // All blocks for keys < hi lie entirely below `bits`.
+            Err(k) => self.offsets[k] as usize,
+        }
+    }
+
+    /// Heap bytes of the compressed representation.
+    pub fn heap_bytes(&self) -> usize {
+        self.keys.len() * 8 + self.offsets.len() * 4 + self.lows.len() * 8
+    }
+
+    /// Structural invariants: strictly ascending keys, monotone offsets
+    /// bracketing `lows`, strictly ascending lows within each block.
+    fn check_invariants(&self) -> bool {
+        if self.offsets.len() != self.keys.len() + 1
+            || self.offsets.first() != Some(&0)
+            || self.offsets.last().copied() != Some(self.lows.len() as u32)
+        {
+            return false;
+        }
+        if !self.keys.windows(2).all(|w| w[0] < w[1]) {
+            return false;
+        }
+        // Offsets strictly increase (no empty blocks), lows strictly
+        // increase inside each block.
+        self.offsets.windows(2).all(|w| {
+            w[0] < w[1]
+                && self.lows[w[0] as usize..w[1] as usize]
+                    .windows(2)
+                    .all(|l| l[0] < l[1])
+        })
+    }
+}
+
+/// What a bloom-fronted membership probe observed — enough for the
+/// query layer to answer *and* account `serve.bloom.*` traffic without
+/// re-deriving anything.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Membership {
+    /// The bloom front answered "definitely absent"; the exact tier was
+    /// never consulted (`serve.bloom.hit`).
+    BloomFiltered,
+    /// The exact tier confirmed the address, at the given global rank in
+    /// its shard. `bloom_checked` is true when a bloom front passed the
+    /// probe through first (`serve.bloom.miss`).
+    Present {
+        /// Global rank inside the shard's run (indexes `first_week`).
+        rank: usize,
+        /// True when a bloom front was consulted before the exact tier.
+        bloom_checked: bool,
+    },
+    /// The exact tier did not find the address. `bloom_checked` true
+    /// means the bloom front let an absent address through — a false
+    /// positive (`serve.bloom.false_positive`).
+    Absent {
+        /// True when a bloom front was consulted before the exact tier.
+        bloom_checked: bool,
+    },
+}
+
+impl Membership {
+    /// Whether the probed address is in the hitlist.
+    pub fn is_present(&self) -> bool {
+        matches!(self, Membership::Present { .. })
+    }
+}
+
 /// One partition of a snapshot: the addresses whose /48 low bits select it.
 #[derive(Debug, Clone, Default)]
 pub struct Shard {
-    /// Sorted, deduplicated address bits.
-    pub(crate) addrs: Vec<u128>,
-    /// Parallel to `addrs`: study week each address was first published.
+    /// Prefix-compressed sorted, deduplicated address bits.
+    pub(crate) run: CompressedRun,
+    /// Parallel to the run's global ranks: study week each address was
+    /// first published.
     pub(crate) first_week: Vec<u32>,
+    /// Optional approximate-membership front over the run.
+    pub(crate) bloom: Option<BlockedBloom>,
     /// Aliased prefixes relevant to this shard (week registered as value).
     pub(crate) aliases: PrefixMap<u32>,
     /// `(network bits, count)` per distinct /48, ascending.
@@ -35,30 +252,67 @@ pub struct Shard {
 impl Shard {
     /// Number of addresses in this shard.
     pub fn len(&self) -> usize {
-        self.addrs.len()
+        self.run.len()
     }
 
     /// True when the shard holds no addresses.
     pub fn is_empty(&self) -> bool {
-        self.addrs.is_empty()
+        self.run.is_empty()
     }
 
-    /// The sorted address bits.
-    pub fn addrs(&self) -> &[u128] {
-        &self.addrs
+    /// The compressed address run.
+    pub fn run(&self) -> &CompressedRun {
+        &self.run
     }
 
-    /// Exact membership of an address (by bits).
+    /// Iterates the sorted address bits.
+    pub fn iter_bits(&self) -> impl Iterator<Item = u128> + '_ {
+        self.run.iter()
+    }
+
+    /// The address bits at global rank `i` (ascending order).
+    pub fn get_bits(&self, i: usize) -> u128 {
+        self.run.get(i)
+    }
+
+    /// Exact membership of an address (by bits), bypassing any bloom front.
     pub fn contains_bits(&self, bits: u128) -> bool {
-        self.addrs.binary_search(&bits).is_ok()
+        self.run.rank(bits).is_some()
+    }
+
+    /// Bloom-fronted membership probe: consults the approximate front
+    /// first when one was built, then the exact tier only if needed.
+    pub fn membership_bits(&self, bits: u128) -> Membership {
+        let bloom_checked = match &self.bloom {
+            Some(bloom) => {
+                if !bloom.may_contain(bits) {
+                    return Membership::BloomFiltered;
+                }
+                true
+            }
+            None => false,
+        };
+        match self.run.rank(bits) {
+            Some(rank) => Membership::Present {
+                rank,
+                bloom_checked,
+            },
+            None => Membership::Absent { bloom_checked },
+        }
     }
 
     /// The week an address was first published, if present.
     pub fn first_week_of(&self, bits: u128) -> Option<u32> {
-        self.addrs
-            .binary_search(&bits)
-            .ok()
-            .map(|i| self.first_week[i])
+        self.run.rank(bits).map(|i| self.first_week[i])
+    }
+
+    /// First-published week at a global rank (as returned by
+    /// [`Membership::Present`] or [`CompressedRun::rank`]).
+    ///
+    /// # Panics
+    /// Panics when `rank >= len()`.
+    pub fn first_week_at(&self, rank: usize) -> u32 {
+        self.first_week[rank]
     }
 
     /// Longest aliased prefix covering `addr`, if any.
@@ -74,10 +328,24 @@ impl Shard {
             .unwrap_or(0)
     }
 
+    /// Heap bytes of the address columns as stored (compressed run +
+    /// first-week column + bloom front if built).
+    pub fn stored_bytes(&self) -> usize {
+        self.run.heap_bytes()
+            + self.first_week.len() * 4
+            + self.bloom.as_ref().map_or(0, |b| b.heap_bytes())
+    }
+
+    /// Heap bytes the old raw representation would need for the same
+    /// content: a `Vec<u128>` plus the `Vec<u32>` week column.
+    pub fn raw_bytes(&self) -> usize {
+        self.run.len() * (16 + 4)
+    }
+
     fn rebuild_aggregates(&mut self) {
         let mask48 = Prefix::mask(48);
         self.agg48.clear();
-        for &a in &self.addrs {
+        for a in self.run.iter() {
             let net = a & mask48;
             match self.agg48.last_mut() {
                 Some((last, n)) if *last == net => *n += 1,
@@ -132,6 +400,22 @@ fn fold_addr(acc: u64, bits: u128, week: u32) -> u64 {
     acc.wrapping_add(mixed.wrapping_mul(0xbf58_476d_1ce4_e5b9) | 1)
 }
 
+/// Whether snapshots should build a bloom front by default: the
+/// `V6_BLOOM` environment toggle (`1`/`true` enable). Builders can
+/// override explicitly so tests never race on the environment.
+pub(crate) fn bloom_default() -> bool {
+    matches!(
+        std::env::var("V6_BLOOM").as_deref(),
+        Ok("1") | Ok("true") | Ok("TRUE")
+    )
+}
+
+/// Per-shard bloom seed: fixed base mixed with the shard index so equal
+/// content always builds an identical filter.
+fn bloom_seed(shard_index: usize) -> u64 {
+    0x06b1_00f1_17e5_5eed_u64 ^ ((shard_index as u64) << 32)
+}
+
 impl Snapshot {
     /// An empty snapshot (epoch 0) with `shard_count` shards.
     ///
@@ -157,25 +441,37 @@ impl Snapshot {
 
     /// Builds from per-shard `(bits, week)` vectors that are already
     /// sorted by bits and deduplicated, plus `(prefix, week)` alias
-    /// registrations. This is the O(n) path the ingestion merger uses.
+    /// registrations. This is the O(n) path the ingestion merger uses;
+    /// the compressed run is assembled directly from the sorted stream,
+    /// never materializing a raw `Vec<u128>`. `bloom` controls whether
+    /// each shard gets an approximate-membership front.
     pub(crate) fn from_sorted_parts(
         name: impl Into<String>,
         shard_bits: u32,
         shard_data: &[Vec<(u128, u32)>],
         aliases: &[(Prefix, u32)],
+        bloom: bool,
     ) -> Self {
         assert_eq!(shard_data.len(), 1usize << shard_bits);
         let mut snap = Snapshot::empty(name, 1usize << shard_bits);
         let mut checksum = 0u64;
         let mut total = 0u64;
         let mut max_week = 0u64;
-        for (shard, data) in snap.shards.iter_mut().zip(shard_data) {
-            shard.addrs = data.iter().map(|&(b, _)| b).collect();
-            shard.first_week = data.iter().map(|&(_, w)| w).collect();
-            debug_assert!(shard.addrs.windows(2).all(|w| w[0] < w[1]));
+        for (i, (shard, data)) in snap.shards.iter_mut().zip(shard_data).enumerate() {
+            debug_assert!(data.windows(2).all(|w| w[0].0 < w[1].0));
+            shard.first_week = Vec::with_capacity(data.len());
             for &(b, w) in data {
+                shard.run.push(b);
+                shard.first_week.push(w);
                 checksum = fold_addr(checksum, b, w);
                 max_week = max_week.max(u64::from(w));
+            }
+            if bloom && !data.is_empty() {
+                shard.bloom = Some(BlockedBloom::build(
+                    bloom_seed(i),
+                    data.iter().map(|&(b, _)| b),
+                    data.len(),
+                ));
             }
             total += data.len() as u64;
             shard.rebuild_aggregates();
@@ -233,7 +529,9 @@ impl Snapshot {
     /// Two snapshots with the same addresses and first-seen weeks have
     /// the same checksum regardless of how they were assembled — the
     /// equality the chaos suite uses to prove quarantine recovery
-    /// restored the full content.
+    /// restored the full content. The checksum is a function of content
+    /// only: compressed and raw representations of the same set fold to
+    /// the same value.
     pub fn content_checksum(&self) -> u64 {
         self.checksum
     }
@@ -280,6 +578,29 @@ impl Snapshot {
         self.shard_for(addr).contains_bits(u128::from(addr))
     }
 
+    /// Bloom-fronted membership probe (see [`Membership`]); answers are
+    /// identical to [`Snapshot::contains`], the variants additionally
+    /// carry what the approximate front observed.
+    pub fn membership(&self, addr: Ipv6Addr) -> Membership {
+        self.shard_for(addr).membership_bits(u128::from(addr))
+    }
+
+    /// True when any shard carries a bloom front.
+    pub fn has_bloom(&self) -> bool {
+        self.shards.iter().any(|s| s.bloom.is_some())
+    }
+
+    /// Heap bytes of the address columns as stored across all shards
+    /// (compressed runs + week columns + bloom fronts).
+    pub fn stored_bytes(&self) -> u64 {
+        self.shards.iter().map(|s| s.stored_bytes() as u64).sum()
+    }
+
+    /// Heap bytes the raw (uncompressed) representation would need.
+    pub fn raw_bytes(&self) -> u64 {
+        self.shards.iter().map(|s| s.raw_bytes() as u64).sum()
+    }
+
     /// The week `addr` was first published, if it is in the hitlist.
     pub fn first_week(&self, addr: Ipv6Addr) -> Option<u32> {
         self.shard_for(addr).first_week_of(u128::from(addr))
@@ -306,9 +627,7 @@ impl Snapshot {
                 .expect("len >= 48 is shard-local")];
             let lo = prefix.bits();
             let hi = u128::from(prefix.last());
-            let start = shard.addrs.partition_point(|&a| a < lo);
-            let end = shard.addrs.partition_point(|&a| a <= hi);
-            (end - start) as u64
+            (shard.run.rank_upper(hi) - shard.run.rank_lower(lo)) as u64
         } else {
             let lo = prefix.bits();
             let hi = u128::from(prefix.last());
@@ -360,28 +679,30 @@ impl Snapshot {
         let mut checksum = 0u64;
         let mut total = 0u64;
         for (i, shard) in self.shards.iter().enumerate() {
-            if shard.addrs.len() != shard.first_week.len() {
+            if !shard.run.check_invariants() {
                 return false;
             }
-            if !shard.addrs.windows(2).all(|w| w[0] < w[1]) {
-                return false;
-            }
-            if shard
-                .addrs
-                .iter()
-                .any(|&b| shard48(b, self.shard_bits) != i)
-            {
+            if shard.run.len() != shard.first_week.len() {
                 return false;
             }
             let agg_total: u64 = shard.agg48.iter().map(|&(_, n)| u64::from(n)).sum();
             let week_total: u64 = shard.week_counts.iter().map(|&(_, n)| n).sum();
-            if agg_total != shard.addrs.len() as u64 || week_total != agg_total {
+            if agg_total != shard.run.len() as u64 || week_total != agg_total {
                 return false;
             }
-            for (&b, &w) in shard.addrs.iter().zip(&shard.first_week) {
+            for (b, &w) in shard.run.iter().zip(&shard.first_week) {
+                if shard48(b, self.shard_bits) != i {
+                    return false;
+                }
+                // A bloom front must never produce a false negative.
+                if let Some(bloom) = &shard.bloom {
+                    if !bloom.may_contain(b) {
+                        return false;
+                    }
+                }
                 checksum = fold_addr(checksum, b, w);
             }
-            total += shard.addrs.len() as u64;
+            total += shard.run.len() as u64;
         }
         checksum == self.checksum && total == self.total
     }
@@ -397,6 +718,7 @@ pub struct SnapshotBuilder {
     shard_bits: u32,
     pending: Vec<(u128, u32)>,
     aliases: Vec<(Prefix, u32)>,
+    bloom: Option<bool>,
 }
 
 impl SnapshotBuilder {
@@ -411,7 +733,17 @@ impl SnapshotBuilder {
             shard_bits: shard_count.trailing_zeros(),
             pending: Vec::new(),
             aliases: Vec::new(),
+            bloom: None,
         }
+    }
+
+    /// Overrides the bloom-front decision for this build. Without an
+    /// override the `V6_BLOOM` environment toggle decides (read once at
+    /// build time); tests pin behavior here instead of mutating the
+    /// environment.
+    pub fn with_bloom(mut self, bloom: bool) -> Self {
+        self.bloom = Some(bloom);
+        self
     }
 
     /// Adds one address, first published in `week`.
@@ -438,13 +770,8 @@ impl SnapshotBuilder {
     /// Re-adds everything from an existing snapshot (incremental rebuild).
     pub fn merge_snapshot(&mut self, snap: &Snapshot) {
         for shard in &snap.shards {
-            self.pending.extend(
-                shard
-                    .addrs
-                    .iter()
-                    .copied()
-                    .zip(shard.first_week.iter().copied()),
-            );
+            self.pending
+                .extend(shard.iter_bits().zip(shard.first_week.iter().copied()));
             for (prefix, &week) in shard.aliases.iter() {
                 self.aliases.push((prefix, week));
             }
@@ -459,9 +786,11 @@ impl SnapshotBuilder {
     /// Builds the snapshot, also returning how many duplicate address
     /// submissions were coalesced.
     pub fn build_counting(mut self) -> (Snapshot, u64) {
-        // Sorting by (bits, week) makes the earliest week the first entry
-        // of each equal-bits run, so dedup-keep-first is dedup-keep-min.
-        self.pending.sort_unstable();
+        // Radix-sorting by (bits, week) makes the earliest week the first
+        // entry of each equal-bits run, so dedup-keep-first is
+        // dedup-keep-min. The radix kernel is exact-equivalent to
+        // `sort_unstable` for these integer pairs.
+        v6par::radix_sort_by_key(&mut self.pending, |&(b, w)| (b, u64::from(w)));
         let before = self.pending.len();
         self.pending.dedup_by_key(|&mut (b, _)| b);
         let duplicates = (before - self.pending.len()) as u64;
@@ -473,8 +802,13 @@ impl SnapshotBuilder {
         self.aliases
             .sort_unstable_by_key(|&(p, w)| (p.bits(), p.len(), w));
         self.aliases.dedup_by_key(|&mut (p, _)| p);
-        let snap =
-            Snapshot::from_sorted_parts(self.name, self.shard_bits, &shard_data, &self.aliases);
+        let snap = Snapshot::from_sorted_parts(
+            self.name,
+            self.shard_bits,
+            &shard_data,
+            &self.aliases,
+            self.bloom.unwrap_or_else(bloom_default),
+        );
         (snap, duplicates)
     }
 }
@@ -520,6 +854,80 @@ mod tests {
     }
 
     #[test]
+    fn compressed_run_round_trips_and_ranks() {
+        let bits: Vec<u128> = vec![
+            (1u128 << 64) | 5,
+            (1u128 << 64) | 9,
+            (2u128 << 64),
+            (2u128 << 64) | u128::from(u64::MAX),
+            (7u128 << 64) | 3,
+        ];
+        let run = CompressedRun::from_sorted(bits.iter().copied());
+        assert_eq!(run.len(), 5);
+        assert_eq!(run.key_count(), 3);
+        assert_eq!(run.iter().collect::<Vec<_>>(), bits);
+        for (i, &b) in bits.iter().enumerate() {
+            assert_eq!(run.get(i), b);
+            assert_eq!(run.rank(b), Some(i));
+            assert_eq!(run.rank_lower(b), i);
+            assert_eq!(run.rank_upper(b), i + 1);
+        }
+        assert_eq!(run.rank((1u128 << 64) | 6), None);
+        assert_eq!(run.rank_lower(1u128 << 64), 0);
+        assert_eq!(run.rank_lower(3u128 << 64), 4);
+        assert_eq!(run.rank_upper(u128::MAX), 5);
+        // 5 lows × 8 + 3 keys × 8 + 4 offsets × 4 = 80: even this barely
+        // clustered run (1.7 addrs/key) matches 5 × 16 raw; real
+        // clustering wins outright (see stored_bytes_beat_raw_* below).
+        assert_eq!(run.heap_bytes(), bits.len() * 16);
+    }
+
+    #[test]
+    fn bloom_front_preserves_answers_and_accounts_probes() {
+        let mut b = SnapshotBuilder::new("test", 4).with_bloom(true);
+        for i in 0..500u32 {
+            b.add_address(addr(&format!("2001:db8:{:x}::{:x}", i % 7, i)), i % 3);
+        }
+        let s = b.build();
+        assert!(s.has_bloom());
+        assert!(s.verify_integrity());
+        // Present addresses are found at their first-week rank.
+        let probe = addr("2001:db8:1::1");
+        assert!(matches!(
+            s.membership(probe),
+            Membership::Present {
+                bloom_checked: true,
+                ..
+            }
+        ));
+        // Absent probes are either bloom-filtered or confirmed absent —
+        // never reported present.
+        for i in 1000..1200u32 {
+            let a = addr(&format!("2001:db8:{:x}::dead:{:x}", i % 7, i));
+            assert!(!s.membership(a).is_present());
+            assert!(!s.contains(a));
+        }
+        // Same content without the front: identical checksum and answers.
+        let mut b2 = SnapshotBuilder::new("test", 4).with_bloom(false);
+        for i in 0..500u32 {
+            b2.add_address(addr(&format!("2001:db8:{:x}::{:x}", i % 7, i)), i % 3);
+        }
+        let s2 = b2.build();
+        assert!(!s2.has_bloom());
+        assert_eq!(s.content_checksum(), s2.content_checksum());
+        assert_eq!(
+            s2.membership(probe),
+            Membership::Present {
+                rank: match s2.shard_for(probe).run().rank(u128::from(probe)) {
+                    Some(r) => r,
+                    None => unreachable!(),
+                },
+                bloom_checked: false,
+            }
+        );
+    }
+
+    #[test]
     fn alias_lookup_is_longest_match() {
         let mut b = SnapshotBuilder::new("test", 4);
         b.add_address(addr("2001:db8:2::1"), 0);
@@ -561,6 +969,21 @@ mod tests {
         let mut broken = s;
         broken.total += 1;
         assert!(!broken.verify_integrity());
+    }
+
+    #[test]
+    fn stored_bytes_beat_raw_on_clustered_content() {
+        let mut b = SnapshotBuilder::new("test", 4).with_bloom(false);
+        // 32 /64s × 512 structured IIDs: the clustering real hitlists show.
+        for net in 0..32u32 {
+            for iid in 0..512u32 {
+                b.add_address(addr(&format!("2001:db8:{net:x}::{iid:x}")), 0);
+            }
+        }
+        let s = b.build();
+        assert_eq!(s.len(), 32 * 512);
+        let ratio = s.stored_bytes() as f64 / s.raw_bytes() as f64;
+        assert!(ratio < 0.7, "compression ratio {ratio} not under 0.7");
     }
 
     #[test]

@@ -273,6 +273,14 @@ impl HitlistStore {
         }
         let swap = t1.elapsed();
         self.metrics.record_publish();
+        {
+            // Export the published epoch's memory footprint: raw is what
+            // the old Vec<u128>+Vec<u32> columns would cost, compressed
+            // is what the tiered representation actually holds.
+            let current = self.current.read();
+            self.metrics
+                .set_store_bytes(current.raw_bytes(), current.stored_bytes());
+        }
         if degraded {
             self.metrics.record_degraded_publish();
         }
