@@ -39,6 +39,14 @@ for seed in 5 23; do
     | diff -u "tests/golden/store_recovery_seed${seed}.txt" -
 done
 
+echo "== wire chaos: faulty-transport reconnect/retry converges on exact answers =="
+V6_CHAOS_MODE=wire V6_CHAOS_SEED=31 \
+  cargo run --release -q -p v6bench --bin chaos 2>/dev/null | grep -q '^CHAOS_OK mode=wire'
+
+echo "== wire format v1 is byte-pinned to the golden fixtures =="
+cargo test -q -p v6wire --test golden_wire
+cargo test -q -p v6wire --test fuzz_codec
+
 echo "== digest equivalence at V6_THREADS={1,4} =="
 for t in 1 4; do
   V6_THREADS="$t" cargo test -q -p v6hitlist --test parallel_equivalence
@@ -80,6 +88,13 @@ grep -q 'store.log.appends' BENCH_serve.json
 grep -q 'store.recover.replayed' BENCH_serve.json
 grep -q 'serve.store.bytes.raw' BENCH_serve.json
 grep -q 'serve.store.bytes.compressed' BENCH_serve.json
+# Front-door rows: the adversarial wire mix ran, the flooder was
+# classified, and every refusal is accounted for in the wire metrics.
+grep -q '"wire"' BENCH_serve.json
+grep -q '"adversarial"' BENCH_serve.json
+grep -q '"flood_classified_at_frame"' BENCH_serve.json
+grep -q 'wire.admit.throttled' BENCH_serve.json
+grep -q 'wire.shed.global_overload' BENCH_serve.json
 
 echo "== kernels bench emits BENCH_kernels.json =="
 rm -f BENCH_kernels.json

@@ -19,10 +19,17 @@
 //!   one deterministic `RECOVER …` line per recovery and a final
 //!   `RECOVERY_OK …` summary to stdout so CI can diff the block
 //!   against a golden file.
+//! * `wire` — drives a query workload through the [`v6wire`] front
+//!   door over transports that lose, corrupt, and stall chunks per the
+//!   seeded plan (fault sites `wire.c2s.g<N>.*` / `wire.s2c.g<N>.*`).
+//!   The client reconnects and re-sends unanswered requests until
+//!   every response matches the direct snapshot answer; the run
+//!   asserts full convergence and that corruption is caught as typed
+//!   protocol errors, then prints one `CHAOS_OK mode=wire …` line.
 //!
 //! Env knobs: `V6HL_SCALE`, `V6HL_SEED` (the usual), `V6_THREADS`,
 //! `V6_CHAOS_SEED` (fault-plan seed; defaults 7 transient / 11
-//! permanent / 5 recovery), `V6_CHAOS_MODE`.
+//! permanent / 5 recovery / 31 wire), `V6_CHAOS_MODE`.
 
 use std::collections::HashSet;
 use std::sync::Arc;
@@ -114,8 +121,28 @@ fn main() {
             );
             run_recovery(seed, plan);
         }
+        "wire" => {
+            // Aggressive mixed faults: loss, corruption, and short
+            // stalls on both directions of every connection. Fresh
+            // fault sites per reconnect generation keep permanent
+            // sites from pinning a request forever.
+            let plan = FaultPlan::from_env(
+                31,
+                FaultSpec {
+                    stall_ms: 2,
+                    ..FaultSpec::with_permanent(0.35, 0.3)
+                },
+            );
+            eprintln!(
+                "[chaos] seed={seed} chaos_seed={}: faulty-wire reconnect/retry run …",
+                plan.seed()
+            );
+            run_wire(seed, plan);
+        }
         other => {
-            eprintln!("[chaos] unknown V6_CHAOS_MODE {other:?} (use transient|permanent|recovery)");
+            eprintln!(
+                "[chaos] unknown V6_CHAOS_MODE {other:?} (use transient|permanent|recovery|wire)"
+            );
             std::process::exit(2);
         }
     }
@@ -171,6 +198,134 @@ fn recover_store(
             .map_or("-".into(), |e| e.to_string()),
     );
     store
+}
+
+/// Requests the wire chaos run must converge on.
+const WIRE_REQUESTS: usize = 48;
+
+/// Reconnect generations before the wire run gives up (far above what
+/// any seed needs; fresh fault sites per generation guarantee progress
+/// in expectation, and a generation is just an in-memory duplex).
+const WIRE_MAX_GENERATIONS: u64 = 512;
+
+/// The faulty-transport reconnect/retry loop behind
+/// `V6_CHAOS_MODE=wire`: every wire answer must equal the direct
+/// snapshot answer, no matter what the transport does to the bytes.
+fn run_wire(seed: u64, plan: FaultPlan) {
+    use v6wire::{serve_request, AdmissionConfig, ChaosTransport, Request, WireClient, WireServer};
+
+    // A seeded snapshot served in-process.
+    let store = Arc::new(HitlistStore::new("chaos-wire", RECOVERY_SHARDS));
+    let mut b = SnapshotBuilder::new("chaos-wire", RECOVERY_SHARDS);
+    let mut probes = Vec::new();
+    for i in 0..256u64 {
+        let h = v6netsim::rng::hash64(seed ^ i, b"chaos-wire-addr");
+        let bits = (0x2001_0db8u128 << 96) | u128::from(h);
+        b.add_bits(bits, (i % 5) as u32);
+        probes.push(bits);
+    }
+    store.publish(b.build()).expect("publish");
+    let snap = store.snapshot();
+    let server = WireServer::new(
+        v6serve::QueryEngine::new(store),
+        AdmissionConfig::default(),
+        0,
+    );
+
+    // The workload, with every expected answer computed directly.
+    let requests: Vec<Request> = (0..WIRE_REQUESTS)
+        .map(|i| match i % 4 {
+            0 => Request::Lookup {
+                addr: probes[i * 5 % probes.len()],
+            },
+            1 => Request::Membership {
+                addr: probes[i * 3 % probes.len()] ^ u128::from(i as u64 % 2),
+            },
+            2 => Request::NewSince { week: i as u64 % 6 },
+            _ => Request::Status,
+        })
+        .collect();
+    let expected: Vec<_> = requests
+        .iter()
+        .map(|r| serve_request(&snap, r.clone()))
+        .collect();
+
+    let mut pending: Vec<usize> = (0..requests.len()).collect();
+    let mut generations = 0u64;
+    let mut resent = 0u64;
+    while !pending.is_empty() {
+        assert!(
+            generations < WIRE_MAX_GENERATIONS,
+            "wire run failed to converge: {} request(s) unanswered after {generations} \
+             reconnects",
+            pending.len()
+        );
+        // Fresh connection, fresh fault sites on both directions.
+        let (client_end, server_end) = v6wire::duplex();
+        let faulty_client =
+            ChaosTransport::new(client_end, plan.clone(), format!("c2s.g{generations}"));
+        let mut faulty_server =
+            ChaosTransport::new(server_end, plan.clone(), format!("s2c.g{generations}"));
+        let mut conn = server.open_connection(1_000 + generations);
+        let mut client = WireClient::connect(faulty_client, 0).expect("connect");
+        let mut by_id = std::collections::HashMap::new();
+        // One request per round: a corrupted chunk poisons the whole
+        // connection (all undecoded frames with it), so pipelining the
+        // backlog in one burst would forfeit every in-flight request to
+        // the first flipped bit. Interleaving bounds the blast radius
+        // of each fault to the current generation's remainder. The
+        // extra drain rounds at the end let stalled chunks release.
+        let mut queue: Vec<usize> = pending.clone();
+        queue.reverse();
+        let rounds = queue.len() as u64 + 8;
+        'rounds: for round in 0..rounds {
+            let now = round * 1_000;
+            if let Some(idx) = queue.pop() {
+                match client.send(&requests[idx], now) {
+                    Ok(id) => {
+                        by_id.insert(id, idx);
+                        resent += 1;
+                    }
+                    Err(_) => break, // transport closed: reconnect
+                }
+            }
+            if conn.pump(&mut faulty_server, now).is_err() {
+                break;
+            }
+            match client.poll(now) {
+                Ok(responses) => {
+                    for (id, resp) in responses {
+                        let Some(idx) = by_id.remove(&id) else {
+                            continue;
+                        };
+                        assert_eq!(
+                            resp, expected[idx],
+                            "wire answer diverged from the direct snapshot answer \
+                             for request {idx}"
+                        );
+                        pending.retain(|&p| p != idx);
+                    }
+                    if pending.is_empty() {
+                        break 'rounds;
+                    }
+                }
+                Err(_) => break, // corruption or close detected: reconnect
+            }
+        }
+        generations += 1;
+    }
+
+    let metrics = server.metrics().registry().snapshot();
+    let protocol_errors = metrics.counter("wire.conn.protocol_errors").unwrap_or(0);
+    println!(
+        "CHAOS_OK mode=wire chaos_seed={} requests={WIRE_REQUESTS} verified={WIRE_REQUESTS} \
+         reconnects={generations} sent={resent} protocol_errors={protocol_errors}",
+        plan.seed(),
+    );
+    eprintln!(
+        "[chaos] wire converged after {generations} generation(s); every answer matched the \
+         direct snapshot answer"
+    );
 }
 
 /// The kill-and-recover loop behind `V6_CHAOS_MODE=recovery`.

@@ -11,8 +11,12 @@
 //! After the load run the harness times durability: the same weekly
 //! sequence published to an in-memory store vs. a write-ahead-logged
 //! one, plus a cold [`v6serve::HitlistStore::recover`] after dropping
-//! the writer mid-flight. Both sets of numbers land in
-//! `BENCH_serve.json`.
+//! the writer mid-flight. Then it drives the `v6wire` front door with
+//! an adversarial client mix — steady pollers sharing the server with
+//! a query-flooder and a burst scraper on simulated time — and asserts
+//! the fairness contract (steady pollers unthrottled with bounded p99,
+//! abusers classified and contained by explicit `Throttled`/`Shed`
+//! frames). All three sets of numbers land in `BENCH_serve.json`.
 //!
 //! Env knobs: `V6HL_SEED` (default 2022), `V6SERVE_QUERIES` (default
 //! 1_000_000), `V6SERVE_THREADS` (default 4), `V6SERVE_SHARDS`
@@ -21,7 +25,7 @@
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use v6bench::{MetricsDump, PersistenceBench, ServeBench};
+use v6bench::{MetricsDump, PersistenceBench, ServeBench, WireBench, WireMixRecord};
 use v6hitlist::collect::active::collect_hitlist;
 use v6hitlist::HitlistService;
 use v6netsim::{World, WorldConfig};
@@ -120,6 +124,213 @@ fn persistence_bench(service: &HitlistService, shards: usize) -> PersistenceBenc
         replayed: report.replayed,
         writer_metrics,
         recovery_metrics,
+    }
+}
+
+/// One scripted wire client driven on simulated time: a
+/// [`v6wire::WireClient`] over an in-memory duplex pipe plus its
+/// server-side connection.
+struct WireActor {
+    client: v6wire::WireClient<v6wire::PipeTransport>,
+    conn: v6wire::ServerConn,
+    server_end: v6wire::PipeTransport,
+    interval_us: u64,
+    /// `Some((period, active))`: send only during the first `active`
+    /// microseconds of each `period` (a burst scraper's duty cycle).
+    duty: Option<(u64, u64)>,
+    next_send_us: u64,
+    probe: u128,
+    sent: u64,
+    answered: u64,
+    throttled: u64,
+    shed: u64,
+}
+
+impl WireActor {
+    fn new(
+        server: &Arc<v6wire::WireServer>,
+        client_id: u64,
+        rate_per_sec: u64,
+        probe: u128,
+    ) -> Self {
+        let (client_end, server_end) = v6wire::duplex();
+        WireActor {
+            client: v6wire::WireClient::connect(client_end, 0).expect("wire connect"),
+            conn: server.open_connection(client_id),
+            server_end,
+            interval_us: 1_000_000 / rate_per_sec.max(1),
+            duty: None,
+            next_send_us: 0,
+            probe,
+            sent: 0,
+            answered: 0,
+            throttled: 0,
+            shed: 0,
+        }
+    }
+
+    fn with_duty(mut self, period_us: u64, active_us: u64) -> Self {
+        self.duty = Some((period_us, active_us));
+        self
+    }
+
+    /// Advances to `now_us`: sends due requests, pumps the server,
+    /// tallies responses by verdict.
+    fn step(&mut self, now_us: u64) {
+        while self.next_send_us <= now_us {
+            let due = self.next_send_us;
+            self.next_send_us += self.interval_us;
+            if let Some((period, active)) = self.duty {
+                if due % period >= active {
+                    continue; // quiet part of the duty cycle
+                }
+            }
+            self.client
+                .send(
+                    &v6wire::Request::Membership {
+                        addr: self.probe ^ u128::from(self.sent),
+                    },
+                    now_us,
+                )
+                .expect("wire send");
+            self.sent += 1;
+        }
+        self.conn
+            .pump(&mut self.server_end, now_us)
+            .expect("wire pump");
+        for (_, resp) in self.client.poll(now_us).expect("wire poll") {
+            match resp {
+                v6wire::Response::Throttled { .. } => self.throttled += 1,
+                v6wire::Response::Shed { .. } => self.shed += 1,
+                _ => self.answered += 1,
+            }
+        }
+    }
+
+    fn record(actors: &[&WireActor], label: &str, p99_ns: u64) -> WireMixRecord {
+        WireMixRecord {
+            label: label.to_string(),
+            clients: actors.len(),
+            sent: actors.iter().map(|a| a.sent).sum(),
+            answered: actors.iter().map(|a| a.answered).sum(),
+            throttled: actors.iter().map(|a| a.throttled).sum(),
+            shed: actors.iter().map(|a| a.shed).sum(),
+            p99_ns,
+        }
+    }
+}
+
+/// The adversarial front-door run: steady pollers under a query flood
+/// and a burst scraper, against a no-flood baseline of the same
+/// pollers. Asserts the fairness contract (zero sheds/throttles for
+/// the steady population, bounded p99 degradation, flood classified
+/// and contained) and returns the `BENCH_serve.json` rows.
+fn wire_bench(store: &Arc<HitlistStore>) -> WireBench {
+    use v6wire::ClientClass;
+
+    let probe = store
+        .snapshot()
+        .shards()
+        .iter()
+        .flat_map(|s| s.iter_bits().next())
+        .next()
+        .unwrap_or(0x2001_0db8u128 << 96);
+    let ticks = 2_000u64; // two simulated seconds, 1 ms steps
+    let steady_rate = 100;
+
+    // Baseline: the steady pollers alone.
+    let baseline_server = v6wire::WireServer::new(
+        QueryEngine::new(store.clone()),
+        v6wire::AdmissionConfig::default(),
+        0,
+    );
+    let mut baseline: Vec<WireActor> = (0..3)
+        .map(|i| WireActor::new(&baseline_server, 10 + i, steady_rate, probe))
+        .collect();
+    for tick in 0..=ticks {
+        let now = tick * 1_000;
+        for a in &mut baseline {
+            a.step(now);
+        }
+    }
+    let baseline_steady_p99_ns = baseline_server.metrics().p99_ns(ClientClass::Steady);
+
+    // Adversarial mix: the same pollers plus a 20k req/s flooder and a
+    // burst scraper (dense 100 ms bursts at 1.5k req/s every 800 ms).
+    let server = v6wire::WireServer::new(
+        QueryEngine::new(store.clone()),
+        v6wire::AdmissionConfig::default(),
+        0,
+    );
+    let mut pollers: Vec<WireActor> = (0..3)
+        .map(|i| WireActor::new(&server, 10 + i, steady_rate, probe))
+        .collect();
+    let mut flooder = WireActor::new(&server, 666, 20_000, probe);
+    let mut scraper = WireActor::new(&server, 42, 1_500, probe).with_duty(800_000, 100_000);
+    for tick in 0..=ticks {
+        let now = tick * 1_000;
+        flooder.step(now);
+        scraper.step(now);
+        for a in &mut pollers {
+            a.step(now);
+        }
+    }
+
+    // The fairness contract, enforced.
+    for (i, p) in pollers.iter().enumerate() {
+        assert_eq!(
+            p.answered, p.sent,
+            "steady poller {i} lost answers under the flood"
+        );
+        assert_eq!(p.throttled, 0, "steady poller {i} was throttled");
+        assert_eq!(p.shed, 0, "steady poller {i} was shed");
+    }
+    assert_eq!(
+        flooder.answered + flooder.throttled + flooder.shed,
+        flooder.sent,
+        "flooder saw silent drops"
+    );
+    let info = server.client_info(666).expect("flooder tracked");
+    assert_eq!(info.class, ClientClass::Flood, "flooder never classified");
+    let flood_classified_at_frame = info
+        .classified_at_frame
+        .expect("flood classification frame");
+    let adversarial_steady_p99_ns = server.metrics().p99_ns(ClientClass::Steady);
+    // Degradation budget: 2x the no-flood baseline, with a floor that
+    // keeps the gate meaningful when both numbers are sub-microsecond.
+    let budget = (2 * baseline_steady_p99_ns).max(200_000);
+    assert!(
+        adversarial_steady_p99_ns <= budget,
+        "steady p99 degraded past budget under flood: {adversarial_steady_p99_ns}ns \
+         vs baseline {baseline_steady_p99_ns}ns"
+    );
+
+    let adversarial = vec![
+        WireActor::record(
+            &pollers.iter().collect::<Vec<_>>(),
+            "steady",
+            adversarial_steady_p99_ns,
+        ),
+        WireActor::record(
+            &[&scraper],
+            "burst",
+            server.metrics().p99_ns(ClientClass::Burst),
+        ),
+        WireActor::record(
+            &[&flooder],
+            "flood",
+            server.metrics().p99_ns(ClientClass::Flood),
+        ),
+    ];
+    WireBench {
+        baseline_steady_p99_ns,
+        adversarial_steady_p99_ns,
+        admitted: server.metrics().admitted(),
+        throttled: server.metrics().throttled(),
+        shed: server.metrics().shed(),
+        flood_classified_at_frame,
+        adversarial,
+        metrics: MetricsDump::from_snapshot(&server.metrics().registry().snapshot()),
     }
 }
 
@@ -291,6 +502,26 @@ fn main() {
         persistence.recovered_epoch,
     );
 
+    // Adversarial front-door run over the same store.
+    eprintln!("[serve] driving the wire front door: steady pollers vs flood + burst scraper …");
+    let wire = wire_bench(&store);
+    println!(
+        "wire: steady p99 {} ns baseline -> {} ns under flood; {} admitted, {} throttled, \
+         {} shed; flood classified at frame {}",
+        wire.baseline_steady_p99_ns,
+        wire.adversarial_steady_p99_ns,
+        wire.admitted,
+        wire.throttled,
+        wire.shed,
+        wire.flood_classified_at_frame,
+    );
+    for row in &wire.adversarial {
+        println!(
+            "wire[{}]: {} clients, {} sent, {} answered, {} throttled, {} shed, p99 {} ns",
+            row.label, row.clients, row.sent, row.answered, row.throttled, row.shed, row.p99_ns
+        );
+    }
+
     // Machine-readable artifact: run parameters + the store's registry
     // (query counters and latency histograms) + durability timings.
     let bench = ServeBench {
@@ -301,6 +532,7 @@ fn main() {
         cores,
         metrics: MetricsDump::from_snapshot(&store.metrics().registry().snapshot()),
         persistence,
+        wire,
     };
     assert!(
         bench

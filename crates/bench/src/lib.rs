@@ -249,6 +249,58 @@ pub struct PersistenceBench {
     pub recovery_metrics: MetricsDump,
 }
 
+/// One client population's wire-level outcome under the adversarial
+/// front-door mix, as recorded in `BENCH_serve.json`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WireMixRecord {
+    /// Population label ("steady", "burst", "flood").
+    pub label: String,
+    /// Concurrent clients in this population.
+    pub clients: usize,
+    /// Requests sent across the population.
+    pub sent: u64,
+    /// Requests answered with real responses.
+    pub answered: u64,
+    /// Requests answered with explicit `Throttled` frames.
+    pub throttled: u64,
+    /// Requests answered with explicit `Shed` frames.
+    pub shed: u64,
+    /// Server-side p99 service latency for this behavioral class,
+    /// nanoseconds (log2-bucket upper bound; admitted requests only).
+    pub p99_ns: u64,
+}
+
+/// The adversarial front-door run from the `serve` bench: steady
+/// pollers, a burst scraper, and a query-flooder sharing one
+/// [`v6wire::WireServer`] on simulated time, against a no-flood
+/// baseline of the same pollers.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WireBench {
+    /// Steady-poller p99 service latency with no abusive traffic,
+    /// nanoseconds.
+    pub baseline_steady_p99_ns: u64,
+    /// Steady-poller p99 service latency under the adversarial mix,
+    /// nanoseconds (the bench asserts it stays within the degradation
+    /// budget of the baseline).
+    pub adversarial_steady_p99_ns: u64,
+    /// Requests admitted during the adversarial run.
+    pub admitted: u64,
+    /// Requests throttled during the adversarial run (all explicit
+    /// `Throttled` frames, never silent drops).
+    pub throttled: u64,
+    /// Requests shed during the adversarial run (explicit `Shed`
+    /// frames).
+    pub shed: u64,
+    /// Frame index at which the flooder was classified.
+    pub flood_classified_at_frame: u64,
+    /// Per-population outcomes under the adversarial mix.
+    pub adversarial: Vec<WireMixRecord>,
+    /// The wire server's registry after the adversarial run
+    /// (`wire.conn.*` / `wire.admit.*` / `wire.shed.*` counters plus
+    /// per-class latency histograms).
+    pub metrics: MetricsDump,
+}
+
 /// The machine-readable output of the `serve` bench binary: run
 /// parameters plus the store's registry state (counters and latency
 /// histograms) after the load run, and the durability timings.
@@ -270,6 +322,8 @@ pub struct ServeBench {
     pub metrics: MetricsDump,
     /// Persistence-on vs. -off publish cost and cold-recovery timing.
     pub persistence: PersistenceBench,
+    /// The adversarial front-door run over the same store.
+    pub wire: WireBench,
 }
 
 /// One kernel measured sequentially and in parallel at one input size,

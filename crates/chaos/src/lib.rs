@@ -38,6 +38,13 @@
 //! |                            | recovery detects and quarantines it    |
 //! | `store.checkpoint.<epoch>` | checkpoint compaction: the checkpoint  |
 //! |                            | file tears and the log is kept intact  |
+//! | `wire.<label>.<seq>`       | one chunk sent on a `v6wire`           |
+//! |                            | `ChaosTransport`: `Error` drops the    |
+//! |                            | chunk (loss), `Panic` flips one        |
+//! |                            | deterministic bit (corruption the      |
+//! |                            | frame checksums must catch), `Stall`   |
+//! |                            | defers delivery until the release      |
+//! |                            | time passes (slow peer)                |
 //!
 //! The seed comes from the caller or from the `V6_CHAOS_SEED`
 //! environment variable (see [`seed_from_env`]).

@@ -54,7 +54,7 @@ pub use bloom::BlockedBloom;
 pub use ingest::{
     IngestError, IngestHandle, IngestReport, IngestStats, Ingestor, PublicationUpdate,
 };
-pub use loadgen::{LoadReport, LoadSpec, QueryMix};
+pub use loadgen::{sample_present, GenRequest, LoadReport, LoadSpec, QueryMix, RequestStream};
 pub use metrics::ServeMetrics;
 pub use query::{BatchAnswer, LookupAnswer, QueryEngine};
 pub use snapshot::{CompressedRun, Membership, ServeStatus, Shard, Snapshot, SnapshotBuilder};

@@ -215,8 +215,181 @@ struct WorkerResult {
     last_epoch: u64,
 }
 
-/// Samples up to `target` present addresses evenly across the snapshot.
-fn sample_present(snap: &Snapshot, target: usize) -> Vec<u128> {
+/// One generated operation, fully materialized: the address(es) to
+/// query and whether each was drawn from the known-present pool.
+///
+/// The stream of these is a pure function of `(seed, thread index)` —
+/// extracting it from the worker loop lets other harnesses (the wire
+/// front door's adversarial bench, cross-host reproductions) replay the
+/// exact request sequence a load run would issue.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GenRequest {
+    /// Exact membership probe.
+    Membership {
+        /// The address to probe.
+        addr: Ipv6Addr,
+        /// Drawn from the known-present pool (so absence is a failure).
+        from_present: bool,
+    },
+    /// Alias-filtered membership probe.
+    MembershipUnaliased {
+        /// The address to probe.
+        addr: Ipv6Addr,
+    },
+    /// Full lookup.
+    Lookup {
+        /// The address to look up.
+        addr: Ipv6Addr,
+        /// Drawn from the known-present pool.
+        from_present: bool,
+    },
+    /// Per-/48 density query around a drawn address.
+    Density {
+        /// The /48 containing the drawn address.
+        prefix: Prefix,
+        /// The drawn address was from the known-present pool.
+        from_present: bool,
+    },
+    /// Weekly-diff query.
+    NewSince {
+        /// The study week bound.
+        week: u64,
+    },
+    /// Batched lookup.
+    Batch {
+        /// The batch addresses, in draw order.
+        addrs: Vec<Ipv6Addr>,
+        /// How many were drawn from the known-present pool (lower bound
+        /// on the batch's `present` answer).
+        expect_present: u64,
+    },
+}
+
+impl GenRequest {
+    /// Queries this operation counts for (batch addresses counted
+    /// individually, matching [`LoadReport::queries`]).
+    pub fn cost(&self) -> u64 {
+        match self {
+            GenRequest::Batch { addrs, .. } => addrs.len() as u64,
+            _ => 1,
+        }
+    }
+}
+
+/// The deterministic request stream one load-generation worker follows.
+///
+/// Infinite: call [`RequestStream::next_request`] (or iterate) as long
+/// as needed. Two streams built from the same `(spec.seed, thread
+/// index, present pool, max_week)` yield identical sequences — the
+/// property `loadgen` runs rely on for reproducibility and that
+/// `crates/serve/tests` pins across hosts.
+#[derive(Debug, Clone)]
+pub struct RequestStream<'a> {
+    rng: Rng,
+    weights: [u32; 6],
+    weight_total: u64,
+    present: &'a [u128],
+    hit_fraction: f64,
+    batch_size: usize,
+    max_week: u64,
+}
+
+impl<'a> RequestStream<'a> {
+    /// The stream worker `thread_index` follows under `spec`.
+    ///
+    /// `present` is the sampled known-present pool; `max_week` is the
+    /// snapshot's latest study week (bounds the `NewSince` draws).
+    pub fn new(spec: &LoadSpec, present: &'a [u128], max_week: u64, thread_index: usize) -> Self {
+        let weights = spec.mix.weights();
+        RequestStream {
+            rng: Rng::new(hash64(
+                spec.seed,
+                format!("loadgen-{thread_index}").as_bytes(),
+            )),
+            weights,
+            weight_total: weights.iter().map(|&w| u64::from(w)).sum::<u64>().max(1),
+            present,
+            hit_fraction: spec.hit_fraction,
+            batch_size: spec.batch_size,
+            max_week,
+        }
+    }
+
+    fn pick_addr(&mut self) -> (Ipv6Addr, bool) {
+        let from_present = !self.present.is_empty() && self.rng.chance(self.hit_fraction);
+        let addr = if from_present {
+            Ipv6Addr::from(self.present[self.rng.below(self.present.len() as u64) as usize])
+        } else {
+            Ipv6Addr::from(random_probe(&mut self.rng))
+        };
+        (addr, from_present)
+    }
+
+    /// The next operation in the stream (never exhausts).
+    pub fn next_request(&mut self) -> GenRequest {
+        let mut pick = self.rng.below(self.weight_total);
+        let mut kind = 0usize;
+        for (i, &w) in self.weights.iter().enumerate() {
+            if pick < u64::from(w) {
+                kind = i;
+                break;
+            }
+            pick -= u64::from(w);
+        }
+        match kind {
+            0 => {
+                let (addr, from_present) = self.pick_addr();
+                GenRequest::Membership { addr, from_present }
+            }
+            1 => {
+                let (addr, _) = self.pick_addr();
+                GenRequest::MembershipUnaliased { addr }
+            }
+            2 => {
+                let (addr, from_present) = self.pick_addr();
+                GenRequest::Lookup { addr, from_present }
+            }
+            3 => {
+                let (addr, from_present) = self.pick_addr();
+                GenRequest::Density {
+                    prefix: Prefix::of(addr, 48),
+                    from_present,
+                }
+            }
+            4 => GenRequest::NewSince {
+                week: self.rng.below(self.max_week + 2),
+            },
+            _ => {
+                let n = self.batch_size.max(1);
+                let mut addrs = Vec::with_capacity(n);
+                let mut expect_present = 0u64;
+                for _ in 0..n {
+                    let (addr, from_present) = self.pick_addr();
+                    expect_present += u64::from(from_present);
+                    addrs.push(addr);
+                }
+                GenRequest::Batch {
+                    addrs,
+                    expect_present,
+                }
+            }
+        }
+    }
+}
+
+impl Iterator for RequestStream<'_> {
+    type Item = GenRequest;
+
+    fn next(&mut self) -> Option<GenRequest> {
+        Some(self.next_request())
+    }
+}
+
+/// Samples up to `target` present addresses evenly across the snapshot
+/// — the known-present pool a [`RequestStream`] draws hits from. Public
+/// so other harnesses (the wire adversarial bench) can build the same
+/// pool a load run would.
+pub fn sample_present(snap: &Snapshot, target: usize) -> Vec<u128> {
     let total = snap.len() as usize;
     if total == 0 {
         return Vec::new();
@@ -243,13 +416,8 @@ fn run_worker(
     quota: u64,
     first_epoch: u64,
 ) -> WorkerResult {
-    let mut rng = Rng::new(hash64(
-        spec.seed,
-        format!("loadgen-{thread_index}").as_bytes(),
-    ));
-    let weights = spec.mix.weights();
-    let weight_total: u64 = weights.iter().map(|&w| u64::from(w)).sum::<u64>().max(1);
     let max_week = engine.store().snapshot().week();
+    let mut stream = RequestStream::new(spec, present, max_week, thread_index);
     let mut hist = Histogram::new();
     let mut result = WorkerResult {
         hist: Histogram::new(),
@@ -260,32 +428,11 @@ fn run_worker(
         last_epoch: first_epoch,
     };
 
-    let pick_addr = |rng: &mut Rng, from_present: &mut bool| -> Ipv6Addr {
-        *from_present = !present.is_empty() && rng.chance(spec.hit_fraction);
-        if *from_present {
-            Ipv6Addr::from(present[rng.below(present.len() as u64) as usize])
-        } else {
-            Ipv6Addr::from(random_probe(rng))
-        }
-    };
-
     while result.issued < quota {
-        let mut pick = rng.below(weight_total);
-        let mut kind = 0usize;
-        for (i, &w) in weights.iter().enumerate() {
-            if pick < u64::from(w) {
-                kind = i;
-                break;
-            }
-            pick -= u64::from(w);
-        }
-        let mut from_present = false;
-        match kind {
-            // membership
-            0 => {
-                let a = pick_addr(&mut rng, &mut from_present);
+        match stream.next_request() {
+            GenRequest::Membership { addr, from_present } => {
                 let t = Instant::now();
-                let found = engine.contains(a);
+                let found = engine.contains(addr);
                 hist.record(t.elapsed().as_nanos() as u64);
                 result.issued += 1;
                 result.hits += u64::from(found);
@@ -293,19 +440,15 @@ fn run_worker(
                     result.failures += 1;
                 }
             }
-            // alias-filtered membership
-            1 => {
-                let a = pick_addr(&mut rng, &mut from_present);
+            GenRequest::MembershipUnaliased { addr } => {
                 let t = Instant::now();
-                let _ = engine.contains_unaliased(a);
+                let _ = engine.contains_unaliased(addr);
                 hist.record(t.elapsed().as_nanos() as u64);
                 result.issued += 1;
             }
-            // full lookup
-            2 => {
-                let a = pick_addr(&mut rng, &mut from_present);
+            GenRequest::Lookup { addr, from_present } => {
                 let t = Instant::now();
-                let ans = engine.lookup(a);
+                let ans = engine.lookup(addr);
                 hist.record(t.elapsed().as_nanos() as u64);
                 result.issued += 1;
                 result.hits += u64::from(ans.present);
@@ -315,39 +458,32 @@ fn run_worker(
                 result.last_epoch = result.last_epoch.max(ans.epoch);
                 result.after_publish += u64::from(ans.epoch > first_epoch);
             }
-            // per-/48 density
-            3 => {
-                let a = pick_addr(&mut rng, &mut from_present);
-                let p = Prefix::of(a, 48);
+            GenRequest::Density {
+                prefix,
+                from_present,
+            } => {
                 let t = Instant::now();
-                let n = engine.count_within(&p);
+                let n = engine.count_within(&prefix);
                 hist.record(t.elapsed().as_nanos() as u64);
                 result.issued += 1;
                 if from_present && n == 0 {
                     result.failures += 1;
                 }
             }
-            // weekly diff
-            4 => {
-                let week = rng.below(max_week + 2);
+            GenRequest::NewSince { week } => {
                 let t = Instant::now();
                 let _ = engine.new_since(week);
                 hist.record(t.elapsed().as_nanos() as u64);
                 result.issued += 1;
             }
-            // batched lookup
-            _ => {
-                let mut batch = Vec::with_capacity(spec.batch_size);
-                let mut expect_present = 0u64;
-                for _ in 0..spec.batch_size.max(1) {
-                    let a = pick_addr(&mut rng, &mut from_present);
-                    expect_present += u64::from(from_present);
-                    batch.push(a);
-                }
+            GenRequest::Batch {
+                addrs,
+                expect_present,
+            } => {
                 let t = Instant::now();
-                let ans = engine.batch_lookup(&batch);
+                let ans = engine.batch_lookup(&addrs);
                 hist.record(t.elapsed().as_nanos() as u64);
-                result.issued += batch.len() as u64;
+                result.issued += addrs.len() as u64;
                 result.hits += ans.present;
                 if ans.present < expect_present {
                     result.failures += 1;
@@ -472,6 +608,61 @@ mod tests {
         assert_eq!(a.present_hits, b.present_hits);
         assert_eq!(a.verification_failures, 0);
         assert_eq!(b.verification_failures, 0);
+    }
+
+    #[test]
+    fn request_stream_is_seed_deterministic() {
+        let engine = engine_with(500);
+        let snap = engine.store().snapshot();
+        let present = sample_present(&snap, 1024);
+        let spec = LoadSpec::default();
+
+        let a: Vec<GenRequest> = RequestStream::new(&spec, &present, snap.week(), 0)
+            .take(2_000)
+            .collect();
+        let b: Vec<GenRequest> = RequestStream::new(&spec, &present, snap.week(), 0)
+            .take(2_000)
+            .collect();
+        assert_eq!(a, b, "same (seed, thread) must replay identically");
+
+        // Different thread index or seed: a different stream.
+        let other_thread: Vec<GenRequest> = RequestStream::new(&spec, &present, snap.week(), 1)
+            .take(2_000)
+            .collect();
+        assert_ne!(a, other_thread);
+        let other_seed = LoadSpec {
+            seed: spec.seed + 1,
+            ..spec
+        };
+        let reseeded: Vec<GenRequest> = RequestStream::new(&other_seed, &present, snap.week(), 0)
+            .take(2_000)
+            .collect();
+        assert_ne!(a, reseeded);
+    }
+
+    #[test]
+    fn request_stream_costs_match_run_accounting() {
+        let engine = engine_with(200);
+        let snap = engine.store().snapshot();
+        let present = sample_present(&snap, 256);
+        let spec = LoadSpec::default();
+        let mut stream = RequestStream::new(&spec, &present, snap.week(), 0);
+        let mut issued = 0u64;
+        let mut ops = 0u64;
+        while issued < 5_000 {
+            let req = stream.next_request();
+            if let GenRequest::Batch {
+                addrs,
+                expect_present,
+            } = &req
+            {
+                assert_eq!(addrs.len(), spec.batch_size);
+                assert!(*expect_present <= addrs.len() as u64);
+            }
+            issued += req.cost();
+            ops += 1;
+        }
+        assert!(ops < issued, "batches must compress ops below queries");
     }
 
     #[test]

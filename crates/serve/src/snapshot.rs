@@ -719,6 +719,7 @@ pub struct SnapshotBuilder {
     pending: Vec<(u128, u32)>,
     aliases: Vec<(Prefix, u32)>,
     bloom: Option<bool>,
+    quarantined: Vec<u32>,
 }
 
 impl SnapshotBuilder {
@@ -734,7 +735,30 @@ impl SnapshotBuilder {
             pending: Vec::new(),
             aliases: Vec::new(),
             bloom: None,
+            quarantined: Vec::new(),
         }
+    }
+
+    /// Marks shards as quarantined in the built snapshot, yielding a
+    /// `Degraded` status exactly as the ingest quarantine path does.
+    /// Tests (and the wire front door's degraded-labeling suite) use
+    /// this to build degraded epochs without staging an ingest failure.
+    ///
+    /// # Panics
+    /// Panics if a shard index is out of range or the list is not
+    /// strictly increasing.
+    pub fn with_quarantined(mut self, shards: Vec<u32>) -> Self {
+        let count = 1u32 << self.shard_bits;
+        assert!(
+            shards.windows(2).all(|w| w[0] < w[1]),
+            "quarantined shard list must be strictly increasing"
+        );
+        assert!(
+            shards.iter().all(|&s| s < count),
+            "quarantined shard index out of range (shard count {count})"
+        );
+        self.quarantined = shards;
+        self
     }
 
     /// Overrides the bloom-front decision for this build. Without an
@@ -802,13 +826,14 @@ impl SnapshotBuilder {
         self.aliases
             .sort_unstable_by_key(|&(p, w)| (p.bits(), p.len(), w));
         self.aliases.dedup_by_key(|&mut (p, _)| p);
-        let snap = Snapshot::from_sorted_parts(
+        let mut snap = Snapshot::from_sorted_parts(
             self.name,
             self.shard_bits,
             &shard_data,
             &self.aliases,
             self.bloom.unwrap_or_else(bloom_default),
         );
+        snap.missing_shards = self.quarantined;
         (snap, duplicates)
     }
 }

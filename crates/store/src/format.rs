@@ -154,12 +154,25 @@ impl Enc {
         }
     }
 
+    /// Appends a `u32`-counted list of raw `u128` values.
+    pub fn u128_list(&mut self, values: &[u128]) {
+        self.u32(values.len() as u32);
+        for &v in values {
+            self.u128(v);
+        }
+    }
+
+    /// Appends a `u32`-counted list of `u32` values.
+    pub fn u32_list(&mut self, values: &[u32]) {
+        self.u32(values.len() as u32);
+        for &v in values {
+            self.u32(v);
+        }
+    }
+
     /// Appends a `u32`-counted list of removed address bits.
     pub fn removed(&mut self, removed: &[u128]) {
-        self.u32(removed.len() as u32);
-        for &bits in removed {
-            self.u128(bits);
-        }
+        self.u128_list(removed);
     }
 
     /// Appends a `u32`-counted list of removed alias keys.
@@ -173,10 +186,7 @@ impl Enc {
 
     /// Appends a `u32`-counted list of shard indices.
     pub fn shards(&mut self, shards: &[u32]) {
-        self.u32(shards.len() as u32);
-        for &s in shards {
-            self.u32(s);
-        }
+        self.u32_list(shards);
     }
 }
 
@@ -271,14 +281,29 @@ impl<'a> Dec<'a> {
         Some(out)
     }
 
-    /// Reads a `u32`-counted list of removed address bits.
-    pub fn removed(&mut self) -> Option<Vec<u128>> {
+    /// Reads a `u32`-counted list of raw `u128` values.
+    pub fn u128_list(&mut self) -> Option<Vec<u128>> {
         let n = self.counted(16)?;
         let mut out = Vec::with_capacity(n);
         for _ in 0..n {
             out.push(self.u128()?);
         }
         Some(out)
+    }
+
+    /// Reads a `u32`-counted list of `u32` values.
+    pub fn u32_list(&mut self) -> Option<Vec<u32>> {
+        let n = self.counted(4)?;
+        let mut out = Vec::with_capacity(n);
+        for _ in 0..n {
+            out.push(self.u32()?);
+        }
+        Some(out)
+    }
+
+    /// Reads a `u32`-counted list of removed address bits.
+    pub fn removed(&mut self) -> Option<Vec<u128>> {
+        self.u128_list()
     }
 
     /// Reads a `u32`-counted list of removed alias keys.
@@ -293,12 +318,7 @@ impl<'a> Dec<'a> {
 
     /// Reads a `u32`-counted list of shard indices.
     pub fn shards(&mut self) -> Option<Vec<u32>> {
-        let n = self.counted(4)?;
-        let mut out = Vec::with_capacity(n);
-        for _ in 0..n {
-            out.push(self.u32()?);
-        }
-        Some(out)
+        self.u32_list()
     }
 
     /// Reads a list count and bounds it against the bytes actually

@@ -1,0 +1,287 @@
+//! Wire framing (format v1): the connection preamble and the streaming
+//! frame decoder.
+//!
+//! A connection opens with an 8-byte preamble from each side — the
+//! 7-byte magic `V6WIRE1` followed by a protocol-version byte — and then
+//! carries length-prefixed, checksummed frames in both directions:
+//!
+//! ```text
+//! preamble := "V6WIRE1" version(u8 = 1)
+//! frame    := payload_len(u32 LE) payload(payload_len bytes) fnv64(payload)
+//! payload  := tag(u8) request_id(u64 LE) body
+//! ```
+//!
+//! The frame layout is deliberately identical to the `v6store` on-disk
+//! frame (length prefix, FNV-1a 64 over the payload only), and the
+//! payload bodies reuse the same [`v6store::format::Enc`] and
+//! [`v6store::format::Dec`]
+//! primitives — one codec for disk, wire, and (ROADMAP item 4) the
+//! node-to-node replication stream.
+//!
+//! # Abuse-hardening contract
+//!
+//! The decoder is the first thing untrusted bytes touch, so it pins
+//! three properties (enforced by the fuzz battery in
+//! `crates/wire/tests/fuzz_codec.rs`):
+//!
+//! * **Never panics.** Any byte sequence — truncated, bit-flipped,
+//!   adversarial — yields frames or a typed [`FrameError`], never a
+//!   panic.
+//! * **Never over-allocates.** A length prefix above
+//!   [`MAX_FRAME_PAYLOAD`] is rejected *before* any buffer grows toward
+//!   it; the decoder's internal buffer never exceeds
+//!   [`FrameDecoder::MAX_BUFFERED`] after a successful feed.
+//! * **Incomplete is not an error.** A prefix of a valid stream decodes
+//!   to the frames it completes and waits for the rest; only structural
+//!   violations (bad magic, oversized prefix, checksum mismatch)
+//!   produce errors.
+
+use v6store::format::fnv64;
+
+/// The 7-byte connection magic. The trailing `1` is the wire
+/// generation: peers reject preambles whose magic does not match
+/// exactly.
+pub const MAGIC: [u8; 7] = *b"V6WIRE1";
+
+/// Current protocol version, the 8th preamble byte.
+pub const PROTOCOL_VERSION: u8 = 1;
+
+/// Preamble size: magic + version byte.
+pub const PREAMBLE_LEN: usize = 8;
+
+/// Ceiling on a single frame's payload (1 MiB). A length prefix above
+/// this is a protocol error, not an allocation.
+pub const MAX_FRAME_PAYLOAD: u32 = 1 << 20;
+
+/// Bytes a frame adds around its payload: length prefix + checksum.
+pub const FRAME_OVERHEAD: usize = 12;
+
+/// Why a byte stream was rejected.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FrameError {
+    /// The preamble did not start with [`MAGIC`].
+    BadMagic,
+    /// The magic matched but the version byte is not one we speak.
+    UnsupportedVersion(u8),
+    /// A frame declared a payload longer than [`MAX_FRAME_PAYLOAD`].
+    Oversized {
+        /// The declared payload length.
+        declared: u32,
+    },
+    /// A complete frame whose FNV checksum does not match its payload:
+    /// corruption in transit.
+    BadChecksum,
+    /// A payload tag neither side's codec knows.
+    UnknownTag(u8),
+    /// A payload body that is truncated, has trailing bytes, or holds
+    /// an out-of-range field.
+    Malformed(&'static str),
+}
+
+impl std::fmt::Display for FrameError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FrameError::BadMagic => write!(f, "connection preamble magic mismatch"),
+            FrameError::UnsupportedVersion(v) => write!(f, "unsupported protocol version {v}"),
+            FrameError::Oversized { declared } => write!(
+                f,
+                "frame declares {declared} payload bytes (cap {MAX_FRAME_PAYLOAD})"
+            ),
+            FrameError::BadChecksum => write!(f, "frame checksum mismatch"),
+            FrameError::UnknownTag(t) => write!(f, "unknown payload tag {t:#04x}"),
+            FrameError::Malformed(what) => write!(f, "malformed payload: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+/// The 8 preamble bytes this side sends.
+pub fn preamble() -> [u8; PREAMBLE_LEN] {
+    let mut out = [0u8; PREAMBLE_LEN];
+    out[..7].copy_from_slice(&MAGIC);
+    out[7] = PROTOCOL_VERSION;
+    out
+}
+
+/// Validates a peer's 8 preamble bytes.
+pub fn check_preamble(bytes: &[u8; PREAMBLE_LEN]) -> Result<(), FrameError> {
+    if bytes[..7] != MAGIC {
+        return Err(FrameError::BadMagic);
+    }
+    if bytes[7] != PROTOCOL_VERSION {
+        return Err(FrameError::UnsupportedVersion(bytes[7]));
+    }
+    Ok(())
+}
+
+/// Wraps a payload in a wire frame: length prefix + payload + FNV-1a 64
+/// checksum.
+///
+/// # Panics
+/// Panics if the payload exceeds [`MAX_FRAME_PAYLOAD`] — encoders build
+/// payloads from typed requests, which are capped long before this.
+pub fn frame(payload: &[u8]) -> Vec<u8> {
+    assert!(
+        payload.len() <= MAX_FRAME_PAYLOAD as usize,
+        "encoder produced a {}-byte payload (cap {MAX_FRAME_PAYLOAD})",
+        payload.len()
+    );
+    let mut out = Vec::with_capacity(4 + payload.len() + 8);
+    out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    out.extend_from_slice(payload);
+    out.extend_from_slice(&fnv64(payload).to_le_bytes());
+    out
+}
+
+/// Incremental frame decoder over an untrusted byte stream.
+///
+/// Feed it chunks as they arrive; it returns every payload the chunk
+/// completes and buffers the partial tail. A structural violation
+/// poisons the decoder — the connection must close, there is no way to
+/// resynchronize a corrupt length-prefixed stream.
+#[derive(Debug, Default)]
+pub struct FrameDecoder {
+    buf: Vec<u8>,
+    poisoned: bool,
+}
+
+impl FrameDecoder {
+    /// Upper bound on bytes the decoder retains after a successful
+    /// [`FrameDecoder::feed`]: one maximal partial frame.
+    pub const MAX_BUFFERED: usize = MAX_FRAME_PAYLOAD as usize + FRAME_OVERHEAD;
+
+    /// An empty decoder.
+    pub fn new() -> Self {
+        FrameDecoder::default()
+    }
+
+    /// Bytes currently buffered (a partial frame awaiting the rest).
+    pub fn buffered(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// True once a structural violation was seen; every later feed
+    /// returns the same class of error.
+    pub fn is_poisoned(&self) -> bool {
+        self.poisoned
+    }
+
+    /// Consumes a chunk, returning every complete payload it yields.
+    ///
+    /// Frames are validated front to back: an oversized length prefix
+    /// or checksum mismatch fails the whole feed (the stream cannot be
+    /// resynchronized past it), but the payloads decoded *before* the
+    /// violation were already valid and are lost with the connection —
+    /// callers respond to the error by closing, so nothing is silently
+    /// dropped mid-session.
+    pub fn feed(&mut self, chunk: &[u8]) -> Result<Vec<Vec<u8>>, FrameError> {
+        if self.poisoned {
+            return Err(FrameError::Malformed("decoder poisoned by earlier error"));
+        }
+        self.buf.extend_from_slice(chunk);
+        let mut out = Vec::new();
+        let mut pos = 0usize;
+        let err = loop {
+            let rest = &self.buf[pos..];
+            if rest.len() < 4 {
+                break None;
+            }
+            let len = u32::from_le_bytes(rest[..4].try_into().expect("4 bytes checked"));
+            if len > MAX_FRAME_PAYLOAD {
+                break Some(FrameError::Oversized { declared: len });
+            }
+            let total = 4 + len as usize + 8;
+            if rest.len() < total {
+                break None;
+            }
+            let payload = &rest[4..4 + len as usize];
+            let sum =
+                u64::from_le_bytes(rest[4 + len as usize..total].try_into().expect("8 bytes"));
+            if fnv64(payload) != sum {
+                break Some(FrameError::BadChecksum);
+            }
+            out.push(payload.to_vec());
+            pos += total;
+        };
+        self.buf.drain(..pos);
+        if let Some(e) = err {
+            self.poisoned = true;
+            self.buf.clear();
+            return Err(e);
+        }
+        debug_assert!(self.buf.len() <= Self::MAX_BUFFERED);
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preamble_round_trip_and_rejection() {
+        let p = preamble();
+        assert_eq!(p.len(), PREAMBLE_LEN);
+        assert_eq!(check_preamble(&p), Ok(()));
+        let mut bad = p;
+        bad[0] ^= 0xff;
+        assert_eq!(check_preamble(&bad), Err(FrameError::BadMagic));
+        let mut wrong_version = p;
+        wrong_version[7] = 9;
+        assert_eq!(
+            check_preamble(&wrong_version),
+            Err(FrameError::UnsupportedVersion(9))
+        );
+    }
+
+    #[test]
+    fn frames_decode_across_arbitrary_chunk_boundaries() {
+        let a = frame(b"first");
+        let b = frame(b"second payload");
+        let stream: Vec<u8> = a.iter().chain(b.iter()).copied().collect();
+        for cut in 0..=stream.len() {
+            let mut dec = FrameDecoder::new();
+            let mut got = dec.feed(&stream[..cut]).expect("prefix never errors");
+            got.extend(dec.feed(&stream[cut..]).expect("suffix completes"));
+            assert_eq!(got, vec![b"first".to_vec(), b"second payload".to_vec()]);
+            assert_eq!(dec.buffered(), 0);
+        }
+    }
+
+    #[test]
+    fn oversized_prefix_is_rejected_without_allocating() {
+        let mut dec = FrameDecoder::new();
+        let mut bytes = (MAX_FRAME_PAYLOAD + 1).to_le_bytes().to_vec();
+        bytes.extend_from_slice(&[0; 32]);
+        assert_eq!(
+            dec.feed(&bytes),
+            Err(FrameError::Oversized {
+                declared: MAX_FRAME_PAYLOAD + 1
+            })
+        );
+        assert!(dec.is_poisoned());
+        assert_eq!(dec.buffered(), 0);
+        // A poisoned decoder refuses further input instead of parsing
+        // from a desynchronized offset.
+        assert!(dec.feed(&frame(b"later")).is_err());
+    }
+
+    #[test]
+    fn bit_flip_is_a_checksum_error() {
+        let f = frame(b"payload bytes");
+        let mut rotten = f.clone();
+        rotten[7] ^= 0x20;
+        let mut dec = FrameDecoder::new();
+        assert_eq!(dec.feed(&rotten), Err(FrameError::BadChecksum));
+    }
+
+    #[test]
+    fn valid_frames_before_a_violation_are_returned_by_earlier_feeds() {
+        let mut dec = FrameDecoder::new();
+        assert_eq!(dec.feed(&frame(b"ok")).unwrap(), vec![b"ok".to_vec()]);
+        let mut rotten = frame(b"bad");
+        rotten[5] ^= 1;
+        assert_eq!(dec.feed(&rotten), Err(FrameError::BadChecksum));
+    }
+}

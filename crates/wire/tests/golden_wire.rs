@@ -1,0 +1,215 @@
+//! Golden-file test pinning wire format v1 byte-for-byte (ISSUE 8,
+//! satellite 2).
+//!
+//! The fixture under `tests/golden/wire_format_v1/` (repo root) holds
+//! two byte streams — `requests.bin` (the client preamble followed by
+//! one framed instance of every request variant) and `responses.bin`
+//! (the server preamble followed by one framed instance of every
+//! response variant, including the `Throttled`/`Shed`/`Error` verdict
+//! frames) — with fixed field values. Any change to the preamble, frame
+//! layout, tags, field order, or checksum shows up as a byte diff here
+//! and fails CI instead of silently breaking deployed peers.
+//!
+//! To regenerate after an *intentional* protocol-version bump:
+//!
+//! ```sh
+//! V6WIRE_REGEN_GOLDEN=1 cargo test -p v6wire --test golden_wire
+//! ```
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use v6addr::Prefix;
+use v6wire::frame::{frame, preamble, FrameDecoder, PREAMBLE_LEN};
+use v6wire::proto::{Request, Response, ShedReason, WireLookup};
+use v6wire::ClientClass;
+
+const FIXTURE_FILES: [&str; 2] = ["requests.bin", "responses.bin"];
+
+fn golden_dir() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("../../tests/golden/wire_format_v1")
+}
+
+/// Every request variant with fixed field values, in tag order.
+fn fixture_requests() -> Vec<(u64, Request)> {
+    let base: u128 = 0x2001_0db8 << 96;
+    vec![
+        (1, Request::Ping),
+        (2, Request::Membership { addr: base | 0x11 }),
+        (3, Request::MembershipUnaliased { addr: base | 0x22 }),
+        (4, Request::Lookup { addr: base | 0x33 }),
+        (
+            5,
+            Request::Density {
+                prefix: Prefix::from_bits(base, 48),
+            },
+        ),
+        (6, Request::NewSince { week: 7 }),
+        (
+            7,
+            Request::Batch {
+                addrs: vec![base | 1, base | 2, base | 3],
+            },
+        ),
+        (8, Request::Status),
+    ]
+}
+
+/// Every response variant with fixed field values, in tag order.
+fn fixture_responses() -> Vec<(u64, Response)> {
+    let base: u128 = 0x2001_0db8 << 96;
+    let hit = WireLookup {
+        present: true,
+        first_week: Some(3),
+        alias: Some(Prefix::from_bits(base, 48)),
+        degraded: false,
+    };
+    let miss = WireLookup {
+        present: false,
+        first_week: None,
+        alias: None,
+        degraded: true,
+    };
+    vec![
+        (1, Response::Pong),
+        (2, Response::Bool { value: true }),
+        (
+            4,
+            Response::Lookup {
+                epoch: 9,
+                answer: hit,
+            },
+        ),
+        (
+            5,
+            Response::Count {
+                epoch: 9,
+                value: 1_234,
+            },
+        ),
+        (
+            7,
+            Response::Batch {
+                epoch: 9,
+                missing_shards: vec![1, 3],
+                answers: vec![hit, miss],
+                present: 1,
+                aliased: 1,
+            },
+        ),
+        (
+            8,
+            Response::Status {
+                epoch: 9,
+                week: 7,
+                len: 42_000,
+                shard_count: 16,
+                missing_shards: vec![1, 3],
+            },
+        ),
+        (
+            9,
+            Response::Throttled {
+                retry_after_ms: 250,
+                class: ClientClass::Flood,
+            },
+        ),
+        (
+            10,
+            Response::Shed {
+                reason: ShedReason::GlobalOverload,
+            },
+        ),
+        (
+            11,
+            Response::Error {
+                message: "golden error".to_string(),
+            },
+        ),
+    ]
+}
+
+fn build_request_stream() -> Vec<u8> {
+    let mut out = preamble().to_vec();
+    for (id, req) in fixture_requests() {
+        out.extend_from_slice(&frame(&req.encode(id)));
+    }
+    out
+}
+
+fn build_response_stream() -> Vec<u8> {
+    let mut out = preamble().to_vec();
+    for (id, resp) in fixture_responses() {
+        out.extend_from_slice(&frame(&resp.encode(id)));
+    }
+    out
+}
+
+#[test]
+fn wire_format_matches_golden_fixture() {
+    let streams = [
+        ("requests.bin", build_request_stream()),
+        ("responses.bin", build_response_stream()),
+    ];
+    let golden = golden_dir();
+
+    if std::env::var("V6WIRE_REGEN_GOLDEN").is_ok() {
+        fs::create_dir_all(&golden).unwrap();
+        for (name, bytes) in &streams {
+            fs::write(golden.join(name), bytes).unwrap();
+        }
+        panic!("golden fixture regenerated under {golden:?}; rerun without V6WIRE_REGEN_GOLDEN");
+    }
+
+    for (name, bytes) in &streams {
+        let want = fs::read(golden.join(name)).unwrap_or_else(|e| {
+            panic!("missing golden file {name} ({e}); regenerate with V6WIRE_REGEN_GOLDEN=1")
+        });
+        assert_eq!(
+            bytes, &want,
+            "{name} bytes diverged from wire-format-v1 golden — if the protocol change is \
+             intentional, bump PROTOCOL_VERSION and regenerate"
+        );
+    }
+    let _ = FIXTURE_FILES; // pinned name list, used by the parse test below
+}
+
+#[test]
+fn golden_fixture_still_parses() {
+    // Decoding the *committed* fixture (not freshly encoded bytes)
+    // proves today's decoder still understands yesterday's peers.
+    let golden = golden_dir();
+    let req_bytes = fs::read(golden.join("requests.bin"))
+        .expect("missing requests.bin; regenerate with V6WIRE_REGEN_GOLDEN=1");
+    let resp_bytes = fs::read(golden.join("responses.bin"))
+        .expect("missing responses.bin; regenerate with V6WIRE_REGEN_GOLDEN=1");
+
+    for (bytes, expect_requests) in [(req_bytes, true), (resp_bytes, false)] {
+        let head: [u8; PREAMBLE_LEN] = bytes[..PREAMBLE_LEN].try_into().unwrap();
+        v6wire::frame::check_preamble(&head).expect("golden preamble validates");
+        let mut dec = FrameDecoder::new();
+        let payloads = dec
+            .feed(&bytes[PREAMBLE_LEN..])
+            .expect("golden frames decode");
+        assert_eq!(dec.buffered(), 0, "golden stream has a partial tail");
+        if expect_requests {
+            let want = fixture_requests();
+            assert_eq!(payloads.len(), want.len());
+            for (payload, (id, req)) in payloads.iter().zip(want) {
+                assert_eq!(
+                    Request::decode(payload).expect("request decodes"),
+                    (id, req)
+                );
+            }
+        } else {
+            let want = fixture_responses();
+            assert_eq!(payloads.len(), want.len());
+            for (payload, (id, resp)) in payloads.iter().zip(want) {
+                assert_eq!(
+                    Response::decode(payload).expect("response decodes"),
+                    (id, resp)
+                );
+            }
+        }
+    }
+}

@@ -29,6 +29,11 @@
 //! * [`chaos`] (`v6chaos`) — seeded deterministic fault injection for
 //!   the pipeline and the serving path, plus the loss-report accounting
 //!   the chaos test suite pins (`V6_CHAOS_SEED` knob).
+//! * [`wire`] (`v6wire`) — the service front door: a versioned,
+//!   checksummed binary wire protocol over in-repo byte transports,
+//!   with admission control (per-client token buckets, global
+//!   load-shedding, behavioral classification of abusive clients) and
+//!   a fuzz/golden-pinned codec.
 //! * [`obs`] (`v6obs`) — the observability layer: a metrics registry
 //!   (counters, gauges, latency histograms, deterministic exposition)
 //!   and hierarchical span tracing (`V6_TRACE` knob); data-derived
@@ -60,3 +65,4 @@ pub use v6par as par;
 pub use v6scan as scan;
 pub use v6serve as serve;
 pub use v6store as store;
+pub use v6wire as wire;
