@@ -1,0 +1,20 @@
+use std::net::Ipv6Addr;
+use v6serve::SnapshotBuilder;
+use v6wire::conn::serve_request;
+use v6wire::frame::frame;
+use v6wire::proto::{Request, MAX_BATCH_ADDRS};
+use v6addr::Prefix;
+
+#[test]
+fn batch_response_fits_frame_cap() {
+    let mut b = SnapshotBuilder::new("t", 1);
+    let a: u128 = 0x2001_0db8u128 << 96 | 1;
+    b.add_address(Ipv6Addr::from(a), 3);
+    b.add_alias(Prefix::from_bits(0x2001_0db8u128 << 96, 48), 3);
+    let snap = b.build();
+    let addrs = vec![a; MAX_BATCH_ADDRS];
+    let resp = serve_request(&snap, Request::Batch { addrs });
+    let payload = resp.encode(1);
+    println!("payload len = {}", payload.len());
+    let _ = frame(&payload); // panics if > MAX_FRAME_PAYLOAD
+}
