@@ -39,6 +39,13 @@ for seed in 5 23; do
     | diff -u "tests/golden/store_recovery_seed${seed}.txt" -
 done
 
+echo "== cluster chaos matrix: kill/partition runs match the golden fixtures =="
+for seed in 41 97; do
+  V6_CHAOS_MODE=cluster V6_CHAOS_SEED="$seed" \
+    cargo run --release -q -p v6bench --bin chaos 2>/dev/null \
+    | diff -u "tests/golden/cluster_seed${seed}.txt" -
+done
+
 echo "== wire chaos: faulty-transport reconnect/retry converges on exact answers =="
 V6_CHAOS_MODE=wire V6_CHAOS_SEED=31 \
   cargo run --release -q -p v6bench --bin chaos 2>/dev/null | grep -q '^CHAOS_OK mode=wire'
@@ -95,6 +102,14 @@ grep -q '"adversarial"' BENCH_serve.json
 grep -q '"flood_classified_at_frame"' BENCH_serve.json
 grep -q 'wire.admit.throttled' BENCH_serve.json
 grep -q 'wire.shed.global_overload' BENCH_serve.json
+# Cluster rows: the multi-node run replicated, killed/recovered a node,
+# and converged to byte-identical replicas with an honest read audit.
+grep -q '"cluster"' BENCH_serve.json
+grep -q '"converged": true' BENCH_serve.json
+grep -q '"unlabeled_stale_reads": 0' BENCH_serve.json
+grep -q '"combined_checksum"' BENCH_serve.json
+grep -q 'cluster.repl.deltas_applied' BENCH_serve.json
+grep -q 'fabric.cluster.net.chunks' BENCH_serve.json
 
 echo "== kernels bench emits BENCH_kernels.json =="
 rm -f BENCH_kernels.json

@@ -26,10 +26,20 @@
 //!   every response matches the direct snapshot answer; the run
 //!   asserts full convergence and that corruption is caught as typed
 //!   protocol errors, then prints one `CHAOS_OK mode=wire …` line.
+//! * `cluster` — drives a 5-node [`v6cluster::Cluster`] through six
+//!   weekly publish waves with node-granularity chaos at
+//!   `cluster.<node>.<seq>` sites (loss, stalls, and `Panic`s that
+//!   kill the sending node), plus a scripted kill and a network
+//!   partition with hedged reads under both. After healing, the run
+//!   converges and asserts the invariant: all R replicas of every
+//!   partition reach byte-identical content checksums, and no read
+//!   answered below the committed epoch was labeled fresh. Stdout
+//!   (`READ`/`EVENT`/`CONVERGED`/`CHAOS_OK` lines) is byte-
+//!   deterministic per seed; CI diffs it against golden fixtures.
 //!
 //! Env knobs: `V6HL_SCALE`, `V6HL_SEED` (the usual), `V6_THREADS`,
 //! `V6_CHAOS_SEED` (fault-plan seed; defaults 7 transient / 11
-//! permanent / 5 recovery / 31 wire), `V6_CHAOS_MODE`.
+//! permanent / 5 recovery / 31 wire / 41 cluster), `V6_CHAOS_MODE`.
 
 use std::collections::HashSet;
 use std::sync::Arc;
@@ -139,9 +149,28 @@ fn main() {
             );
             run_wire(seed, plan);
         }
+        "cluster" => {
+            // Node-granularity chaos: a faulty chunk site drops or
+            // stalls the chunk — or kills the sending node outright
+            // (half of faulty sites panic). Rates stay low because a
+            // single Panic costs a whole node a crash/recover cycle.
+            let plan = FaultPlan::from_env(
+                41,
+                FaultSpec {
+                    stall_ms: 1,
+                    ..FaultSpec::with_permanent(0.08, 0.4)
+                },
+            );
+            eprintln!(
+                "[chaos] chaos_seed={}: cluster kill/partition/convergence run …",
+                plan.seed()
+            );
+            run_cluster(plan);
+        }
         other => {
             eprintln!(
-                "[chaos] unknown V6_CHAOS_MODE {other:?} (use transient|permanent|recovery|wire)"
+                "[chaos] unknown V6_CHAOS_MODE {other:?} \
+                 (use transient|permanent|recovery|wire|cluster)"
             );
             std::process::exit(2);
         }
@@ -325,6 +354,144 @@ fn run_wire(seed: u64, plan: FaultPlan) {
     eprintln!(
         "[chaos] wire converged after {generations} generation(s); every answer matched the \
          direct snapshot answer"
+    );
+}
+
+/// Weekly publish waves the cluster chaos run drives.
+const CLUSTER_WEEKS: u64 = 6;
+
+/// New addresses per partition per week.
+const CLUSTER_ADDRS_PER_WEEK: u64 = 4;
+
+/// A deterministic address that routes to partition `pid`: seeded
+/// candidates are rejection-sampled against [`v6cluster::partition_of`]
+/// (the variable bits sit inside the top /48, so sampling converges in
+/// a handful of draws).
+fn cluster_addr(seed: u64, pid: u32, partitions: u32, tag: u64) -> u128 {
+    for j in 0u64..4096 {
+        let h = v6netsim::rng::hash64(seed ^ tag ^ (j << 52), b"cluster-addr");
+        let bits = (0x2001u128 << 112) | (u128::from(h) << 40) | u128::from(tag & 0xff_ffff);
+        if v6cluster::partition_of(bits, partitions) == pid {
+            return bits;
+        }
+    }
+    unreachable!("rejection sampling must land within 4096 draws")
+}
+
+/// The cumulative content of partition `pid` as of `week`.
+fn cluster_week_entries(seed: u64, pid: u32, partitions: u32, week: u64) -> Vec<(u128, u32)> {
+    let mut entries = Vec::new();
+    for w in 1..=week {
+        for i in 0..CLUSTER_ADDRS_PER_WEEK {
+            let tag = (u64::from(pid) << 40) | (w << 8) | i;
+            entries.push((cluster_addr(seed, pid, partitions, tag), w as u32));
+        }
+    }
+    entries
+}
+
+/// One hedged-read sweep: a known week-1 address per partition plus
+/// one never-published probe. Prints a deterministic `READ` line each.
+fn cluster_read_phase(cluster: &mut v6cluster::Cluster, seed: u64, partitions: u32, label: &str) {
+    for pid in 0..partitions {
+        let tag = (u64::from(pid) << 40) | (1 << 8);
+        let out = cluster.read(cluster_addr(seed, pid, partitions, tag));
+        println!(
+            "READ phase={label} p{pid} status={} present={} epoch={} committed={} probes={}",
+            out.status, out.present, out.epoch, out.committed_epoch, out.probes
+        );
+    }
+    let absent = cluster.read(cluster_addr(seed, 0, partitions, 0xab5e17 << 32));
+    println!(
+        "READ phase={label} p0 status={} present={} (absent probe)",
+        absent.status, absent.present
+    );
+}
+
+/// The kill/partition/convergence run behind `V6_CHAOS_MODE=cluster`.
+fn run_cluster(plan: FaultPlan) {
+    use v6cluster::{Cluster, ClusterConfig, ReadStatus};
+
+    let chaos_seed = plan.seed();
+    let cfg = ClusterConfig::new(5, 3, chaos_seed);
+    let partitions = cfg.partitions;
+    let mut cluster = Cluster::with_chaos(cfg, Arc::new(plan)).expect("cluster scratch dirs");
+
+    for week in 1..=CLUSTER_WEEKS {
+        for pid in 0..partitions {
+            // Deferred publishes (every replica down) self-heal: the
+            // content is cumulative, so next week's wave carries it.
+            let _ = cluster.publish(
+                pid,
+                week,
+                cluster_week_entries(chaos_seed, pid, partitions, week),
+                vec![],
+            );
+        }
+        for _ in 0..3 {
+            cluster.pump_round();
+        }
+        match week {
+            2 => {
+                // A scripted kill on top of whatever chaos decides.
+                cluster.kill("n1");
+                cluster.pump_round();
+            }
+            3 => {
+                // Cut n3/n4 off from the majority (and the client).
+                let groups: std::collections::BTreeMap<String, u8> =
+                    [("n0", 0u8), ("n1", 0), ("n2", 0), ("n3", 1), ("n4", 1)]
+                        .into_iter()
+                        .map(|(n, g)| (n.to_string(), g))
+                        .collect();
+                cluster.set_partition(&groups);
+                cluster_read_phase(&mut cluster, chaos_seed, partitions, "partitioned");
+            }
+            5 => {
+                cluster.heal();
+                cluster_read_phase(&mut cluster, chaos_seed, partitions, "healed");
+            }
+            _ => {}
+        }
+    }
+
+    let report = cluster.converge(256);
+    for event in cluster.events() {
+        println!("EVENT {event}");
+    }
+    print!("{report}");
+
+    let audit = cluster.read_audit();
+    let count = |status: ReadStatus| audit.iter().filter(|r| r.status == status).count();
+    let kills = cluster
+        .events()
+        .iter()
+        .filter(|e| e.contains(": KILL "))
+        .count();
+    let restarts = cluster
+        .events()
+        .iter()
+        .filter(|e| e.contains(": RESTART "))
+        .count();
+    assert!(report.converged, "cluster failed to converge:\n{report}");
+    assert_eq!(
+        cluster.unlabeled_stale_reads(),
+        0,
+        "a stale answer was labeled fresh"
+    );
+    println!(
+        "CHAOS_OK mode=cluster chaos_seed={chaos_seed} reads={} fresh={} degraded={} \
+         unavailable={} unlabeled_stale=0 kills={kills} restarts={restarts} converge_rounds={}",
+        audit.len(),
+        count(ReadStatus::Fresh),
+        count(ReadStatus::Degraded),
+        count(ReadStatus::Unavailable),
+        report.rounds
+    );
+    eprintln!(
+        "[chaos] cluster converged after {} round(s); {kills} kill(s), {restarts} restart(s), \
+         every replica byte-identical",
+        report.rounds
     );
 }
 

@@ -334,6 +334,90 @@ fn wire_bench(store: &Arc<HitlistStore>) -> WireBench {
     }
 }
 
+/// A short healthy-cluster run for `BENCH_serve.json`: three weekly
+/// publish waves across every partition, one follower killed mid-run
+/// (crash recovery restart), a hedged-read sweep, and a convergence
+/// pass that must end with byte-identical replicas.
+fn cluster_bench(seed: u64) -> v6bench::ClusterBench {
+    use v6cluster::{partition_of, Cluster, ClusterConfig, PublishOutcome, ReadStatus};
+
+    let cfg = ClusterConfig::new(3, 2, seed);
+    let partitions = cfg.partitions;
+    let nodes = cfg.nodes;
+    let replication = cfg.replication;
+    let mut cluster = Cluster::new(cfg).expect("cluster scratch dirs");
+
+    // Rejection-sample an address that routes to `pid` (the variable
+    // bits sit inside the top /48, so this converges in a few draws).
+    let addr = |pid: u32, tag: u64| -> u128 {
+        for j in 0u64..4096 {
+            let h = v6netsim::rng::hash64(seed ^ tag ^ (j << 52), b"cluster-bench-addr");
+            let bits = (0x2001u128 << 112) | (u128::from(h) << 40) | u128::from(tag & 0xffff);
+            if partition_of(bits, partitions) == pid {
+                return bits;
+            }
+        }
+        unreachable!("rejection sampling must land within 4096 draws")
+    };
+
+    let mut epochs_published = 0u64;
+    for week in 1..=3u64 {
+        for pid in 0..partitions {
+            let entries: Vec<(u128, u32)> = (1..=week)
+                .flat_map(|w| (0..4u64).map(move |i| (w, i)))
+                .map(|(w, i)| (addr(pid, (u64::from(pid) << 20) | (w << 8) | i), w as u32))
+                .collect();
+            if let PublishOutcome::Committed { .. } = cluster.publish(pid, week, entries, vec![]) {
+                epochs_published += 1;
+            }
+        }
+        for _ in 0..2 {
+            cluster.pump_round();
+        }
+        if week == 2 {
+            cluster.kill("n2");
+            cluster.pump_round();
+        }
+    }
+    for pid in 0..partitions {
+        let _ = cluster.read(addr(pid, (u64::from(pid) << 20) | (1 << 8)));
+    }
+    let report = cluster.converge(128);
+    assert!(report.converged, "bench cluster failed to converge");
+    assert_eq!(
+        cluster.unlabeled_stale_reads(),
+        0,
+        "a stale answer was labeled fresh"
+    );
+
+    let audit = cluster.read_audit();
+    let count = |s: ReadStatus| audit.iter().filter(|r| r.status == s).count() as u64;
+    let event_count = |marker: &str| {
+        cluster
+            .events()
+            .iter()
+            .filter(|e| e.contains(marker))
+            .count() as u64
+    };
+    v6bench::ClusterBench {
+        nodes,
+        replication,
+        partitions,
+        epochs_published,
+        reads: audit.len() as u64,
+        reads_fresh: count(ReadStatus::Fresh),
+        reads_degraded: count(ReadStatus::Degraded),
+        reads_unavailable: count(ReadStatus::Unavailable),
+        unlabeled_stale_reads: cluster.unlabeled_stale_reads() as u64,
+        kills: event_count(": KILL "),
+        restarts: event_count(": RESTART "),
+        converged: report.converged,
+        converge_rounds: report.rounds,
+        combined_checksum: format!("{:#018x}", report.combined_checksum),
+        metrics: MetricsDump::from_snapshot(&cluster.metrics()),
+    }
+}
+
 fn main() {
     let seed = v6bench::seed_from_env();
     let cores = std::thread::available_parallelism()
@@ -522,6 +606,27 @@ fn main() {
         );
     }
 
+    // A short multi-node run over the same publish/replicate machinery.
+    eprintln!("[serve] running the 3-node cluster: publish, kill, hedged reads, converge …");
+    let cluster = cluster_bench(seed);
+    println!(
+        "cluster: {} nodes R={} over {} partitions, {} epochs committed, reads {} \
+         ({} fresh / {} degraded / {} unavailable), {} kill(s) / {} restart(s), \
+         converged in {} round(s), combined {}",
+        cluster.nodes,
+        cluster.replication,
+        cluster.partitions,
+        cluster.epochs_published,
+        cluster.reads,
+        cluster.reads_fresh,
+        cluster.reads_degraded,
+        cluster.reads_unavailable,
+        cluster.kills,
+        cluster.restarts,
+        cluster.converge_rounds,
+        cluster.combined_checksum,
+    );
+
     // Machine-readable artifact: run parameters + the store's registry
     // (query counters and latency histograms) + durability timings.
     let bench = ServeBench {
@@ -533,6 +638,7 @@ fn main() {
         metrics: MetricsDump::from_snapshot(&store.metrics().registry().snapshot()),
         persistence,
         wire,
+        cluster,
     };
     assert!(
         bench

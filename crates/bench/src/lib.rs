@@ -301,6 +301,48 @@ pub struct WireBench {
     pub metrics: MetricsDump,
 }
 
+/// The multi-node cluster run from the `serve` bench: a small
+/// [`v6cluster::Cluster`] driven through publishes, a node kill, a
+/// network partition, hedged reads under both, and a final
+/// convergence pass.
+///
+/// [`v6cluster::Cluster`]: ../v6cluster/struct.Cluster.html
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ClusterBench {
+    /// Simulated nodes.
+    pub nodes: usize,
+    /// Replication factor R.
+    pub replication: usize,
+    /// Partitions the /48 space folds into.
+    pub partitions: u32,
+    /// Epochs committed across all partitions.
+    pub epochs_published: u64,
+    /// Hedged reads issued.
+    pub reads: u64,
+    /// Reads answered fresh (committed epoch, quorum reachable).
+    pub reads_fresh: u64,
+    /// Reads answered but labeled degraded (stale or under-quorum).
+    pub reads_degraded: u64,
+    /// Reads nothing answered before the deadline.
+    pub reads_unavailable: u64,
+    /// The audited invariant: stale answers labeled fresh. Must be 0.
+    pub unlabeled_stale_reads: u64,
+    /// Node kills during the run (driver- or chaos-initiated).
+    pub kills: u64,
+    /// Node restarts through crash recovery.
+    pub restarts: u64,
+    /// True when the final convergence pass reached byte-identical
+    /// replicas everywhere.
+    pub converged: bool,
+    /// Rounds the convergence pass ran.
+    pub converge_rounds: u64,
+    /// The convergence report's combined checksum (hex).
+    pub combined_checksum: String,
+    /// Merged per-node + fabric registries (`<node>.cluster.*`,
+    /// `fabric.cluster.net.*`).
+    pub metrics: MetricsDump,
+}
+
 /// The machine-readable output of the `serve` bench binary: run
 /// parameters plus the store's registry state (counters and latency
 /// histograms) after the load run, and the durability timings.
@@ -324,6 +366,9 @@ pub struct ServeBench {
     pub persistence: PersistenceBench,
     /// The adversarial front-door run over the same store.
     pub wire: WireBench,
+    /// The multi-node cluster run: replication, faults, hedged reads,
+    /// convergence.
+    pub cluster: ClusterBench,
 }
 
 /// One kernel measured sequentially and in parallel at one input size,

@@ -45,6 +45,12 @@
 //! |                            | frame checksums must catch), `Stall`   |
 //! |                            | defers delivery until the release      |
 //! |                            | time passes (slow peer)                |
+//! | `cluster.<node>.<seq>`     | one chunk a cluster node sends on the  |
+//! |                            | `v6cluster` fabric: `Error` drops the  |
+//! |                            | chunk (loss), `Stall` defers delivery, |
+//! |                            | `Panic` **kills the sending node** —   |
+//! |                            | its stores drop and it later restarts  |
+//! |                            | through crash recovery                 |
 //!
 //! The seed comes from the caller or from the `V6_CHAOS_SEED`
 //! environment variable (see [`seed_from_env`]).

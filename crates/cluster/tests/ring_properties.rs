@@ -1,0 +1,157 @@
+//! Ring placement properties (ISSUE 9 satellite).
+//!
+//! The consistent-hash ring's contract, pinned over the whole input
+//! space rather than a few examples:
+//!
+//! * assignment is a pure function of the node *set* — input order
+//!   never matters, and rebuilding after a join + leave that returns
+//!   to the same set restores the exact placement;
+//! * a single membership change only moves partitions that actually
+//!   used the changed node: any partition whose replica set excluded
+//!   it keeps its replica set bit-for-bit (the structural form of the
+//!   "moves ≤ K/N keys" bound), and the quantitative bound itself is
+//!   pinned for every cluster size the simulation uses;
+//! * two replicas of one partition never land on the same node;
+//! * the partition layer keys whole /48s: the low 80 bits never
+//!   influence placement.
+
+use proptest::prelude::*;
+use v6cluster::{partition_of, Ring};
+
+/// Collapses raw indices into at least `min` distinct node names from
+/// a small universe (padding deterministically when the draw was too
+/// repetitive).
+fn to_nodes(raw: Vec<usize>, min: usize) -> Vec<String> {
+    let mut set: std::collections::BTreeSet<usize> = raw.into_iter().collect();
+    let mut filler = 100;
+    while set.len() < min {
+        set.insert(filler);
+        filler += 1;
+    }
+    set.into_iter().map(|i| format!("m{i:03}")).collect()
+}
+
+/// Strategy: 2..8 distinct node names from a 12-name universe.
+fn node_set() -> impl Strategy<Value = Vec<String>> {
+    prop::collection::vec(0usize..12, 1..8).prop_map(|raw| to_nodes(raw, 2))
+}
+
+proptest! {
+    #[test]
+    fn assignment_is_order_free_deterministic_and_distinct(
+        nodes in node_set(),
+        vnodes in 8usize..64,
+        replication in 1usize..5,
+        pid in 0u32..64,
+    ) {
+        let forward = Ring::build(nodes.clone(), vnodes, replication);
+        let mut reversed = nodes.clone();
+        reversed.reverse();
+        let backward = Ring::build(reversed, vnodes, replication);
+
+        let set = forward.replicas_for_partition(pid);
+        prop_assert_eq!(&set, &backward.replicas_for_partition(pid));
+        prop_assert_eq!(set.len(), replication.min(nodes.len()));
+        let mut dedup = set.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        prop_assert_eq!(dedup.len(), set.len(), "two replicas on one node");
+    }
+
+    #[test]
+    fn join_and_leave_back_restores_every_placement(
+        nodes in node_set(),
+        vnodes in 8usize..64,
+        replication in 1usize..4,
+    ) {
+        let before = Ring::build(nodes.clone(), vnodes, replication);
+        let mut joined = nodes.clone();
+        joined.push("joiner".to_string());
+        let _transient = Ring::build(joined, vnodes, replication);
+        let after = Ring::build(nodes, vnodes, replication);
+        for pid in 0..64 {
+            prop_assert_eq!(
+                before.replicas_for_partition(pid),
+                after.replicas_for_partition(pid)
+            );
+        }
+    }
+
+    #[test]
+    fn leave_never_moves_partitions_that_avoided_the_leaver(
+        nodes in prop::collection::vec(0usize..12, 1..8).prop_map(|raw| to_nodes(raw, 3)),
+        vnodes in 8usize..64,
+        replication in 1usize..4,
+    ) {
+        let leaver = nodes[0].clone();
+        let before = Ring::build(nodes.clone(), vnodes, replication);
+        let remaining: Vec<String> =
+            nodes.into_iter().filter(|n| *n != leaver).collect();
+        let after = Ring::build(remaining, vnodes, replication);
+        for pid in 0..128 {
+            let old = before.replicas_for_partition(pid);
+            if !old.contains(&leaver.as_str()) {
+                // The walk never crossed the leaver's points, so
+                // deleting them cannot perturb this placement.
+                prop_assert_eq!(old, after.replicas_for_partition(pid));
+            }
+        }
+    }
+
+    #[test]
+    fn join_only_moves_partitions_the_joiner_now_serves(
+        nodes in node_set(),
+        vnodes in 8usize..64,
+        replication in 1usize..4,
+    ) {
+        let before = Ring::build(nodes.clone(), vnodes, replication);
+        let mut joined = nodes.clone();
+        joined.push("joiner".to_string());
+        let after = Ring::build(joined, vnodes, replication);
+        for pid in 0..128 {
+            let new = after.replicas_for_partition(pid);
+            if !new.contains(&"joiner") {
+                prop_assert_eq!(before.replicas_for_partition(pid), new);
+            }
+        }
+    }
+
+    #[test]
+    fn partition_of_ignores_the_low_80_bits(
+        bits in any::<u128>(),
+        low in any::<u128>(),
+        partitions in 1u32..64,
+    ) {
+        let hi_mask = !((1u128 << 80) - 1);
+        let a = partition_of(bits, partitions);
+        let b = partition_of((bits & hi_mask) | (low & !hi_mask), partitions);
+        prop_assert_eq!(a, b, "same /48 must map to the same partition");
+        prop_assert!(a < partitions);
+    }
+}
+
+/// The quantitative rebalance bound, pinned deterministically for
+/// every cluster size the simulation runs: one node joining an N-node
+/// ring (128 vnodes) moves at most 2·K/(N+1) of K primaries — a naive
+/// mod-N rehash would move ≈ K·N/(N+1), several times the bound.
+#[test]
+fn single_join_moves_at_most_a_k_over_n_fraction() {
+    const PARTITIONS: u32 = 256;
+    for n in 3usize..=9 {
+        let nodes: Vec<String> = (0..n).map(|i| format!("n{i}")).collect();
+        let before = Ring::build(nodes.clone(), 128, 2);
+        let mut joined = nodes.clone();
+        joined.push(format!("n{n}"));
+        let after = Ring::build(joined, 128, 2);
+        let moved = (0..PARTITIONS)
+            .filter(|&pid| {
+                before.replicas_for_partition(pid)[0] != after.replicas_for_partition(pid)[0]
+            })
+            .count();
+        let bound = 2 * PARTITIONS as usize / (n + 1);
+        assert!(
+            moved <= bound,
+            "join onto {n} nodes moved {moved}/{PARTITIONS} primaries (bound {bound})"
+        );
+    }
+}

@@ -318,6 +318,34 @@ pub struct MetricsSnapshot {
 }
 
 impl MetricsSnapshot {
+    /// Merges several labeled snapshots into one, prefixing every
+    /// metric of source `label` as `<label>.<name>`.
+    ///
+    /// This is how a cluster folds its per-node registries into a
+    /// single snapshot: `merge_prefixed([("n0", a), ("n1", b)])` yields
+    /// `n0.store.log.appends`, `n1.store.log.appends`, … — each
+    /// section sorted by the prefixed name, so the merged snapshot is
+    /// deterministic whenever its inputs are.
+    pub fn merge_prefixed<'a, I>(parts: I) -> MetricsSnapshot
+    where
+        I: IntoIterator<Item = (&'a str, &'a MetricsSnapshot)>,
+    {
+        let mut out = MetricsSnapshot::default();
+        for (label, snap) in parts {
+            let tag = |name: &str| format!("{label}.{name}");
+            out.counters
+                .extend(snap.counters.iter().map(|(n, v)| (tag(n), *v)));
+            out.gauges
+                .extend(snap.gauges.iter().map(|(n, v)| (tag(n), *v)));
+            out.histograms
+                .extend(snap.histograms.iter().map(|(n, s)| (tag(n), *s)));
+        }
+        out.counters.sort_by(|a, b| a.0.cmp(&b.0));
+        out.gauges.sort_by(|a, b| a.0.cmp(&b.0));
+        out.histograms.sort_by(|a, b| a.0.cmp(&b.0));
+        out
+    }
+
     /// Value of the counter `name`, if present in the snapshot.
     pub fn counter(&self, name: &str) -> Option<u64> {
         self.counters
@@ -411,6 +439,29 @@ fn json_string(s: &str) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn merge_prefixed_labels_and_sorts() {
+        let a = Registry::new();
+        a.counter("store.log.appends").add(3);
+        a.gauge("serve.bytes").set(10);
+        let b = Registry::new();
+        b.counter("store.log.appends").add(5);
+        b.histogram("lat").record(100);
+
+        let (sa, sb) = (a.snapshot(), b.snapshot());
+        let merged = MetricsSnapshot::merge_prefixed([("n1", &sb), ("n0", &sa)]);
+        assert_eq!(merged.counter("n0.store.log.appends"), Some(3));
+        assert_eq!(merged.counter("n1.store.log.appends"), Some(5));
+        assert_eq!(merged.gauges, vec![("n0.serve.bytes".to_string(), 10)]);
+        assert_eq!(merged.histograms.len(), 1);
+        assert_eq!(merged.histograms[0].0, "n1.lat");
+        // Sections sort by prefixed name regardless of input order.
+        let names: Vec<&str> = merged.counters.iter().map(|(n, _)| n.as_str()).collect();
+        let mut sorted = names.clone();
+        sorted.sort_unstable();
+        assert_eq!(names, sorted);
+    }
 
     #[test]
     fn counter_and_gauge_basics() {

@@ -33,7 +33,12 @@ use crate::store::HitlistStore;
 /// per-shard `Vec<u128>` is ever materialized. Aliases shorter than /48
 /// are replicated into every shard at build time and are deduplicated
 /// back to one registration here.
-pub(crate) fn flatten_snapshot(snap: &Snapshot) -> (Vec<(u128, u32)>, Vec<AliasEntry>) {
+///
+/// Public because the cluster layer ([`v6cluster`]) uses the same
+/// flattening to seed replication mirrors and compute epoch deltas.
+///
+/// [`v6cluster`]: ../../v6cluster/index.html
+pub fn flatten_snapshot(snap: &Snapshot) -> (Vec<(u128, u32)>, Vec<AliasEntry>) {
     let mut entries = Vec::with_capacity(snap.len() as usize);
     let mut aliases = Vec::new();
     for shard in snap.shards() {
@@ -60,7 +65,10 @@ pub(crate) fn flatten_snapshot(snap: &Snapshot) -> (Vec<(u128, u32)>, Vec<AliasE
 /// compares it against the checksum the log recorded at publish time
 /// to detect any divergence between the persisted delta chain and the
 /// serving data structures.
-pub(crate) fn snapshot_from_state(state: &EpochState) -> Snapshot {
+///
+/// Public because cluster followers rebuild their serving snapshot
+/// from a replicated [`EpochState`] mirror through exactly this path.
+pub fn snapshot_from_state(state: &EpochState) -> Snapshot {
     let shard_count = 1usize << state.shard_bits;
     let mut shard_data: Vec<Vec<(u128, u32)>> = vec![Vec::new(); shard_count];
     for &(bits, week) in &state.entries {

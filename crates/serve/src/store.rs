@@ -223,7 +223,34 @@ impl HitlistStore {
     /// [`PublishError::Persistence`] and leaves the store serving its
     /// previous epoch — readers can never observe an epoch that would
     /// not survive a crash.
-    pub fn publish(&self, mut snapshot: Snapshot) -> Result<PublishReceipt, PublishError> {
+    pub fn publish(&self, snapshot: Snapshot) -> Result<PublishReceipt, PublishError> {
+        self.publish_impl(snapshot, None)
+    }
+
+    /// [`HitlistStore::publish`] under a caller-chosen epoch number,
+    /// for replicas that must stay on an externally coordinated epoch
+    /// sequence (a cluster assigns epochs globally; a node that was
+    /// down for epochs 5–7 publishes epoch 8 next, and its write-ahead
+    /// log records the same gap every peer's does).
+    ///
+    /// The epoch must exceed everything this store has published —
+    /// gaps are fine, rollback is not. On a persistent store a
+    /// non-monotonic epoch fails the write-ahead append and returns
+    /// [`PublishError::Persistence`]; on an in-memory store the swap is
+    /// skipped and readers keep the newer epoch.
+    pub fn publish_as(
+        &self,
+        snapshot: Snapshot,
+        epoch: u64,
+    ) -> Result<PublishReceipt, PublishError> {
+        self.publish_impl(snapshot, Some(epoch))
+    }
+
+    fn publish_impl(
+        &self,
+        mut snapshot: Snapshot,
+        explicit: Option<u64>,
+    ) -> Result<PublishReceipt, PublishError> {
         if snapshot.shard_count() != self.shard_count {
             return Err(PublishError::ShardMismatch {
                 expected: self.shard_count,
@@ -236,15 +263,26 @@ impl HitlistStore {
         }
         let validate = t0.elapsed();
 
+        // An explicit epoch reserves itself in the allocator so later
+        // auto-assigned epochs continue past it; auto allocation keeps
+        // the fetch_add fast path.
+        let allocate = |explicit: Option<u64>| match explicit {
+            None => self.next_epoch.fetch_add(1, Ordering::Relaxed),
+            Some(e) => {
+                self.next_epoch.fetch_max(e + 1, Ordering::Relaxed);
+                e
+            }
+        };
+
         let mut persist = Duration::ZERO;
         let epoch = match &self.log {
-            None => self.next_epoch.fetch_add(1, Ordering::Relaxed),
+            None => allocate(explicit),
             Some(log) => {
                 // Epoch allocation and append happen under the log mutex
                 // so the on-disk sequence is strictly monotonic.
                 let tp = Instant::now();
                 let mut log = log.lock();
-                let epoch = self.next_epoch.fetch_add(1, Ordering::Relaxed);
+                let epoch = allocate(explicit);
                 let (entries, aliases) = flatten_snapshot(&snapshot);
                 log.append(EpochView {
                     epoch,
@@ -337,6 +375,28 @@ mod tests {
         assert!(held.contains(addr("2001:db8::1")));
         assert!(!held.contains(addr("2001:db8::2")));
         assert!(store.snapshot().contains(addr("2001:db8::2")));
+    }
+
+    #[test]
+    fn publish_as_keeps_an_external_epoch_sequence() {
+        let store = HitlistStore::new("svc", 2);
+        let mut b = SnapshotBuilder::new("svc", 2);
+        b.add_address(addr("2001:db8::1"), 0);
+        let receipt = store.publish_as(b.build(), 5).unwrap();
+        assert_eq!(receipt.epoch, 5);
+        assert_eq!(store.epoch(), 5);
+
+        // Auto allocation continues past the reserved epoch.
+        let mut b = SnapshotBuilder::new("svc", 2);
+        b.add_address(addr("2001:db8::2"), 1);
+        assert_eq!(store.publish(b.build()).unwrap().epoch, 6);
+
+        // A stale explicit epoch can never roll visible state back.
+        let mut b = SnapshotBuilder::new("svc", 2);
+        b.add_address(addr("2001:db8::3"), 2);
+        store.publish_as(b.build(), 3).unwrap();
+        assert_eq!(store.epoch(), 6);
+        assert!(!store.snapshot().contains(addr("2001:db8::3")));
     }
 
     #[test]

@@ -58,8 +58,10 @@
 pub mod format;
 pub mod log;
 pub mod recover;
+pub mod replica;
 
 pub use format::{AliasEntry, FORMAT_VERSION, MAGIC};
+pub use log::DeltaRecord;
 pub use log::{
     checkpoint_file, data_dir_from_env, parse_checkpoint_name, scratch_dir, AppendReceipt,
     EpochLog, EpochState, EpochView, StoreConfig, LOG_FILE,

@@ -240,7 +240,7 @@ fn meta_payload(name: &str, shard_bits: u32) -> Vec<u8> {
 }
 
 #[allow(clippy::too_many_arguments)] // one arg per delta-record field
-fn delta_payload(
+pub(crate) fn delta_payload(
     epoch: u64,
     week: u64,
     checksum: u64,
@@ -263,7 +263,7 @@ fn delta_payload(
     e.into_bytes()
 }
 
-fn checkpoint_payload(state: &EpochState) -> Vec<u8> {
+pub(crate) fn checkpoint_payload(state: &EpochState) -> Vec<u8> {
     let mut e = Enc::new();
     e.u8(TAG_CHECKPOINT);
     e.name(&state.name);
@@ -296,16 +296,26 @@ pub(crate) fn decode_checkpoint(payload: &[u8]) -> Option<EpochState> {
     d.is_exhausted().then_some(state)
 }
 
-/// A decoded epoch delta record.
+/// One epoch's diff from its predecessor — the unit the log persists
+/// and (since ROADMAP item 4) the unit replicated node-to-node. See
+/// [`crate::replica`] for the public replication API around it.
 #[derive(Debug, Clone, PartialEq, Eq)]
-pub(crate) struct DeltaRecord {
+pub struct DeltaRecord {
+    /// The epoch this delta produces when applied.
     pub epoch: u64,
+    /// Latest study week included in the produced epoch.
     pub week: u64,
+    /// Content checksum of the produced epoch.
     pub content_checksum: u64,
+    /// Sorted shard indices serving stale content in the produced epoch.
     pub missing_shards: Vec<u32>,
+    /// Address bits removed since the previous epoch, sorted ascending.
     pub removed: Vec<u128>,
+    /// Entries added or week-changed since the previous epoch, sorted.
     pub added: Vec<(u128, u32)>,
+    /// Alias keys `(bits, len)` removed since the previous epoch.
     pub removed_aliases: Vec<(u128, u8)>,
+    /// Alias registrations added or week-changed, sorted.
     pub added_aliases: Vec<AliasEntry>,
 }
 
@@ -423,7 +433,10 @@ fn merge_upsert(old: &[(u128, u32)], upserts: &[(u128, u32)]) -> Vec<(u128, u32)
 }
 
 /// The delta between two sorted entry sets.
-fn diff_entries(old: &[(u128, u32)], new: &[(u128, u32)]) -> (Vec<u128>, Vec<(u128, u32)>) {
+pub(crate) fn diff_entries(
+    old: &[(u128, u32)],
+    new: &[(u128, u32)],
+) -> (Vec<u128>, Vec<(u128, u32)>) {
     let mut removed = Vec::new();
     let mut added = Vec::new();
     let (mut i, mut j) = (0usize, 0usize);
@@ -452,7 +465,10 @@ fn diff_entries(old: &[(u128, u32)], new: &[(u128, u32)]) -> (Vec<u128>, Vec<(u1
 }
 
 /// The delta between two sorted alias sets.
-fn diff_aliases(old: &[AliasEntry], new: &[AliasEntry]) -> (Vec<(u128, u8)>, Vec<AliasEntry>) {
+pub(crate) fn diff_aliases(
+    old: &[AliasEntry],
+    new: &[AliasEntry],
+) -> (Vec<(u128, u8)>, Vec<AliasEntry>) {
     let mut removed = Vec::new();
     let mut added = Vec::new();
     let (mut i, mut j) = (0usize, 0usize);

@@ -15,8 +15,9 @@
 //! frame (length prefix, FNV-1a 64 over the payload only), and the
 //! payload bodies reuse the same [`v6store::format::Enc`] and
 //! [`v6store::format::Dec`]
-//! primitives — one codec for disk, wire, and (ROADMAP item 4) the
-//! node-to-node replication stream.
+//! primitives — one codec for disk, wire, and the node-to-node
+//! replication stream (`v6cluster` frames its `v6store::replica`
+//! payloads with this same [`frame`]/[`FrameDecoder`] pair).
 //!
 //! # Abuse-hardening contract
 //!

@@ -20,7 +20,15 @@ use crate::frame::FrameError;
 
 /// Ceiling on addresses in one [`Request::Batch`]; keeps the encoded
 /// payload safely under [`crate::frame::MAX_FRAME_PAYLOAD`].
-pub const MAX_BATCH_ADDRS: usize = 60_000;
+///
+/// The binding side is the *response*: a batch answer costs up to 25
+/// bytes per address (present flag, optional week, optional full alias
+/// prefix, degraded flag), so the cap must satisfy
+/// `25 × cap + header < 1 MiB` — 40 000 leaves ~48 KiB of headroom for
+/// the response header and a worst-case missing-shard list
+/// (`crates/wire/tests/repro_overflow.rs` pins the all-aliased worst
+/// case).
+pub const MAX_BATCH_ADDRS: usize = 40_000;
 
 const REQ_PING: u8 = 0x01;
 const REQ_MEMBERSHIP: u8 = 0x02;

@@ -15,6 +15,11 @@
 //! Fault sites are named `wire.<label>.<seq>` where `seq` is the chunk
 //! sequence number on that transport, so a seeded plan replays the same
 //! loss/corruption pattern on every run.
+//!
+//! The [`Transport`] trait is also the cluster's node boundary:
+//! `v6cluster` links implement it over the same caller-driven clock,
+//! with their own fault semantics at `cluster.<node>.<seq>` sites
+//! (there, `Panic` kills the sending node rather than flipping a bit).
 
 use std::collections::VecDeque;
 use std::sync::Arc;

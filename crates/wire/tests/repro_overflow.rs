@@ -1,9 +1,9 @@
 use std::net::Ipv6Addr;
+use v6addr::Prefix;
 use v6serve::SnapshotBuilder;
 use v6wire::conn::serve_request;
 use v6wire::frame::frame;
 use v6wire::proto::{Request, MAX_BATCH_ADDRS};
-use v6addr::Prefix;
 
 #[test]
 fn batch_response_fits_frame_cap() {

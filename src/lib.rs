@@ -34,6 +34,12 @@
 //!   with admission control (per-client token buckets, global
 //!   load-shedding, behavioral classification of abusive clients) and
 //!   a fuzz/golden-pinned codec.
+//! * [`cluster`] (`v6cluster`) — multi-node cluster simulation: a
+//!   consistent-hash ring (virtual nodes, replication factor R) over
+//!   the /48 space, leader→follower epoch replication streaming the
+//!   `v6store` delta log over the `v6wire` transport, hedged reads
+//!   with degraded labeling, and node-granularity chaos (kill/restart,
+//!   loss, partitions) with a byte-identical convergence invariant.
 //! * [`obs`] (`v6obs`) — the observability layer: a metrics registry
 //!   (counters, gauges, latency histograms, deterministic exposition)
 //!   and hierarchical span tracing (`V6_TRACE` knob); data-derived
@@ -56,6 +62,7 @@
 
 pub use v6addr as addr;
 pub use v6chaos as chaos;
+pub use v6cluster as cluster;
 pub use v6geo as geo;
 pub use v6hitlist as hitlist;
 pub use v6netsim as netsim;

@@ -1,0 +1,167 @@
+//! Cluster acceptance: the PR-9 convergence invariant, end to end.
+//!
+//! A seeded run drives the full multi-node stack — weekly publishes
+//! replicated as framed deltas over `v6wire` links, a node death and
+//! crash-recovery restart, a network partition that is later healed —
+//! and then pins the two contracts the cluster exists to keep:
+//!
+//! 1. **Convergence**: once faults heal, every replica of every
+//!    partition reaches a byte-identical epoch `content_checksum`.
+//! 2. **Honest staleness**: every hedged read answered below the
+//!    committed epoch was labeled degraded, never fresh.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use ipv6_hitlists::cluster::{partition_of, Cluster, ClusterConfig, PublishOutcome, ReadStatus};
+use ipv6_hitlists::netsim::rng::hash64;
+
+/// Rejection-samples an address that routes to partition `pid`: the
+/// variable bits live inside the top /48 (the partition key), so a
+/// handful of draws always lands.
+fn addr_in(seed: u64, pid: u32, partitions: u32, tag: u64) -> u128 {
+    for j in 0u64..4096 {
+        let h = hash64(seed ^ tag ^ (j << 52), b"cluster-e2e-addr");
+        let bits = (0x2001u128 << 112) | (u128::from(h) << 40) | u128::from(tag & 0xffff);
+        if partition_of(bits, partitions) == pid {
+            return bits;
+        }
+    }
+    unreachable!("rejection sampling must land within 4096 draws")
+}
+
+/// Cumulative weekly content for one partition.
+fn entries_through(seed: u64, pid: u32, partitions: u32, week: u64) -> Vec<(u128, u32)> {
+    (1..=week)
+        .flat_map(|w| (0..4u64).map(move |i| (w, i)))
+        .map(|(w, i)| {
+            let tag = (u64::from(pid) << 20) | (w << 8) | i;
+            (addr_in(seed, pid, partitions, tag), w as u32)
+        })
+        .collect()
+}
+
+/// Publishes `week` to every partition and settles a few rounds.
+fn publish_week(cluster: &mut Cluster, seed: u64, week: u64) -> u64 {
+    let partitions = cluster.config().partitions;
+    let mut committed = 0;
+    for pid in 0..partitions {
+        if let PublishOutcome::Committed { .. } = cluster.publish(
+            pid,
+            week,
+            entries_through(seed, pid, partitions, week),
+            vec![],
+        ) {
+            committed += 1;
+        }
+    }
+    for _ in 0..3 {
+        cluster.pump_round();
+    }
+    committed
+}
+
+#[test]
+fn node_death_and_healed_partition_converge_with_honest_reads() {
+    let seed = 0xc1u64;
+    let mut cluster = Cluster::new(ClusterConfig::new(5, 3, seed)).expect("scratch dirs");
+    let partitions = cluster.config().partitions;
+
+    // Two healthy weeks, then a node dies mid-campaign.
+    assert_eq!(publish_week(&mut cluster, seed, 1), u64::from(partitions));
+    publish_week(&mut cluster, seed, 2);
+    cluster.kill("n1");
+    cluster.pump_round();
+
+    // Publishes continue around the corpse; then the survivors are
+    // split from the rest (the client rides with group 0).
+    publish_week(&mut cluster, seed, 3);
+    let groups: BTreeMap<String, u8> = [("n0", 0u8), ("n1", 0), ("n2", 0), ("n3", 1), ("n4", 1)]
+        .into_iter()
+        .map(|(n, g)| (n.to_string(), g))
+        .collect();
+    cluster.set_partition(&groups);
+    publish_week(&mut cluster, seed, 4);
+
+    // Reads under the partition: whatever comes back, an answer below
+    // the committed epoch must carry the degraded label.
+    let mut answered = 0;
+    for pid in 0..partitions {
+        let out = cluster.read(addr_in(
+            seed,
+            pid,
+            partitions,
+            (u64::from(pid) << 20) | (1 << 8),
+        ));
+        if out.status != ReadStatus::Unavailable {
+            answered += 1;
+            if out.epoch < out.committed_epoch {
+                assert_eq!(
+                    out.status,
+                    ReadStatus::Degraded,
+                    "stale answer for p{pid} not labeled degraded"
+                );
+            }
+        }
+    }
+    assert!(answered > 0, "partitioned cluster answered nothing at all");
+
+    // Heal, publish once more, converge: every replica byte-identical.
+    cluster.heal();
+    publish_week(&mut cluster, seed, 5);
+    let report = cluster.converge(256);
+    assert!(report.converged, "replicas did not converge:\n{report}");
+    for p in &report.partitions {
+        assert!(p.in_sync, "p{} replicas disagree after heal", p.partition);
+        assert_eq!(p.replicas.len(), 3, "p{} lost a replica", p.partition);
+    }
+
+    // The audited invariant, over every hedged read the run issued.
+    assert_eq!(
+        cluster.unlabeled_stale_reads(),
+        0,
+        "a stale answer was labeled fresh"
+    );
+
+    // The kill really went through crash recovery.
+    let events = cluster.events();
+    assert!(
+        events.iter().any(|e| e.contains(": KILL n1")),
+        "no kill event"
+    );
+    assert!(
+        events.iter().any(|e| e.contains(": RESTART n1")),
+        "n1 never restarted through recovery"
+    );
+
+    // After convergence a fresh read serves the committed epoch.
+    let out = cluster.read(addr_in(seed, 0, partitions, 1 << 8));
+    assert_eq!(out.status, ReadStatus::Fresh);
+    assert!(out.present, "week-1 address lost after convergence");
+    assert_eq!(out.epoch, out.committed_epoch);
+}
+
+#[test]
+fn chaotic_fabric_still_converges_byte_identical() {
+    use ipv6_hitlists::chaos::{FaultPlan, FaultSpec};
+
+    let seed = 0x5eedu64;
+    let plan = FaultPlan::new(
+        seed,
+        FaultSpec {
+            stall_ms: 1,
+            ..FaultSpec::with_permanent(0.10, 0.4)
+        },
+    );
+    let cfg = ClusterConfig::new(4, 3, seed);
+    let partitions = cfg.partitions;
+    let mut cluster = Cluster::with_chaos(cfg, Arc::new(plan)).expect("scratch dirs");
+
+    for week in 1..=4u64 {
+        publish_week(&mut cluster, seed, week);
+    }
+    let report = cluster.converge(512);
+    assert!(report.converged, "chaotic run did not converge:\n{report}");
+    assert_eq!(report.partitions.len(), partitions as usize);
+    assert_eq!(cluster.unlabeled_stale_reads(), 0);
+}
