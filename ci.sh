@@ -46,6 +46,13 @@ for seed in 41 97; do
     | diff -u "tests/golden/cluster_seed${seed}.txt" -
 done
 
+echo "== stream chaos matrix: faulty-delivery operator runs match the golden fixtures =="
+for seed in 13 27; do
+  V6_CHAOS_MODE=stream V6_CHAOS_SEED="$seed" \
+    cargo run --release -q -p v6bench --bin chaos 2>/dev/null \
+    | diff -u "tests/golden/stream_seed${seed}.txt" -
+done
+
 echo "== wire chaos: faulty-transport reconnect/retry converges on exact answers =="
 V6_CHAOS_MODE=wire V6_CHAOS_SEED=31 \
   cargo run --release -q -p v6bench --bin chaos 2>/dev/null | grep -q '^CHAOS_OK mode=wire'
@@ -110,6 +117,17 @@ grep -q '"unlabeled_stale_reads": 0' BENCH_serve.json
 grep -q '"combined_checksum"' BENCH_serve.json
 grep -q 'cluster.repl.deltas_applied' BENCH_serve.json
 grep -q 'fabric.cluster.net.chunks' BENCH_serve.json
+# Derived throughput rows ride the persistence and cluster blocks.
+grep -q '"addrs_per_sec"' BENCH_serve.json
+# Stream rows: incremental operators matched the batch rebuild at every
+# scale, and the per-epoch cost stayed flat while batch grew.
+grep -q '"stream"' BENCH_serve.json
+grep -q '"incremental_ms"' BENCH_serve.json
+grep -q '"batch_ms"' BENCH_serve.json
+grep -q '"batch_growth"' BENCH_serve.json
+grep -q '"checksums_equal": true' BENCH_serve.json
+grep -q '"flat": true' BENCH_serve.json
+grep -q 'stream.op.applied' BENCH_serve.json
 
 echo "== kernels bench emits BENCH_kernels.json =="
 rm -f BENCH_kernels.json

@@ -36,10 +36,20 @@
 //!   answered below the committed epoch was labeled fresh. Stdout
 //!   (`READ`/`EVENT`/`CONVERGED`/`CHAOS_OK` lines) is byte-
 //!   deterministic per seed; CI diffs it against golden fixtures.
+//! * `stream` — replays a deterministic sliding-window epoch sequence
+//!   into a [`v6stream::StreamDriver`] whose deliveries fault at
+//!   `stream.delta.<epoch>` sites (drops and duplicated retries per
+//!   the seeded plan). Dropped deltas surface as gaps at the next
+//!   delivery; the run resyncs from the materialized corpus, and at
+//!   the end asserts every operator checksum equals a batch rebuild
+//!   — the equivalence invariant under faulty delivery. Stdout
+//!   (`STREAM`/`CHAOS_OK` lines) is byte-deterministic per seed; CI
+//!   diffs it against golden fixtures at two seeds.
 //!
 //! Env knobs: `V6HL_SCALE`, `V6HL_SEED` (the usual), `V6_THREADS`,
 //! `V6_CHAOS_SEED` (fault-plan seed; defaults 7 transient / 11
-//! permanent / 5 recovery / 31 wire / 41 cluster), `V6_CHAOS_MODE`.
+//! permanent / 5 recovery / 31 wire / 41 cluster / 13 stream),
+//! `V6_CHAOS_MODE`.
 
 use std::collections::HashSet;
 use std::sync::Arc;
@@ -167,10 +177,29 @@ fn main() {
             );
             run_cluster(plan);
         }
+        "stream" => {
+            // Drops and duplicated retries only — the two transport
+            // behaviors a delta stream must survive. Stalls carry no
+            // wall-clock cost here (a stall is modeled as a retried,
+            // deduplicated re-delivery).
+            let plan = FaultPlan::from_env(
+                13,
+                FaultSpec {
+                    stall_rate: 0.25,
+                    stall_ms: 1,
+                    ..FaultSpec::with_permanent(0.3, 0.5)
+                },
+            );
+            eprintln!(
+                "[chaos] chaos_seed={}: faulty-delivery stream operator run …",
+                plan.seed()
+            );
+            run_stream(plan);
+        }
         other => {
             eprintln!(
                 "[chaos] unknown V6_CHAOS_MODE {other:?} \
-                 (use transient|permanent|recovery|wire|cluster)"
+                 (use transient|permanent|recovery|wire|cluster|stream)"
             );
             std::process::exit(2);
         }
@@ -492,6 +521,150 @@ fn run_cluster(plan: FaultPlan) {
         "[chaos] cluster converged after {} round(s); {kills} kill(s), {restarts} restart(s), \
          every replica byte-identical",
         report.rounds
+    );
+}
+
+/// Epoch publications the stream chaos run replays.
+const STREAM_EPOCHS: u64 = 32;
+
+/// New addresses per epoch; each lives for [`STREAM_WINDOW`] epochs,
+/// so every delta carries both adds and removals.
+const STREAM_ADDRS_PER_EPOCH: u64 = 6;
+const STREAM_WINDOW: u64 = 10;
+
+/// A deterministic stream address: seeded into one of three routed
+/// /32s (or unrouted space), mixing EUI-64 and opaque IIDs so every
+/// operator has behavior on the content.
+fn stream_chaos_addr(tag: u64) -> u128 {
+    let h = v6netsim::rng::hash64(tag, b"stream-chaos-addr");
+    let prefix: u128 = [0x2a00_0001, 0x2a00_0002, 0x2a00_0003, 0x3fff_0001][(h % 4) as usize];
+    let subnet = u128::from((h >> 8) % 4);
+    let iid = if h.is_multiple_of(3) {
+        let mac = v6addr::Mac::from_u64(0x0050_5600_0000 | ((h >> 32) % 64));
+        u128::from(v6addr::Iid::from_mac(mac).as_u64())
+    } else {
+        u128::from(h | 1)
+    };
+    (prefix << 96) | (subnet << 64) | iid
+}
+
+/// The materialized corpus at `epoch`: the sliding window of addresses
+/// introduced in epochs `(epoch - STREAM_WINDOW, epoch]`, tagged with
+/// their introduction week, sorted and deduped.
+fn stream_corpus(epoch: u64) -> Vec<(u128, u32)> {
+    let mut entries: Vec<(u128, u32)> = (epoch.saturating_sub(STREAM_WINDOW - 1).max(1)..=epoch)
+        .flat_map(|w| {
+            (0..STREAM_ADDRS_PER_EPOCH).map(move |i| (stream_chaos_addr((w << 16) | i), w as u32))
+        })
+        .collect();
+    entries.sort_unstable();
+    entries.dedup_by_key(|&mut (bits, _)| bits);
+    entries
+}
+
+/// The faulty-delivery operator run behind `V6_CHAOS_MODE=stream`:
+/// the equivalence invariant must hold at the end no matter which
+/// deltas the transport dropped or re-delivered.
+fn run_stream(plan: FaultPlan) {
+    use v6stream::{fold_content, Analytics, AsTag, Offer, PrefixAsTable, SharedResolver};
+
+    let chaos_seed = plan.seed();
+    let resolver: SharedResolver = Arc::new(PrefixAsTable::new(
+        [(1u16, *b"DE"), (2, *b"DE"), (3, *b"JP")]
+            .into_iter()
+            .map(|(index, country)| {
+                (
+                    (0x2a00_0000u128 + u128::from(index)) << 96,
+                    32,
+                    AsTag {
+                        index,
+                        country: u16::from_be_bytes(country),
+                    },
+                )
+            })
+            .collect(),
+    ));
+    let mut driver = v6stream::StreamDriver::new(resolver.clone()).with_chaos(Arc::new(plan));
+
+    let mut state = v6store::EpochState::default();
+    let (mut applied, mut dropped, mut gaps, mut resyncs) = (0u64, 0u64, 0u64, 0u64);
+    for epoch in 1..=STREAM_EPOCHS {
+        let entries = stream_corpus(epoch);
+        let checksum = entries
+            .iter()
+            .fold(0u64, |acc, &(bits, week)| fold_content(acc, bits, week));
+        let delta = v6store::replica::delta_between(
+            &state,
+            &v6store::EpochView {
+                epoch,
+                week: epoch,
+                content_checksum: checksum,
+                missing_shards: &[],
+                entries: &entries,
+                aliases: &[],
+            },
+        );
+        v6store::replica::apply(&mut state, &delta);
+
+        let offer = driver.feed(&delta);
+        let outcome = match offer {
+            Offer::Applied(n) => {
+                applied += 1;
+                format!("applied({n})")
+            }
+            Offer::Dropped => {
+                dropped += 1;
+                "dropped".into()
+            }
+            Offer::Gap | Offer::Lagging => {
+                gaps += 1;
+                resyncs += 1;
+                driver.resync(epoch, epoch, &entries);
+                "gap->resync".into()
+            }
+            Offer::Duplicate => "duplicate".into(),
+        };
+        println!(
+            "STREAM epoch={epoch} corpus={} outcome={outcome} driver_epoch={} checksum={:016x}",
+            entries.len(),
+            driver.epoch(),
+            driver.content_checksum(),
+        );
+    }
+
+    // A dropped final delta leaves the driver honestly behind; one
+    // authoritative resync models the periodic reconciliation any
+    // deployment runs. Never silent: the lag was visible above.
+    let final_entries = stream_corpus(STREAM_EPOCHS);
+    if driver.epoch() != STREAM_EPOCHS {
+        resyncs += 1;
+        driver.resync(STREAM_EPOCHS, STREAM_EPOCHS, &final_entries);
+        println!("STREAM final resync epoch={STREAM_EPOCHS}");
+    }
+    assert!(!driver.is_lagging(), "driver still lagging after resync");
+
+    // The equivalence invariant, under faulty delivery.
+    let batch = Analytics::from_entries(resolver, &final_entries);
+    for ((name, streamed), (_, batched)) in driver
+        .analytics()
+        .checksums()
+        .iter()
+        .zip(batch.checksums().iter())
+    {
+        assert_eq!(
+            streamed, batched,
+            "operator {name} diverged from the batch rebuild"
+        );
+    }
+    println!(
+        "CHAOS_OK mode=stream chaos_seed={chaos_seed} epochs={STREAM_EPOCHS} applied={applied} \
+         dropped={dropped} gaps={gaps} resyncs={resyncs} operators=4 equivalent=true \
+         checksum={:016x}",
+        driver.content_checksum(),
+    );
+    eprintln!(
+        "[chaos] stream survived {dropped} dropped delta(s) and {gaps} gap(s); every operator \
+         checksum equals the batch rebuild"
     );
 }
 

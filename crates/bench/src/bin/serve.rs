@@ -78,6 +78,7 @@ fn persistence_bench(service: &HitlistService, shards: usize) -> PersistenceBenc
     // cost only, not snapshot construction.
     let seq_mem: Vec<_> = (0..weeks.len()).map(build_through).collect();
     let seq_dur: Vec<_> = (0..weeks.len()).map(build_through).collect();
+    let published_addrs: u64 = seq_dur.iter().map(|s| s.len()).sum();
 
     let mem = HitlistStore::new("persist-bench", shards);
     let t0 = Instant::now();
@@ -122,6 +123,7 @@ fn persistence_bench(service: &HitlistService, shards: usize) -> PersistenceBenc
         cold_recovery_ms,
         recovered_epoch: report.recovered_epoch,
         replayed: report.replayed,
+        addrs_per_sec: published_addrs as f64 / (durable_publish_ms / 1e3).max(1e-9),
         writer_metrics,
         recovery_metrics,
     }
@@ -361,14 +363,18 @@ fn cluster_bench(seed: u64) -> v6bench::ClusterBench {
     };
 
     let mut epochs_published = 0u64;
+    let mut entries_committed = 0u64;
+    let publish_t0 = Instant::now();
     for week in 1..=3u64 {
         for pid in 0..partitions {
             let entries: Vec<(u128, u32)> = (1..=week)
                 .flat_map(|w| (0..4u64).map(move |i| (w, i)))
                 .map(|(w, i)| (addr(pid, (u64::from(pid) << 20) | (w << 8) | i), w as u32))
                 .collect();
+            let count = entries.len() as u64;
             if let PublishOutcome::Committed { .. } = cluster.publish(pid, week, entries, vec![]) {
                 epochs_published += 1;
+                entries_committed += count;
             }
         }
         for _ in 0..2 {
@@ -379,6 +385,7 @@ fn cluster_bench(seed: u64) -> v6bench::ClusterBench {
             cluster.pump_round();
         }
     }
+    let publish_secs = publish_t0.elapsed().as_secs_f64();
     for pid in 0..partitions {
         let _ = cluster.read(addr(pid, (u64::from(pid) << 20) | (1 << 8)));
     }
@@ -414,7 +421,168 @@ fn cluster_bench(seed: u64) -> v6bench::ClusterBench {
         converged: report.converged,
         converge_rounds: report.rounds,
         combined_checksum: format!("{:#018x}", report.combined_checksum),
+        addrs_per_sec: entries_committed as f64 / publish_secs.max(1e-9),
         metrics: MetricsDump::from_snapshot(&cluster.metrics()),
+    }
+}
+
+/// Corpus sizes the streaming comparison runs at (16x end to end, so
+/// linear batch growth and flat incremental cost are unmistakable).
+const STREAM_SCALES: [usize; 3] = [1 << 13, 1 << 15, 1 << 17];
+
+/// Changes in the measured delta at every scale: 1024 adds, 512 week
+/// changes, 512 removals.
+const STREAM_DELTA_ADDS: usize = 1024;
+const STREAM_DELTA_CHURN: usize = 512;
+
+/// A deterministic corpus address: spread over two routed /32s plus
+/// unrouted space, several subnets, a mix of EUI-64 and opaque IIDs —
+/// the shape every `v6stream` operator has behavior on.
+fn stream_addr(i: usize) -> u128 {
+    let prefix: u128 = [0x2a00_0001, 0x2a00_0002, 0x3fff_0001][i % 3];
+    let subnet = (i % 5) as u128;
+    let iid: u128 = if i.is_multiple_of(4) {
+        let mac = v6addr::Mac::from_u64(0x0050_5600_0000 | (i as u64 / 7));
+        u128::from(v6addr::Iid::from_mac(mac).as_u64())
+    } else {
+        u128::from((i as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15) | 1)
+    };
+    (prefix << 96) | (subnet << 64) | iid
+}
+
+/// The incremental-vs-batch comparison behind the `"stream"` block:
+/// one fixed-size delta folded into live operators over corpora of
+/// growing size, against a batch rebuild of the same operators. The
+/// equivalence invariant is re-asserted at every scale.
+fn stream_bench() -> v6bench::StreamBench {
+    use v6store::replica::{self};
+    use v6store::{EpochState, EpochView};
+    use v6stream::{fold_content, Analytics, AsTag, Offer, PrefixAsTable, SharedResolver};
+
+    let resolver: SharedResolver = Arc::new(PrefixAsTable::new(vec![
+        (
+            0x2a00_0001u128 << 96,
+            32,
+            AsTag {
+                index: 1,
+                country: u16::from_be_bytes(*b"DE"),
+            },
+        ),
+        (
+            0x2a00_0002u128 << 96,
+            32,
+            AsTag {
+                index: 2,
+                country: u16::from_be_bytes(*b"JP"),
+            },
+        ),
+    ]));
+    let view = |epoch: u64, entries: &[(u128, u32)]| -> (u64, u64) {
+        let checksum = entries
+            .iter()
+            .fold(0u64, |acc, &(bits, week)| fold_content(acc, bits, week));
+        (epoch, checksum)
+    };
+
+    let mut scales = Vec::new();
+    for &n in &STREAM_SCALES {
+        // Base corpus: n addresses, weeks 0..8, sorted and deduped the
+        // way an epoch publication carries them.
+        let mut base: Vec<(u128, u32)> = (0..n).map(|i| (stream_addr(i), (i % 8) as u32)).collect();
+        base.sort_unstable();
+        base.dedup_by_key(|&mut (bits, _)| bits);
+        // Final corpus: the same fixed delta at every scale — adds in a
+        // disjoint tag space, week changes and removals on indices that
+        // exist at the smallest scale.
+        let mut final_entries = base.clone();
+        for i in 0..STREAM_DELTA_CHURN {
+            final_entries[i * 4].1 = 9; // week change
+        }
+        let removed: Vec<u128> = (0..STREAM_DELTA_CHURN).map(|i| base[i * 4 + 1].0).collect();
+        final_entries.retain(|(bits, _)| !removed.contains(bits));
+        for i in 0..STREAM_DELTA_ADDS {
+            final_entries.push((stream_addr(usize::MAX / 2 + i), 9));
+        }
+        final_entries.sort_unstable();
+        final_entries.dedup_by_key(|&mut (bits, _)| bits);
+
+        let mut state = EpochState::default();
+        let (e1, c1) = view(1, &base);
+        let d1 = replica::delta_between(
+            &state,
+            &EpochView {
+                epoch: e1,
+                week: 8,
+                content_checksum: c1,
+                missing_shards: &[],
+                entries: &base,
+                aliases: &[],
+            },
+        );
+        replica::apply(&mut state, &d1);
+        let (e2, c2) = view(2, &final_entries);
+        let d2 = replica::delta_between(
+            &state,
+            &EpochView {
+                epoch: e2,
+                week: 9,
+                content_checksum: c2,
+                missing_shards: &[],
+                entries: &final_entries,
+                aliases: &[],
+            },
+        );
+        let delta_size = d2.removed.len() + d2.added.len();
+
+        // Best-of-3 incremental: fresh driver, untimed warm-up to the
+        // base epoch, then the timed fold of the measured delta.
+        let mut incremental_ms = f64::MAX;
+        let mut driver = v6stream::StreamDriver::new(resolver.clone());
+        for _ in 0..3 {
+            let mut d = v6stream::StreamDriver::new(resolver.clone());
+            assert!(matches!(d.feed(&d1), Offer::Applied(_)));
+            let t0 = Instant::now();
+            let offer = d.feed(&d2);
+            incremental_ms = incremental_ms.min(t0.elapsed().as_secs_f64() * 1e3);
+            assert_eq!(offer, Offer::Applied(delta_size));
+            driver = d;
+        }
+
+        // Best-of-3 batch rebuild over the full final corpus.
+        let mut batch_ms = f64::MAX;
+        let mut batch = Analytics::from_entries(resolver.clone(), &final_entries);
+        for _ in 0..3 {
+            let t0 = Instant::now();
+            batch = Analytics::from_entries(resolver.clone(), &final_entries);
+            batch_ms = batch_ms.min(t0.elapsed().as_secs_f64() * 1e3);
+        }
+
+        let checksums_equal = driver.analytics().checksums() == batch.checksums();
+        assert!(
+            checksums_equal,
+            "streaming diverged from batch at corpus size {n}"
+        );
+        scales.push(v6bench::StreamScaleRecord {
+            corpus: final_entries.len(),
+            delta: delta_size,
+            incremental_ms,
+            batch_ms,
+            speedup: batch_ms / incremental_ms.max(1e-9),
+            checksums_equal,
+        });
+    }
+
+    let first = &scales[0];
+    let last = &scales[scales.len() - 1];
+    // Generous flatness budget (the corpus grew 16x; timer noise on a
+    // loaded 1-core runner must not fail the build).
+    let flat = last.incremental_ms <= first.incremental_ms * 8.0 + 0.5;
+    let batch_growth = last.batch_ms / first.batch_ms.max(1e-9);
+    v6bench::StreamBench {
+        scales,
+        flat,
+        batch_growth,
+        metrics: MetricsDump::from_global(),
     }
 }
 
@@ -576,11 +744,12 @@ fn main() {
     let persistence = persistence_bench(&service, shards);
     println!(
         "persistence: {} epochs, publish {:.2} ms in-memory vs {:.2} ms durable \
-         ({} log bytes), cold recovery {:.2} ms ({} replayed, epoch {})",
+         ({} log bytes, {:.0} addrs/s), cold recovery {:.2} ms ({} replayed, epoch {})",
         persistence.epochs,
         persistence.memory_publish_ms,
         persistence.durable_publish_ms,
         persistence.log_bytes,
+        persistence.addrs_per_sec,
         persistence.cold_recovery_ms,
         persistence.replayed,
         persistence.recovered_epoch,
@@ -626,6 +795,30 @@ fn main() {
         cluster.converge_rounds,
         cluster.combined_checksum,
     );
+    println!(
+        "cluster throughput: {:.0} addrs/s committed",
+        cluster.addrs_per_sec
+    );
+
+    // Incremental vs. batch analytics over growing corpora.
+    eprintln!("[serve] timing incremental stream operators vs batch rebuild at 3 scales …");
+    let stream = stream_bench();
+    for row in &stream.scales {
+        println!(
+            "stream[{}]: delta {} -> incremental {:.3} ms vs batch {:.3} ms (speedup {:.1}x, \
+             checksums_equal {})",
+            row.corpus,
+            row.delta,
+            row.incremental_ms,
+            row.batch_ms,
+            row.speedup,
+            row.checksums_equal,
+        );
+    }
+    println!(
+        "stream: incremental flat={} across 16x corpus growth, batch grew {:.1}x",
+        stream.flat, stream.batch_growth
+    );
 
     // Machine-readable artifact: run parameters + the store's registry
     // (query counters and latency histograms) + durability timings.
@@ -639,6 +832,7 @@ fn main() {
         persistence,
         wire,
         cluster,
+        stream,
     };
     assert!(
         bench

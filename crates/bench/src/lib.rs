@@ -241,6 +241,9 @@ pub struct PersistenceBench {
     pub recovered_epoch: u64,
     /// Delta frames replayed from the log during recovery.
     pub replayed: u64,
+    /// Derived throughput: addresses carried across the durable publish
+    /// sequence per wall second (`Σ snapshot sizes / durable seconds`).
+    pub addrs_per_sec: f64,
     /// The writer store's registry after the durable sequence
     /// (`store.log.*` counters plus the append-latency histogram).
     pub writer_metrics: MetricsDump,
@@ -336,10 +339,61 @@ pub struct ClusterBench {
     pub converged: bool,
     /// Rounds the convergence pass ran.
     pub converge_rounds: u64,
+    /// Derived throughput: address entries committed through the
+    /// publish/replicate waves per wall second.
+    pub addrs_per_sec: f64,
     /// The convergence report's combined checksum (hex).
     pub combined_checksum: String,
     /// Merged per-node + fabric registries (`<node>.cluster.*`,
     /// `fabric.cluster.net.*`).
+    pub metrics: MetricsDump,
+}
+
+/// One corpus scale of the streaming-analytics comparison: the cost of
+/// folding one fixed-size delta into live [`v6stream`] operators vs.
+/// rebuilding the same operators from the materialized corpus.
+///
+/// [`v6stream`]: ../v6stream/index.html
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StreamScaleRecord {
+    /// Addresses in the materialized corpus at the measured epoch.
+    pub corpus: usize,
+    /// Entries (adds + removes + week changes) in the measured delta —
+    /// held constant across scales so incremental cost isolates corpus
+    /// size.
+    pub delta: usize,
+    /// Best-of-N wall milliseconds feeding the delta through a live
+    /// [`v6stream::StreamDriver`].
+    ///
+    /// [`v6stream::StreamDriver`]: ../v6stream/struct.StreamDriver.html
+    pub incremental_ms: f64,
+    /// Best-of-N wall milliseconds for the batch rebuild
+    /// (`Analytics::from_entries` over the full corpus).
+    pub batch_ms: f64,
+    /// `batch_ms / incremental_ms`.
+    pub speedup: f64,
+    /// True when the incremental operators' checksums equaled the
+    /// batch rebuild's after the delta — the equivalence invariant,
+    /// re-asserted inside the bench.
+    pub checksums_equal: bool,
+}
+
+/// The streaming-analytics run from the `serve` bench: the same
+/// fixed-size delta folded into operators over corpora of growing
+/// size, pinning the perf claim that per-epoch incremental update
+/// stays ~flat while batch re-analysis grows linearly.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StreamBench {
+    /// Per-scale comparisons, smallest corpus first.
+    pub scales: Vec<StreamScaleRecord>,
+    /// True when incremental cost at the largest corpus stayed within
+    /// the flatness budget of the smallest (while the corpus itself
+    /// grew by the full scale ratio).
+    pub flat: bool,
+    /// `batch_ms(largest) / batch_ms(smallest)` — the linear-growth
+    /// contrast to `flat`.
+    pub batch_growth: f64,
+    /// The process-global `stream.op.*` counters after the run.
     pub metrics: MetricsDump,
 }
 
@@ -369,6 +423,8 @@ pub struct ServeBench {
     /// The multi-node cluster run: replication, faults, hedged reads,
     /// convergence.
     pub cluster: ClusterBench,
+    /// Incremental vs. batch analytics over growing corpora.
+    pub stream: StreamBench,
 }
 
 /// One kernel measured sequentially and in parallel at one input size,

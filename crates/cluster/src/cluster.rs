@@ -255,6 +255,10 @@ struct RespData {
     shard_missing: bool,
 }
 
+/// One live replica's streaming state for a partition:
+/// `(node, epoch, [(operator, checksum); 4])`.
+pub type StreamChecksumRow = (String, u64, [(&'static str, u64); 4]);
+
 /// N simulated nodes, a ring, a fabric, and a caller-driven clock.
 pub struct Cluster {
     cfg: ClusterConfig,
@@ -270,6 +274,9 @@ pub struct Cluster {
     committed: BTreeMap<u32, (u64, u64)>,
     /// Current partition group map (empty = fully connected).
     groups: BTreeMap<String, u8>,
+    /// When set, every node runs per-partition streaming analytics on
+    /// its replication stream; restarts re-enable with this resolver.
+    stream_resolver: Option<v6stream::SharedResolver>,
     round: u64,
     next_epoch: u64,
     next_req: u64,
@@ -304,6 +311,7 @@ impl Cluster {
             client_decoders: BTreeMap::new(),
             committed: BTreeMap::new(),
             groups: BTreeMap::new(),
+            stream_resolver: None,
             round: 0,
             next_epoch: 1,
             next_req: 1,
@@ -355,6 +363,36 @@ impl Cluster {
             }
         }
         node.connect(CLIENT, self.net.link(node.name().to_string(), CLIENT));
+    }
+
+    /// Turns on streaming analytics cluster-wide: every live node gets
+    /// per-partition [`v6stream::StreamDriver`]s riding its replication
+    /// stream, and nodes restarted after a crash re-enable themselves
+    /// with the same resolver (resynced from their recovered mirror —
+    /// the bootstrap path).
+    pub fn enable_streaming(&mut self, resolver: v6stream::SharedResolver) {
+        for slot in self.slots.values_mut() {
+            if let NodeSlot::Up(node) = slot {
+                node.enable_streaming(Arc::clone(&resolver));
+            }
+        }
+        self.stream_resolver = Some(resolver);
+    }
+
+    /// Per-replica streaming operator checksums for `pid`, one row per
+    /// live hosting node: `(node, epoch, [(operator, checksum); 4])`.
+    pub fn stream_checksums(&self, pid: u32) -> Vec<StreamChecksumRow> {
+        let mut rows = Vec::new();
+        for (name, slot) in &self.slots {
+            if let NodeSlot::Up(node) = slot {
+                if let (Some(epoch), Some(sums)) =
+                    (node.stream_epoch(pid), node.stream_checksums(pid))
+                {
+                    rows.push((name.clone(), epoch, sums));
+                }
+            }
+        }
+        rows
     }
 
     /// The ring this cluster routes by.
@@ -469,6 +507,9 @@ impl Cluster {
                 Ok(mut node) => {
                     self.net.revive(&name);
                     self.wire_node(&mut node);
+                    if let Some(resolver) = &self.stream_resolver {
+                        node.enable_streaming(Arc::clone(resolver));
+                    }
                     self.slots
                         .insert(name.clone(), NodeSlot::Up(Box::new(node)));
                     self.events
@@ -916,6 +957,54 @@ mod tests {
             .events()
             .iter()
             .any(|e| e.contains(&format!("RESTART {victim}"))));
+    }
+
+    #[test]
+    fn streaming_operators_converge_across_replicas() {
+        let mut c = tiny(23);
+        let resolver: v6stream::SharedResolver = Arc::new(v6stream::PrefixAsTable::new(vec![(
+            0x2001_0db8u128 << 96,
+            32,
+            v6stream::AsTag {
+                index: 1,
+                country: v6stream::country_code(*b"DE"),
+            },
+        )]));
+        c.enable_streaming(Arc::clone(&resolver));
+
+        let base = 0x2001_0db8u128 << 96;
+        let mut entries: Vec<(u128, u32)> = Vec::new();
+        for week in 1..=4u32 {
+            entries.push((base | (u128::from(week) << 64) | u128::from(week), week));
+            entries.sort_unstable_by_key(|&(b, _)| b);
+            c.publish(0, u64::from(week), entries.clone(), vec![]);
+            settle(&mut c, 3);
+        }
+
+        // Kill a follower, advance the epoch while it is down, then
+        // converge: the restarted node re-enables streaming from its
+        // recovered mirror and heals over catch-up.
+        let victim = c.ring().replicas_for_partition(0)[1].to_string();
+        c.kill(&victim);
+        c.pump_round();
+        entries.push((base | (5u128 << 64) | 5, 5));
+        entries.sort_unstable_by_key(|&(b, _)| b);
+        c.publish(0, 5, entries.clone(), vec![]);
+        let report = c.converge(64);
+        assert!(report.converged, "{report}");
+
+        // Every live replica's streaming operators match each other
+        // AND a from-scratch batch analysis of the final corpus —
+        // regardless of whether they rode deltas, restarted, or
+        // bootstrapped.
+        let rows = c.stream_checksums(0);
+        assert_eq!(rows.len(), 3, "every live replica runs streaming");
+        let want = v6stream::Analytics::from_entries(Arc::clone(&resolver), &entries).checksums();
+        let (epoch, _) = c.committed(0).unwrap();
+        for (node, e, sums) in rows {
+            assert_eq!(e, epoch, "{node}'s stream lags the committed epoch");
+            assert_eq!(sums, want, "{node}'s operators diverged from batch");
+        }
     }
 
     #[test]

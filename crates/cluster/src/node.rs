@@ -46,6 +46,7 @@ use v6serve::{HitlistStore, PublishError, RecoverError, Snapshot, StoreConfig};
 use v6store::format::AliasEntry;
 use v6store::replica::{self, DeltaRecord};
 use v6store::{EpochState, EpochView};
+use v6stream::{Offer, SharedResolver, StreamDriver};
 use v6wire::frame::{frame, FrameDecoder};
 use v6wire::transport::Transport;
 
@@ -97,6 +98,12 @@ struct PartitionReplica {
     /// `(prev_epoch, delta)` pairs, contiguous by construction —
     /// each delta was applied when the mirror sat at its `prev_epoch`.
     history: VecDeque<(u64, DeltaRecord)>,
+    /// Incremental streaming analytics riding the replication stream,
+    /// when [`Node::enable_streaming`] turned them on. Every verified
+    /// delta is fed through; a detected gap resyncs from the mirror
+    /// (the node holds the full corpus locally, so reconciliation
+    /// never goes over the wire).
+    stream: Option<StreamDriver>,
 }
 
 impl PartitionReplica {
@@ -120,11 +127,33 @@ impl PartitionReplica {
         self.store.publish_as(snap, delta.epoch).ok()?;
         let reached = (next.epoch, next.content_checksum);
         self.mirror = next;
+        self.stream_feed(&delta);
         self.history.push_back((prev_epoch, delta));
         while self.history.len() > history_cap {
             self.history.pop_front();
         }
         Some(reached)
+    }
+
+    /// Feeds one verified delta to the streaming operators; a detected
+    /// gap (or a driver already lagging) heals by resyncing from the
+    /// mirror this node just adopted.
+    fn stream_feed(&mut self, delta: &DeltaRecord) {
+        let Some(driver) = self.stream.as_mut() else {
+            return;
+        };
+        match driver.feed(delta) {
+            Offer::Gap | Offer::Lagging => self.stream_resync(),
+            Offer::Applied(_) | Offer::Duplicate | Offer::Dropped => {}
+        }
+    }
+
+    /// Rebuilds the streaming operators from the mirror — the local,
+    /// no-wire reconciliation path (bootstrap adoption, replay gaps).
+    fn stream_resync(&mut self) {
+        if let Some(driver) = self.stream.as_mut() {
+            driver.resync(self.mirror.epoch, self.mirror.week, &self.mirror.entries);
+        }
     }
 }
 
@@ -204,6 +233,7 @@ impl Node {
                     store,
                     mirror: empty_mirror(pid, opts.shard_count),
                     history: VecDeque::new(),
+                    stream: None,
                 },
             );
         }
@@ -253,6 +283,7 @@ impl Node {
                     store,
                     mirror,
                     history: VecDeque::new(),
+                    stream: None,
                 },
             );
         }
@@ -286,6 +317,50 @@ impl Node {
     /// True when this node replicates partition `pid`.
     pub fn hosts(&self, pid: u32) -> bool {
         self.replicas.contains_key(&pid)
+    }
+
+    /// Turns on incremental streaming analytics for every hosted
+    /// partition, bootstrapped from the current mirrors. From here on
+    /// each verified replicated delta updates the operators in O(Δ);
+    /// replay gaps heal by a local mirror resync. Idempotent per call
+    /// (re-enabling resyncs from scratch).
+    pub fn enable_streaming(&mut self, resolver: SharedResolver) {
+        for replica in self.replicas.values_mut() {
+            let mut driver = StreamDriver::new(Arc::clone(&resolver));
+            driver.resync(
+                replica.mirror.epoch,
+                replica.mirror.week,
+                &replica.mirror.entries,
+            );
+            replica.stream = Some(driver);
+        }
+    }
+
+    /// The epoch the streaming operators of `pid` reflect, when
+    /// streaming is enabled there.
+    pub fn stream_epoch(&self, pid: u32) -> Option<u64> {
+        Some(self.replicas.get(&pid)?.stream.as_ref()?.epoch())
+    }
+
+    /// `(operator name, checksum)` for `pid`'s streaming operators —
+    /// the cross-replica convergence witness: equal corpus, equal
+    /// checksums, regardless of the delta/gap/bootstrap path each
+    /// replica took.
+    pub fn stream_checksums(&self, pid: u32) -> Option<[(&'static str, u64); 4]> {
+        Some(
+            self.replicas
+                .get(&pid)?
+                .stream
+                .as_ref()?
+                .analytics()
+                .checksums(),
+        )
+    }
+
+    /// The streaming corpus checksum of `pid` (comparable against
+    /// [`Node::epoch_checksum`]).
+    pub fn stream_content_checksum(&self, pid: u32) -> Option<u64> {
+        Some(self.replicas.get(&pid)?.stream.as_ref()?.content_checksum())
     }
 
     /// The `(epoch, content_checksum)` this node's store currently
@@ -364,6 +439,7 @@ impl Node {
             replica.store.publish_as(snap, epoch)?;
             let checksum = next.content_checksum;
             replica.mirror = next;
+            replica.stream_feed(&delta);
             replica.history.push_back((prev_epoch, delta.clone()));
             while replica.history.len() > self.opts.history_cap {
                 replica.history.pop_front();
@@ -584,6 +660,9 @@ impl Node {
                     // The chain that built the old mirror is now
                     // meaningless; future catch-ups we serve bootstrap.
                     replica.history.clear();
+                    // The operators jumped epochs wholesale: rebuild
+                    // them from the adopted corpus.
+                    replica.stream_resync();
                 } else {
                     self.counters.rejected.inc();
                 }

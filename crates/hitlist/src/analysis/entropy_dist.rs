@@ -92,7 +92,7 @@ pub fn figure4(world: &World, corpus: &NtpCorpus, from: u32, to: u32, k: usize) 
     let mut sized: Vec<(u16, Vec<u128>)> = per_as
         .into_iter()
         .map(|(a, mut v)| {
-            v.sort_unstable();
+            v6par::radix_sort_by_key(&mut v, |&b| (b, 0));
             v.dedup();
             (a, v)
         })

@@ -239,7 +239,7 @@ impl GeolocationReport {
         if errors.is_empty() {
             return None;
         }
-        errors.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        v6par::radix_sort_f64(&mut errors);
         Some(errors[errors.len() / 2])
     }
 }

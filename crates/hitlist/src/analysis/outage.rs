@@ -73,7 +73,7 @@ pub fn detect_outages(
     let mut outages = Vec::new();
     for (as_index, series) in daily_series(corpus) {
         let mut sorted: Vec<u64> = series.clone();
-        sorted.sort_unstable();
+        v6par::radix_sort_by_key(&mut sorted, |&v| (u128::from(v), 0));
         let median = sorted[sorted.len() / 2];
         if median < cfg.min_median {
             continue;

@@ -76,7 +76,7 @@ pub fn infer_rotation_periods(
         if (intervals.len() as u64) < min_samples {
             continue;
         }
-        intervals.sort_by(|a, b| a.partial_cmp(b).expect("no NaN intervals"));
+        v6par::radix_sort_f64(&mut intervals);
         let median = intervals[intervals.len() / 2];
         let info = &world.ases[as_index as usize].info;
         let truth_days = match info.profile.rotation {

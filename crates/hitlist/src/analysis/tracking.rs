@@ -167,8 +167,9 @@ pub struct TrackingAnalysis {
 /// Runs the tracking analysis over a passive corpus.
 pub fn analyze(world: &World, corpus: &NtpCorpus, transition_threshold: u64) -> TrackingAnalysis {
     // Unique addresses and the EUI-64 subset.
-    let mut addrs: Vec<u128> = corpus.observations.iter().map(|o| o.addr).collect();
-    addrs.sort_unstable();
+    let mut addrs: Vec<u128> = Vec::with_capacity(corpus.observations.len());
+    addrs.extend(corpus.observations.iter().map(|o| o.addr));
+    v6par::radix_sort_by_key(&mut addrs, |&b| (b, 0));
     addrs.dedup();
     let corpus_addresses = addrs.len() as u64;
     let eui64_addresses = addrs

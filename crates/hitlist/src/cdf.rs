@@ -16,7 +16,7 @@ impl Cdf {
     /// Builds from samples (NaNs are dropped).
     pub fn new(mut samples: Vec<f64>) -> Self {
         samples.retain(|x| !x.is_nan());
-        samples.sort_by(|a, b| a.partial_cmp(b).expect("no NaNs left"));
+        v6par::radix_sort_f64(&mut samples);
         Cdf { sorted: samples }
     }
 

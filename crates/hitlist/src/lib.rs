@@ -14,6 +14,8 @@
 //!   (§5.3).
 //! * [`release`] — the ethical /48-truncated public release.
 //! * [`pipeline`] — one-call orchestration of the whole study.
+//! * [`streaming`] — adapters feeding `v6stream`'s incremental
+//!   operators from the world's routing table and the passive corpus.
 //! * [`cdf`] / [`report`] — distribution and paper-vs-measured plumbing.
 
 #![forbid(unsafe_code)]
@@ -27,6 +29,7 @@ pub mod pipeline;
 pub mod release;
 pub mod report;
 pub mod service;
+pub mod streaming;
 
 pub use cdf::Cdf;
 pub use collect::ntp_passive::NtpCorpus;
@@ -35,3 +38,4 @@ pub use pipeline::{ChaosRun, Experiment, ExperimentConfig};
 pub use release::Release48;
 pub use report::ExperimentRecord;
 pub use service::HitlistService;
+pub use streaming::{corpus_entries, corpus_entries_u32, world_as_table};

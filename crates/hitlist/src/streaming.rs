@@ -1,0 +1,126 @@
+//! Bridge from the batch measurement pipeline to `v6stream`'s
+//! incremental operators.
+//!
+//! The batch analyses in [`crate::analysis`] re-walk the whole corpus
+//! every time they run; the streaming operators fold the same facts
+//! epoch by epoch. This module supplies the two adapters the streaming
+//! side needs from the measurement side:
+//!
+//! * [`world_as_table`] — a [`v6stream::PrefixAsTable`] built from the
+//!   simulated world's routing table (`2a00:<idx>::/32` per AS, with
+//!   its registration country), so streaming attribution matches
+//!   `World::asn_of` exactly;
+//! * [`corpus_entries`] — an [`NtpCorpus`] flattened to the sorted
+//!   `(bits, first_week)` entry list an epoch publication carries.
+//!
+//! With both in hand, `Analytics::from_entries(table, &entries)` is
+//! the batch anchor the streaming ≡ batch equivalence tests compare
+//! against on real pipeline output (see `tests/stream_parity.rs`).
+
+use v6netsim::World;
+use v6par::radix_sort_u128;
+use v6stream::{AsTag, PrefixAsTable};
+
+use crate::collect::ntp_passive::NtpCorpus;
+
+/// Seconds per study week (the corpus clock is seconds since study
+/// start; epoch publications are weekly).
+pub const WEEK_SECS: u32 = 7 * 86_400;
+
+/// Builds the streaming AS-attribution table from the world's routed
+/// prefixes: AS `i` announces `2a00:<i>::/32` and tags it with its
+/// dense index and registration country.
+pub fn world_as_table(world: &World) -> PrefixAsTable {
+    let prefixes = world
+        .ases
+        .iter()
+        .enumerate()
+        .map(|(i, a)| {
+            let p = a.prefix32();
+            (
+                p.bits(),
+                p.len(),
+                AsTag {
+                    index: i as u16,
+                    country: u16::from_be_bytes(a.info.country.0),
+                },
+            )
+        })
+        .collect();
+    PrefixAsTable::new(prefixes)
+}
+
+/// Flattens a passive corpus to the sorted, deduplicated
+/// `(bits, first_week)` entries of an epoch publication: each unique
+/// address with the study week it was first observed.
+pub fn corpus_entries(corpus: &NtpCorpus) -> Vec<(u128, u64)> {
+    let mut pairs: Vec<(u128, u64)> = Vec::with_capacity(corpus.observations.len());
+    pairs.extend(
+        corpus
+            .observations
+            .iter()
+            .map(|o| (o.addr, u64::from(o.t / WEEK_SECS))),
+    );
+    radix_sort_u128(&mut pairs);
+    // Sorted by (bits, week): the first pair per address carries its
+    // earliest week, later ones drop.
+    pairs.dedup_by_key(|&mut (bits, _)| bits);
+    pairs
+}
+
+/// [`corpus_entries`] in the `(bits, u32 week)` shape `v6store` delta
+/// records and `v6stream` events use.
+pub fn corpus_entries_u32(corpus: &NtpCorpus) -> Vec<(u128, u32)> {
+    corpus_entries(corpus)
+        .into_iter()
+        .map(|(bits, week)| (bits, week as u32))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use v6netsim::{SimDuration, SimTime, WorldConfig};
+    use v6stream::AsResolver;
+
+    #[test]
+    fn table_attribution_matches_world_routing() {
+        let world = World::build(WorldConfig::tiny(), 211);
+        let table = world_as_table(&world);
+        assert_eq!(table.len(), world.ases.len());
+        for (i, a) in world.ases.iter().enumerate() {
+            let inside = a.prefix32().bits() | 0xdead_beef;
+            let tag = table.resolve(inside).expect("inside an announced /32");
+            assert_eq!(tag.index, i as u16);
+            assert_eq!(
+                world.asn_of(std::net::Ipv6Addr::from(inside)),
+                Some(a.info.asn)
+            );
+        }
+        // Outside the announced space resolves nowhere, same as asn_of.
+        assert_eq!(table.resolve(0x3fff_0000u128 << 96), None);
+    }
+
+    #[test]
+    fn corpus_entries_are_sorted_first_week_deduped() {
+        let world = World::build(WorldConfig::tiny(), 211);
+        let corpus = NtpCorpus::collect(&world, SimTime::START, SimDuration::days(21));
+        let entries = corpus_entries(&corpus);
+        assert!(!entries.is_empty());
+        assert!(
+            entries.windows(2).all(|w| w[0].0 < w[1].0),
+            "strictly sorted"
+        );
+        // Every entry's week is the minimum over that address's
+        // observations.
+        let probe = entries[entries.len() / 2];
+        let min_week = corpus
+            .observations
+            .iter()
+            .filter(|o| o.addr == probe.0)
+            .map(|o| u64::from(o.t / WEEK_SECS))
+            .min()
+            .unwrap();
+        assert_eq!(probe.1, min_week);
+    }
+}

@@ -83,7 +83,7 @@ pub use pool::{
     par_map_cost, par_merge_sorted, par_sort_unstable, pool_threads_spawned, split_ranges, Cost,
     MORSEL_TARGET_NANOS, SEQ_CUTOFF_NANOS,
 };
-pub use radix::{par_radix_sort, radix_sort_by_key, radix_sort_u128};
+pub use radix::{par_radix_sort, radix_sort_by_key, radix_sort_f64, radix_sort_u128};
 
 /// Scoped thread spawning — re-exported [`std::thread::scope`], so
 /// callers that need bespoke fan-out depend only on `v6par`.

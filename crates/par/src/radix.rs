@@ -317,6 +317,48 @@ pub fn radix_sort_u128(data: &mut Vec<(u128, u64)>) {
     radix_sort_by_key(data, |&(hi, lo)| (hi, lo));
 }
 
+/// The IEEE-754 total-order mapping: a monotone bijection from finite
+/// `f64` bit patterns to `u64` (sign-folded so negative values order
+/// below positive ones).
+#[inline]
+fn f64_key(v: f64) -> u64 {
+    let bits = v.to_bits();
+    if bits & (1 << 63) != 0 {
+        !bits
+    } else {
+        bits ^ (1 << 63)
+    }
+}
+
+/// Inverse of [`f64_key`].
+#[inline]
+fn f64_unkey(k: u64) -> f64 {
+    f64::from_bits(if k & (1 << 63) != 0 {
+        k ^ (1 << 63)
+    } else {
+        !k
+    })
+}
+
+/// Sorts `f64` samples ascending through the IEEE-754 monotone integer
+/// mapping and the adaptive radix sort — the comparison-free
+/// replacement for `sort_by(partial_cmp)` over analysis sample vectors
+/// (Cdf construction, rotation intervals, geolocation errors).
+///
+/// **Contract:** no NaNs (every call site drops them first; NaN keys
+/// would sort above `+inf` rather than panic, but the debug assert
+/// keeps the contract honest). `-0.0` and `0.0` map to distinct keys
+/// ordered `-0.0 < 0.0` — a refinement of their `PartialOrd` equality
+/// that no rank or quantile query can observe.
+pub fn radix_sort_f64(data: &mut [f64]) {
+    debug_assert!(data.iter().all(|v| !v.is_nan()), "NaN in radix_sort_f64");
+    let mut keys: Vec<u64> = data.iter().map(|&v| f64_key(v)).collect();
+    radix_sort_by_key(&mut keys, |&k| (u128::from(k), 0));
+    for (dst, k) in data.iter_mut().zip(&keys) {
+        *dst = f64_unkey(*k);
+    }
+}
+
 /// Calibrated per-element radix cost for the parallel cutoff: cheaper
 /// than [`super::pool::par_sort_unstable`]'s comparison estimate because
 /// the passes are branch-free linear sweeps.
@@ -456,6 +498,40 @@ mod tests {
         expect.sort_unstable();
         radix_sort_by_key(&mut data, |&(b, w)| (b, u64::from(w)));
         assert_eq!(data, expect);
+    }
+
+    #[test]
+    fn f64_sort_matches_partial_cmp_sort() {
+        let mut h = 99u64;
+        for n in [0usize, 1, 100, RADIX_MIN_LEN, 30_000] {
+            let mut data: Vec<f64> = (0..n)
+                .map(|i| {
+                    h = h.wrapping_mul(0x2545_f491_4f6c_dd1d).rotate_left(17) ^ 5;
+                    match i % 7 {
+                        0 => -(h as f64) / 1e6,
+                        1 => (h % 1000) as f64,
+                        2 => 0.0,
+                        3 => -0.0,
+                        4 => f64::from_bits(h >> 12), // denormals & small
+                        5 => (h as f64) * 1e18,
+                        _ => (h as f64).sqrt(),
+                    }
+                })
+                .collect();
+            let mut expect = data.clone();
+            expect.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            radix_sort_f64(&mut data);
+            // Compare by bits so -0.0 vs 0.0 ordering is visible — the
+            // radix order (-0.0 before 0.0) is a valid partial_cmp sort.
+            assert!(data.windows(2).all(|w| f64_key(w[0]) <= f64_key(w[1])));
+            assert_eq!(data.len(), expect.len());
+            for (a, b) in data.iter().zip(&expect) {
+                assert!(a == b || (*a == 0.0 && *b == 0.0), "{a} vs {b}");
+            }
+        }
+        let mut infs = vec![f64::INFINITY, f64::NEG_INFINITY, 1.0, -1.0];
+        radix_sort_f64(&mut infs);
+        assert_eq!(infs, vec![f64::NEG_INFINITY, -1.0, 1.0, f64::INFINITY]);
     }
 
     #[test]

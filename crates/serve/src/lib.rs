@@ -19,6 +19,9 @@
 //! - [`ingest`] — bounded-channel worker pipeline turning campaign and
 //!   passive-corpus publications into snapshots off the serving threads.
 //! - [`query`] — the typed query API served from any snapshot.
+//! - [`stream`] — the bridge to [`v6stream`]: a [`StreamAnalytics`]
+//!   handle kept current from publishes or a tailed epoch log, powering
+//!   the windowed `moved_between`/`entropy_shift` queries.
 //! - [`persist`] — durable publication through the [`v6store`]
 //!   write-ahead epoch log: `HitlistStore::persistent` fsyncs each
 //!   epoch before the swap and `HitlistStore::recover` rebuilds the
@@ -49,6 +52,7 @@ pub mod persist;
 pub mod query;
 pub mod snapshot;
 pub mod store;
+pub mod stream;
 
 pub use bloom::BlockedBloom;
 pub use ingest::{
@@ -56,7 +60,8 @@ pub use ingest::{
 };
 pub use loadgen::{sample_present, GenRequest, LoadReport, LoadSpec, QueryMix, RequestStream};
 pub use metrics::ServeMetrics;
-pub use query::{BatchAnswer, LookupAnswer, QueryEngine};
+pub use query::{BatchAnswer, LookupAnswer, MovedAnswer, QueryEngine};
 pub use snapshot::{CompressedRun, Membership, ServeStatus, Shard, Snapshot, SnapshotBuilder};
 pub use store::{HitlistStore, PublishError, PublishReceipt};
+pub use stream::{analytics_for, StreamAnalytics};
 pub use v6store::{RecoverError, RecoveryReport, StoreConfig};

@@ -36,8 +36,14 @@ pub(crate) enum QueryKind {
     Lookup,
     /// Density / count-within queries.
     Density,
-    /// Weekly-diff queries.
+    /// The "diffs" query family (`new_since`): what changed relative
+    /// to a release week. Counts under `serve.query.diffs`, latency
+    /// under `serve.query.latency.diffs`.
     Diff,
+    /// Windowed streaming-analytics queries (`moved_between`,
+    /// `entropy_shift`): answered from the incremental operator state,
+    /// not the snapshot.
+    Window,
     /// Batched lookups (one sample per batch).
     Batch,
 }
@@ -51,6 +57,7 @@ pub struct ServeMetrics {
     lookups: Counter,
     density: Counter,
     diffs: Counter,
+    windows: Counter,
     batches: Counter,
     batch_addresses: Counter,
     publishes: Counter,
@@ -61,7 +68,7 @@ pub struct ServeMetrics {
     bloom_false_positive: Counter,
     store_bytes_raw: Gauge,
     store_bytes_compressed: Gauge,
-    query_latency: [Histogram; 5],
+    query_latency: [Histogram; 6],
     ingest_batch_latency: Histogram,
     ingest_normalize_latency: Histogram,
 }
@@ -74,6 +81,7 @@ impl Default for ServeMetrics {
             lookups: registry.counter("serve.query.lookups"),
             density: registry.counter("serve.query.density"),
             diffs: registry.counter("serve.query.diffs"),
+            windows: registry.counter("serve.query.windows"),
             batches: registry.counter("serve.query.batches"),
             batch_addresses: registry.counter("serve.query.batch_addresses"),
             publishes: registry.counter("serve.publish.epochs"),
@@ -88,7 +96,8 @@ impl Default for ServeMetrics {
                 registry.histogram("serve.query.latency.membership"),
                 registry.histogram("serve.query.latency.lookup"),
                 registry.histogram("serve.query.latency.density"),
-                registry.histogram("serve.query.latency.diff"),
+                registry.histogram("serve.query.latency.diffs"),
+                registry.histogram("serve.query.latency.window"),
                 registry.histogram("serve.query.latency.batch"),
             ],
             ingest_batch_latency: registry.histogram("serve.ingest.batch_latency"),
@@ -113,6 +122,10 @@ impl ServeMetrics {
 
     pub(crate) fn record_diff(&self) {
         self.diffs.inc();
+    }
+
+    pub(crate) fn record_window(&self) {
+        self.windows.inc();
     }
 
     pub(crate) fn record_batch(&self, addresses: u64) {
@@ -190,6 +203,7 @@ impl ServeMetrics {
             + self.lookups.get()
             + self.density.get()
             + self.diffs.get()
+            + self.windows.get()
             + self.batch_addresses.get()
     }
 

@@ -15,6 +15,7 @@ use v6addr::Prefix;
 use crate::metrics::{QueryKind, ServeMetrics};
 use crate::snapshot::{Membership, ServeStatus, Snapshot};
 use crate::store::HitlistStore;
+use crate::stream::StreamAnalytics;
 
 /// The full answer for a single address.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -47,10 +48,17 @@ pub struct BatchAnswer {
     pub aliased: u64,
 }
 
+/// One answer row of [`QueryEngine::moved_between`]: a device seen in
+/// one network before the window that surfaced in another inside it.
+pub type MovedAnswer = v6stream::Move;
+
 /// A cheaply cloneable handle answering queries from a [`HitlistStore`].
-#[derive(Debug, Clone)]
+#[derive(Clone)]
 pub struct QueryEngine {
     store: Arc<HitlistStore>,
+    /// Streaming operators answering the windowed query family;
+    /// `None` until attached with [`QueryEngine::with_analytics`].
+    analytics: Option<Arc<StreamAnalytics>>,
 }
 
 fn lookup_in(snap: &Snapshot, addr: Ipv6Addr, metrics: &ServeMetrics) -> LookupAnswer {
@@ -75,7 +83,23 @@ fn lookup_in(snap: &Snapshot, addr: Ipv6Addr, metrics: &ServeMetrics) -> LookupA
 impl QueryEngine {
     /// An engine over `store`.
     pub fn new(store: Arc<HitlistStore>) -> Self {
-        QueryEngine { store }
+        QueryEngine {
+            store,
+            analytics: None,
+        }
+    }
+
+    /// Attaches streaming analytics, enabling the windowed query
+    /// family ([`QueryEngine::moved_between`],
+    /// [`QueryEngine::entropy_shift`]).
+    pub fn with_analytics(mut self, analytics: Arc<StreamAnalytics>) -> Self {
+        self.analytics = Some(analytics);
+        self
+    }
+
+    /// The attached streaming analytics, if any.
+    pub fn analytics(&self) -> Option<&Arc<StreamAnalytics>> {
+        self.analytics.as_ref()
     }
 
     /// The underlying store.
@@ -140,10 +164,34 @@ impl QueryEngine {
         })
     }
 
-    /// Addresses first published after study week `week`.
+    /// Addresses first published after study week `week` — the
+    /// snapshot-answered member of the "diffs" query family.
     pub fn new_since(&self, week: u64) -> u64 {
         self.store.metrics().record_diff();
         self.timed(QueryKind::Diff, || self.store.snapshot().new_since(week))
+    }
+
+    /// EUI-64 devices that inhabited some /64 at or before week `w0`
+    /// and first surfaced in a *different* /64 during `(w0, w1]` — a
+    /// windowed generalization of [`QueryEngine::new_since`] that only
+    /// the streaming operators can answer. `None` without attached
+    /// analytics.
+    pub fn moved_between(&self, w0: u32, w1: u32) -> Option<Vec<MovedAnswer>> {
+        let analytics = self.analytics.as_ref()?;
+        self.store.metrics().record_window();
+        Some(self.timed(QueryKind::Window, || analytics.moved_between(w0, w1)))
+    }
+
+    /// Entropy-distribution shift (total-variation, per-mille) of AS
+    /// `as_index` between the corpus as of week `w0` and the additions
+    /// of `(w0, w1]`. Outer `None` without attached analytics; inner
+    /// `None` when either window side holds no attributed addresses.
+    pub fn entropy_shift(&self, as_index: u16, w0: u32, w1: u32) -> Option<Option<u32>> {
+        let analytics = self.analytics.as_ref()?;
+        self.store.metrics().record_window();
+        Some(self.timed(QueryKind::Window, || {
+            analytics.entropy_shift(as_index, w0, w1)
+        }))
     }
 
     /// Resolves a whole batch against a single epoch. Latency is sampled
@@ -255,6 +303,128 @@ mod tests {
         assert_eq!(miss, 1, "the one present probe passes through");
         assert_eq!(hit + fp, 200, "every absent probe is hit or false positive");
         assert!(hit > fp, "the front should filter most absent probes");
+    }
+
+    #[test]
+    fn new_since_edges() {
+        // Fresh store, nothing published: the empty epoch-0 snapshot
+        // has nothing newer than any week, including week 0.
+        let empty = QueryEngine::new(Arc::new(HitlistStore::new("svc", 4)));
+        assert_eq!(empty.new_since(0), 0);
+
+        // A published but empty epoch answers the same way.
+        let store = HitlistStore::new("svc", 4);
+        store
+            .publish(SnapshotBuilder::new("svc", 4).build())
+            .unwrap();
+        let q = QueryEngine::new(Arc::new(store));
+        assert_eq!(q.new_since(0), 0);
+        assert_eq!(q.new_since(u64::from(u32::MAX)), 0);
+
+        // Week 0 counts strictly-later first sightings, week numbers
+        // beyond every epoch count nothing, and everything is new
+        // relative to "before week 0" semantics only via lookups.
+        let q = engine(); // weeks {0, 0, 3}
+        assert_eq!(q.new_since(0), 1, "only the week-3 entry is after week 0");
+        assert_eq!(q.new_since(2), 1);
+        assert_eq!(q.new_since(3), 0, "boundary week is not 'after' itself");
+        assert_eq!(q.new_since(u64::from(u32::MAX)), 0);
+
+        let snap = q.store().metrics().registry().snapshot();
+        assert_eq!(snap.counter("serve.query.diffs"), Some(4));
+        let text = q.store().metrics().render_text();
+        assert!(text.contains("serve.query.latency.diffs_count 4\n"));
+    }
+
+    #[test]
+    fn new_since_answers_on_degraded_snapshots() {
+        let store = HitlistStore::new("svc", 4);
+        let mut b = SnapshotBuilder::new("svc", 4);
+        b.add_week(0, &[addr("2001:db8:1::1"), addr("2001:db8:2::1")]);
+        b.add_week(5, &[addr("2001:db8:3::1")]);
+        let b = b.with_quarantined(vec![0, 2]);
+        store.publish(b.build()).unwrap();
+        let q = QueryEngine::new(Arc::new(store));
+
+        // The diff still answers from the stale-but-consistent corpus…
+        assert_eq!(q.new_since(0), 1);
+        assert_eq!(q.new_since(5), 0);
+        // …and the degraded label propagates alongside, never silently.
+        match q.status() {
+            ServeStatus::Degraded { missing_shards } => {
+                assert_eq!(missing_shards, vec![0, 2]);
+            }
+            other => panic!("expected degraded status, got {other:?}"),
+        }
+        let batch = q.batch_lookup(&[addr("2001:db8:1::1")]);
+        assert!(matches!(batch.status, ServeStatus::Degraded { .. }));
+    }
+
+    fn eui_addr(prefix32: u128, subnet: u64, mac: u64) -> u128 {
+        let iid = v6addr::Iid::from_mac(v6addr::Mac::from_u64(mac));
+        (prefix32 << 96) | (u128::from(subnet) << 64) | u128::from(iid.as_u64())
+    }
+
+    #[test]
+    fn windowed_queries_require_analytics() {
+        let q = engine();
+        assert!(q.moved_between(0, 4).is_none());
+        assert!(q.entropy_shift(1, 0, 4).is_none());
+        let snap = q.store().metrics().registry().snapshot();
+        assert_eq!(snap.counter("serve.query.windows"), Some(0));
+    }
+
+    #[test]
+    fn windowed_queries_answer_from_attached_analytics() {
+        use v6stream::{country_code, AsTag, PrefixAsTable};
+        let resolver: v6stream::SharedResolver = Arc::new(PrefixAsTable::new(vec![(
+            0x2001_0db8u128 << 96,
+            32,
+            AsTag {
+                index: 1,
+                country: country_code(*b"DE"),
+            },
+        )]));
+
+        let store = Arc::new(HitlistStore::new("svc", 4));
+        let mut b = SnapshotBuilder::new("svc", 4);
+        // One EUI-64 device seen in subnet 1 at week 1, then surfacing
+        // in subnet 2 at week 5 — a move inside the (2, 6] window.
+        let mac = 0x0050_56ab_cdef;
+        b.add_bits(eui_addr(0x2001_0db8, 1, mac), 1);
+        b.add_bits(eui_addr(0x2001_0db8, 2, mac), 5);
+        // Opaque ballast so the entropy profile has both window sides.
+        for i in 0..8u128 {
+            b.add_bits(
+                (0x2001_0db8u128 << 96) | (3 << 64) | (0x9e37_79b9 * (i + 1)),
+                1,
+            );
+            b.add_bits(
+                (0x2001_0db8u128 << 96) | (4 << 64) | u128::from(4u32 + i as u32),
+                5,
+            );
+        }
+        store.publish(b.build()).unwrap();
+
+        let analytics = crate::stream::analytics_for(&store, resolver);
+        let q = QueryEngine::new(Arc::clone(&store)).with_analytics(analytics);
+
+        let moves = q.moved_between(2, 6).expect("analytics attached");
+        assert_eq!(moves.len(), 1);
+        assert_eq!(moves[0].mac, mac);
+        assert_eq!(moves[0].week, 5);
+        assert_ne!(moves[0].from_net, moves[0].to_net);
+        // Outside the window the same device never moved.
+        assert!(q.moved_between(5, 9).unwrap().is_empty());
+
+        let shift = q.entropy_shift(1, 2, 6).expect("analytics attached");
+        assert!(shift.is_some(), "both window sides are populated");
+        assert_eq!(q.entropy_shift(7, 2, 6), Some(None), "unknown AS is empty");
+
+        let snap = store.metrics().registry().snapshot();
+        assert_eq!(snap.counter("serve.query.windows"), Some(4));
+        let text = store.metrics().render_text();
+        assert!(text.contains("serve.query.latency.window_count 4\n"));
     }
 
     #[test]

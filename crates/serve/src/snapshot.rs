@@ -393,11 +393,15 @@ pub struct Snapshot {
 }
 
 /// Order-independent content checksum over `(bits, week)` pairs.
+///
+/// The canonical definition lives in [`v6stream::fold_content`] — the
+/// streaming analytics layer maintains this exact sum incrementally
+/// (`± content_term` per delta entry) and uses it to verify each
+/// [`v6store::DeltaRecord`] against its corpus mirror. Changing the
+/// fold changes the wire/disk-visible `content_checksum` everywhere.
+#[inline]
 fn fold_addr(acc: u64, bits: u128, week: u32) -> u64 {
-    let mixed = (bits as u64)
-        ^ ((bits >> 64) as u64).rotate_left(17)
-        ^ u64::from(week).wrapping_mul(0x9e37_79b9_7f4a_7c15);
-    acc.wrapping_add(mixed.wrapping_mul(0xbf58_476d_1ce4_e5b9) | 1)
+    v6stream::fold_content(acc, bits, week)
 }
 
 /// Whether snapshots should build a bloom front by default: the

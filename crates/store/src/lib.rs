@@ -59,6 +59,7 @@ pub mod format;
 pub mod log;
 pub mod recover;
 pub mod replica;
+pub mod tail;
 
 pub use format::{AliasEntry, FORMAT_VERSION, MAGIC};
 pub use log::DeltaRecord;
@@ -67,3 +68,4 @@ pub use log::{
     EpochLog, EpochState, EpochView, StoreConfig, LOG_FILE,
 };
 pub use recover::{recover, recover_at, recover_with, RecoverError, Recovery, RecoveryReport};
+pub use tail::{LogTailer, TailReport};

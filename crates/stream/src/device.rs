@@ -1,0 +1,330 @@
+//! EUI-64 device tracking: per-MAC network histories, the paper's
+//! five track classes, and cross-network movement windows.
+
+use std::collections::BTreeMap;
+
+use crate::kernel::{eui64_mac, net64, Digest, MacNets};
+use crate::op::{Event, Operator};
+use crate::SharedResolver;
+
+/// The paper's taxonomy of multi-network EUI-64 devices.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum TrackClass {
+    /// Seen in more than one country — the MAC is reused across
+    /// distinct physical devices (broken vendor defaults).
+    MacReuse,
+    /// Multiple ASes and many network transitions: a physically
+    /// travelling device.
+    UserMovement,
+    /// Multiple ASes, few transitions: a subscriber switching ISPs.
+    ChangingProviders,
+    /// One AS, many transitions: periodic prefix rotation by the ISP.
+    PrefixReassignment,
+    /// Few transitions within one AS.
+    MostlyStatic,
+}
+
+/// Transition count above which a device counts as "many moves".
+pub const MANY_TRANSITIONS: usize = 3;
+
+#[derive(Debug, Clone, Default)]
+struct Device {
+    nets: MacNets,
+    /// as index → live address count.
+    ases: BTreeMap<u16, u32>,
+    /// country code → live address count.
+    countries: BTreeMap<u16, u32>,
+}
+
+impl Device {
+    fn classify(&self) -> Option<TrackClass> {
+        if self.nets.net_count() < 2 {
+            return None; // single-network devices carry no track signal
+        }
+        let transitions = self.nets.net_count() - 1;
+        Some(if self.countries.len() > 1 {
+            TrackClass::MacReuse
+        } else if self.ases.len() > 1 && transitions > MANY_TRANSITIONS {
+            TrackClass::UserMovement
+        } else if self.ases.len() > 1 {
+            TrackClass::ChangingProviders
+        } else if transitions > MANY_TRANSITIONS {
+            TrackClass::PrefixReassignment
+        } else {
+            TrackClass::MostlyStatic
+        })
+    }
+}
+
+/// Tracks every EUI-64 device across the corpus, incrementally.
+///
+/// Keyed by the MAC leaked in the IID; non-EUI-64 addresses are
+/// invisible to this operator. AS and country attribution comes from
+/// the shared resolver; unrouted addresses still contribute their
+/// network history (moves are observable without attribution).
+#[derive(Clone)]
+pub struct DeviceTracker {
+    resolver: SharedResolver,
+    devices: BTreeMap<u64, Device>,
+}
+
+/// A point-in-time view of [`DeviceTracker`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeviceReport {
+    /// Devices currently visible (≥ 1 live EUI-64 address).
+    pub devices: u64,
+    /// Devices seen in two or more /64s.
+    pub multi_network: u64,
+    /// `(class, device count)` over multi-network devices, ascending
+    /// by class.
+    pub classes: Vec<(TrackClass, u64)>,
+}
+
+/// One device that moved networks inside a query window.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Move {
+    /// MAC key (48 bits, big-endian in the low bytes).
+    pub mac: u64,
+    /// A /64 the device inhabited at or before the window start.
+    pub from_net: u64,
+    /// The /64 it first appeared in inside the window.
+    pub to_net: u64,
+    /// First-seen week of `to_net`.
+    pub week: u32,
+}
+
+impl DeviceTracker {
+    /// An empty tracker attributing addresses through `resolver`.
+    pub fn new(resolver: SharedResolver) -> DeviceTracker {
+        DeviceTracker {
+            resolver,
+            devices: BTreeMap::new(),
+        }
+    }
+
+    fn add(&mut self, bits: u128, week: u32) {
+        let Some(mac) = eui64_mac(bits) else { return };
+        let tag = self.resolver.resolve(bits);
+        let dev = self.devices.entry(mac).or_default();
+        dev.nets.add(net64(bits), week);
+        if let Some(tag) = tag {
+            *dev.ases.entry(tag.index).or_insert(0) += 1;
+            *dev.countries.entry(tag.country).or_insert(0) += 1;
+        }
+    }
+
+    fn remove(&mut self, bits: u128, week: u32) {
+        let Some(mac) = eui64_mac(bits) else { return };
+        let tag = self.resolver.resolve(bits);
+        let Some(dev) = self.devices.get_mut(&mac) else {
+            return;
+        };
+        dev.nets.remove(net64(bits), week);
+        if let Some(tag) = tag {
+            decrement(&mut dev.ases, tag.index);
+            decrement(&mut dev.countries, tag.country);
+        }
+        if dev.nets.is_empty() {
+            self.devices.remove(&mac);
+        }
+    }
+
+    /// Builds the typed class-census snapshot.
+    pub fn snapshot(&self) -> DeviceReport {
+        let mut classes: BTreeMap<TrackClass, u64> = BTreeMap::new();
+        let mut multi = 0u64;
+        for dev in self.devices.values() {
+            if let Some(class) = dev.classify() {
+                multi += 1;
+                *classes.entry(class).or_insert(0) += 1;
+            }
+        }
+        DeviceReport {
+            devices: self.devices.len() as u64,
+            multi_network: multi,
+            classes: classes.into_iter().collect(),
+        }
+    }
+
+    /// Devices that inhabited some /64 at or before week `w0` and
+    /// first appeared in a *different* /64 during `(w0, w1]` — the
+    /// `moved_between` windowed query. Rows ascend by MAC; one row per
+    /// destination net, `from_net` being the device's earliest
+    /// pre-window network.
+    pub fn moved_between(&self, w0: u32, w1: u32) -> Vec<Move> {
+        let mut out = Vec::new();
+        for (&mac, dev) in &self.devices {
+            let firsts: Vec<(u64, u32)> = dev.nets.first_weeks().collect();
+            let from = firsts
+                .iter()
+                .filter(|&&(_, w)| w <= w0)
+                .min_by_key(|&&(net, w)| (w, net));
+            let Some(&(from_net, _)) = from else { continue };
+            for &(net, week) in &firsts {
+                if net != from_net && week > w0 && week <= w1 {
+                    out.push(Move {
+                        mac,
+                        from_net,
+                        to_net: net,
+                        week,
+                    });
+                }
+            }
+        }
+        out
+    }
+}
+
+fn decrement(map: &mut BTreeMap<u16, u32>, key: u16) {
+    if let Some(c) = map.get_mut(&key) {
+        *c -= 1;
+        if *c == 0 {
+            map.remove(&key);
+        }
+    }
+}
+
+impl Operator for DeviceTracker {
+    fn name(&self) -> &'static str {
+        "device"
+    }
+
+    fn apply(&mut self, event: &Event) {
+        match *event {
+            Event::Added { bits, week } => self.add(bits, week),
+            Event::Removed { bits, week } => self.remove(bits, week),
+            Event::WeekChanged {
+                bits,
+                old_week,
+                new_week,
+            } => {
+                if let Some(mac) = eui64_mac(bits) {
+                    if let Some(dev) = self.devices.get_mut(&mac) {
+                        dev.nets.week_changed(net64(bits), old_week, new_week);
+                    }
+                }
+            }
+        }
+    }
+
+    fn checksum(&self) -> u64 {
+        let mut d = Digest::new();
+        d.word(self.devices.len() as u64);
+        for (&mac, dev) in &self.devices {
+            d.word(mac);
+            dev.nets.digest_into(&mut d);
+            d.word(dev.ases.len() as u64);
+            for (&a, &c) in &dev.ases {
+                d.word(u64::from(a) << 32 | u64::from(c));
+            }
+            d.word(dev.countries.len() as u64);
+            for (&cc, &c) in &dev.countries {
+                d.word(u64::from(cc) << 32 | u64::from(c));
+            }
+        }
+        d.finish()
+    }
+
+    fn reset(&mut self) {
+        self.devices.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::resolver::{AsTag, PrefixAsTable};
+    use std::sync::Arc;
+
+    fn resolver() -> SharedResolver {
+        Arc::new(PrefixAsTable::new(vec![
+            (
+                0x2a00_0001u128 << 96,
+                32,
+                AsTag {
+                    index: 1,
+                    country: u16::from_be_bytes(*b"DE"),
+                },
+            ),
+            (
+                0x2a00_0002u128 << 96,
+                32,
+                AsTag {
+                    index: 2,
+                    country: u16::from_be_bytes(*b"DE"),
+                },
+            ),
+            (
+                0x2a00_0003u128 << 96,
+                32,
+                AsTag {
+                    index: 3,
+                    country: u16::from_be_bytes(*b"JP"),
+                },
+            ),
+        ]))
+    }
+
+    fn eui(prefix: u128, subnet: u64, mac: u64) -> u128 {
+        let iid = v6addr::Iid::from_mac(v6addr::Mac::from_u64(mac));
+        (prefix << 96) | (u128::from(subnet) << 64) | u128::from(iid.as_u64())
+    }
+
+    #[test]
+    fn classifies_and_windows_moves() {
+        let mut t = DeviceTracker::new(resolver());
+        let empty = t.checksum();
+        let mac = 0x0012_3456_789a;
+        // Week 1: home network; weeks 3 and 5: two more subnets, same AS.
+        t.apply(&Event::Added {
+            bits: eui(0x2a00_0001, 0, mac),
+            week: 1,
+        });
+        t.apply(&Event::Added {
+            bits: eui(0x2a00_0001, 1, mac),
+            week: 3,
+        });
+        t.apply(&Event::Added {
+            bits: eui(0x2a00_0001, 2, mac),
+            week: 5,
+        });
+        let snap = t.snapshot();
+        assert_eq!((snap.devices, snap.multi_network), (1, 1));
+        assert_eq!(snap.classes, vec![(TrackClass::MostlyStatic, 1)]);
+
+        // The same MAC in Japan: reuse across countries.
+        t.apply(&Event::Added {
+            bits: eui(0x2a00_0003, 0, mac),
+            week: 4,
+        });
+        assert_eq!(t.snapshot().classes, vec![(TrackClass::MacReuse, 1)]);
+
+        let moves = t.moved_between(2, 4);
+        assert_eq!(moves.len(), 2, "weeks 3 and 4 fall in (2, 4]");
+        assert!(moves.iter().all(|m| m.from_net == (0x2a00_0001u64 << 32)));
+        assert!(t.moved_between(5, 9).is_empty());
+
+        for (p, s, w) in [
+            (0x2a00_0001, 0, 1),
+            (0x2a00_0001, 1, 3),
+            (0x2a00_0001, 2, 5),
+            (0x2a00_0003, 0, 4),
+        ] {
+            t.apply(&Event::Removed {
+                bits: eui(p, s, mac),
+                week: w,
+            });
+        }
+        assert_eq!(t.checksum(), empty, "drained tracker equals fresh");
+    }
+
+    #[test]
+    fn non_eui64_addresses_are_invisible() {
+        let mut t = DeviceTracker::new(resolver());
+        t.apply(&Event::Added {
+            bits: (0x2a00_0001u128 << 96) | 0xabcd,
+            week: 1,
+        });
+        assert_eq!(t.snapshot().devices, 0);
+    }
+}

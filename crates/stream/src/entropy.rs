@@ -1,0 +1,243 @@
+//! Per-AS IID entropy histograms, maintained incrementally.
+
+use std::collections::BTreeMap;
+
+use crate::kernel::{
+    entropy_bucket, Digest, ENTROPY_BUCKETS, HIGH_ENTROPY_BUCKET, LOW_ENTROPY_BUCKET,
+};
+use crate::op::{Event, Operator};
+use crate::SharedResolver;
+
+/// Per-AS, per-week histogram of IID entropy buckets.
+///
+/// Bucketing happens at ingest (an integer in `0..16`), so all stored
+/// state — and every statistic derived from it — is integer-only:
+/// float evaluation order can never perturb a checksum. Addresses the
+/// resolver cannot attribute are skipped.
+#[derive(Clone)]
+pub struct EntropyProfile {
+    resolver: SharedResolver,
+    /// as index → week → entropy-bucket counts.
+    per_as: BTreeMap<u16, BTreeMap<u32, [u64; ENTROPY_BUCKETS]>>,
+}
+
+/// One AS row of an [`EntropyProfile`] snapshot.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EntropyRow {
+    /// Dense AS index.
+    pub as_index: u16,
+    /// Live attributed addresses.
+    pub addresses: u64,
+    /// Per-mille of addresses with normalized IID entropy ≥ 0.75.
+    pub high_per_mille: u32,
+    /// Per-mille of addresses with normalized IID entropy < 0.25.
+    pub low_per_mille: u32,
+}
+
+impl EntropyProfile {
+    /// An empty profile attributing addresses through `resolver`.
+    pub fn new(resolver: SharedResolver) -> EntropyProfile {
+        EntropyProfile {
+            resolver,
+            per_as: BTreeMap::new(),
+        }
+    }
+
+    fn bump(&mut self, bits: u128, week: u32, delta: i64) {
+        let Some(tag) = self.resolver.resolve(bits) else {
+            return;
+        };
+        let bucket = entropy_bucket(bits);
+        let weeks = self.per_as.entry(tag.index).or_default();
+        let hist = weeks.entry(week).or_insert([0; ENTROPY_BUCKETS]);
+        hist[bucket] = hist[bucket].wrapping_add_signed(delta);
+        if delta < 0 {
+            if hist.iter().all(|&c| c == 0) {
+                weeks.remove(&week);
+            }
+            if self.per_as.get(&tag.index).is_some_and(BTreeMap::is_empty) {
+                self.per_as.remove(&tag.index);
+            }
+        }
+    }
+
+    /// Aggregated histogram of `as_index` over weeks for which
+    /// `keep(week)` holds.
+    fn histogram(&self, as_index: u16, keep: impl Fn(u32) -> bool) -> [u64; ENTROPY_BUCKETS] {
+        let mut out = [0u64; ENTROPY_BUCKETS];
+        if let Some(weeks) = self.per_as.get(&as_index) {
+            for (&week, hist) in weeks {
+                if keep(week) {
+                    for (o, &c) in out.iter_mut().zip(hist) {
+                        *o += c;
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Per-AS entropy summary rows, ascending by AS index.
+    pub fn snapshot(&self) -> Vec<EntropyRow> {
+        self.per_as
+            .keys()
+            .map(|&as_index| {
+                let hist = self.histogram(as_index, |_| true);
+                let total: u64 = hist.iter().sum();
+                let high: u64 = hist[HIGH_ENTROPY_BUCKET..].iter().sum();
+                let low: u64 = hist[..LOW_ENTROPY_BUCKET].iter().sum();
+                EntropyRow {
+                    as_index,
+                    addresses: total,
+                    high_per_mille: per_mille(high, total),
+                    low_per_mille: per_mille(low, total),
+                }
+            })
+            .collect()
+    }
+
+    /// Distribution shift of `as_index` between the corpus as of week
+    /// `w0` (first-seen ≤ `w0`) and the additions of the window
+    /// `(w0, w1]`, as total-variation distance in per-mille.
+    ///
+    /// 0 means the window's additions have the same entropy mix as the
+    /// established corpus; 1000 means completely disjoint buckets —
+    /// e.g. an AS whose new addresses suddenly come from a low-entropy
+    /// allocator. `None` when either side is empty.
+    pub fn shift(&self, as_index: u16, w0: u32, w1: u32) -> Option<u32> {
+        let before = self.histogram(as_index, |w| w <= w0);
+        let after = self.histogram(as_index, |w| w > w0 && w <= w1);
+        let (tb, ta): (u64, u64) = (before.iter().sum(), after.iter().sum());
+        if tb == 0 || ta == 0 {
+            return None;
+        }
+        let l1: u64 = before
+            .iter()
+            .zip(&after)
+            .map(|(&b, &a)| per_mille(b, tb).abs_diff(per_mille(a, ta)) as u64)
+            .sum();
+        Some((l1 / 2) as u32)
+    }
+}
+
+/// Rounded integer fraction in per-mille.
+#[inline]
+fn per_mille(part: u64, total: u64) -> u32 {
+    (1000 * part + total / 2).checked_div(total).unwrap_or(0) as u32
+}
+
+impl Operator for EntropyProfile {
+    fn name(&self) -> &'static str {
+        "entropy"
+    }
+
+    fn apply(&mut self, event: &Event) {
+        match *event {
+            Event::Added { bits, week } => self.bump(bits, week, 1),
+            Event::Removed { bits, week } => self.bump(bits, week, -1),
+            Event::WeekChanged {
+                bits,
+                old_week,
+                new_week,
+            } => {
+                self.bump(bits, old_week, -1);
+                self.bump(bits, new_week, 1);
+            }
+        }
+    }
+
+    fn checksum(&self) -> u64 {
+        let mut d = Digest::new();
+        d.word(self.per_as.len() as u64);
+        for (&as_index, weeks) in &self.per_as {
+            d.word(u64::from(as_index));
+            d.word(weeks.len() as u64);
+            for (&week, hist) in weeks {
+                d.word(u64::from(week));
+                for &c in hist {
+                    d.word(c);
+                }
+            }
+        }
+        d.finish()
+    }
+
+    fn reset(&mut self) {
+        self.per_as.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::resolver::{AsTag, PrefixAsTable};
+    use std::sync::Arc;
+
+    fn resolver() -> SharedResolver {
+        Arc::new(PrefixAsTable::new(vec![(
+            0x2a00_0001u128 << 96,
+            32,
+            AsTag {
+                index: 1,
+                country: 0,
+            },
+        )]))
+    }
+
+    fn addr(iid: u64) -> u128 {
+        (0x2a00_0001u128 << 96) | u128::from(iid)
+    }
+
+    #[test]
+    fn tracks_and_drains_canonically() {
+        let mut p = EntropyProfile::new(resolver());
+        let empty = p.checksum();
+        p.apply(&Event::Added {
+            bits: addr(0),
+            week: 1,
+        }); // low entropy
+        p.apply(&Event::Added {
+            bits: addr(0xdead_beef_cafe_f00d),
+            week: 1,
+        });
+        let rows = p.snapshot();
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0].addresses, 2);
+        assert_eq!(rows[0].low_per_mille, 500);
+        // Unrouted addresses are ignored.
+        p.apply(&Event::Added { bits: 42, week: 1 });
+        assert_eq!(p.snapshot()[0].addresses, 2);
+        p.apply(&Event::Removed {
+            bits: addr(0),
+            week: 1,
+        });
+        p.apply(&Event::Removed {
+            bits: addr(0xdead_beef_cafe_f00d),
+            week: 1,
+        });
+        assert_eq!(p.checksum(), empty);
+    }
+
+    #[test]
+    fn shift_sees_allocator_change() {
+        let mut p = EntropyProfile::new(resolver());
+        // Established corpus: high-entropy IIDs up to week 2.
+        for i in 0..8u64 {
+            p.apply(&Event::Added {
+                bits: addr(0x9e37_79b9_7f4a_7c15u64.wrapping_mul(i * 2 + 1)),
+                week: 1 + (i as u32 % 2),
+            });
+        }
+        // Window (2, 4]: all-zero low-entropy IIDs.
+        for i in 0..4u64 {
+            p.apply(&Event::Added {
+                bits: addr(i),
+                week: 3,
+            });
+        }
+        let shift = p.shift(1, 2, 4).expect("both sides populated");
+        assert!(shift > 500, "allocator flip is a large shift, got {shift}");
+        assert_eq!(p.shift(1, 0, 1), None, "empty 'before' side");
+        assert_eq!(p.shift(9, 2, 4), None, "unknown AS");
+    }
+}

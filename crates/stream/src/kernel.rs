@@ -1,0 +1,266 @@
+//! The pure per-record fold kernels every operator (and its batch
+//! counterpart) is built from.
+//!
+//! Each kernel is a deterministic function of the address bits and
+//! first-seen week alone — the two facts a [`v6store::DeltaRecord`]
+//! carries per entry. Incremental operators fold these kernels over
+//! resolved delta events; batch analyses fold the *same* kernels over
+//! the materialized corpus. That sharing is what makes the
+//! streaming ≡ batch equivalence invariant provable rather than
+//! hoped-for.
+
+use std::collections::BTreeMap;
+
+use v6addr::Iid;
+
+/// The /48 network containing `bits` (top 48 bits, low bits zeroed).
+#[inline]
+pub fn net48(bits: u128) -> u128 {
+    bits >> 80 << 80
+}
+
+/// The /64 network containing `bits`, as its upper 64 bits.
+#[inline]
+pub fn net64(bits: u128) -> u64 {
+    (bits >> 64) as u64
+}
+
+/// The interface identifier (low 64 bits) of `bits`.
+#[inline]
+pub fn iid_of(bits: u128) -> Iid {
+    Iid::new(bits as u64)
+}
+
+/// The MAC address an EUI-64 SLAAC IID leaks, as a `u64` key
+/// (big-endian 6 bytes in the low 48 bits). `None` for non-EUI-64
+/// IIDs.
+#[inline]
+pub fn eui64_mac(bits: u128) -> Option<u64> {
+    iid_of(bits).to_mac().map(v6addr::Mac::as_u64)
+}
+
+/// Number of entropy histogram buckets ([0, 1) in 1/16 steps; the
+/// value 1.0 folds into the top bucket).
+pub const ENTROPY_BUCKETS: usize = 16;
+
+/// Buckets at or above this index hold IIDs with normalized entropy
+/// ≥ 0.75 — the paper's "high entropy" class.
+pub const HIGH_ENTROPY_BUCKET: usize = 12;
+
+/// Buckets below this index hold IIDs with normalized entropy < 0.25
+/// — the paper's "low entropy" class.
+pub const LOW_ENTROPY_BUCKET: usize = 4;
+
+/// The entropy histogram bucket of an address's IID: nibble entropy
+/// (normalized to `[0, 1]`) quantized into [`ENTROPY_BUCKETS`] bins.
+#[inline]
+pub fn entropy_bucket(bits: u128) -> usize {
+    let h = v6addr::iid_entropy(iid_of(bits));
+    ((h * ENTROPY_BUCKETS as f64) as usize).min(ENTROPY_BUCKETS - 1)
+}
+
+/// FNV-1a 64 over a stream of words — the operator checksum fold.
+///
+/// Operators feed their *entire canonical state* (sorted, deterministic
+/// iteration order) through one of these; equal states produce equal
+/// digests regardless of the event order that built them.
+#[derive(Debug, Clone, Copy)]
+pub struct Digest(u64);
+
+impl Digest {
+    /// FNV-1a offset basis.
+    pub fn new() -> Digest {
+        Digest(0xcbf2_9ce4_8422_2325)
+    }
+
+    /// Folds one 64-bit word.
+    #[inline]
+    pub fn word(&mut self, w: u64) {
+        for byte in w.to_le_bytes() {
+            self.0 ^= u64::from(byte);
+            self.0 = self.0.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+
+    /// Folds one 128-bit word.
+    #[inline]
+    pub fn wide(&mut self, w: u128) {
+        self.word(w as u64);
+        self.word((w >> 64) as u64);
+    }
+
+    /// The digest so far.
+    pub fn finish(self) -> u64 {
+        self.0
+    }
+}
+
+impl Default for Digest {
+    fn default() -> Self {
+        Digest::new()
+    }
+}
+
+/// One term of the serving layer's order-independent content checksum
+/// over `(bits, week)` entries.
+///
+/// This is the **canonical definition** of the fold `v6serve`
+/// publishes as `Snapshot::content_checksum` and `v6store` records in
+/// every [`v6store::DeltaRecord`]. It is a commutative wrapping sum of
+/// per-entry terms, which is exactly what lets a stream consumer
+/// maintain the corpus checksum in O(1) per record
+/// (`acc ± content_term(bits, week)`) and verify each delta against
+/// the checksum its producer recorded — the gap detector.
+#[inline]
+pub fn content_term(bits: u128, week: u32) -> u64 {
+    let mixed = (bits as u64)
+        ^ ((bits >> 64) as u64).rotate_left(17)
+        ^ u64::from(week).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+    mixed.wrapping_mul(0xbf58_476d_1ce4_e5b9) | 1
+}
+
+/// Folds one entry into the running content checksum.
+#[inline]
+pub fn fold_content(acc: u64, bits: u128, week: u32) -> u64 {
+    acc.wrapping_add(content_term(bits, week))
+}
+
+/// Per-device /64 history: each net maps to a multiset of first-seen
+/// weeks (one per address currently present under that net).
+///
+/// Shared by [`crate::DeviceTracker`] and [`crate::RotationEstimator`]
+/// — the two operators keep *independent* copies (so chaos faults
+/// cannot couple them) built from this one kernel structure.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct MacNets {
+    /// net64 → (week → live address count).
+    nets: BTreeMap<u64, BTreeMap<u32, u32>>,
+}
+
+impl MacNets {
+    /// Records one address appearing under `net` with first-seen
+    /// `week`.
+    pub fn add(&mut self, net: u64, week: u32) {
+        *self.nets.entry(net).or_default().entry(week).or_insert(0) += 1;
+    }
+
+    /// Removes one address; returns true when no nets remain.
+    pub fn remove(&mut self, net: u64, week: u32) -> bool {
+        if let Some(weeks) = self.nets.get_mut(&net) {
+            if let Some(count) = weeks.get_mut(&week) {
+                *count -= 1;
+                if *count == 0 {
+                    weeks.remove(&week);
+                }
+            }
+            if weeks.is_empty() {
+                self.nets.remove(&net);
+            }
+        }
+        self.nets.is_empty()
+    }
+
+    /// Moves one address's first-seen week (a week-changed upsert).
+    pub fn week_changed(&mut self, net: u64, old_week: u32, new_week: u32) {
+        if let Some(weeks) = self.nets.get_mut(&net) {
+            if let Some(count) = weeks.get_mut(&old_week) {
+                *count -= 1;
+                if *count == 0 {
+                    weeks.remove(&old_week);
+                }
+            }
+            *weeks.entry(new_week).or_insert(0) += 1;
+        }
+    }
+
+    /// Distinct /64s this device currently appears in.
+    pub fn net_count(&self) -> usize {
+        self.nets.len()
+    }
+
+    /// True when no addresses remain.
+    pub fn is_empty(&self) -> bool {
+        self.nets.is_empty()
+    }
+
+    /// `(net64, earliest first-seen week)` per net, ascending by net.
+    pub fn first_weeks(&self) -> impl Iterator<Item = (u64, u32)> + '_ {
+        self.nets
+            .iter()
+            .map(|(&net, weeks)| (net, *weeks.keys().next().expect("nets prune empties")))
+    }
+
+    /// Folds the full state into a digest (canonical order).
+    pub fn digest_into(&self, d: &mut Digest) {
+        d.word(self.nets.len() as u64);
+        for (&net, weeks) in &self.nets {
+            d.word(net);
+            d.word(weeks.len() as u64);
+            for (&week, &count) in weeks {
+                d.word(u64::from(week) << 32 | u64::from(count));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn content_term_matches_serve_fold_shape() {
+        // Odd by construction (the `| 1`): a zero term could hide a
+        // dropped entry from the additive checksum.
+        for (bits, week) in [(0u128, 0u32), (42, 7), (u128::MAX, u32::MAX)] {
+            assert_eq!(content_term(bits, week) & 1, 1);
+        }
+        // Commutative and invertible folding.
+        let a = fold_content(fold_content(0, 1, 2), 3, 4);
+        let b = fold_content(fold_content(0, 3, 4), 1, 2);
+        assert_eq!(a, b);
+        assert_eq!(a.wrapping_sub(content_term(1, 2)), fold_content(0, 3, 4));
+    }
+
+    #[test]
+    fn eui64_mac_roundtrip() {
+        let mac: v6addr::Mac = "00:12:34:56:78:9a".parse().unwrap();
+        let iid = Iid::from_mac(mac);
+        let bits = (0x2001_0db8u128 << 96) | u128::from(iid.as_u64());
+        let key = eui64_mac(bits).expect("EUI-64 shape");
+        assert_eq!(key, mac.as_u64());
+        // A random IID without the ff:fe filler yields nothing.
+        assert_eq!(eui64_mac(0x1234_5678_9abc_def0), None);
+    }
+
+    #[test]
+    fn entropy_buckets_cover_range() {
+        assert_eq!(entropy_bucket(0), 0); // zero IID: zero entropy
+        for bits in [7u128, 0xdead_beef_cafe_f00d, u128::MAX] {
+            assert!(entropy_bucket(bits) < ENTROPY_BUCKETS);
+        }
+    }
+
+    #[test]
+    fn mac_nets_add_remove_symmetry() {
+        let mut m = MacNets::default();
+        m.add(10, 1);
+        m.add(10, 1);
+        m.add(20, 3);
+        assert_eq!(m.net_count(), 2);
+        assert_eq!(m.first_weeks().collect::<Vec<_>>(), vec![(10, 1), (20, 3)]);
+        assert!(!m.remove(10, 1));
+        assert!(!m.remove(10, 1));
+        assert!(m.remove(20, 3), "now empty");
+        assert_eq!(m, MacNets::default(), "state is canonical after drain");
+    }
+
+    #[test]
+    fn mac_nets_week_change_moves_multiset() {
+        let mut a = MacNets::default();
+        a.add(10, 5);
+        a.week_changed(10, 5, 2);
+        let mut b = MacNets::default();
+        b.add(10, 2);
+        assert_eq!(a, b);
+    }
+}

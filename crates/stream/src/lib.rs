@@ -1,0 +1,64 @@
+//! # v6stream — incremental O(|Δ|) analytics over the epoch stream
+//!
+//! The paper's analyses — device tracking across networks, prefix
+//! rotation periods, IID entropy profiles, address density — were all
+//! built here as **batch** passes: every published epoch re-reads the
+//! whole corpus. That is O(corpus) work per epoch for answers that
+//! changed by O(|Δ|). This crate inverts the cost: each analysis
+//! becomes an *operator* that folds the store's own
+//! [`DeltaRecord`](v6store::DeltaRecord)s as they are produced, so
+//! per-epoch analytics cost tracks the delta, not the corpus.
+//!
+//! The layering:
+//!
+//! * [`kernel`] — the pure per-record folds (network extraction,
+//!   EUI-64 MAC recovery, entropy bucketing, the canonical
+//!   [`fold_content`] corpus checksum) shared between streaming
+//!   operators and batch reference analyses. One kernel, two drivers.
+//! * [`AsResolver`] / [`PrefixAsTable`] — address → AS attribution,
+//!   since deltas carry only `(bits, week)`.
+//! * [`Operator`] / [`Event`] — the operator contract: a pure fold
+//!   over resolved corpus events with a canonical-state checksum.
+//! * [`DensityMap`], [`EntropyProfile`], [`DeviceTracker`],
+//!   [`RotationEstimator`] — the four operators, owned together as an
+//!   [`Analytics`] set.
+//! * [`StreamDriver`] — verified ingestion: detects duplicate and
+//!   out-of-order deliveries by epoch, detects replay **gaps** by
+//!   recomputing each delta's content checksum against its corpus
+//!   mirror before mutating anything, and recovers from gaps with an
+//!   explicit O(corpus) [`StreamDriver::resync`]. It can tail a live
+//!   store's epoch log through [`v6store::LogTailer`], or be fed a
+//!   cluster follower's replication stream.
+//!
+//! The governing invariant, pinned by proptests and the `stream`
+//! chaos mode: **at every epoch boundary, each operator's checksum
+//! equals the checksum of the same operator built fresh from the
+//! materialized corpus.** Streaming is an optimization, never an
+//! approximation — and when delivery faults make the cheap path
+//! unsound, the driver *knows* (checksum chain) and says so (lagging
+//! state), rather than drifting.
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod kernel;
+pub mod op;
+pub mod resolver;
+
+mod density;
+mod device;
+mod driver;
+mod entropy;
+mod rotation;
+
+pub use density::{DensityMap, DensityReport};
+pub use device::{DeviceReport, DeviceTracker, Move, TrackClass, MANY_TRANSITIONS};
+pub use driver::{Analytics, Offer, StreamDriver};
+pub use entropy::{EntropyProfile, EntropyRow};
+pub use kernel::{content_term, fold_content};
+pub use op::{Event, Operator};
+pub use resolver::{country_code, AsResolver, AsTag, PrefixAsTable};
+pub use rotation::{RotationEstimator, RotationRow};
+
+/// The shared, thread-safe resolver handle operators hold.
+pub type SharedResolver = std::sync::Arc<dyn AsResolver + Send + Sync>;

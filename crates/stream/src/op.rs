@@ -1,0 +1,64 @@
+//! The event model and the common operator contract.
+//!
+//! Raw [`v6store::DeltaRecord`]s conflate "added" with "week-changed"
+//! (`added` holds every upsert). The [`crate::StreamDriver`] resolves
+//! each delta against its corpus mirror into unambiguous [`Event`]s so
+//! operators stay pure folds with no corpus knowledge of their own.
+
+/// One resolved corpus change.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Event {
+    /// `bits` entered the corpus with first-seen `week`.
+    Added {
+        /// Address bits.
+        bits: u128,
+        /// First-seen study week.
+        week: u32,
+    },
+    /// `bits` left the corpus; it had first-seen `week`.
+    Removed {
+        /// Address bits.
+        bits: u128,
+        /// The first-seen week it held while present.
+        week: u32,
+    },
+    /// `bits` stayed but its first-seen week was rewritten (an upsert
+    /// from a re-ingested earlier study week).
+    WeekChanged {
+        /// Address bits.
+        bits: u128,
+        /// Week before the upsert.
+        old_week: u32,
+        /// Week after the upsert.
+        new_week: u32,
+    },
+}
+
+/// An incremental analytics operator over the resolved event stream.
+///
+/// The contract every implementation upholds, and the equivalence
+/// proptests pin: after any event sequence, the operator's state —
+/// and therefore [`Operator::checksum`] — equals that of a fresh
+/// operator fed only `Added` events for the surviving corpus. That
+/// requires canonical state (prune empty sub-maps and zero counts)
+/// and kernels that depend on `(bits, week)` alone.
+pub trait Operator {
+    /// Stable operator name — used for metrics and transcripts.
+    fn name(&self) -> &'static str;
+
+    /// Folds one resolved event into the state.
+    fn apply(&mut self, event: &Event);
+
+    /// FNV digest of the full canonical state.
+    fn checksum(&self) -> u64;
+
+    /// Discards all state (used on resync).
+    fn reset(&mut self);
+
+    /// Folds a batch of events in order.
+    fn apply_all(&mut self, events: &[Event]) {
+        for e in events {
+            self.apply(e);
+        }
+    }
+}

@@ -1,0 +1,139 @@
+//! Address → AS attribution for per-AS streaming analytics.
+//!
+//! Delta records carry only `(bits, week)`; the per-AS operators
+//! ([`crate::EntropyProfile`], [`crate::RotationEstimator`], the
+//! cross-AS classes of [`crate::DeviceTracker`]) need to know which
+//! network owns each address. An [`AsResolver`] supplies that mapping.
+//! The batch pipeline builds a [`PrefixAsTable`] from the simulated
+//! world's routing table; production deployments would build one from
+//! a BGP dump — either way the resolver must be **stable across the
+//! stream's lifetime**, because re-attributing history is exactly the
+//! kind of hidden global pass this crate exists to eliminate.
+
+/// The attribution an [`AsResolver`] returns for one address.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AsTag {
+    /// Dense AS identifier (an index, not a real ASN — callers map
+    /// back through their own table).
+    pub index: u16,
+    /// Registration country, as two big-endian ISO 3166-1 alpha-2
+    /// bytes (`u16::from_be_bytes(*b"DE")`).
+    pub country: u16,
+}
+
+/// Maps an address to the AS that announces it.
+pub trait AsResolver {
+    /// The owning AS, or `None` when no covering route exists
+    /// (unrouted addresses are skipped by per-AS operators).
+    fn resolve(&self, bits: u128) -> Option<AsTag>;
+}
+
+/// A sorted, non-overlapping longest-prefix table — the standard
+/// [`AsResolver`].
+///
+/// Entries are `(prefix_bits, prefix_len, tag)`; lookup is a binary
+/// search over the masked address. Prefixes must not overlap (the
+/// netsim world announces disjoint /32s; overlapping real-world
+/// tables should be flattened before construction).
+#[derive(Debug, Clone, Default)]
+pub struct PrefixAsTable {
+    /// Sorted by prefix bits; each entry is `(first, last, tag)` — the
+    /// inclusive address range the prefix covers.
+    ranges: Vec<(u128, u128, AsTag)>,
+}
+
+impl PrefixAsTable {
+    /// Builds a table from `(prefix_bits, prefix_len, tag)` triples.
+    ///
+    /// # Panics
+    /// Panics if any two prefixes overlap.
+    pub fn new(mut prefixes: Vec<(u128, u8, AsTag)>) -> PrefixAsTable {
+        prefixes.sort_unstable_by_key(|&(bits, len, _)| (bits, len));
+        let mut ranges = Vec::with_capacity(prefixes.len());
+        for (bits, len, tag) in prefixes {
+            assert!(len <= 128, "prefix length out of range");
+            let span = if len == 0 {
+                u128::MAX
+            } else {
+                (1u128 << (128 - len)) - 1
+            };
+            let first = bits & !span;
+            let last = first | span;
+            if let Some(&(_, prev_last, _)) = ranges.last() {
+                assert!(first > prev_last, "overlapping prefixes in PrefixAsTable");
+            }
+            ranges.push((first, last, tag));
+        }
+        PrefixAsTable { ranges }
+    }
+
+    /// Number of prefixes in the table.
+    pub fn len(&self) -> usize {
+        self.ranges.len()
+    }
+
+    /// True when the table holds no prefixes.
+    pub fn is_empty(&self) -> bool {
+        self.ranges.is_empty()
+    }
+}
+
+impl AsResolver for PrefixAsTable {
+    fn resolve(&self, bits: u128) -> Option<AsTag> {
+        let idx = self.ranges.partition_point(|&(first, _, _)| first <= bits);
+        if idx == 0 {
+            return None;
+        }
+        let (_, last, tag) = self.ranges[idx - 1];
+        (bits <= last).then_some(tag)
+    }
+}
+
+/// Encodes a two-letter country code as the `u16` [`AsTag::country`]
+/// representation.
+#[inline]
+pub fn country_code(code: [u8; 2]) -> u16 {
+    u16::from_be_bytes(code)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tag(index: u16) -> AsTag {
+        AsTag {
+            index,
+            country: country_code(*b"DE"),
+        }
+    }
+
+    #[test]
+    fn resolves_inside_and_outside_prefixes() {
+        let table = PrefixAsTable::new(vec![
+            (0x2a00_0001u128 << 96, 32, tag(1)),
+            (0x2a00_0002u128 << 96, 32, tag(2)),
+        ]);
+        assert_eq!(
+            table.resolve((0x2a00_0001u128 << 96) | 42).unwrap().index,
+            1
+        );
+        assert_eq!(
+            table
+                .resolve((0x2a00_0002u128 << 96) | (1 << 95))
+                .unwrap()
+                .index,
+            2
+        );
+        assert_eq!(table.resolve(0x2a00_0003u128 << 96), None);
+        assert_eq!(table.resolve(0), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "overlapping")]
+    fn rejects_overlap() {
+        PrefixAsTable::new(vec![
+            (0x2a00_0001u128 << 96, 32, tag(1)),
+            (0x2a00_0001u128 << 96 | 1 << 90, 48, tag(2)),
+        ]);
+    }
+}

@@ -1,0 +1,228 @@
+//! The crate's governing invariant, pinned as properties:
+//!
+//! **At every epoch boundary, each streaming operator's checksum
+//! equals that of the same operator rebuilt from the materialized
+//! corpus** — under clean delivery, under duplicate/reordered
+//! delivery, and after gap + resync. Streaming is an optimization,
+//! never an approximation.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use proptest::prelude::*;
+
+use v6store::replica::{self, DeltaRecord};
+use v6store::{EpochState, EpochView};
+use v6stream::{
+    fold_content, Analytics, AsTag, Offer, PrefixAsTable, SharedResolver, StreamDriver,
+};
+
+/// Three routed /32s (two in DE, one in JP) plus addresses outside
+/// any route, so per-AS operators see both attributed and unrouted
+/// traffic.
+fn resolver() -> SharedResolver {
+    Arc::new(PrefixAsTable::new(vec![
+        (
+            0x2a00_0001u128 << 96,
+            32,
+            AsTag {
+                index: 1,
+                country: u16::from_be_bytes(*b"DE"),
+            },
+        ),
+        (
+            0x2a00_0002u128 << 96,
+            32,
+            AsTag {
+                index: 2,
+                country: u16::from_be_bytes(*b"DE"),
+            },
+        ),
+        (
+            0x2a00_0003u128 << 96,
+            32,
+            AsTag {
+                index: 3,
+                country: u16::from_be_bytes(*b"JP"),
+            },
+        ),
+    ]))
+}
+
+/// One corpus mutation: upsert (add or week-change) or removal of a
+/// pool address.
+#[derive(Debug, Clone, Copy)]
+enum Op {
+    Upsert { slot: usize, week: u32 },
+    Remove { slot: usize },
+}
+
+/// A small address pool mixing EUI-64 IIDs (a handful of MACs, so
+/// devices genuinely span networks) with opaque IIDs, spread over the
+/// routed prefixes, several subnets, and unrouted space.
+fn pool() -> Vec<u128> {
+    let mut out = Vec::new();
+    for prefix in [0x2a00_0001u128, 0x2a00_0002, 0x2a00_0003, 0x3fff_0001] {
+        for subnet in 0..3u64 {
+            for mac in [0x0012_3456_789au64, 0x0012_3456_aaaa, 0xdead_beef_0001] {
+                let iid = v6addr::Iid::from_mac(v6addr::Mac::from_u64(mac));
+                out.push((prefix << 96) | (u128::from(subnet) << 64) | u128::from(iid.as_u64()));
+            }
+            for iid in [0x1u64, 0x9e37_79b9_7f4a_7c15] {
+                out.push((prefix << 96) | (u128::from(subnet) << 64) | u128::from(iid));
+            }
+        }
+    }
+    out
+}
+
+fn ops() -> impl Strategy<Value = Vec<Vec<Op>>> {
+    // kind 0 removes, kinds 1-3 upsert: a 1:3 churn mix.
+    let op = (0usize..4, 0usize..60, 0u32..8).prop_map(|(kind, slot, week)| {
+        if kind == 0 {
+            Op::Remove { slot }
+        } else {
+            Op::Upsert { slot, week }
+        }
+    });
+    proptest::collection::vec(proptest::collection::vec(op, 0..12), 1..10)
+}
+
+/// Applies one epoch's ops to the corpus and returns the delta a
+/// canonical producer (fold-checksumming serving layer) would emit.
+fn advance(
+    corpus: &mut BTreeMap<u128, u32>,
+    state: &mut EpochState,
+    epoch_ops: &[Op],
+    epoch: u64,
+) -> DeltaRecord {
+    let pool = pool();
+    for &op in epoch_ops {
+        match op {
+            Op::Upsert { slot, week } => {
+                corpus.insert(pool[slot % pool.len()], week);
+            }
+            Op::Remove { slot } => {
+                corpus.remove(&pool[slot % pool.len()]);
+            }
+        }
+    }
+    let entries: Vec<(u128, u32)> = corpus.iter().map(|(&b, &w)| (b, w)).collect();
+    let checksum = entries
+        .iter()
+        .fold(0u64, |acc, &(bits, week)| fold_content(acc, bits, week));
+    let delta = replica::delta_between(
+        state,
+        &EpochView {
+            epoch,
+            week: epoch,
+            content_checksum: checksum,
+            missing_shards: &[],
+            entries: &entries,
+            aliases: &[],
+        },
+    );
+    replica::apply(state, &delta);
+    delta
+}
+
+fn build_epochs(epochs: &[Vec<Op>]) -> (Vec<DeltaRecord>, Vec<Vec<(u128, u32)>>) {
+    let mut corpus = BTreeMap::new();
+    let mut state = EpochState::default();
+    let mut deltas = Vec::new();
+    let mut materialized = Vec::new();
+    for (i, epoch_ops) in epochs.iter().enumerate() {
+        deltas.push(advance(&mut corpus, &mut state, epoch_ops, i as u64 + 1));
+        materialized.push(corpus.iter().map(|(&b, &w)| (b, w)).collect());
+    }
+    (deltas, materialized)
+}
+
+fn assert_equivalent(driver: &StreamDriver, entries: &[(u128, u32)]) {
+    let batch = Analytics::from_entries(resolver(), entries);
+    assert_eq!(
+        driver.analytics().checksums(),
+        batch.checksums(),
+        "streaming state diverged from batch rebuild"
+    );
+}
+
+proptest! {
+    /// Clean delivery: equivalence at *every* epoch boundary, and the
+    /// driver's maintained corpus checksum tracks the producer's.
+    #[test]
+    fn streaming_equals_batch_at_every_boundary(epochs in ops()) {
+        let (deltas, materialized) = build_epochs(&epochs);
+        let mut driver = StreamDriver::new(resolver());
+        for (delta, entries) in deltas.iter().zip(&materialized) {
+            prop_assert_eq!(driver.offer(delta), Offer::Applied(
+                delta.removed.len() + delta.added.len()
+            ));
+            prop_assert_eq!(driver.content_checksum(), delta.content_checksum);
+            assert_equivalent(&driver, entries);
+        }
+    }
+
+    /// Re-delivering any prefix of history (duplicates, arbitrary
+    /// stale reordering) never perturbs the state.
+    #[test]
+    fn duplicates_and_reordering_are_inert(epochs in ops(), dup in 0usize..1000) {
+        let (deltas, materialized) = build_epochs(&epochs);
+        let mut driver = StreamDriver::new(resolver());
+        for (i, delta) in deltas.iter().enumerate() {
+            driver.offer(delta);
+            let stale = dup % (i + 1); // any already-applied delta
+            prop_assert_eq!(driver.offer(&deltas[stale]), Offer::Duplicate);
+            prop_assert_eq!(driver.content_checksum(), delta.content_checksum);
+        }
+        assert_equivalent(&driver, materialized.last().unwrap());
+    }
+
+    /// Dropping a delta either leaves a stream that provably
+    /// converges back to the true corpus (every applied delta's
+    /// checksum verified), or is *detected* as a gap — never a silent
+    /// mis-application — and resync restores equivalence.
+    #[test]
+    fn gaps_are_detected_and_resync_recovers(epochs in ops(), drop in 0usize..1000) {
+        let (deltas, materialized) = build_epochs(&epochs);
+        if deltas.len() < 2 {
+            continue;
+        }
+        let drop = drop % (deltas.len() - 1); // never the last one
+
+        let mut driver = StreamDriver::new(resolver());
+        for delta in &deltas[..drop] {
+            driver.offer(delta);
+        }
+        let mut detected = false;
+        for delta in &deltas[drop + 1..] {
+            match driver.offer(delta) {
+                Offer::Gap => { detected = true; break; }
+                Offer::Applied(_) => {
+                    // A delta only applies when its verified checksum
+                    // matches — the stream re-converged despite the
+                    // loss (e.g. the lost delta's sole change was
+                    // overwritten by this one).
+                    prop_assert_eq!(driver.content_checksum(), delta.content_checksum);
+                }
+                other => prop_assert!(false, "unexpected outcome {:?}", other),
+            }
+        }
+
+        let last = materialized.last().unwrap();
+        if detected {
+            prop_assert!(driver.is_lagging());
+            // Recovery: authoritative rebuild, then equivalence again.
+            driver.resync(deltas.len() as u64, deltas.len() as u64, last);
+            prop_assert!(!driver.is_lagging());
+        } else {
+            // Convergence without detection is only legitimate when the
+            // final state is *actually* the true corpus.
+            prop_assert_eq!(
+                driver.content_checksum(),
+                deltas.last().unwrap().content_checksum
+            );
+        }
+        assert_equivalent(&driver, last);
+    }
+}

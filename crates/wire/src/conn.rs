@@ -22,11 +22,11 @@ use std::net::Ipv6Addr;
 use std::sync::Arc;
 use std::time::Instant;
 
-use v6serve::{ServeStatus, Snapshot};
+use v6serve::{ServeStatus, Snapshot, StreamAnalytics};
 
 use crate::admit::AdmitDecision;
 use crate::frame::{check_preamble, frame, FrameDecoder, FrameError, PREAMBLE_LEN};
-use crate::proto::{Request, Response, WireLookup};
+use crate::proto::{Request, Response, WireLookup, WireMove, MAX_MOVED_ROWS};
 use crate::server::WireServer;
 use crate::transport::{Transport, TransportError};
 
@@ -183,7 +183,7 @@ impl ServerConn {
             }
         };
         let started = Instant::now();
-        let resp = serve_request(snap, req);
+        let resp = serve_request_with(snap, self.server.engine().analytics().map(|a| &**a), req);
         metrics.record_latency(class, started.elapsed());
         resp
     }
@@ -247,8 +247,59 @@ impl Drop for ServerConn {
 
 /// Answers one admitted request from `snap`. Pure — no admission, no
 /// metrics — so the golden fixtures and chaos harness can call it
-/// directly.
+/// directly. Windowed streaming requests get a labeled
+/// [`Response::Error`]; servers with streaming analytics use
+/// [`serve_request_with`].
 pub fn serve_request(snap: &Snapshot, req: Request) -> Response {
+    serve_request_with(snap, None, req)
+}
+
+/// Answers one admitted request from `snap`, routing the windowed
+/// streaming-analytics requests ([`Request::MovedBetween`],
+/// [`Request::EntropyShift`]) to `analytics` when present.
+pub fn serve_request_with(
+    snap: &Snapshot,
+    analytics: Option<&StreamAnalytics>,
+    req: Request,
+) -> Response {
+    match req {
+        Request::MovedBetween { w0, w1 } => {
+            let Some(analytics) = analytics else {
+                return Response::Error {
+                    message: "streaming analytics not enabled on this server".to_string(),
+                };
+            };
+            let mut moves: Vec<WireMove> = analytics
+                .moved_between(w0, w1)
+                .into_iter()
+                .map(|m| WireMove {
+                    mac: m.mac,
+                    from_net: m.from_net,
+                    to_net: m.to_net,
+                    week: m.week,
+                })
+                .collect();
+            moves.truncate(MAX_MOVED_ROWS);
+            return Response::Moved {
+                epoch: analytics.epoch(),
+                lagging: analytics.is_lagging(),
+                moves,
+            };
+        }
+        Request::EntropyShift { as_index, w0, w1 } => {
+            let Some(analytics) = analytics else {
+                return Response::Error {
+                    message: "streaming analytics not enabled on this server".to_string(),
+                };
+            };
+            return Response::EntropyShift {
+                epoch: analytics.epoch(),
+                lagging: analytics.is_lagging(),
+                shift: analytics.entropy_shift(as_index, w0, w1),
+            };
+        }
+        _ => {}
+    }
     match req {
         Request::Ping => Response::Pong,
         Request::Membership { addr } => Response::Bool {
@@ -302,6 +353,9 @@ pub fn serve_request(snap: &Snapshot, req: Request) -> Response {
                 ServeStatus::Degraded { missing_shards } => missing_shards,
             },
         },
+        Request::MovedBetween { .. } | Request::EntropyShift { .. } => {
+            unreachable!("windowed requests answered before snapshot dispatch")
+        }
     }
 }
 

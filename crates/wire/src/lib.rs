@@ -53,9 +53,11 @@ pub mod transport;
 
 pub use admit::{Admission, AdmissionConfig, AdmitDecision, ClientClass, ClientInfo};
 pub use client::{WireClient, WireClientError};
-pub use conn::{serve_request, ConnOutput, ServerConn};
+pub use conn::{serve_request, serve_request_with, ConnOutput, ServerConn};
 pub use frame::{FrameDecoder, FrameError, MAX_FRAME_PAYLOAD, PROTOCOL_VERSION};
 pub use metrics::WireMetrics;
-pub use proto::{Request, Response, ShedReason, WireLookup, MAX_BATCH_ADDRS};
+pub use proto::{
+    Request, Response, ShedReason, WireLookup, WireMove, MAX_BATCH_ADDRS, MAX_MOVED_ROWS,
+};
 pub use server::WireServer;
 pub use transport::{duplex, ChaosTransport, PipeTransport, Transport, TransportError};

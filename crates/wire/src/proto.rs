@@ -38,6 +38,8 @@ const REQ_DENSITY: u8 = 0x05;
 const REQ_NEW_SINCE: u8 = 0x06;
 const REQ_BATCH: u8 = 0x07;
 const REQ_STATUS: u8 = 0x08;
+const REQ_MOVED_BETWEEN: u8 = 0x09;
+const REQ_ENTROPY_SHIFT: u8 = 0x0a;
 
 const RESP_PONG: u8 = 0x81;
 const RESP_BOOL: u8 = 0x82;
@@ -48,6 +50,13 @@ const RESP_STATUS: u8 = 0x86;
 const RESP_THROTTLED: u8 = 0x87;
 const RESP_SHED: u8 = 0x88;
 const RESP_ERROR: u8 = 0x89;
+const RESP_MOVED: u8 = 0x8a;
+const RESP_ENTROPY_SHIFT: u8 = 0x8b;
+
+/// Ceiling on device-move rows in one [`Response::Moved`]. Each row
+/// encodes to 28 bytes, so the cap keeps the response frame well under
+/// [`crate::frame::MAX_FRAME_PAYLOAD`] with header headroom.
+pub const MAX_MOVED_ROWS: usize = 30_000;
 
 /// A client request. Addresses travel as raw `u128` bits.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -86,6 +95,26 @@ pub enum Request {
     },
     /// Service health: epoch, week, size, quarantined shards.
     Status,
+    /// Windowed streaming-analytics query: EUI-64 devices that moved
+    /// from one /64 to another between two study weeks. Answerable
+    /// only when the server runs streaming analytics.
+    MovedBetween {
+        /// Window start (exclusive): the device was settled at `w0`.
+        w0: u32,
+        /// Window end (inclusive): the move surfaced in `(w0, w1]`.
+        w1: u32,
+    },
+    /// Windowed streaming-analytics query: entropy-distribution shift
+    /// of one AS between the corpus as of `w0` and the additions of
+    /// `(w0, w1]`.
+    EntropyShift {
+        /// Dense AS index (the resolver's attribution space).
+        as_index: u16,
+        /// Window start (exclusive).
+        w0: u32,
+        /// Window end (inclusive).
+        w1: u32,
+    },
 }
 
 /// One address's answer inside a lookup or batch response.
@@ -100,6 +129,20 @@ pub struct WireLookup {
     /// True when the address's shard is quarantined in the answering
     /// epoch (the answer may be stale).
     pub degraded: bool,
+}
+
+/// One device move inside a [`Response::Moved`] answer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WireMove {
+    /// The device's MAC (low 48 bits), recovered from its EUI-64 IID.
+    pub mac: u64,
+    /// The /64 (high 64 address bits) the device sat in before the
+    /// window.
+    pub from_net: u64,
+    /// The /64 it surfaced in inside the window.
+    pub to_net: u64,
+    /// Week it first appeared in `to_net`.
+    pub week: u32,
 }
 
 /// A server response. Every variant echoes the request id it answers.
@@ -168,6 +211,27 @@ pub enum Response {
     Error {
         /// Human-readable cause.
         message: String,
+    },
+    /// Answer to [`Request::MovedBetween`].
+    Moved {
+        /// Epoch the streaming operators reflect.
+        epoch: u64,
+        /// True when the analytics lag the store after a detected
+        /// replay gap — the answer reflects the last verified epoch.
+        lagging: bool,
+        /// The device moves, ordered by (mac, week, to_net).
+        moves: Vec<WireMove>,
+    },
+    /// Answer to [`Request::EntropyShift`].
+    EntropyShift {
+        /// Epoch the streaming operators reflect.
+        epoch: u64,
+        /// True when the analytics lag the store (see
+        /// [`Response::Moved::lagging`]).
+        lagging: bool,
+        /// Total-variation distance in per-mille; `None` when either
+        /// window side holds no attributed addresses.
+        shift: Option<u32>,
     },
 }
 
@@ -323,6 +387,19 @@ impl Request {
                 e.u8(REQ_STATUS);
                 e.u64(request_id);
             }
+            Request::MovedBetween { w0, w1 } => {
+                e.u8(REQ_MOVED_BETWEEN);
+                e.u64(request_id);
+                e.u32(*w0);
+                e.u32(*w1);
+            }
+            Request::EntropyShift { as_index, w0, w1 } => {
+                e.u8(REQ_ENTROPY_SHIFT);
+                e.u64(request_id);
+                e.u16(*as_index);
+                e.u32(*w0);
+                e.u32(*w1);
+            }
         }
         e.into_bytes()
     }
@@ -372,6 +449,15 @@ impl Request {
                 Request::Batch { addrs }
             }
             REQ_STATUS => Request::Status,
+            REQ_MOVED_BETWEEN => Request::MovedBetween {
+                w0: d.u32().ok_or(FrameError::Malformed("truncated window"))?,
+                w1: d.u32().ok_or(FrameError::Malformed("truncated window"))?,
+            },
+            REQ_ENTROPY_SHIFT => Request::EntropyShift {
+                as_index: d.u16().ok_or(FrameError::Malformed("truncated as index"))?,
+                w0: d.u32().ok_or(FrameError::Malformed("truncated window"))?,
+                w1: d.u32().ok_or(FrameError::Malformed("truncated window"))?,
+            },
             other => return Err(FrameError::UnknownTag(other)),
         };
         if !d.is_exhausted() {
@@ -460,6 +546,34 @@ impl Response {
                 e.u64(request_id);
                 e.name(message);
             }
+            Response::Moved {
+                epoch,
+                lagging,
+                moves,
+            } => {
+                e.u8(RESP_MOVED);
+                e.u64(request_id);
+                e.u64(*epoch);
+                e.u8(u8::from(*lagging));
+                e.u32(moves.len() as u32);
+                for m in moves {
+                    e.u64(m.mac);
+                    e.u64(m.from_net);
+                    e.u64(m.to_net);
+                    e.u32(m.week);
+                }
+            }
+            Response::EntropyShift {
+                epoch,
+                lagging,
+                shift,
+            } => {
+                e.u8(RESP_ENTROPY_SHIFT);
+                e.u64(request_id);
+                e.u64(*epoch);
+                e.u8(u8::from(*lagging));
+                enc_opt_week(&mut e, *shift);
+            }
         }
         e.into_bytes()
     }
@@ -547,6 +661,44 @@ impl Response {
                     .name()
                     .ok_or(FrameError::Malformed("truncated error message"))?,
             },
+            RESP_MOVED => {
+                let epoch = d.u64().ok_or(FrameError::Malformed("truncated epoch"))?;
+                let lagging = match d.u8().ok_or(FrameError::Malformed("truncated flag"))? {
+                    0 => false,
+                    1 => true,
+                    _ => return Err(FrameError::Malformed("lagging flag out of range")),
+                };
+                let n = d
+                    .u32()
+                    .ok_or(FrameError::Malformed("truncated move count"))?
+                    as usize;
+                if n > MAX_MOVED_ROWS {
+                    return Err(FrameError::Malformed("moves exceed row cap"));
+                }
+                let mut moves = Vec::with_capacity(n.min(4096));
+                for _ in 0..n {
+                    moves.push(WireMove {
+                        mac: d.u64().ok_or(FrameError::Malformed("truncated move"))?,
+                        from_net: d.u64().ok_or(FrameError::Malformed("truncated move"))?,
+                        to_net: d.u64().ok_or(FrameError::Malformed("truncated move"))?,
+                        week: d.u32().ok_or(FrameError::Malformed("truncated move"))?,
+                    });
+                }
+                Response::Moved {
+                    epoch,
+                    lagging,
+                    moves,
+                }
+            }
+            RESP_ENTROPY_SHIFT => Response::EntropyShift {
+                epoch: d.u64().ok_or(FrameError::Malformed("truncated epoch"))?,
+                lagging: match d.u8().ok_or(FrameError::Malformed("truncated flag"))? {
+                    0 => false,
+                    1 => true,
+                    _ => return Err(FrameError::Malformed("lagging flag out of range")),
+                },
+                shift: dec_opt_week(&mut d).ok_or(FrameError::Malformed("truncated shift"))?,
+            },
             other => return Err(FrameError::UnknownTag(other)),
         };
         if !d.is_exhausted() {
@@ -590,6 +742,12 @@ mod tests {
             addrs: vec![1, 2, 3, u128::MAX],
         });
         round_trip_req(Request::Status);
+        round_trip_req(Request::MovedBetween { w0: 3, w1: 9 });
+        round_trip_req(Request::EntropyShift {
+            as_index: 17,
+            w0: 0,
+            w1: u32::MAX,
+        });
     }
 
     #[test]
@@ -643,6 +801,53 @@ mod tests {
         round_trip_resp(Response::Error {
             message: "week out of range".to_string(),
         });
+        round_trip_resp(Response::Moved {
+            epoch: 12,
+            lagging: true,
+            moves: vec![
+                WireMove {
+                    mac: 0x0050_56ab_cdef,
+                    from_net: 0x2001_0db8_0001_0000,
+                    to_net: 0x2001_0db8_0002_0000,
+                    week: 6,
+                },
+                WireMove {
+                    mac: u64::MAX,
+                    from_net: 0,
+                    to_net: u64::MAX,
+                    week: u32::MAX,
+                },
+            ],
+        });
+        round_trip_resp(Response::Moved {
+            epoch: 0,
+            lagging: false,
+            moves: Vec::new(),
+        });
+        round_trip_resp(Response::EntropyShift {
+            epoch: 12,
+            lagging: false,
+            shift: Some(417),
+        });
+        round_trip_resp(Response::EntropyShift {
+            epoch: 12,
+            lagging: true,
+            shift: None,
+        });
+    }
+
+    #[test]
+    fn oversized_move_counts_are_rejected() {
+        let mut e = Enc::new();
+        e.u8(super::RESP_MOVED);
+        e.u64(1);
+        e.u64(9);
+        e.u8(0);
+        e.u32(MAX_MOVED_ROWS as u32 + 1);
+        assert!(matches!(
+            Response::decode(&e.into_bytes()),
+            Err(FrameError::Malformed(_))
+        ));
     }
 
     #[test]

@@ -21,7 +21,7 @@ use std::path::{Path, PathBuf};
 
 use v6addr::Prefix;
 use v6wire::frame::{frame, preamble, FrameDecoder, PREAMBLE_LEN};
-use v6wire::proto::{Request, Response, ShedReason, WireLookup};
+use v6wire::proto::{Request, Response, ShedReason, WireLookup, WireMove};
 use v6wire::ClientClass;
 
 const FIXTURE_FILES: [&str; 2] = ["requests.bin", "responses.bin"];
@@ -52,6 +52,15 @@ fn fixture_requests() -> Vec<(u64, Request)> {
             },
         ),
         (8, Request::Status),
+        (9, Request::MovedBetween { w0: 3, w1: 9 }),
+        (
+            10,
+            Request::EntropyShift {
+                as_index: 17,
+                w0: 3,
+                w1: 9,
+            },
+        ),
     ]
 }
 
@@ -124,6 +133,27 @@ fn fixture_responses() -> Vec<(u64, Response)> {
             11,
             Response::Error {
                 message: "golden error".to_string(),
+            },
+        ),
+        (
+            12,
+            Response::Moved {
+                epoch: 9,
+                lagging: false,
+                moves: vec![WireMove {
+                    mac: 0x0050_56ab_cdef,
+                    from_net: 0x2001_0db8_0001_0000,
+                    to_net: 0x2001_0db8_0002_0000,
+                    week: 6,
+                }],
+            },
+        ),
+        (
+            13,
+            Response::EntropyShift {
+                epoch: 9,
+                lagging: true,
+                shift: Some(417),
             },
         ),
     ]

@@ -40,6 +40,12 @@
 //!   `v6store` delta log over the `v6wire` transport, hedged reads
 //!   with degraded labeling, and node-granularity chaos (kill/restart,
 //!   loss, partitions) with a byte-identical convergence invariant.
+//! * [`stream`] (`v6stream`) — incremental O(Δ) analytics over the
+//!   epoch stream: per-epoch operators (density, entropy profiles,
+//!   EUI-64 device tracking, rotation estimation) folding `v6store`
+//!   delta records with a pinned streaming ≡ batch equivalence
+//!   invariant, replay-gap/duplicate detection, and explicit
+//!   snapshot resync — replacing whole-corpus batch re-analysis.
 //! * [`obs`] (`v6obs`) — the observability layer: a metrics registry
 //!   (counters, gauges, latency histograms, deterministic exposition)
 //!   and hierarchical span tracing (`V6_TRACE` knob); data-derived
@@ -72,4 +78,5 @@ pub use v6par as par;
 pub use v6scan as scan;
 pub use v6serve as serve;
 pub use v6store as store;
+pub use v6stream as stream;
 pub use v6wire as wire;
